@@ -1,0 +1,91 @@
+//! Shared application plumbing: reconstructing routing state from the
+//! collected monitor feeds and running a configured application end to end.
+//!
+//! Note the discipline the paper imposes (§I, §II-B): applications never
+//! query live network state — everything, including historical paths and
+//! egress choices, is rebuilt from what the Data Collector ingested.
+
+use grca_collector::Database;
+use grca_core::{Diagnosis, DiagnosisGraph, Engine};
+use grca_events::{extract_all, EventDefinition, EventStore, ExtractCx};
+use grca_net_model::{RouteOracle, SpatialModel, Topology};
+use grca_routing::{BgpState, BgpUpdate, OspfState, RouteAttrs, RoutingState, WeightEvent};
+use grca_types::Result;
+
+/// Rebuild OSPF + BGP state from the collector's monitor tables.
+pub fn build_routing<'a>(topo: &'a Topology, db: &Database) -> RoutingState<'a> {
+    let weights: Vec<WeightEvent> = db
+        .ospf
+        .all()
+        .iter()
+        .map(|r| WeightEvent {
+            time: r.utc,
+            link: r.link,
+            weight: r.weight,
+        })
+        .collect();
+    let ospf = OspfState::new(topo, weights);
+    // Baseline reachability comes from configuration (the external nets'
+    // candidate egress sets); the update stream from the reflector feed,
+    // deduplicated across reflectors.
+    let baseline = topo
+        .ext_nets
+        .iter()
+        .flat_map(|n| {
+            n.egress_candidates
+                .iter()
+                .map(|&e| (n.prefix, e, RouteAttrs::default()))
+        })
+        .collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let updates = db
+        .bgp
+        .all()
+        .iter()
+        .filter(|r| seen.insert((r.utc, r.prefix, r.egress, r.attrs)))
+        .map(|r| BgpUpdate {
+            time: r.utc,
+            prefix: r.prefix,
+            egress: r.egress,
+            attrs: r.attrs.map(|(lp, asl)| RouteAttrs {
+                local_pref: lp,
+                as_path_len: asl,
+            }),
+        })
+        .collect();
+    RoutingState::new(topo, ospf, BgpState::new(baseline, updates))
+}
+
+/// The result of running one RCA application.
+pub struct AppOutput {
+    /// The application's diagnosis graph (for display / DSL export).
+    pub graph: DiagnosisGraph,
+    /// All extracted event instances.
+    pub store: EventStore,
+    /// One diagnosis per symptom instance.
+    pub diagnoses: Vec<Diagnosis>,
+}
+
+/// Extract events and diagnose every symptom with the given graph.
+pub fn run_app(
+    topo: &Topology,
+    db: &Database,
+    oracle: &dyn RouteOracle,
+    defs: &[EventDefinition],
+    graph: DiagnosisGraph,
+    routing_for_extraction: Option<&RoutingState>,
+) -> Result<AppOutput> {
+    graph.validate()?;
+    let cx = ExtractCx::new(topo, db, routing_for_extraction);
+    let store = extract_all(defs, &cx);
+    let spatial = SpatialModel::new(topo, oracle);
+    let diagnoses = {
+        let engine = Engine::new(&graph, &store, &spatial);
+        engine.diagnose_all()
+    };
+    Ok(AppOutput {
+        graph,
+        store,
+        diagnoses,
+    })
+}

@@ -1,0 +1,170 @@
+//! In-network packet-loss RCA — the paper's §I motivating scenario:
+//! "when analyzing sporadic packet losses observed by probing traffic
+//! transmitted between different PoPs, one should examine the packet
+//! losses over an extended period and diagnose their root causes. Should
+//! link congestion be determined to be the primary root cause, capacity
+//! augmentation is needed. Alternatively, if packet losses are found to be
+//! largely due to intradomain routing reconvergence, deploying
+//! technologies such as MPLS fast reroute becomes a priority."
+//!
+//! The whole application is Knowledge Library reuse: the symptom and every
+//! rule come from Tables I and II.
+
+use crate::context::{build_routing, run_app, AppOutput};
+use grca_collector::Database;
+use grca_core::{Diagnosis, DiagnosisGraph};
+use grca_events::{knowledge_library, names as ev, EventDefinition, Retrieval};
+use grca_net_model::{RouterId, Topology};
+use grca_types::Result;
+
+/// Event definitions: the Table I library with the egress-change emulation
+/// parameterized on the probe ingress routers (the first core per PoP).
+pub fn event_definitions(topo: &Topology) -> Vec<EventDefinition> {
+    let ingresses: Vec<RouterId> = topo
+        .pops
+        .iter()
+        .enumerate()
+        .filter_map(|(p, _)| {
+            topo.routers
+                .iter()
+                .position(|r| r.pop.index() == p && r.role == grca_net_model::RouterRole::Core)
+                .map(RouterId::from)
+        })
+        .collect();
+    let mut defs = knowledge_library();
+    for d in &mut defs {
+        if let Retrieval::BgpEgressChange { ingresses: v } = &mut d.retrieval {
+            *v = ingresses.clone();
+        }
+    }
+    defs
+}
+
+/// The diagnosis graph: the Table II rules reachable from the loss symptom.
+pub fn diagnosis_graph() -> DiagnosisGraph {
+    let mut g = DiagnosisGraph::new("e2e-loss-rca", ev::E2E_LOSS_INCREASE);
+    // Pull in every library rule reachable from the root, transitively.
+    let all = grca_core::knowledge_rules();
+    let mut events = std::collections::BTreeSet::new();
+    events.insert(ev::E2E_LOSS_INCREASE.to_string());
+    let mut keep = vec![false; all.len()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, r) in all.iter().enumerate() {
+            if !keep[i] && events.contains(&r.symptom) {
+                keep[i] = true;
+                events.insert(r.diagnostic.clone());
+                changed = true;
+            }
+        }
+    }
+    for (i, r) in all.into_iter().enumerate() {
+        if keep[i] {
+            g.add_rule(r);
+        }
+    }
+    g
+}
+
+/// Run the application.
+pub fn run(topo: &Topology, db: &Database) -> Result<AppOutput> {
+    let routing = build_routing(topo, db);
+    run_app(
+        topo,
+        db,
+        &routing,
+        &event_definitions(topo),
+        diagnosis_graph(),
+        Some(&routing),
+    )
+}
+
+/// The operational recommendation the paper's scenario derives from the
+/// breakdown: where should engineering effort go?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recommendation {
+    /// Losses dominated by congestion: add capacity on the affected paths.
+    AugmentCapacity,
+    /// Losses dominated by reconvergence: deploy fast reroute.
+    DeployFastReroute,
+    /// No dominant in-network cause.
+    InvestigateFurther,
+}
+
+/// Derive the recommendation from diagnosed losses. Shares are computed
+/// from *evidence presence* rather than the winning label: a loss whose
+/// reconvergence traces back to an interface failure is still a
+/// reconvergence-driven loss for the capacity-vs-FRR decision.
+pub fn recommend(diagnoses: &[Diagnosis]) -> (Recommendation, f64, f64) {
+    let total = diagnoses.len().max(1) as f64;
+    let share =
+        |name: &str| diagnoses.iter().filter(|d| d.has_evidence(name)).count() as f64 / total;
+    let congestion = share(ev::LINK_CONGESTION_ALARM);
+    let reconv = share(ev::OSPF_RECONVERGENCE);
+    let rec = if congestion >= 0.4 && congestion > reconv {
+        Recommendation::AugmentCapacity
+    } else if reconv >= 0.4 {
+        Recommendation::DeployFastReroute
+    } else {
+        Recommendation::InvestigateFurther
+    };
+    (rec, congestion, reconv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_net_model::gen::{generate, TopoGenConfig};
+    use grca_simnet::{run_scenario, FaultRates, ScenarioConfig};
+
+    #[test]
+    fn graph_is_pure_library_reuse() {
+        let g = diagnosis_graph();
+        g.validate().unwrap();
+        assert!(g.rules.len() >= 5);
+        let lib = grca_core::knowledge_rules();
+        for r in &g.rules {
+            assert!(lib.contains(r), "non-library rule in the e2e graph");
+        }
+    }
+
+    #[test]
+    fn congestion_month_recommends_capacity() {
+        let topo = generate(&TopoGenConfig::default());
+        let mut rates = FaultRates::zero();
+        rates.link_congestion = 8.0;
+        rates.ospf_weight_change = 0.5;
+        let cfg = ScenarioConfig::new(14, 21, rates);
+        let out = run_scenario(&topo, &cfg);
+        let (db, _) = Database::ingest(&topo, &out.records);
+        let run = run(&topo, &db).unwrap();
+        assert!(!run.diagnoses.is_empty());
+        let (rec, congestion, reconv) = recommend(&run.diagnoses);
+        assert_eq!(
+            rec,
+            Recommendation::AugmentCapacity,
+            "congestion {congestion:.2} reconv {reconv:.2}"
+        );
+    }
+
+    #[test]
+    fn reconvergence_month_recommends_frr() {
+        let topo = generate(&TopoGenConfig::default());
+        let mut rates = FaultRates::zero();
+        rates.backbone_link_failure = 4.0;
+        rates.ospf_weight_change = 6.0;
+        rates.link_congestion = 0.3;
+        let cfg = ScenarioConfig::new(14, 22, rates);
+        let out = run_scenario(&topo, &cfg);
+        let (db, _) = Database::ingest(&topo, &out.records);
+        let run = run(&topo, &db).unwrap();
+        assert!(!run.diagnoses.is_empty());
+        let (rec, congestion, reconv) = recommend(&run.diagnoses);
+        assert_eq!(
+            rec,
+            Recommendation::DeployFastReroute,
+            "congestion {congestion:.2} reconv {reconv:.2}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! RCA applications built on the G-RCA platform (§III).
+//!
+//! Each application is *configuration*: a handful of app-specific event
+//! definitions (Tables III, V, VII), a diagnosis graph combining Knowledge
+//! Library rules with a few app-specific rules (Figs. 4–6), and priorities.
+//! No application contains correlation or reasoning code of its own — that
+//! is the paper's point.
+//!
+//! * [`bgp`] — customer eBGP session flaps (+ the Fig. 8 Bayesian config);
+//! * [`cdn`] — CDN round-trip-time degradations;
+//! * [`pim`] — PIM MVPN neighbor adjacency changes;
+//! * [`e2e`] — in-network packet-loss RCA (the §I motivating scenario,
+//!   pure Knowledge Library reuse);
+//! * [`context`] — shared plumbing (routing reconstruction, app runner);
+//! * [`report`] — paper-table category mapping and ground-truth scoring.
+
+pub mod bgp;
+pub mod cdn;
+pub mod context;
+pub mod e2e;
+pub mod online;
+pub mod pim;
+pub mod report;
+
+pub use context::{build_routing, run_app, AppOutput};
+pub use online::OnlineRca;
+pub use report::{category_breakdown, label_category, score, truth_category, Accuracy, Study};

@@ -1,0 +1,78 @@
+//! §II-D.2: "These [parameters] can be trained from classified historical
+//! data, which we can bootstrap using the rule-based reasoning."
+//!
+//! Train the Bayesian model from one month of rule-based BGP diagnoses,
+//! then check the trained classifier agrees with rule-based verdicts on a
+//! held-out month — the two reasoning engines are "consistent with each
+//! other" on ordinary flaps, as §IV-C reports.
+
+use grca_apps::{bgp, report, Study};
+use grca_collector::Database;
+use grca_core::bayes::{train, TrainingExample};
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig};
+
+/// Collapse rule-based labels onto the Bayesian class vocabulary.
+fn class_of(label: &str) -> Option<&'static str> {
+    match report::label_category(Study::Bgp, label) {
+        "Interface flap" | "Line protocol flap" => Some("interface-issue"),
+        "CPU high (spike)" | "CPU high (average)" => Some("cpu-high-issue"),
+        "Customer reset session" => Some("customer-action"),
+        _ => None, // unknowns and rare classes are not trained on
+    }
+}
+
+#[test]
+fn bootstrap_training_agrees_with_rules_on_holdout() {
+    let topo = generate(&TopoGenConfig::small());
+
+    // Month 1: training data from rule-based reasoning.
+    let cfg1 = ScenarioConfig::new(15, 91, FaultRates::bgp_study());
+    let out1 = run_scenario(&topo, &cfg1);
+    let (db1, _) = Database::ingest(&topo, &out1.records);
+    let run1 = bgp::run(&topo, &db1).unwrap();
+    let examples: Vec<TrainingExample> = run1
+        .diagnoses
+        .iter()
+        .filter_map(|d| {
+            class_of(&d.label()).map(|class| TrainingExample {
+                class: class.to_string(),
+                observations: bgp::feature_vector(d),
+            })
+        })
+        .collect();
+    assert!(
+        examples.len() > 200,
+        "need training volume, got {}",
+        examples.len()
+    );
+    let model = train(&examples);
+    assert!(model.classes.len() >= 3);
+
+    // Month 2 (different seed): held-out evaluation.
+    let cfg2 = ScenarioConfig::new(15, 92, FaultRates::bgp_study());
+    let out2 = run_scenario(&topo, &cfg2);
+    let (db2, _) = Database::ingest(&topo, &out2.records);
+    let run2 = bgp::run(&topo, &db2).unwrap();
+
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for d in &run2.diagnoses {
+        let Some(rule_class) = class_of(&d.label()) else {
+            continue;
+        };
+        total += 1;
+        let bayes_class = model.best(&bgp::feature_vector(d)).unwrap();
+        if bayes_class == rule_class {
+            agree += 1;
+        }
+    }
+    let rate = agree as f64 / total.max(1) as f64;
+    assert!(total > 200);
+    assert!(
+        rate > 0.9,
+        "trained Bayes agrees with rules on only {:.1}% of {} held-out flaps",
+        100.0 * rate,
+        total
+    );
+}

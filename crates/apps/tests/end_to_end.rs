@@ -1,0 +1,158 @@
+//! End-to-end application tests: scenario → collector → extraction →
+//! diagnosis → breakdown, scored against hidden ground truth and compared
+//! in *shape* to the paper's Tables IV, VI and VIII.
+
+use grca_apps::{bgp, cdn, pim, report, Study};
+use grca_collector::Database;
+use grca_core::ResultBrowser;
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::Topology;
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig, SimOutput};
+
+fn simulate(rates: FaultRates, days: u32, seed: u64) -> (Topology, SimOutput, Database) {
+    let topo = generate(&TopoGenConfig::small());
+    let cfg = ScenarioConfig::new(days, seed, rates);
+    let out = run_scenario(&topo, &cfg);
+    let (db, stats) = Database::ingest(&topo, &out.records);
+    assert_eq!(stats.total_dropped(), 0, "{}", stats.render());
+    (topo, out, db)
+}
+
+#[test]
+fn bgp_flap_rca_recovers_table_iv_shape() {
+    let (topo, out, db) = simulate(FaultRates::bgp_study(), 10, 21);
+    let run = bgp::run(&topo, &db).unwrap();
+    assert!(run.diagnoses.len() > 200, "got {}", run.diagnoses.len());
+
+    // Per-symptom accuracy against ground truth.
+    let acc = report::score(Study::Bgp, &topo, &run.diagnoses, &out.truth);
+    assert!(acc.matched as f64 >= 0.95 * run.diagnoses.len() as f64);
+    assert!(
+        acc.rate() > 0.9,
+        "accuracy {:.3}; confusion {:?}",
+        acc.rate(),
+        acc.confusion
+    );
+
+    // Table IV shape: interface flap dominates, line-protocol second tier,
+    // visible HTE/unknown tail, small reboot/reset/L1 slivers.
+    let rows = report::category_breakdown(Study::Bgp, &topo, &run.diagnoses);
+    let pct = |c: &str| {
+        rows.iter()
+            .find(|(l, _, _)| l == c)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(0.0)
+    };
+    assert_eq!(rows[0].0, "Interface flap", "{rows:?}");
+    assert!(pct("Interface flap") > 40.0 && pct("Interface flap") < 80.0);
+    assert!(pct("Line protocol flap") > 3.0);
+    assert!(pct("Unknown") > 3.0);
+    assert!(pct("eBGP HTE (due to unknown reasons)") > 1.0);
+    assert!(pct("CPU high (spike)") > 1.0);
+    assert!(pct("Interface flap") > pct("Line protocol flap"));
+    assert!(pct("Line protocol flap") > pct("Router reboot"));
+}
+
+#[test]
+fn cdn_rca_recovers_table_vi_shape() {
+    let (topo, out, db) = simulate(FaultRates::cdn_study(), 15, 22);
+    let run = cdn::run(&topo, &db).unwrap();
+    assert!(run.diagnoses.len() > 100, "got {}", run.diagnoses.len());
+
+    let rows = report::category_breakdown(Study::Cdn, &topo, &run.diagnoses);
+    let pct = |c: &str| {
+        rows.iter()
+            .find(|(l, _, _)| l == c)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(0.0)
+    };
+    // The defining Table VI feature: most degradations have no in-network
+    // explanation.
+    assert!(pct("Outside of our network (Unknown)") > 50.0, "{rows:?}");
+    // In-network causes are each minor but present.
+    assert!(
+        pct("Egress Change due to Inter-domain routing change") > 0.5,
+        "{rows:?}"
+    );
+    let acc = report::score(Study::Cdn, &topo, &run.diagnoses, &out.truth);
+    assert!(
+        acc.rate() > 0.75,
+        "accuracy {:.3}; confusion {:?}",
+        acc.rate(),
+        acc.confusion
+    );
+}
+
+#[test]
+fn pim_rca_recovers_table_viii_shape() {
+    let (topo, out, db) = simulate(FaultRates::pim_study(), 14, 23);
+    let run = pim::run(&topo, &db).unwrap();
+    assert!(run.diagnoses.len() > 100, "got {}", run.diagnoses.len());
+
+    let rows = report::category_breakdown(Study::Pim, &topo, &run.diagnoses);
+    let pct = |c: &str| {
+        rows.iter()
+            .find(|(l, _, _)| l == c)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(0.0)
+    };
+    assert_eq!(rows[0].0, "interface (customer facing) flap", "{rows:?}");
+    assert!(pct("interface (customer facing) flap") > 45.0);
+    // ≥98% of adjacency changes are classified (§III-C.2).
+    assert!(pct("Unknown") < 10.0, "{rows:?}");
+    let acc = report::score(Study::Pim, &topo, &run.diagnoses, &out.truth);
+    assert!(
+        acc.rate() > 0.8,
+        "accuracy {:.3}; confusion {:?}",
+        acc.rate(),
+        acc.confusion
+    );
+}
+
+#[test]
+fn bayesian_group_inference_finds_line_card_crash() {
+    // §IV-C: plant one line-card crash in an otherwise ordinary month.
+    let topo = generate(&TopoGenConfig::small());
+    let mut rates = FaultRates::bgp_study();
+    rates.line_card_crash = 0.08; // expect ~1 crash over the window
+    let cfg = ScenarioConfig::new(14, 77, rates);
+    let out = run_scenario(&topo, &cfg);
+    let crashes = out
+        .truth
+        .iter()
+        .filter(|t| t.cause == grca_simnet::RootCause::LineCardCrash)
+        .count();
+    if crashes < 5 {
+        // Poisson draw produced no crash for this seed; the dedicated
+        // experiment binary forces one. Nothing to assert here.
+        return;
+    }
+    let (db, _) = Database::ingest(&topo, &out.records);
+    let run = bgp::run(&topo, &db).unwrap();
+    let findings =
+        bgp::analyze_card_groups(&topo, &run.diagnoses, grca_types::Duration::mins(5), 5);
+    assert!(!findings.is_empty(), "no card bursts found");
+    let f = findings.iter().max_by_key(|f| f.members.len()).unwrap();
+    // Rule-based reasoning called them interface flaps...
+    assert!(f.rule_labels.iter().any(|l| l.contains("interface-flap")));
+    // ...joint Bayesian inference attributes the burst to the line card.
+    assert_eq!(f.bayes_class, bgp::classes::LINE_CARD_ISSUE);
+    assert!(f.sessions >= 5);
+}
+
+#[test]
+fn result_browser_supports_iterative_filtering() {
+    let (topo, _, db) = simulate(FaultRates::bgp_study(), 5, 31);
+    let run = bgp::run(&topo, &db).unwrap();
+    let rb = ResultBrowser::new(&topo, &run.diagnoses);
+    let b = rb.breakdown();
+    assert_eq!(b.total, run.diagnoses.len());
+    // Filtering by the top label + the unexplained set partitions sensibly.
+    let top = &b.rows[0].0;
+    let with_top = rb.with_label(top).len();
+    let unexplained = rb.unexplained().len();
+    assert!(with_top + unexplained <= b.total);
+    assert_eq!(with_top, b.rows[0].1);
+    // Trend covers the scenario days.
+    assert!(rb.trend().len() >= 4);
+}

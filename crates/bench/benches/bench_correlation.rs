@@ -1,0 +1,53 @@
+//! E8 cost — the Correlation Tester and blind screening.
+//!
+//! §IV-B screens one symptom series against 3361 candidates over three
+//! months of 5-minute bins (~26k bins). These benches measure one NICE
+//! test at that scale and the per-candidate cost of a screening sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grca_correlation::{CorrelationTester, EventSeries};
+use grca_types::{Duration, Timestamp};
+use std::hint::black_box;
+
+fn series(n: usize, every: usize, phase: usize) -> EventSeries {
+    EventSeries {
+        start: Timestamp(0),
+        bin: Duration::mins(5),
+        counts: (0..n)
+            .map(|i| f64::from((i + phase).is_multiple_of(every)))
+            .collect(),
+    }
+}
+
+fn bench_nice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("correlation");
+    // 90 days of 5-minute bins, as in the paper's screening run.
+    let n = 90 * 288;
+    let sym = series(n, 97, 0);
+    let diag = series(n, 97, 1);
+    let tester = CorrelationTester::default();
+    g.bench_function("nice_test_90d_5min", |b| {
+        b.iter(|| black_box(tester.test(&sym, &diag)))
+    });
+
+    // A bounded-shift tester trades null-sample count for speed.
+    let fast = CorrelationTester {
+        max_shifts: 200,
+        ..Default::default()
+    };
+    g.bench_function("nice_test_90d_200shifts", |b| {
+        b.iter(|| black_box(fast.test(&sym, &diag)))
+    });
+
+    // One month at 5-minute bins (rule validation workloads).
+    let n = 30 * 288;
+    let sym = series(n, 53, 0);
+    let diag = series(n, 53, 1);
+    g.bench_function("nice_test_30d_5min", |b| {
+        b.iter(|| black_box(tester.test(&sym, &diag)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_nice);
+criterion_main!(benches);

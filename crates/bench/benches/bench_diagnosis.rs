@@ -1,0 +1,99 @@
+//! E7 — per-symptom diagnosis latency, by application.
+//!
+//! The paper reports <5 s per symptom for BGP and PIM and <3 min for CDN
+//! ("most of the delay is incurred computing interdomain (BGP) routes and
+//! intradomain (OSPF) routes"). Absolute numbers are testbed-specific; the
+//! reproducible claim is the *ordering* — CDN ≫ PIM > BGP — and that the
+//! cost is dominated by route computation, which `bench_spatial`
+//! decomposes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grca_apps::{bgp, build_routing, cdn, pim};
+use grca_bench::fixture;
+use grca_core::Engine;
+use grca_events::{extract_all, ExtractCx};
+use grca_net_model::gen::TopoGenConfig;
+use grca_net_model::{NullOracle, SpatialModel};
+use grca_simnet::FaultRates;
+use std::hint::black_box;
+
+fn bench_apps(c: &mut Criterion) {
+    // One mixed fixture reused by all three applications.
+    let mut rates = FaultRates::bgp_study();
+    rates.mvpn_customer_flap = 40.0;
+    rates.ospf_weight_change = 4.0;
+    rates.link_congestion = 2.0;
+    rates.egress_change = 3.0;
+    rates.external_rtt_degradation = 20.0;
+    rates.pim_config_change = 1.0;
+    let fx = fixture(&TopoGenConfig::default(), 7, 17, rates);
+    let routing = build_routing(&fx.topo, &fx.db);
+
+    let mut group = c.benchmark_group("diagnose_per_symptom");
+
+    // BGP: configuration-only spatial joins.
+    {
+        let defs = bgp::event_definitions();
+        let graph = bgp::diagnosis_graph();
+        let cx = ExtractCx::new(&fx.topo, &fx.db, None);
+        let store = extract_all(&defs, &cx);
+        let sm = SpatialModel::new(&fx.topo, &NullOracle);
+        let engine = Engine::new(&graph, &store, &sm);
+        let symptoms = store.instances(&graph.root).to_vec();
+        assert!(!symptoms.is_empty());
+        let mut i = 0;
+        group.bench_function("bgp_flap", |b| {
+            b.iter(|| {
+                let s = &symptoms[i % symptoms.len()];
+                i += 1;
+                black_box(engine.diagnose(s))
+            })
+        });
+    }
+
+    // PIM: path-level joins over reconstructed OSPF state.
+    {
+        let defs = pim::event_definitions();
+        let graph = pim::diagnosis_graph();
+        let cx = ExtractCx::new(&fx.topo, &fx.db, Some(&routing));
+        let store = extract_all(&defs, &cx);
+        let sm = SpatialModel::new(&fx.topo, &routing);
+        let engine = Engine::new(&graph, &store, &sm);
+        let symptoms = store.instances(&graph.root).to_vec();
+        assert!(!symptoms.is_empty());
+        let mut i = 0;
+        group.bench_function("pim_adjacency", |b| {
+            b.iter(|| {
+                let s = &symptoms[i % symptoms.len()];
+                i += 1;
+                black_box(engine.diagnose(s))
+            })
+        });
+    }
+
+    // CDN: BGP emulation + OSPF paths per symptom (the paper's dominant
+    // cost).
+    {
+        let defs = cdn::event_definitions(&fx.topo);
+        let graph = cdn::diagnosis_graph();
+        let cx = ExtractCx::new(&fx.topo, &fx.db, Some(&routing));
+        let store = extract_all(&defs, &cx);
+        let sm = SpatialModel::new(&fx.topo, &routing);
+        let engine = Engine::new(&graph, &store, &sm);
+        let symptoms = store.instances(&graph.root).to_vec();
+        assert!(!symptoms.is_empty());
+        let mut i = 0;
+        group.bench_function("cdn_rtt", |b| {
+            b.iter(|| {
+                let s = &symptoms[i % symptoms.len()];
+                i += 1;
+                black_box(engine.diagnose(s))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

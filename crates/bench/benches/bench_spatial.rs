@@ -1,0 +1,102 @@
+//! E7/E10 decomposition — what dominates diagnosis cost.
+//!
+//! The paper attributes the CDN application's latency to "computing
+//! interdomain (BGP) routes and intradomain (OSPF) routes". These benches
+//! measure the individual spatial-model operations: static conversions
+//! (interface → card/router/layer-1), SPF with ECMP union, BGP best-path
+//! emulation (cold and epoch-cached), and a full path-level join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::{InterfaceId, JoinLevel, Location, RouteOracle, RouterId, SpatialModel};
+use grca_routing::{OspfState, RoutingState, WeightEvent};
+use grca_types::{Duration, Timestamp};
+use std::hint::black_box;
+
+fn bench_spatial(c: &mut Criterion) {
+    let topo = generate(&TopoGenConfig::paper_scale());
+    // Routing state with weight churn so epoch-sensitive queries differ.
+    let events: Vec<WeightEvent> = (0..200)
+        .map(|i| WeightEvent {
+            time: Timestamp::from_unix(1000 * i as i64),
+            link: grca_net_model::LinkId::new((i % topo.links.len()) as u32),
+            weight: if i % 3 == 0 {
+                None
+            } else {
+                Some(10 + (i % 20) as u32)
+            },
+        })
+        .collect();
+    let ospf = OspfState::new(&topo, events);
+    let baseline = topo
+        .ext_nets
+        .iter()
+        .flat_map(|n| {
+            n.egress_candidates
+                .iter()
+                .map(|&e| (n.prefix, e, grca_routing::RouteAttrs::default()))
+        })
+        .collect();
+    let routing = RoutingState::new(&topo, ospf, grca_routing::BgpState::new(baseline, vec![]));
+    let sm = SpatialModel::new(&topo, &routing);
+
+    let iface = Location::Interface(InterfaceId::new(10));
+    let t0 = Timestamp::from_unix(500);
+
+    let mut g = c.benchmark_group("spatial");
+    g.bench_function("static_iface_to_layer1", |b| {
+        b.iter(|| black_box(sm.expand(&iface, t0, JoinLevel::Layer1Device)))
+    });
+
+    // SPF with ECMP union, uncached (fresh state each iteration defeats
+    // the oracle cache but not the per-link weight lookups).
+    let a = RouterId::new(3);
+    let z = RouterId::new((topo.routers.len() - 4) as u32);
+    let ospf2 = OspfState::new(&topo, vec![]);
+    g.bench_function("ospf_ecmp_union_cold", |b| {
+        b.iter(|| black_box(ospf2.ecmp_union(a, z, t0)))
+    });
+
+    // BGP best-path emulation: one LPM + candidate scan + SPF distances.
+    // The mixed-epoch variants cycle ingresses and instants: after the
+    // first pass the finite (ingress, epoch) key space is cached, so they
+    // measure realistic steady-state cost; `ospf_ecmp_union_cold` above is
+    // the genuinely uncached computation.
+    let prefix = topo.ext_nets[7].prefix;
+    g.bench_function("bgp_best_egress_mixed_epochs", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            // Vary the instant across epochs to defeat the cache.
+            i += 1;
+            let t = Timestamp::from_unix((i * 997) % 200_000);
+            black_box(routing.egress_for(RouterId::new((i % 64) as u32), prefix, t))
+        })
+    });
+    g.bench_function("bgp_best_egress_cached", |b| {
+        b.iter(|| black_box(routing.egress_for(a, prefix, t0)))
+    });
+
+    // The full path-level spatial join a CDN diagnosis performs.
+    let sym = Location::ServerClient {
+        node: grca_net_model::CdnNodeId::new(0),
+        client: grca_net_model::ClientSiteId::new(5),
+    };
+    let diag = Location::Router(RouterId::new(2));
+    g.bench_function("cdn_path_join_cached", |b| {
+        b.iter(|| black_box(sm.joined(&sym, &diag, t0, JoinLevel::RouterPath)))
+    });
+    let mut i = 0i64;
+    g.bench_function("cdn_path_join_mixed_epochs", |b| {
+        b.iter(|| {
+            i += 1;
+            let t = Timestamp::from_unix((i * 997) % 200_000);
+            black_box(sm.joined(&sym, &diag, t, JoinLevel::RouterPath))
+        })
+    });
+    g.finish();
+
+    let _ = Duration::ZERO;
+}
+
+criterion_group!(benches, bench_spatial);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! E11b — platform scaling: the same 10-day BGP study at three topology
+//! scales, reporting collector volume/throughput, end-to-end diagnosis
+//! time (sequential vs parallel), and accuracy. The point: per-symptom
+//! cost and accuracy are flat in network size — the paper's deployment
+//! grew to 600+ PEs on the same platform.
+
+use grca_apps::{bgp, report, Study};
+use grca_bench::{fixture, save_json};
+use grca_collector::Database;
+use grca_core::Engine;
+use grca_events::{extract_all, ExtractCx};
+use grca_net_model::gen::TopoGenConfig;
+use grca_net_model::{NullOracle, SpatialModel};
+use grca_simnet::FaultRates;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    scale: String,
+    routers: usize,
+    sessions: usize,
+    records: usize,
+    ingest_secs: f64,
+    records_per_sec: f64,
+    flaps: usize,
+    diagnose_secs_seq: f64,
+    diagnose_secs_par4: f64,
+    us_per_symptom: f64,
+    accuracy: f64,
+}
+
+fn main() {
+    let mut points = Vec::new();
+    println!(
+        "{:>8} {:>8} {:>9} {:>9} {:>10} {:>7} {:>10} {:>10} {:>9} {:>9}",
+        "scale",
+        "routers",
+        "sessions",
+        "records",
+        "ingest/s",
+        "flaps",
+        "diag seq",
+        "diag par4",
+        "µs/sym",
+        "accuracy"
+    );
+    for (name, cfg) in [
+        ("small", TopoGenConfig::small()),
+        ("default", TopoGenConfig::default()),
+        ("paper", TopoGenConfig::paper_scale()),
+    ] {
+        let fx = fixture(&cfg, 10, 2024, FaultRates::bgp_study());
+        // Re-ingest to time the collector in isolation.
+        let t0 = std::time::Instant::now();
+        let (db, _) = Database::ingest(&fx.topo, &fx.out.records);
+        let ingest = t0.elapsed().as_secs_f64();
+
+        let defs = bgp::event_definitions();
+        let graph = bgp::diagnosis_graph();
+        let cx = ExtractCx::new(&fx.topo, &db, None);
+        let store = extract_all(&defs, &cx);
+        let sm = SpatialModel::new(&fx.topo, &NullOracle);
+        let engine = Engine::new(&graph, &store, &sm);
+
+        let t1 = std::time::Instant::now();
+        let seq = engine.diagnose_all();
+        let diag_seq = t1.elapsed().as_secs_f64();
+        let t2 = std::time::Instant::now();
+        let par = engine.diagnose_all_parallel(4);
+        let diag_par = t2.elapsed().as_secs_f64();
+        assert_eq!(seq, par, "parallel must equal sequential");
+
+        let acc = report::score(Study::Bgp, &fx.topo, &seq, &fx.out.truth);
+        let p = Point {
+            scale: name.to_string(),
+            routers: fx.topo.routers.len(),
+            sessions: fx.topo.sessions.len(),
+            records: fx.out.records.len(),
+            ingest_secs: ingest,
+            records_per_sec: fx.out.records.len() as f64 / ingest.max(1e-9),
+            flaps: seq.len(),
+            diagnose_secs_seq: diag_seq,
+            diagnose_secs_par4: diag_par,
+            us_per_symptom: diag_seq * 1e6 / seq.len().max(1) as f64,
+            accuracy: acc.rate(),
+        };
+        println!(
+            "{:>8} {:>8} {:>9} {:>9} {:>10.0} {:>7} {:>9.2}s {:>9.2}s {:>9.1} {:>8.1}%",
+            p.scale,
+            p.routers,
+            p.sessions,
+            p.records,
+            p.records_per_sec,
+            p.flaps,
+            p.diagnose_secs_seq,
+            p.diagnose_secs_par4,
+            p.us_per_symptom,
+            100.0 * p.accuracy
+        );
+        points.push(p);
+    }
+    // Accuracy must be scale-invariant.
+    for p in &points {
+        assert!(p.accuracy > 0.9, "{}: accuracy {:.3}", p.scale, p.accuracy);
+    }
+    save_json("exp_scale", &points);
+}

@@ -1,0 +1,191 @@
+//! Experiment harness shared by the `exp_*` binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a regenerating
+//! binary in `src/bin/` (see DESIGN.md §3 for the index). The helpers here
+//! build the standard fixtures (topology, scenario, collector database,
+//! application runs) and render side-by-side paper-vs-measured tables; the
+//! binaries persist machine-readable results under `results/` for
+//! EXPERIMENTS.md.
+
+use grca_collector::Database;
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::Topology;
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig, SimOutput};
+use grca_types::Duration;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// A ready-to-analyze fixture.
+pub struct Fixture {
+    pub topo: Topology,
+    pub cfg: ScenarioConfig,
+    pub out: SimOutput,
+    pub db: Database,
+}
+
+/// Build a fixture: simulate + ingest. Panics on collector drops (the
+/// simulator and topology must agree).
+pub fn fixture(topo_cfg: &TopoGenConfig, days: u32, seed: u64, rates: FaultRates) -> Fixture {
+    fixture_with(topo_cfg, days, seed, rates, |_| {})
+}
+
+/// Like [`fixture`], with a hook to adjust the scenario configuration
+/// (confounder probabilities, baselines) before the simulation runs.
+pub fn fixture_with(
+    topo_cfg: &TopoGenConfig,
+    days: u32,
+    seed: u64,
+    rates: FaultRates,
+    tweak: impl FnOnce(&mut ScenarioConfig),
+) -> Fixture {
+    let topo = generate(topo_cfg);
+    let mut cfg = ScenarioConfig::new(days, seed, rates);
+    // Paper-scale topologies produce heavy baselines; coarsen them.
+    if topo.routers.len() > 200 {
+        cfg.background.snmp_baseline_bin = Duration::hours(6);
+        cfg.background.perf_baseline_bin = Duration::hours(6);
+        cfg.background.cdn_baseline_bin = Duration::hours(6);
+    }
+    tweak(&mut cfg);
+    let out = run_scenario(&topo, &cfg);
+    let (db, stats) = Database::ingest(&topo, &out.records);
+    assert_eq!(
+        stats.total_dropped(),
+        0,
+        "collector drops:\n{}",
+        stats.render()
+    );
+    Fixture { topo, cfg, out, db }
+}
+
+/// One row of a paper-vs-measured comparison.
+#[derive(Debug, Serialize)]
+pub struct CompareRow {
+    pub category: String,
+    pub paper_pct: Option<f64>,
+    pub measured_pct: f64,
+    pub measured_count: usize,
+}
+
+/// Assemble comparison rows: paper percentages (None = row not in paper)
+/// joined with a measured `(category, count, pct)` breakdown.
+pub fn compare(paper: &[(&str, f64)], measured: &[(String, usize, f64)]) -> Vec<CompareRow> {
+    let mut rows: Vec<CompareRow> = Vec::new();
+    for (cat, p) in paper {
+        let m = measured.iter().find(|(c, _, _)| c == cat);
+        rows.push(CompareRow {
+            category: cat.to_string(),
+            paper_pct: Some(*p),
+            measured_pct: m.map(|(_, _, p)| *p).unwrap_or(0.0),
+            measured_count: m.map(|(_, n, _)| *n).unwrap_or(0),
+        });
+    }
+    for (cat, n, pct) in measured {
+        if !paper.iter().any(|(c, _)| c == cat) {
+            rows.push(CompareRow {
+                category: cat.clone(),
+                paper_pct: None,
+                measured_pct: *pct,
+                measured_count: *n,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the comparison as a text table.
+pub fn render_compare(title: &str, rows: &[CompareRow]) -> String {
+    let w = rows
+        .iter()
+        .map(|r| r.category.len())
+        .max()
+        .unwrap_or(10)
+        .max(8);
+    let mut out = format!(
+        "{title}\n{:<w$}  {:>9}  {:>9}  {:>7}\n",
+        "category", "paper %", "ours %", "count"
+    );
+    out.push_str(&format!("{:-<len$}\n", "", len = w + 31));
+    for r in rows {
+        let paper = r
+            .paper_pct
+            .map(|p| format!("{p:>8.2}%"))
+            .unwrap_or_else(|| "       --".to_string());
+        out.push_str(&format!(
+            "{:<w$}  {paper}  {:>8.2}%  {:>7}\n",
+            r.category, r.measured_pct, r.measured_count
+        ));
+    }
+    out
+}
+
+/// Directory for machine-readable experiment outputs.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("GRCA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persist a JSON result snapshot under `results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result");
+    println!("\n[saved {}]", path.display());
+}
+
+/// Shape check: do the paper and measured distributions rank their shared
+/// top-`top_k` categories identically (who wins, who follows)?
+pub fn same_ranking(rows: &[CompareRow], top_k: usize) -> bool {
+    let mut paper: Vec<&CompareRow> = rows.iter().filter(|r| r.paper_pct.is_some()).collect();
+    let mut ours = paper.clone();
+    paper.sort_by(|a, b| b.paper_pct.partial_cmp(&a.paper_pct).unwrap());
+    ours.sort_by(|a, b| b.measured_pct.partial_cmp(&a.measured_pct).unwrap());
+    paper
+        .iter()
+        .take(top_k)
+        .zip(ours.iter().take(top_k))
+        .all(|(p, o)| p.category == o.category)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_joins_both_sides() {
+        let paper = [("A", 60.0), ("B", 30.0), ("C", 10.0)];
+        let measured = vec![
+            ("A".to_string(), 55, 55.0),
+            ("B".to_string(), 35, 35.0),
+            ("D".to_string(), 10, 10.0),
+        ];
+        let rows = compare(&paper, &measured);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].measured_pct, 55.0);
+        assert_eq!(rows[2].measured_count, 0); // C missing in measured
+        assert!(rows[3].paper_pct.is_none()); // D extra
+        let txt = render_compare("t", &rows);
+        assert!(txt.contains("55.00%"));
+    }
+
+    #[test]
+    fn ranking_check() {
+        let rows = compare(
+            &[("A", 60.0), ("B", 30.0)],
+            &[("A".to_string(), 6, 58.0), ("B".to_string(), 3, 32.0)],
+        );
+        assert!(same_ranking(&rows, 2));
+        let flipped = compare(
+            &[("A", 60.0), ("B", 30.0)],
+            &[("A".to_string(), 1, 10.0), ("B".to_string(), 9, 90.0)],
+        );
+        assert!(!same_ranking(&flipped, 1));
+    }
+}

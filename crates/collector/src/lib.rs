@@ -1,0 +1,19 @@
+//! The G-RCA Data Collector (§II-A of the paper).
+//!
+//! "G-RCA's Data Collector pulls all the data together, normalizes them so
+//! that they can be readily correlated, and stores them in database tables
+//! in real time. The normalization across naming conventions, time zones,
+//! and identifiers takes place as data is ingested."
+//!
+//! * [`rows`] — the normalized schema (UTC times, canonical entity ids);
+//! * [`tables`] — time-sorted tables with binary-searched range queries;
+//! * [`db`] — the ingestion pipeline over all feeds, with per-feed
+//!   accept/drop statistics.
+
+pub mod db;
+pub mod rows;
+pub mod tables;
+
+pub use db::{Database, IngestStats};
+pub use rows::*;
+pub use tables::Table;

@@ -1,0 +1,142 @@
+//! Normalized row types — the schema of the collector's database tables.
+//!
+//! Everything here is canonical: UTC timestamps, topology entity ids
+//! instead of per-source naming. One row type per feed; rows retain enough
+//! raw detail (e.g. unparsed syslog text) for the Result Browser's
+//! drill-down and for blind correlation screening over message types.
+
+use grca_net_model::{
+    CdnNodeId, ClientSiteId, InterfaceId, L1DeviceId, LinkId, PhysLinkId, Prefix, RouterId,
+};
+use grca_telemetry::records::{L1EventKind, PerfMetric, SnmpMetric};
+use grca_telemetry::syslog::SyslogEvent;
+use grca_types::Timestamp;
+
+/// Every normalized row exposes its UTC instant (tables sort on it).
+pub trait Row {
+    fn time(&self) -> Timestamp;
+}
+
+macro_rules! impl_row {
+    ($t:ty) => {
+        impl Row for $t {
+            fn time(&self) -> Timestamp {
+                self.utc
+            }
+        }
+    };
+}
+
+/// One syslog message, time-normalized and host-resolved. `event` is the
+/// parsed form when the message matches the known catalog; the raw body is
+/// always retained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyslogRow {
+    pub utc: Timestamp,
+    pub router: RouterId,
+    pub event: Option<SyslogEvent>,
+    /// The message body (everything after the timestamp).
+    pub raw: String,
+}
+impl_row!(SyslogRow);
+
+impl SyslogRow {
+    /// The message mnemonic (`"%LINK-3-UPDOWN"`), used as the series key in
+    /// blind correlation screening.
+    pub fn mnemonic(&self) -> &str {
+        self.raw.split(':').next().unwrap_or("").trim()
+    }
+}
+
+/// One SNMP sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnmpRow {
+    pub utc: Timestamp,
+    pub router: RouterId,
+    pub metric: SnmpMetric,
+    pub iface: Option<InterfaceId>,
+    pub value: f64,
+}
+impl_row!(SnmpRow);
+
+/// One layer-1 device log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L1Row {
+    pub utc: Timestamp,
+    pub device: L1DeviceId,
+    pub kind: L1EventKind,
+    pub circuit: PhysLinkId,
+}
+impl_row!(L1Row);
+
+/// One OSPF monitor observation, resolved to a logical link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OspfRow {
+    pub utc: Timestamp,
+    pub link: LinkId,
+    pub weight: Option<u32>,
+}
+impl_row!(OspfRow);
+
+/// One BGP monitor update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BgpRow {
+    pub utc: Timestamp,
+    pub reflector: String,
+    pub prefix: Prefix,
+    pub egress: RouterId,
+    pub attrs: Option<(u32, u32)>,
+}
+impl_row!(BgpRow);
+
+/// One TACACS command log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TacacsRow {
+    pub utc: Timestamp,
+    pub router: RouterId,
+    pub user: String,
+    pub command: String,
+}
+impl_row!(TacacsRow);
+
+/// One workflow activity record. The entity may be a router or another
+/// managed system (e.g. a CDN node), so both forms are kept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowRow {
+    pub utc: Timestamp,
+    pub entity: String,
+    pub router: Option<RouterId>,
+    pub activity: String,
+}
+impl_row!(WorkflowRow);
+
+/// One end-to-end probe measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRow {
+    pub utc: Timestamp,
+    pub ingress: RouterId,
+    pub egress: RouterId,
+    pub metric: PerfMetric,
+    pub value: f64,
+}
+impl_row!(PerfRow);
+
+/// One CDN monitor measurement, resolved to (node, client site).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdnRow {
+    pub utc: Timestamp,
+    pub node: CdnNodeId,
+    pub client: ClientSiteId,
+    pub rtt_ms: f64,
+    pub throughput_mbps: f64,
+}
+impl_row!(CdnRow);
+
+/// One CDN server-farm load sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerRow {
+    pub utc: Timestamp,
+    pub node: CdnNodeId,
+    pub load: f64,
+}
+impl_row!(ServerRow);

@@ -1,0 +1,155 @@
+//! Time-sorted in-memory tables with binary-searched range queries.
+//!
+//! The paper's deployment lands normalized records in real-time database
+//! tables (§II-A); the access pattern the RCA engine needs is "all rows of
+//! feed F in time window W (optionally matching a predicate)". A sorted
+//! `Vec` plus `partition_point` gives that in O(log n + answer), which is
+//! what keeps per-symptom diagnosis fast (§III-A reports <5 s per event;
+//! E7 benchmarks ours).
+
+use crate::rows::Row;
+use grca_types::{TimeWindow, Timestamp};
+
+/// A table of one row type, sorted by time after [`Table::finalize`].
+#[derive(Debug, Clone)]
+pub struct Table<R: Row> {
+    rows: Vec<R>,
+    sorted: bool,
+}
+
+impl<R: Row> Default for Table<R> {
+    fn default() -> Self {
+        Table {
+            rows: Vec::new(),
+            sorted: true,
+        }
+    }
+}
+
+impl<R: Row> Table<R> {
+    pub fn push(&mut self, row: R) {
+        if let Some(last) = self.rows.last() {
+            if row.time() < last.time() {
+                self.sorted = false;
+            }
+        }
+        self.rows.push(row);
+    }
+
+    /// Sort by time (stable, so same-instant rows keep arrival order).
+    /// Must be called after ingestion, before querying.
+    pub fn finalize(&mut self) {
+        if !self.sorted {
+            self.rows.sort_by_key(|r| r.time());
+            self.sorted = true;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in time order.
+    pub fn all(&self) -> &[R] {
+        debug_assert!(self.sorted, "query before finalize()");
+        &self.rows
+    }
+
+    /// Rows with `start <= time <= end` (closed window).
+    pub fn range(&self, w: TimeWindow) -> &[R] {
+        debug_assert!(self.sorted, "query before finalize()");
+        let lo = self.rows.partition_point(|r| r.time() < w.start);
+        let hi = self.rows.partition_point(|r| r.time() <= w.end);
+        &self.rows[lo..hi]
+    }
+
+    /// Rows in the window matching a predicate.
+    pub fn query<'a, F>(&'a self, w: TimeWindow, pred: F) -> impl Iterator<Item = &'a R>
+    where
+        F: Fn(&R) -> bool + 'a,
+    {
+        self.range(w).iter().filter(move |r| pred(r))
+    }
+
+    /// First row at or after `t`.
+    pub fn first_at_or_after(&self, t: Timestamp) -> Option<&R> {
+        debug_assert!(self.sorted);
+        let i = self.rows.partition_point(|r| r.time() < t);
+        self.rows.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TR(Timestamp, u32);
+    impl Row for TR {
+        fn time(&self) -> Timestamp {
+            self.0
+        }
+    }
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_unix(s)
+    }
+
+    #[test]
+    fn range_is_closed_interval() {
+        let mut t = Table::default();
+        for s in [5, 1, 3, 9, 7] {
+            t.push(TR(ts(s), s as u32));
+        }
+        t.finalize();
+        let got: Vec<u32> = t
+            .range(TimeWindow::new(ts(3), ts(7)))
+            .iter()
+            .map(|r| r.1)
+            .collect();
+        assert_eq!(got, vec![3, 5, 7]);
+        assert!(t.range(TimeWindow::new(ts(10), ts(20))).is_empty());
+        assert_eq!(t.range(TimeWindow::new(ts(1), ts(9))).len(), 5);
+    }
+
+    #[test]
+    fn query_filters() {
+        let mut t = Table::default();
+        for s in 0..10 {
+            t.push(TR(ts(s), s as u32));
+        }
+        t.finalize();
+        let odd: Vec<u32> = t
+            .query(TimeWindow::new(ts(0), ts(9)), |r| r.1 % 2 == 1)
+            .map(|r| r.1)
+            .collect();
+        assert_eq!(odd, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn same_instant_rows_keep_arrival_order() {
+        let mut t = Table::default();
+        t.push(TR(ts(5), 1));
+        t.push(TR(ts(1), 0));
+        t.push(TR(ts(5), 2));
+        t.finalize();
+        let got: Vec<u32> = t.all().iter().map(|r| r.1).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn first_at_or_after() {
+        let mut t = Table::default();
+        for s in [2, 4, 6] {
+            t.push(TR(ts(s), s as u32));
+        }
+        t.finalize();
+        assert_eq!(t.first_at_or_after(ts(3)).unwrap().1, 4);
+        assert_eq!(t.first_at_or_after(ts(4)).unwrap().1, 4);
+        assert!(t.first_at_or_after(ts(7)).is_none());
+    }
+}

@@ -1,0 +1,421 @@
+//! The Bayesian inference engine (§II-D.2, Fig. 8).
+//!
+//! Root causes are *classes* (including virtual, unobservable ones like
+//! "line-card issue"); the presence/absence of diagnostic evidence are the
+//! *features*. Parameters are the ratio form of Eq. (2): a prior ratio
+//! `p(r)/p(r̄)` per class, and per (class, feature) the likelihood ratios
+//! applied when the feature is present or absent. Because exact values are
+//! hard for operators to produce, parameters are the paper's fuzzy levels —
+//! Low / Medium / High = 2 / 100 / 20000 (§II-D.2) — and scores are kept in
+//! log space so products over many features and many grouped symptoms stay
+//! finite. Naive-Bayes classification is famously insensitive to the exact
+//! parameter values [Rish 2001], which experiment A3 verifies.
+
+use std::collections::BTreeMap;
+
+/// Fuzzy likelihood-ratio levels (§II-D.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fuzzy {
+    /// Ratio 1 — the feature says nothing about this class.
+    Neutral,
+    /// Ratio 2.
+    Low,
+    /// Ratio 100.
+    Medium,
+    /// Ratio 20000.
+    High,
+    /// Reciprocal ratios: evidence *against*.
+    InvLow,
+    InvMedium,
+    InvHigh,
+}
+
+impl Fuzzy {
+    pub fn ratio(self) -> f64 {
+        match self {
+            Fuzzy::Neutral => 1.0,
+            Fuzzy::Low => 2.0,
+            Fuzzy::Medium => 100.0,
+            Fuzzy::High => 20_000.0,
+            Fuzzy::InvLow => 1.0 / 2.0,
+            Fuzzy::InvMedium => 1.0 / 100.0,
+            Fuzzy::InvHigh => 1.0 / 20_000.0,
+        }
+    }
+
+    pub fn log_ratio(self) -> f64 {
+        self.ratio().ln()
+    }
+}
+
+/// Per-(class, feature) parameters: the ratio applied when the feature is
+/// observed, and when it is absent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureRatio {
+    pub if_present: Fuzzy,
+    pub if_absent: Fuzzy,
+}
+
+impl FeatureRatio {
+    /// A feature that supports the class when present and is uninformative
+    /// when absent.
+    pub fn supports(level: Fuzzy) -> Self {
+        FeatureRatio {
+            if_present: level,
+            if_absent: Fuzzy::Neutral,
+        }
+    }
+
+    /// A feature that is *required* by the class: supports when present,
+    /// counts against when absent.
+    pub fn requires(level: Fuzzy, against: Fuzzy) -> Self {
+        FeatureRatio {
+            if_present: level,
+            if_absent: against,
+        }
+    }
+}
+
+/// One root-cause class.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    pub name: String,
+    /// Prior ratio `p(r)/p(r̄)` (fuzzy level).
+    pub prior: Fuzzy,
+    /// Feature name → ratios. Unlisted features are neutral.
+    pub features: BTreeMap<String, FeatureRatio>,
+}
+
+impl ClassSpec {
+    pub fn new(name: impl Into<String>, prior: Fuzzy) -> Self {
+        ClassSpec {
+            name: name.into(),
+            prior,
+            features: BTreeMap::new(),
+        }
+    }
+
+    pub fn feature(mut self, name: impl Into<String>, ratio: FeatureRatio) -> Self {
+        self.features.insert(name.into(), ratio);
+        self
+    }
+}
+
+/// A scored class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassScore {
+    pub name: String,
+    /// Log of the likelihood ratio of Eq. (2).
+    pub log_score: f64,
+}
+
+/// The Naive-Bayes classifier.
+#[derive(Debug, Clone, Default)]
+pub struct BayesModel {
+    pub classes: Vec<ClassSpec>,
+}
+
+impl BayesModel {
+    pub fn new(classes: Vec<ClassSpec>) -> Self {
+        BayesModel { classes }
+    }
+
+    /// Score all classes for one symptom's feature observations
+    /// (`(feature name, present?)`). Returns classes sorted best-first.
+    pub fn classify(&self, observations: &[(String, bool)]) -> Vec<ClassScore> {
+        self.classify_group(std::slice::from_ref(&observations.to_vec()))
+    }
+
+    /// Joint classification of several symptom instances assumed to share
+    /// one root cause (§II-D.2: "allows multiple symptom events to be
+    /// examined together and deduces a common root cause"). Feature
+    /// likelihoods multiply across instances; the prior enters once.
+    pub fn classify_group(&self, group: &[Vec<(String, bool)>]) -> Vec<ClassScore> {
+        let mut out: Vec<ClassScore> = self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut log = c.prior.log_ratio();
+                for obs in group {
+                    for (feat, present) in obs {
+                        if let Some(fr) = c.features.get(feat) {
+                            let f = if *present {
+                                fr.if_present
+                            } else {
+                                fr.if_absent
+                            };
+                            log += f.log_ratio();
+                        }
+                    }
+                }
+                ClassScore {
+                    name: c.name.clone(),
+                    log_score: log,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.log_score.partial_cmp(&a.log_score).unwrap());
+        out
+    }
+
+    /// The best class name for a single observation vector.
+    pub fn best(&self, observations: &[(String, bool)]) -> Option<String> {
+        self.classify(observations).first().map(|c| c.name.clone())
+    }
+}
+
+/// A labeled training example: the class (e.g. from rule-based reasoning
+/// over historical data, the paper's bootstrap) and the observed features.
+#[derive(Debug, Clone)]
+pub struct TrainingExample {
+    pub class: String,
+    pub observations: Vec<(String, bool)>,
+}
+
+/// Snap a likelihood ratio to the nearest fuzzy level. The paper's
+/// operators configure Low/Medium/High rather than raw probabilities;
+/// training therefore estimates ratios from data and then quantizes them
+/// back onto the same scale — coarse, but the classifier is insensitive to
+/// the exact values (§II-D.2, [Rish 2001]; ablation A3).
+pub fn snap_to_fuzzy(ratio: f64) -> Fuzzy {
+    const LEVELS: [Fuzzy; 7] = [
+        Fuzzy::InvHigh,
+        Fuzzy::InvMedium,
+        Fuzzy::InvLow,
+        Fuzzy::Neutral,
+        Fuzzy::Low,
+        Fuzzy::Medium,
+        Fuzzy::High,
+    ];
+    let lr = ratio.max(1e-12).ln();
+    *LEVELS
+        .iter()
+        .min_by(|a, b| {
+            (a.log_ratio() - lr)
+                .abs()
+                .partial_cmp(&(b.log_ratio() - lr).abs())
+                .unwrap()
+        })
+        .unwrap()
+}
+
+/// Train a Naive-Bayes model from classified historical data (§II-D.2).
+///
+/// Per (class, feature): the present-ratio estimate is
+/// `p(e | r) / p(e | r̄)` with Laplace smoothing; the absent-ratio is the
+/// complement analogue. Priors are `p(r)/p(r̄)`. All estimates are snapped
+/// to the operator-facing fuzzy scale.
+pub fn train(examples: &[TrainingExample]) -> BayesModel {
+    use std::collections::BTreeMap;
+    let mut classes: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut features: BTreeMap<&str, ()> = BTreeMap::new();
+    for ex in examples {
+        *classes.entry(&ex.class).or_default() += 1;
+        for (f, _) in &ex.observations {
+            features.entry(f).or_insert(());
+        }
+    }
+    let total = examples.len().max(1) as f64;
+    let mut specs = Vec::new();
+    for (&class, &count) in &classes {
+        let prior = (count as f64 + 1.0) / (total - count as f64 + 1.0);
+        let mut spec = ClassSpec::new(class, snap_to_fuzzy(prior));
+        for &feat in features.keys() {
+            let mut present_in = 1.0f64; // Laplace
+            let mut present_out = 1.0f64;
+            let mut n_in = 2.0f64;
+            let mut n_out = 2.0f64;
+            for ex in examples {
+                let observed = ex.observations.iter().any(|(f, p)| f == feat && *p);
+                if ex.class == class {
+                    n_in += 1.0;
+                    if observed {
+                        present_in += 1.0;
+                    }
+                } else {
+                    n_out += 1.0;
+                    if observed {
+                        present_out += 1.0;
+                    }
+                }
+            }
+            let p_in = present_in / n_in;
+            let p_out = present_out / n_out;
+            let present = snap_to_fuzzy(p_in / p_out);
+            let absent = snap_to_fuzzy((1.0 - p_in) / (1.0 - p_out));
+            if present != Fuzzy::Neutral || absent != Fuzzy::Neutral {
+                spec = spec.feature(
+                    feat,
+                    FeatureRatio {
+                        if_present: present,
+                        if_absent: absent,
+                    },
+                );
+            }
+        }
+        specs.push(spec);
+    }
+    BayesModel::new(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pairs: &[(&str, bool)]) -> Vec<(String, bool)> {
+        pairs.iter().map(|(n, p)| (n.to_string(), *p)).collect()
+    }
+
+    /// The Fig. 8 style configuration: interface issue, CPU issue, and the
+    /// virtual line-card issue.
+    fn fig8_model() -> BayesModel {
+        BayesModel::new(vec![
+            ClassSpec::new("interface-issue", Fuzzy::Medium)
+                .feature(
+                    "interface-flap",
+                    FeatureRatio::requires(Fuzzy::Medium, Fuzzy::InvMedium),
+                )
+                .feature("line-protocol-flap", FeatureRatio::supports(Fuzzy::Low)),
+            ClassSpec::new("cpu-high-issue", Fuzzy::Low)
+                .feature(
+                    "cpu-high-spike",
+                    FeatureRatio::requires(Fuzzy::High, Fuzzy::InvMedium),
+                )
+                .feature(
+                    "ebgp-hold-timer-expired",
+                    FeatureRatio::supports(Fuzzy::Medium),
+                ),
+            ClassSpec::new("line-card-issue", Fuzzy::InvLow)
+                .feature("interface-flap", FeatureRatio::supports(Fuzzy::Low))
+                // The group-level signature: many flaps bursting on one card.
+                .feature(
+                    "card-burst",
+                    FeatureRatio::requires(Fuzzy::Medium, Fuzzy::InvMedium),
+                ),
+        ])
+    }
+
+    #[test]
+    fn single_flap_with_iface_evidence_is_interface_issue() {
+        let m = fig8_model();
+        let o = obs(&[
+            ("interface-flap", true),
+            ("line-protocol-flap", true),
+            ("cpu-high-spike", false),
+            ("ebgp-hold-timer-expired", false),
+            ("card-burst", false),
+        ]);
+        assert_eq!(m.best(&o).unwrap(), "interface-issue");
+    }
+
+    #[test]
+    fn cpu_evidence_flips_the_class() {
+        let m = fig8_model();
+        let o = obs(&[
+            ("interface-flap", false),
+            ("cpu-high-spike", true),
+            ("ebgp-hold-timer-expired", true),
+            ("card-burst", false),
+        ]);
+        assert_eq!(m.best(&o).unwrap(), "cpu-high-issue");
+    }
+
+    #[test]
+    fn group_of_bursting_flaps_reveals_line_card() {
+        // §IV-C: individually each flap looks like an interface issue; a
+        // group of 133 on one card within 3 minutes is a line-card crash.
+        let m = fig8_model();
+        let single = obs(&[
+            ("interface-flap", true),
+            ("card-burst", true),
+            ("cpu-high-spike", false),
+        ]);
+        // One instance alone: interface issue still wins (priors).
+        assert_eq!(m.best(&single).unwrap(), "interface-issue");
+        // A burst of 20 such instances: line-card issue dominates because
+        // its card-burst likelihood compounds per instance.
+        let group: Vec<_> = (0..20).map(|_| single.clone()).collect();
+        let ranked = m.classify_group(&group);
+        assert_eq!(ranked[0].name, "line-card-issue", "{ranked:?}");
+    }
+
+    #[test]
+    fn log_space_survives_large_groups() {
+        let m = fig8_model();
+        let single = obs(&[("interface-flap", true), ("card-burst", true)]);
+        let group: Vec<_> = (0..10_000).map(|_| single.clone()).collect();
+        let ranked = m.classify_group(&group);
+        assert!(ranked[0].log_score.is_finite());
+    }
+
+    #[test]
+    fn fuzzy_values_match_paper() {
+        assert_eq!(Fuzzy::Low.ratio(), 2.0);
+        assert_eq!(Fuzzy::Medium.ratio(), 100.0);
+        assert_eq!(Fuzzy::High.ratio(), 20_000.0);
+        assert_eq!(Fuzzy::Neutral.ratio(), 1.0);
+        assert!((Fuzzy::InvHigh.ratio() - 1.0 / 20_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_recovers_a_separable_model() {
+        // Class A co-occurs with feature "x", class B with "y".
+        let mut examples = Vec::new();
+        for i in 0..200 {
+            let (class, x, y) = if i % 2 == 0 {
+                ("A", true, false)
+            } else {
+                ("B", false, true)
+            };
+            examples.push(TrainingExample {
+                class: class.to_string(),
+                observations: vec![("x".to_string(), x), ("y".to_string(), y)],
+            });
+        }
+        let m = train(&examples);
+        assert_eq!(m.best(&obs(&[("x", true), ("y", false)])).unwrap(), "A");
+        assert_eq!(m.best(&obs(&[("x", false), ("y", true)])).unwrap(), "B");
+    }
+
+    #[test]
+    fn training_handles_noisy_labels() {
+        // 10% label noise must not flip the decision boundary.
+        let mut examples = Vec::new();
+        for i in 0..300 {
+            let noisy = i % 10 == 0;
+            let (class, x) = if i % 2 == 0 {
+                ("A", !noisy)
+            } else {
+                ("B", noisy)
+            };
+            examples.push(TrainingExample {
+                class: class.to_string(),
+                observations: vec![("x".to_string(), x)],
+            });
+        }
+        let m = train(&examples);
+        assert_eq!(m.best(&obs(&[("x", true)])).unwrap(), "A");
+        assert_eq!(m.best(&obs(&[("x", false)])).unwrap(), "B");
+    }
+
+    #[test]
+    fn snapping_is_monotone_and_covers_extremes() {
+        assert_eq!(snap_to_fuzzy(1.0), Fuzzy::Neutral);
+        assert_eq!(snap_to_fuzzy(2.2), Fuzzy::Low);
+        assert_eq!(snap_to_fuzzy(150.0), Fuzzy::Medium);
+        assert_eq!(snap_to_fuzzy(1e9), Fuzzy::High);
+        assert_eq!(snap_to_fuzzy(1e-9), Fuzzy::InvHigh);
+        assert_eq!(snap_to_fuzzy(0.45), Fuzzy::InvLow);
+    }
+
+    #[test]
+    fn unknown_features_are_ignored() {
+        let m = fig8_model();
+        let a = m.classify(&obs(&[("interface-flap", true)]));
+        let b = m.classify(&obs(&[
+            ("interface-flap", true),
+            ("never-heard-of-it", true),
+        ]));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,371 @@
+//! The rule specification language (§I: "a simple yet flexible rule
+//! specification language that allows operators to quickly customize G-RCA
+//! into different RCA tools").
+//!
+//! A diagnosis graph is plain text:
+//!
+//! ```text
+//! # BGP flap RCA (Fig. 4)
+//! graph "bgp-flap-rca" root "ebgp-flap"
+//!
+//! rule "ebgp-flap" <- "interface-flap" {
+//!     priority 180
+//!     symptom start/start 180 5
+//!     diagnostic start/end 5 5
+//!     join interface
+//! }
+//! ```
+//!
+//! `symptom` / `diagnostic` take the expanding option and the X / Y margins
+//! in seconds (negative values allowed, §II-C). `join` takes a join level
+//! name from the spatial model. Parsing and serialization round-trip.
+
+use crate::graph::{DiagnosisGraph, DiagnosisRule};
+use crate::join::{ExpandOption, Expansion, SpatialRule, TemporalRule};
+use grca_net_model::JoinLevel;
+use grca_types::{GrcaError, Result};
+
+/// Parse a diagnosis graph from DSL text.
+///
+/// ```
+/// let g = grca_core::parse_graph(r#"
+/// graph "demo" root "flap"
+/// rule "flap" <- "iface-flap" {
+///     priority 180
+///     symptom start/start 185 5
+///     diagnostic start/end 5 5
+///     join interface
+/// }
+/// "#).unwrap();
+/// assert_eq!(g.rules.len(), 1);
+/// assert_eq!(grca_core::parse_graph(&grca_core::render_graph(&g)).unwrap(), g);
+/// ```
+pub fn parse_graph(text: &str) -> Result<DiagnosisGraph> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let g = p.graph()?;
+    g.validate()?;
+    Ok(g)
+}
+
+/// Serialize a diagnosis graph to DSL text.
+pub fn render_graph(g: &DiagnosisGraph) -> String {
+    let mut out = format!("graph {:?} root {:?}\n", g.name, g.root);
+    for r in &g.rules {
+        out.push_str(&format!(
+            "\nrule {:?} <- {:?} {{\n",
+            r.symptom, r.diagnostic
+        ));
+        out.push_str(&format!("    priority {}\n", r.priority));
+        out.push_str(&format!(
+            "    symptom {} {} {}\n",
+            r.temporal.symptom.option,
+            r.temporal.symptom.x.as_secs(),
+            r.temporal.symptom.y.as_secs()
+        ));
+        out.push_str(&format!(
+            "    diagnostic {} {} {}\n",
+            r.temporal.diagnostic.option,
+            r.temporal.diagnostic.x.as_secs(),
+            r.temporal.diagnostic.y.as_secs()
+        ));
+        out.push_str(&format!("    join {}\n", r.spatial.join_level));
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Int(i64),
+    LBrace,
+    RBrace,
+    Arrow,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let mut chars = line.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            let err = |m: &str| GrcaError::parse(format!("line {}: {m}", lineno + 1));
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '{' => {
+                    chars.next();
+                    out.push(Tok::LBrace);
+                }
+                '}' => {
+                    chars.next();
+                    out.push(Tok::RBrace);
+                }
+                '"' => {
+                    chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('"') => break,
+                            Some(c) => s.push(c),
+                            None => return Err(err("unterminated string")),
+                        }
+                    }
+                    out.push(Tok::Str(s));
+                }
+                '<' => {
+                    chars.next();
+                    if chars.next() != Some('-') {
+                        return Err(err("expected '<-'"));
+                    }
+                    out.push(Tok::Arrow);
+                }
+                '-' | '+' | '0'..='9' => {
+                    let mut s = String::new();
+                    s.push(c);
+                    chars.next();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_digit() {
+                            s.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let n: i64 = s
+                        .trim_start_matches('+')
+                        .parse()
+                        .map_err(|_| err(&format!("bad number {s:?}")))?;
+                    out.push(Tok::Int(n));
+                }
+                c if c.is_alphanumeric() || c == '/' || c == '_' || c == ':' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_alphanumeric() || "/_-:".contains(d) {
+                            s.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Tok::Word(s));
+                }
+                other => return Err(err(&format!("unexpected character {other:?}"))),
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| GrcaError::parse("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn word(&mut self, expect: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Word(w) if w == expect => Ok(()),
+            other => Err(GrcaError::parse(format!(
+                "expected {expect:?}, got {other:?}"
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Str(s) => Ok(s),
+            other => Err(GrcaError::parse(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        match self.next()? {
+            Tok::Int(n) => Ok(n),
+            other => Err(GrcaError::parse(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn any_word(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Word(w) => Ok(w),
+            other => Err(GrcaError::parse(format!("expected word, got {other:?}"))),
+        }
+    }
+
+    fn graph(&mut self) -> Result<DiagnosisGraph> {
+        self.word("graph")?;
+        let name = self.string()?;
+        self.word("root")?;
+        let root = self.string()?;
+        let mut g = DiagnosisGraph::new(name, root);
+        while self.peek().is_some() {
+            g.add_rule(self.rule()?);
+        }
+        Ok(g)
+    }
+
+    fn expansion(&mut self) -> Result<Expansion> {
+        let opt = ExpandOption::parse(&self.any_word()?)?;
+        let x = self.int()?;
+        let y = self.int()?;
+        Ok(Expansion::new(opt, x, y))
+    }
+
+    fn rule(&mut self) -> Result<DiagnosisRule> {
+        self.word("rule")?;
+        let symptom = self.string()?;
+        match self.next()? {
+            Tok::Arrow => {}
+            other => return Err(GrcaError::parse(format!("expected '<-', got {other:?}"))),
+        }
+        let diagnostic = self.string()?;
+        match self.next()? {
+            Tok::LBrace => {}
+            other => return Err(GrcaError::parse(format!("expected '{{', got {other:?}"))),
+        }
+        let mut priority: Option<u32> = None;
+        let mut sym: Option<Expansion> = None;
+        let mut diag: Option<Expansion> = None;
+        let mut join: Option<JoinLevel> = None;
+        loop {
+            match self.next()? {
+                Tok::RBrace => break,
+                Tok::Word(w) => match w.as_str() {
+                    "priority" => {
+                        let n = self.int()?;
+                        if n < 0 {
+                            return Err(GrcaError::parse("priority must be non-negative"));
+                        }
+                        priority = Some(n as u32);
+                    }
+                    "symptom" => sym = Some(self.expansion()?),
+                    "diagnostic" => diag = Some(self.expansion()?),
+                    "join" => join = Some(JoinLevel::parse(&self.any_word()?)?),
+                    other => return Err(GrcaError::parse(format!("unknown rule field {other:?}"))),
+                },
+                other => return Err(GrcaError::parse(format!("unexpected {other:?} in rule"))),
+            }
+        }
+        let missing = |f: &str, r: &str| GrcaError::parse(format!("rule {r:?} missing {f}"));
+        Ok(DiagnosisRule {
+            symptom: symptom.clone(),
+            diagnostic,
+            temporal: TemporalRule::new(
+                sym.ok_or_else(|| missing("symptom expansion", &symptom))?,
+                diag.ok_or_else(|| missing("diagnostic expansion", &symptom))?,
+            ),
+            spatial: SpatialRule::new(join.ok_or_else(|| missing("join level", &symptom))?),
+            priority: priority.ok_or_else(|| missing("priority", &symptom))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# BGP flap RCA, abbreviated
+graph "bgp-flap-rca" root "ebgp-flap"
+
+rule "ebgp-flap" <- "interface-flap" {
+    priority 180
+    symptom start/start 180 5
+    diagnostic start/end 5 5
+    join interface
+}
+
+rule "interface-flap" <- "sonet-restoration" {
+    priority 200
+    symptom start/end 10 10
+    diagnostic start/end 10 10
+    join physical-link
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let g = parse_graph(SAMPLE).unwrap();
+        assert_eq!(g.name, "bgp-flap-rca");
+        assert_eq!(g.root, "ebgp-flap");
+        assert_eq!(g.rules.len(), 2);
+        let r = &g.rules[0];
+        assert_eq!(r.priority, 180);
+        assert_eq!(r.temporal.symptom.x.as_secs(), 180);
+        assert_eq!(r.spatial.join_level, JoinLevel::Interface);
+        assert_eq!(g.rules[1].spatial.join_level, JoinLevel::PhysicalLink);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = parse_graph(SAMPLE).unwrap();
+        let text = render_graph(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn negative_margins_parse() {
+        let text = r#"
+graph "t" root "s"
+rule "s" <- "d" {
+    priority 10
+    symptom start/start -30 60
+    diagnostic start/end 5 5
+    join router
+}
+"#;
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.rules[0].temporal.symptom.x.as_secs(), -30);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_graph("garbage").is_err());
+        assert!(parse_graph("graph \"g\" root \"r\"\nrule \"r\" <- \"d\" { priority 1 }").is_err()); // missing fields
+        assert!(
+            parse_graph("graph \"g\" root \"r\"\nrule \"r\" <- \"d\" { frobnicate 3 }").is_err()
+        );
+        assert!(parse_graph("graph \"g\" root \"r\"\nrule \"r\" < \"d\" {}").is_err());
+        assert!(parse_graph("graph \"g\" root \"r\"\nrule \"unterminated").is_err());
+    }
+
+    #[test]
+    fn validation_runs_on_parse() {
+        // A cycle must be rejected at parse time.
+        let text = r#"
+graph "t" root "a"
+rule "a" <- "b" { priority 1 symptom start/end 5 5 diagnostic start/end 5 5 join router }
+rule "b" <- "a" { priority 1 symptom start/end 5 5 diagnostic start/end 5 5 join router }
+"#;
+        assert!(parse_graph(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let text = "graph \"g\" root \"r\"   # trailing comment\n# full line\n";
+        let g = parse_graph(text).unwrap();
+        assert!(g.rules.is_empty());
+    }
+}

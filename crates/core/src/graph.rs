@@ -1,0 +1,225 @@
+//! Diagnosis graphs and diagnosis rules (§II-C, Figs. 4–6).
+//!
+//! A diagnosis graph has the application's symptom event at its root; each
+//! edge ("diagnosis rule") names a symptom event, a diagnostic event, the
+//! temporal and spatial joining parameters, and a priority. Diagnostic
+//! events may themselves be symptoms of deeper rules (interface flap ←
+//! SONET restoration), giving the multi-level graphs of the paper's
+//! figures.
+
+use crate::join::{SpatialRule, TemporalRule};
+use grca_net_model::JoinLevel;
+use grca_types::{GrcaError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One edge of the diagnosis graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosisRule {
+    /// The symptom-side event name (the edge's tail).
+    pub symptom: String,
+    /// The diagnostic event name (the edge's head — a potential cause).
+    pub diagnostic: String,
+    pub temporal: TemporalRule,
+    pub spatial: SpatialRule,
+    /// Higher = stronger support that this diagnostic is the real root
+    /// cause (§II-D.1). Deeper causes get higher priorities.
+    pub priority: u32,
+}
+
+impl DiagnosisRule {
+    pub fn new(
+        symptom: impl Into<String>,
+        diagnostic: impl Into<String>,
+        temporal: TemporalRule,
+        join_level: JoinLevel,
+        priority: u32,
+    ) -> Self {
+        DiagnosisRule {
+            symptom: symptom.into(),
+            diagnostic: diagnostic.into(),
+            temporal,
+            spatial: SpatialRule::new(join_level),
+            priority,
+        }
+    }
+}
+
+/// A complete application diagnosis graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiagnosisGraph {
+    /// Graph name (the RCA application it configures).
+    pub name: String,
+    /// The symptom event under analysis.
+    pub root: String,
+    pub rules: Vec<DiagnosisRule>,
+}
+
+impl DiagnosisGraph {
+    pub fn new(name: impl Into<String>, root: impl Into<String>) -> Self {
+        DiagnosisGraph {
+            name: name.into(),
+            root: root.into(),
+            rules: Vec::new(),
+        }
+    }
+
+    pub fn add_rule(&mut self, rule: DiagnosisRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Rules whose symptom side is `event` (outgoing edges of that node).
+    pub fn rules_for<'a>(
+        &'a self,
+        event: &'a str,
+    ) -> impl Iterator<Item = (usize, &'a DiagnosisRule)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(move |(_, r)| r.symptom == event)
+    }
+
+    /// All event names appearing in the graph.
+    pub fn events(&self) -> BTreeSet<&str> {
+        let mut s: BTreeSet<&str> = BTreeSet::new();
+        s.insert(self.root.as_str());
+        for r in &self.rules {
+            s.insert(r.symptom.as_str());
+            s.insert(r.diagnostic.as_str());
+        }
+        s
+    }
+
+    /// Structural validation: every rule reachable from the root, no
+    /// cycles (cyclic causality defeats evidence-based reasoning — the
+    /// paper's §IV-B discussion), and priorities that do not *decrease*
+    /// with depth along any path (the paper's assignment convention:
+    /// deeper causes must win).
+    pub fn validate(&self) -> Result<()> {
+        if self.root.is_empty() {
+            return Err(GrcaError::config("diagnosis graph has no root"));
+        }
+        // Reachability.
+        let mut reach: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![self.root.as_str()];
+        while let Some(ev) = stack.pop() {
+            if !reach.insert(ev) {
+                continue;
+            }
+            for (_, r) in self.rules_for(ev) {
+                stack.push(&r.diagnostic);
+            }
+        }
+        for r in &self.rules {
+            if !reach.contains(r.symptom.as_str()) {
+                return Err(GrcaError::config(format!(
+                    "rule {:?} <- {:?} unreachable from root {:?}",
+                    r.symptom, r.diagnostic, self.root
+                )));
+            }
+        }
+        // Cycle detection (DFS colors).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: BTreeMap<&str, Color> = BTreeMap::new();
+        fn dfs<'a>(
+            g: &'a DiagnosisGraph,
+            ev: &'a str,
+            color: &mut BTreeMap<&'a str, Color>,
+        ) -> Result<()> {
+            match color.get(ev).copied().unwrap_or(Color::White) {
+                Color::Grey => {
+                    return Err(GrcaError::config(format!("cycle through event {ev:?}")))
+                }
+                Color::Black => return Ok(()),
+                Color::White => {}
+            }
+            color.insert(ev, Color::Grey);
+            for (_, r) in g.rules_for(ev) {
+                dfs(g, &r.diagnostic, color)?;
+            }
+            color.insert(ev, Color::Black);
+            Ok(())
+        }
+        dfs(self, &self.root, &mut color)?;
+        // Priority monotonicity: a deeper edge should not have a lower
+        // priority than the edge that led to it (warning-level in the
+        // paper; we enforce it, it is what makes "deepest wins" sound).
+        for r in &self.rules {
+            for (_, deeper) in self.rules_for(&r.diagnostic) {
+                if deeper.priority < r.priority {
+                    return Err(GrcaError::config(format!(
+                        "priority inversion: {:?}<-{:?} ({}) deeper than {:?}<-{:?} ({})",
+                        r.symptom,
+                        r.diagnostic,
+                        r.priority,
+                        deeper.symptom,
+                        deeper.diagnostic,
+                        deeper.priority
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another rule set in (library reuse: applications combine
+    /// Knowledge Library rules with app-specific ones, §III).
+    pub fn extend_rules(&mut self, rules: impl IntoIterator<Item = DiagnosisRule>) {
+        self.rules.extend(rules);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::TemporalRule;
+
+    fn rule(s: &str, d: &str, p: u32) -> DiagnosisRule {
+        DiagnosisRule::new(s, d, TemporalRule::symmetric(5), JoinLevel::Router, p)
+    }
+
+    #[test]
+    fn valid_multilevel_graph() {
+        let mut g = DiagnosisGraph::new("t", "flap");
+        g.add_rule(rule("flap", "iface-flap", 180));
+        g.add_rule(rule("iface-flap", "sonet", 200));
+        g.add_rule(rule("flap", "cpu", 100));
+        assert!(g.validate().is_ok());
+        assert_eq!(g.events().len(), 4);
+        assert_eq!(g.rules_for("flap").count(), 2);
+    }
+
+    #[test]
+    fn unreachable_rule_rejected() {
+        let mut g = DiagnosisGraph::new("t", "flap");
+        g.add_rule(rule("orphan", "x", 10));
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = DiagnosisGraph::new("t", "a");
+        g.add_rule(rule("a", "b", 10));
+        g.add_rule(rule("b", "a", 10));
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn priority_inversion_rejected() {
+        let mut g = DiagnosisGraph::new("t", "flap");
+        g.add_rule(rule("flap", "iface-flap", 180));
+        g.add_rule(rule("iface-flap", "sonet", 90)); // shallower than parent
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn empty_root_rejected() {
+        let g = DiagnosisGraph::default();
+        assert!(g.validate().is_err());
+    }
+}

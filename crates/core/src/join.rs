@@ -1,0 +1,253 @@
+//! Temporal and spatial joining (§II-C).
+//!
+//! A diagnosis rule joins a symptom instance with a diagnostic instance
+//! when (a) their *expanded* time windows overlap and (b) their locations
+//! meet at the rule's join level. Temporal expansion handles protocol
+//! timers (cause precedes effect by up to a hold-timer) and measurement
+//! timestamp noise; spatial joining delegates to the
+//! [`grca_net_model::SpatialModel`] conversions.
+
+use grca_net_model::{JoinLevel, Location, SpatialModel};
+use grca_types::{Duration, GrcaError, Result, TimeWindow};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How an event's raw window is expanded (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpandOption {
+    /// `[start - X, end + Y]` — widen around the whole event.
+    StartEnd,
+    /// `[start - X, start + Y]` — anchor both edges on the start.
+    StartStart,
+    /// `[end - X, end + Y]` — anchor both edges on the end.
+    EndEnd,
+}
+
+impl ExpandOption {
+    pub fn name(self) -> &'static str {
+        match self {
+            ExpandOption::StartEnd => "start/end",
+            ExpandOption::StartStart => "start/start",
+            ExpandOption::EndEnd => "end/end",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "start/end" => Ok(ExpandOption::StartEnd),
+            "start/start" => Ok(ExpandOption::StartStart),
+            "end/end" => Ok(ExpandOption::EndEnd),
+            _ => Err(GrcaError::parse(format!("unknown expand option {s:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for ExpandOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One side's expansion: option plus left margin X and right margin Y
+/// (both in seconds; the left margin shifts the window start *earlier* by
+/// X, the right margin shifts the end *later* by Y — negative values shift
+/// the other way, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Expansion {
+    pub option: ExpandOption,
+    pub x: Duration,
+    pub y: Duration,
+}
+
+impl Expansion {
+    pub fn new(option: ExpandOption, x_secs: i64, y_secs: i64) -> Self {
+        Expansion {
+            option,
+            x: Duration::secs(x_secs),
+            y: Duration::secs(y_secs),
+        }
+    }
+
+    /// Expand a raw event window.
+    pub fn expand(&self, w: TimeWindow) -> TimeWindow {
+        let (anchor_lo, anchor_hi) = match self.option {
+            ExpandOption::StartEnd => (w.start, w.end),
+            ExpandOption::StartStart => (w.start, w.start),
+            ExpandOption::EndEnd => (w.end, w.end),
+        };
+        TimeWindow::normalized(anchor_lo - self.x, anchor_hi + self.y)
+    }
+
+    /// How far the expansion can move either edge (for candidate cuts).
+    pub fn slack(&self) -> Duration {
+        Duration::secs(self.x.as_secs().abs().max(self.y.as_secs().abs()))
+    }
+}
+
+/// A full temporal joining rule: the six parameters of §II-C.
+///
+/// The paper's worked example:
+///
+/// ```
+/// use grca_core::{TemporalRule, Expansion, ExpandOption};
+/// use grca_types::{TimeWindow, Timestamp};
+///
+/// // eBGP flap: start/start, X=180 (the hold timer), Y=5.
+/// // Interface flap: start/end, ±5 s of syslog timestamp noise.
+/// let rule = TemporalRule::new(
+///     Expansion::new(ExpandOption::StartStart, 180, 5),
+///     Expansion::new(ExpandOption::StartEnd, 5, 5),
+/// );
+/// let flap = TimeWindow::new(Timestamp(1000), Timestamp(2000));
+/// let iface = TimeWindow::new(Timestamp(900), Timestamp(901));
+/// assert_eq!(rule.symptom.expand(flap), TimeWindow::new(Timestamp(820), Timestamp(1005)));
+/// assert!(rule.joined(flap, iface));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalRule {
+    pub symptom: Expansion,
+    pub diagnostic: Expansion,
+}
+
+impl TemporalRule {
+    pub fn new(symptom: Expansion, diagnostic: Expansion) -> Self {
+        TemporalRule {
+            symptom,
+            diagnostic,
+        }
+    }
+
+    /// The paper's running default: symptom start/start with X covering
+    /// the relevant protocol timer, diagnostic start/end ±5 s for syslog
+    /// timestamp noise.
+    pub fn hold_timer(timer_secs: i64) -> Self {
+        TemporalRule {
+            symptom: Expansion::new(ExpandOption::StartStart, timer_secs, 5),
+            diagnostic: Expansion::new(ExpandOption::StartEnd, 5, 5),
+        }
+    }
+
+    /// Symmetric ± margin on both events (measurement-noise-only rules).
+    pub fn symmetric(margin_secs: i64) -> Self {
+        TemporalRule {
+            symptom: Expansion::new(ExpandOption::StartEnd, margin_secs, margin_secs),
+            diagnostic: Expansion::new(ExpandOption::StartEnd, margin_secs, margin_secs),
+        }
+    }
+
+    /// Whether the two raw windows join under this rule.
+    pub fn joined(&self, symptom: TimeWindow, diagnostic: TimeWindow) -> bool {
+        self.symptom
+            .expand(symptom)
+            .overlaps(&self.diagnostic.expand(diagnostic))
+    }
+
+    /// Candidate-cut slack: the most the two expansions together can
+    /// bridge between raw windows.
+    pub fn slack(&self) -> Duration {
+        self.symptom.slack() + self.diagnostic.slack()
+    }
+}
+
+/// A complete spatial joining rule (§II-C): the location types come from
+/// the event definitions; the join level is the rule's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialRule {
+    pub join_level: JoinLevel,
+}
+
+impl SpatialRule {
+    pub fn new(join_level: JoinLevel) -> Self {
+        SpatialRule { join_level }
+    }
+
+    /// Whether the two locations join, evaluated at the symptom's instant.
+    pub fn joined(
+        &self,
+        sm: &SpatialModel,
+        symptom: &Location,
+        diagnostic: &Location,
+        at: grca_types::Timestamp,
+    ) -> bool {
+        sm.joined(symptom, diagnostic, at, self.join_level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_types::Timestamp;
+
+    fn w(s: i64, e: i64) -> TimeWindow {
+        TimeWindow::new(Timestamp(s), Timestamp(e))
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §II-C: eBGP flap (start/start, X=180, Y=5) at [1000, 2000]
+        // expands to [820, 1005]; interface flap (start/end, X=5, Y=5) at
+        // [900, 901] expands to [895, 906]; they join.
+        let rule = TemporalRule::new(
+            Expansion::new(ExpandOption::StartStart, 180, 5),
+            Expansion::new(ExpandOption::StartEnd, 5, 5),
+        );
+        assert_eq!(rule.symptom.expand(w(1000, 2000)), w(820, 1005));
+        assert_eq!(rule.diagnostic.expand(w(900, 901)), w(895, 906));
+        assert!(rule.joined(w(1000, 2000), w(900, 901)));
+        // An interface flap 10 minutes earlier does not join.
+        assert!(!rule.joined(w(1000, 2000), w(300, 301)));
+        // Nor one starting after the symptom's +5 s margin.
+        assert!(!rule.joined(w(1000, 2000), w(1012, 1013)));
+    }
+
+    #[test]
+    fn end_end_expansion() {
+        let e = Expansion::new(ExpandOption::EndEnd, 10, 20);
+        assert_eq!(e.expand(w(100, 200)), w(190, 220));
+    }
+
+    #[test]
+    fn negative_margins_shift_forward() {
+        // Negative X moves the left edge *later*: [start + 30, start + 60].
+        let e = Expansion::new(ExpandOption::StartStart, -30, 60);
+        assert_eq!(e.expand(w(1000, 5000)), w(1030, 1060));
+    }
+
+    #[test]
+    fn negative_margins_can_invert_then_normalize() {
+        // Pathological config (X=-100 on a point event, Y=0) would invert
+        // the interval; normalized() keeps it well-formed.
+        let e = Expansion::new(ExpandOption::StartStart, -100, 0);
+        let out = e.expand(w(1000, 1000));
+        assert!(out.start <= out.end);
+    }
+
+    #[test]
+    fn joined_is_symmetric_in_overlap() {
+        let rule = TemporalRule::symmetric(5);
+        assert!(rule.joined(w(0, 10), w(10, 20)));
+        assert!(rule.joined(w(0, 10), w(15, 20))); // bridged by ±5 both sides
+        assert!(!rule.joined(w(0, 10), w(21, 30)));
+    }
+
+    #[test]
+    fn slack_bounds_expansion_reach() {
+        let rule = TemporalRule::new(
+            Expansion::new(ExpandOption::StartStart, 180, 5),
+            Expansion::new(ExpandOption::StartEnd, 5, 5),
+        );
+        assert_eq!(rule.slack(), Duration::secs(185));
+    }
+
+    #[test]
+    fn expand_option_roundtrip() {
+        for o in [
+            ExpandOption::StartEnd,
+            ExpandOption::StartStart,
+            ExpandOption::EndEnd,
+        ] {
+            assert_eq!(ExpandOption::parse(o.name()).unwrap(), o);
+        }
+        assert!(ExpandOption::parse("middle/out").is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! The diagnosis-rule Knowledge Library (Table II).
+//!
+//! These are the reusable rules applications compose with their own
+//! app-specific rules (§III: "the majority of the events and rules could
+//! again be drawn from the RCA Knowledge Library"). Each rule fixes the
+//! temporal expansion (from protocol timers and measurement cadence), the
+//! spatial join level (from the event location types and the dependency
+//! model), and a default priority consistent with the deeper-wins
+//! convention.
+//!
+//! Priorities form bands so that composed graphs stay monotone:
+//! 50 weak hints · 100–149 path-level correlations · 150–199 same-element
+//! causes · 200–249 deep physical/administrative causes.
+
+use crate::graph::DiagnosisRule;
+use crate::join::{ExpandOption, Expansion, TemporalRule};
+use grca_events::names as ev;
+use grca_net_model::JoinLevel;
+
+/// `symptom start/start -X +5, diagnostic start/end ±5` — the canonical
+/// "effect follows cause by up to a timer" rule of §II-C.
+fn timer_rule(x: i64) -> TemporalRule {
+    TemporalRule::new(
+        Expansion::new(ExpandOption::StartStart, x, 5),
+        Expansion::new(ExpandOption::StartEnd, 5, 5),
+    )
+}
+
+fn rule(
+    symptom: &str,
+    diagnostic: &str,
+    temporal: TemporalRule,
+    level: JoinLevel,
+    priority: u32,
+) -> DiagnosisRule {
+    DiagnosisRule::new(symptom, diagnostic, temporal, level, priority)
+}
+
+/// The Table II common diagnosis rules.
+///
+/// Rows that Table II writes as an `up/down/flap` family are instantiated
+/// on the variant the downstream applications consume (flap for session
+/// analysis, down/up for the cost-out/in inferences), mirroring how the
+/// deployed library is a superset of the published sample table.
+pub fn knowledge_rules() -> Vec<DiagnosisRule> {
+    use JoinLevel as L;
+    let mut r = Vec::new();
+
+    // --- layer-2 ← layer-2/layer-1 dependency chain ---
+    // Line protocol follows the interface beneath it.
+    r.push(rule(
+        ev::LINE_PROTOCOL_FLAP,
+        ev::INTERFACE_FLAP,
+        timer_rule(15),
+        L::Interface,
+        180,
+    ));
+    // Interface and line-protocol flaps follow layer-1 restorations on the
+    // circuits beneath them.
+    for (sym, prio) in [(ev::INTERFACE_FLAP, 200), (ev::LINE_PROTOCOL_FLAP, 200)] {
+        r.push(rule(
+            sym,
+            ev::SONET_RESTORATION,
+            timer_rule(30),
+            L::PhysicalLink,
+            prio,
+        ));
+        r.push(rule(
+            sym,
+            ev::MESH_REGULAR_RESTORATION,
+            timer_rule(30),
+            L::PhysicalLink,
+            prio,
+        ));
+        r.push(rule(
+            sym,
+            ev::MESH_FAST_RESTORATION,
+            timer_rule(30),
+            L::PhysicalLink,
+            prio,
+        ));
+    }
+
+    // --- BGP egress changes follow edge instability ---
+    r.push(rule(
+        ev::BGP_EGRESS_CHANGE,
+        ev::INTERFACE_FLAP,
+        timer_rule(60),
+        L::LinkPath,
+        150,
+    ));
+    r.push(rule(
+        ev::BGP_EGRESS_CHANGE,
+        ev::LINE_PROTOCOL_FLAP,
+        timer_rule(60),
+        L::LinkPath,
+        150,
+    ));
+
+    // --- end-to-end performance symptoms ---
+    // Probe measurements are 5-minute bins whose window can *precede* the
+    // triggering event by up to a bin, so the symptom side expands forward
+    // by a bin plus noise as well as backward.
+    let binned = TemporalRule::new(
+        Expansion::new(ExpandOption::StartStart, 360, 305),
+        Expansion::new(ExpandOption::StartEnd, 5, 5),
+    );
+    for sym in [
+        ev::E2E_DELAY_INCREASE,
+        ev::E2E_LOSS_INCREASE,
+        ev::E2E_THROUGHPUT_DROP,
+    ] {
+        r.push(rule(
+            sym,
+            ev::BGP_EGRESS_CHANGE,
+            binned,
+            L::IngressEgress,
+            120,
+        ));
+        r.push(rule(
+            sym,
+            ev::LINK_CONGESTION_ALARM,
+            TemporalRule::symmetric(300),
+            L::LinkPath,
+            130,
+        ));
+        r.push(rule(sym, ev::OSPF_RECONVERGENCE, binned, L::LinkPath, 110));
+    }
+
+    // --- link loss alarms ---
+    r.push(rule(
+        ev::LINK_LOSS_ALARM,
+        ev::LINK_CONGESTION_ALARM,
+        TemporalRule::symmetric(300),
+        L::Interface,
+        150,
+    ));
+    r.push(rule(
+        ev::LINK_LOSS_ALARM,
+        ev::LINE_PROTOCOL_FLAP,
+        TemporalRule::symmetric(300),
+        L::Interface,
+        160,
+    ));
+
+    // --- OSPF reconvergence follows link events and operator commands ---
+    r.push(rule(
+        ev::OSPF_RECONVERGENCE,
+        ev::LINE_PROTOCOL_FLAP,
+        timer_rule(30),
+        L::LogicalLink,
+        160,
+    ));
+    r.push(rule(
+        ev::OSPF_RECONVERGENCE,
+        ev::INTERFACE_FLAP,
+        timer_rule(30),
+        L::LogicalLink,
+        165,
+    ));
+    r.push(rule(
+        ev::OSPF_RECONVERGENCE,
+        ev::COMMAND_COST_OUT,
+        timer_rule(60),
+        L::LogicalLink,
+        170,
+    ));
+    r.push(rule(
+        ev::OSPF_RECONVERGENCE,
+        ev::COMMAND_COST_IN,
+        timer_rule(60),
+        L::LogicalLink,
+        170,
+    ));
+
+    // --- link cost out/down inferences ---
+    r.push(rule(
+        ev::LINK_COST_OUT_DOWN,
+        ev::LINE_PROTOCOL_DOWN,
+        timer_rule(30),
+        L::LogicalLink,
+        175,
+    ));
+    r.push(rule(
+        ev::LINK_COST_OUT_DOWN,
+        ev::INTERFACE_DOWN,
+        timer_rule(30),
+        L::LogicalLink,
+        180,
+    ));
+    r.push(rule(
+        ev::LINK_COST_OUT_DOWN,
+        ev::COMMAND_COST_OUT,
+        timer_rule(60),
+        L::LogicalLink,
+        185,
+    ));
+    r.push(rule(
+        ev::LINK_COST_IN_UP,
+        ev::LINE_PROTOCOL_UP,
+        timer_rule(30),
+        L::LogicalLink,
+        175,
+    ));
+    r.push(rule(
+        ev::LINK_COST_IN_UP,
+        ev::INTERFACE_UP,
+        timer_rule(30),
+        L::LogicalLink,
+        180,
+    ));
+    r.push(rule(
+        ev::LINK_COST_IN_UP,
+        ev::COMMAND_COST_IN,
+        timer_rule(60),
+        L::LogicalLink,
+        185,
+    ));
+
+    // --- router-wide maintenance ---
+    r.push(rule(
+        ev::ROUTER_COST_IN_OUT,
+        ev::COMMAND_COST_OUT,
+        timer_rule(60),
+        L::Router,
+        185,
+    ));
+    r.push(rule(
+        ev::ROUTER_COST_IN_OUT,
+        ev::COMMAND_COST_IN,
+        timer_rule(60),
+        L::Router,
+        185,
+    ));
+
+    // --- congestion after reroute (traffic shifted onto a link) ---
+    r.push(rule(
+        ev::LINK_CONGESTION_ALARM,
+        ev::OSPF_RECONVERGENCE,
+        timer_rule(600),
+        L::Router,
+        131,
+    ));
+
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DiagnosisGraph;
+
+    #[test]
+    fn library_covers_table_ii() {
+        let rules = knowledge_rules();
+        assert!(
+            rules.len() >= 30,
+            "Table II samples 30 rules; got {}",
+            rules.len()
+        );
+        // Every (symptom, diagnostic) pair is unique.
+        let mut pairs: Vec<(&str, &str)> = rules
+            .iter()
+            .map(|r| (r.symptom.as_str(), r.diagnostic.as_str()))
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), rules.len());
+    }
+
+    #[test]
+    fn library_rules_compose_into_valid_graphs() {
+        // A graph rooted at each symptom family, restricted to reachable
+        // rules, must validate (acyclic + monotone priorities).
+        for root in [
+            grca_events::names::E2E_LOSS_INCREASE,
+            grca_events::names::LINK_COST_OUT_DOWN,
+            grca_events::names::OSPF_RECONVERGENCE,
+            grca_events::names::LINE_PROTOCOL_FLAP,
+        ] {
+            let mut g = DiagnosisGraph::new("lib-test", root);
+            // Keep only rules reachable from the root.
+            let all = knowledge_rules();
+            let mut changed = true;
+            let mut keep: Vec<bool> = vec![false; all.len()];
+            let mut events = std::collections::BTreeSet::new();
+            events.insert(root.to_string());
+            while changed {
+                changed = false;
+                for (i, r) in all.iter().enumerate() {
+                    if !keep[i] && events.contains(&r.symptom) {
+                        keep[i] = true;
+                        events.insert(r.diagnostic.clone());
+                        changed = true;
+                    }
+                }
+            }
+            for (i, r) in all.into_iter().enumerate() {
+                if keep[i] {
+                    g.add_rule(r);
+                }
+            }
+            assert!(!g.rules.is_empty(), "{root} has no reachable rules");
+            g.validate().unwrap_or_else(|e| panic!("{root}: {e}"));
+        }
+    }
+
+    #[test]
+    fn timer_rule_matches_paper_shape() {
+        let t = timer_rule(180);
+        assert_eq!(t.symptom.option, ExpandOption::StartStart);
+        assert_eq!(t.symptom.x.as_secs(), 180);
+        assert_eq!(t.diagnostic.option, ExpandOption::StartEnd);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: temporal-rule algebra and DSL round trips over
+//! randomly generated diagnosis graphs.
+
+use grca_core::{
+    parse_graph, render_graph, DiagnosisGraph, DiagnosisRule, ExpandOption, Expansion, TemporalRule,
+};
+use grca_net_model::JoinLevel;
+use grca_types::{TimeWindow, Timestamp};
+use proptest::prelude::*;
+
+fn any_option() -> impl Strategy<Value = ExpandOption> {
+    prop_oneof![
+        Just(ExpandOption::StartEnd),
+        Just(ExpandOption::StartStart),
+        Just(ExpandOption::EndEnd),
+    ]
+}
+
+fn any_level() -> impl Strategy<Value = JoinLevel> {
+    proptest::sample::select(JoinLevel::ALL.to_vec())
+}
+
+proptest! {
+    /// Expansion always produces a well-formed window, and growing the
+    /// margins never shrinks it.
+    #[test]
+    fn expansion_monotone(
+        opt in any_option(),
+        x in -600i64..600,
+        y in -600i64..600,
+        s in 0i64..100_000,
+        len in 0i64..10_000,
+        grow in 0i64..300,
+    ) {
+        let w = TimeWindow::new(Timestamp(s), Timestamp(s + len));
+        // Monotonicity is only meaningful while the raw expanded endpoints
+        // stay ordered; pathological negative margins that invert the
+        // interval are normalized (endpoint swap) and exempt.
+        let (lo, hi) = match opt {
+            ExpandOption::StartEnd => (w.start, w.end),
+            ExpandOption::StartStart => (w.start, w.start),
+            ExpandOption::EndEnd => (w.end, w.end),
+        };
+        prop_assume!((lo.unix() - x) <= (hi.unix() + y));
+        let e1 = Expansion::new(opt, x, y).expand(w);
+        prop_assert!(e1.start <= e1.end);
+        let e2 = Expansion::new(opt, x + grow, y + grow).expand(w);
+        prop_assert!(e2.start <= e1.start);
+        prop_assert!(e2.end >= e1.end);
+    }
+
+    /// Growing either margin can only turn a non-join into a join, never
+    /// the reverse (join monotonicity in the margins).
+    #[test]
+    fn join_monotone_in_margins(
+        x in 0i64..400,
+        y in 0i64..400,
+        grow in 0i64..400,
+        s1 in 0i64..5_000,
+        l1 in 0i64..500,
+        s2 in 0i64..5_000,
+        l2 in 0i64..500,
+    ) {
+        let sym = TimeWindow::new(Timestamp(s1), Timestamp(s1 + l1));
+        let diag = TimeWindow::new(Timestamp(s2), Timestamp(s2 + l2));
+        let tight = TemporalRule::new(
+            Expansion::new(ExpandOption::StartStart, x, y),
+            Expansion::new(ExpandOption::StartEnd, 5, 5),
+        );
+        let loose = TemporalRule::new(
+            Expansion::new(ExpandOption::StartStart, x + grow, y + grow),
+            Expansion::new(ExpandOption::StartEnd, 5, 5),
+        );
+        if tight.joined(sym, diag) {
+            prop_assert!(loose.joined(sym, diag));
+        }
+    }
+
+    /// The candidate-cut slack is a sound bound: if the rule joins two
+    /// windows, their raw distance never exceeds slack + both durations.
+    #[test]
+    fn slack_bounds_joins(
+        ox in any_option(),
+        x in -300i64..300,
+        y in -300i64..300,
+        dx in -300i64..300,
+        dy in -300i64..300,
+        s1 in 0i64..50_000,
+        l1 in 0i64..2_000,
+        s2 in 0i64..50_000,
+        l2 in 0i64..2_000,
+    ) {
+        let rule = TemporalRule::new(
+            Expansion::new(ox, x, y),
+            Expansion::new(ExpandOption::StartEnd, dx, dy),
+        );
+        let sym = TimeWindow::new(Timestamp(s1), Timestamp(s1 + l1));
+        let diag = TimeWindow::new(Timestamp(s2), Timestamp(s2 + l2));
+        if rule.joined(sym, diag) {
+            let gap = if diag.start > sym.end {
+                (diag.start - sym.end).as_secs()
+            } else if sym.start > diag.end {
+                (sym.start - diag.end).as_secs()
+            } else {
+                0
+            };
+            prop_assert!(
+                gap <= rule.slack().as_secs() + l1 + l2,
+                "gap {} exceeds slack bound", gap
+            );
+        }
+    }
+
+    /// DSL render → parse is the identity on arbitrary valid graphs.
+    #[test]
+    fn dsl_roundtrip(
+        n_rules in 1usize..12,
+        opts in proptest::collection::vec((any_option(), any_option()), 12),
+        margins in proptest::collection::vec((-600i64..600, -600i64..600), 12),
+        levels in proptest::collection::vec(any_level(), 12),
+        prios in proptest::collection::vec(0u32..1000, 12),
+    ) {
+        let mut g = DiagnosisGraph::new("prop-graph", "root-event");
+        for i in 0..n_rules {
+            // Star topology from the root avoids cycles and priority
+            // inversions by construction.
+            g.add_rule(DiagnosisRule::new(
+                "root-event",
+                format!("diag-{i}"),
+                TemporalRule::new(
+                    Expansion::new(opts[i].0, margins[i].0, margins[i].1),
+                    Expansion::new(opts[i].1, margins[i].1, margins[i].0),
+                ),
+                levels[i],
+                prios[i],
+            ));
+        }
+        let text = render_graph(&g);
+        let back = parse_graph(&text).unwrap();
+        prop_assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,190 @@
+//! Event time series on fixed bins.
+//!
+//! The Correlation Tester works on binned event-occurrence series. A series
+//! covers `[start, start + bins·bin)`; each bin holds an occurrence count
+//! (tests usually binarize). Smoothing widens occurrences by ±k bins so
+//! that co-occurrences misaligned by timer delays still overlap — the
+//! binned analogue of the temporal-join margins.
+
+use grca_types::{Duration, TimeWindow, Timestamp};
+
+/// A fixed-bin event-count series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSeries {
+    pub start: Timestamp,
+    pub bin: Duration,
+    pub counts: Vec<f64>,
+}
+
+impl EventSeries {
+    /// An all-zero series with `n` bins.
+    pub fn zeros(start: Timestamp, bin: Duration, n: usize) -> Self {
+        assert!(bin.as_secs() > 0, "bin must be positive");
+        EventSeries {
+            start,
+            bin,
+            counts: vec![0.0; n],
+        }
+    }
+
+    /// Build from instants; instants outside the span are ignored.
+    pub fn from_instants(
+        start: Timestamp,
+        bin: Duration,
+        n: usize,
+        instants: impl IntoIterator<Item = Timestamp>,
+    ) -> Self {
+        let mut s = Self::zeros(start, bin, n);
+        for t in instants {
+            if let Some(i) = s.bin_index(t) {
+                s.counts[i] += 1.0;
+            }
+        }
+        s
+    }
+
+    /// Build from windows: every bin a window touches is counted once.
+    pub fn from_windows(
+        start: Timestamp,
+        bin: Duration,
+        n: usize,
+        windows: impl IntoIterator<Item = TimeWindow>,
+    ) -> Self {
+        let mut s = Self::zeros(start, bin, n);
+        for w in windows {
+            let lo = (w.start - start).as_secs().div_euclid(bin.as_secs());
+            let hi = (w.end - start).as_secs().div_euclid(bin.as_secs());
+            for i in lo.max(0)..=hi.min(n as i64 - 1) {
+                if i >= 0 {
+                    s.counts[i as usize] += 1.0;
+                }
+            }
+        }
+        s
+    }
+
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The bin containing `t`, if inside the span.
+    pub fn bin_index(&self, t: Timestamp) -> Option<usize> {
+        let off = (t - self.start).as_secs();
+        if off < 0 {
+            return None;
+        }
+        let i = (off / self.bin.as_secs()) as usize;
+        (i < self.counts.len()).then_some(i)
+    }
+
+    /// Binarize: every positive bin becomes 1.
+    pub fn to_binary(&self) -> EventSeries {
+        EventSeries {
+            start: self.start,
+            bin: self.bin,
+            counts: self.counts.iter().map(|&c| f64::from(c > 0.0)).collect(),
+        }
+    }
+
+    /// Total occurrences.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Box-max smoothing: bin i becomes the max over `[i-k, i+k]`.
+    pub fn smoothed(&self, k: usize) -> EventSeries {
+        let n = self.counts.len();
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k).min(n.saturating_sub(1));
+            *o = self.counts[lo..=hi].iter().cloned().fold(0.0, f64::max);
+        }
+        EventSeries {
+            start: self.start,
+            bin: self.bin,
+            counts: out,
+        }
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length series
+/// (`None` when either side has zero variance).
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return None;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_unix(s)
+    }
+
+    #[test]
+    fn instants_land_in_bins() {
+        let s = EventSeries::from_instants(
+            ts(0),
+            Duration::secs(10),
+            5,
+            vec![ts(0), ts(9), ts(10), ts(49), ts(50), ts(-1)],
+        );
+        assert_eq!(s.counts, vec![2.0, 1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(s.total(), 4.0);
+    }
+
+    #[test]
+    fn windows_touch_all_covered_bins() {
+        let s = EventSeries::from_windows(
+            ts(0),
+            Duration::secs(10),
+            5,
+            vec![TimeWindow::new(ts(5), ts(25))],
+        );
+        assert_eq!(s.counts, vec![1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn binarize_and_smooth() {
+        let s = EventSeries::from_instants(ts(0), Duration::secs(1), 7, vec![ts(3), ts(3)]);
+        assert_eq!(s.counts[3], 2.0);
+        let b = s.to_binary();
+        assert_eq!(b.counts[3], 1.0);
+        let sm = b.smoothed(1);
+        assert_eq!(sm.counts, vec![0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let a = [1.0, 0.0, 1.0, 0.0];
+        assert!((pearson(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        let b = [0.0, 1.0, 0.0, 1.0];
+        assert!((pearson(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+        let flat = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(pearson(&a, &flat), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+}

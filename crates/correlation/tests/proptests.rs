@@ -1,0 +1,124 @@
+//! Property-based tests for series construction and the NICE tester.
+
+use grca_correlation::{pearson, CorrelationTester, EventSeries};
+use grca_types::{Duration, TimeWindow, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Binning conserves the event count for in-span instants.
+    #[test]
+    fn binning_conserves_count(
+        instants in proptest::collection::vec(0i64..86_400, 0..200),
+        bin in 1i64..3600,
+    ) {
+        let n = (86_400 / bin) as usize + 1;
+        let s = EventSeries::from_instants(
+            Timestamp(0),
+            Duration::secs(bin),
+            n,
+            instants.iter().map(|&i| Timestamp(i)),
+        );
+        prop_assert_eq!(s.total(), instants.len() as f64);
+    }
+
+    /// Window binning marks exactly the covered bins.
+    #[test]
+    fn window_binning_extent(start in 0i64..5_000, len in 0i64..5_000, bin in 1i64..600) {
+        let n = 20_000usize;
+        let s = EventSeries::from_windows(
+            Timestamp(0),
+            Duration::secs(bin),
+            n,
+            vec![TimeWindow::new(Timestamp(start), Timestamp(start + len))],
+        );
+        let marked = s.counts.iter().filter(|&&c| c > 0.0).count() as i64;
+        let expect = (start + len).div_euclid(bin) - start.div_euclid(bin) + 1;
+        prop_assert_eq!(marked, expect);
+    }
+
+    /// Pearson is bounded by [-1, 1] and symmetric.
+    #[test]
+    fn pearson_bounds(
+        a in proptest::collection::vec(0.0f64..10.0, 4..100),
+        b_seed in proptest::collection::vec(0.0f64..10.0, 4..100),
+    ) {
+        let n = a.len().min(b_seed.len());
+        let (a, b) = (&a[..n], &b_seed[..n]);
+        if let Some(r) = pearson(a, b) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            prop_assert!((pearson(b, a).unwrap() - r).abs() < 1e-12);
+        }
+        // Self-correlation is 1 when variance exists.
+        if let Some(r) = pearson(a, a) {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Smoothing is monotone (never removes occurrences) and idempotent
+    /// on its own output width for binary series.
+    #[test]
+    fn smoothing_monotone(bits in proptest::collection::vec(0u8..2, 10..200), k in 0usize..5) {
+        let s = EventSeries {
+            start: Timestamp(0),
+            bin: Duration::secs(60),
+            counts: bits.iter().map(|&b| b as f64).collect(),
+        };
+        let sm = s.smoothed(k);
+        for (orig, wide) in s.counts.iter().zip(&sm.counts) {
+            prop_assert!(wide >= orig);
+        }
+        prop_assert_eq!(sm.counts.len(), s.counts.len());
+    }
+
+    /// The tester never crashes and scores are finite on arbitrary binary
+    /// series; identical sparse aperiodic series always score higher than
+    /// a shuffled unrelated one.
+    #[test]
+    fn tester_total(bits in proptest::collection::vec(0u8..2, 64..512)) {
+        let s = EventSeries {
+            start: Timestamp(0),
+            bin: Duration::secs(60),
+            counts: bits.iter().map(|&b| b as f64).collect(),
+        };
+        let tester = CorrelationTester::default();
+        if let Some(r) = tester.test(&s, &s) {
+            prop_assert!(r.score.is_finite());
+            prop_assert!(r.r.is_finite());
+            prop_assert!(r.null_std > 0.0);
+        }
+    }
+}
+
+/// Deterministic aperiodic bit stream.
+fn lcg_bits(n: usize, seed: u64, density: u64) -> Vec<f64> {
+    let mut x = seed;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            f64::from((x >> 60) < density)
+        })
+        .collect()
+}
+
+#[test]
+fn self_correlation_beats_independent() {
+    let n = 4000;
+    let mk = |seed| EventSeries {
+        start: Timestamp(0),
+        bin: Duration::secs(60),
+        counts: lcg_bits(n, seed, 1),
+    };
+    let a = mk(1);
+    let b = mk(99);
+    let tester = CorrelationTester::default();
+    let self_score = tester.test(&a, &a).unwrap().score;
+    let cross_score = tester.test(&a, &b).unwrap().score;
+    assert!(
+        self_score > cross_score + 3.0,
+        "{self_score} vs {cross_score}"
+    );
+    assert!(tester.test(&a, &a).unwrap().significant);
+    assert!(!tester.test(&a, &b).unwrap().significant);
+}

@@ -1,0 +1,175 @@
+//! Event definitions: `(event-name, location type, retrieval process,
+//! description)` (§II-A).
+//!
+//! The *retrieval process* is the part the paper implements as "a parsing
+//! script, a database query, or some more sophisticated processing such as
+//! an anomaly detection program". Here it is a typed enum interpreted by
+//! [`mod@crate::extract`] against the collector's tables — every variant
+//! corresponds to one of those three shapes (message parsing, threshold
+//! query, derived/anomaly detection).
+
+use grca_net_model::{LocationType, RouterId};
+use grca_telemetry::records::{L1EventKind, PerfMetric, SnmpMetric};
+
+/// State-change direction selector for up/down/flap event families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateSel {
+    /// The down transitions only.
+    Down,
+    /// The up transitions only.
+    Up,
+    /// A down later matched by an up — the window spans the outage.
+    Flap,
+}
+
+/// Which PIM adjacencies an event covers (distinguished by neighbor kind —
+/// from router configuration, exactly how the deployed tool separates the
+/// MVPN symptom from its uplink diagnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PimScope {
+    /// Adjacency with another PE (MDT tunnel) or with a CE — the MVPN
+    /// application's *symptom*.
+    PePeOrCe,
+    /// Adjacency with a directly connected backbone router on an uplink —
+    /// diagnostic evidence (Table VII).
+    Uplink,
+}
+
+/// Sense of a performance anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalySense {
+    /// Value significantly above baseline (delay, loss).
+    Increase,
+    /// Value significantly below baseline (throughput).
+    Drop,
+}
+
+/// The typed retrieval processes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Retrieval {
+    // ---- syslog parsing scripts ----
+    /// `%LINK-3-UPDOWN` on an interface.
+    InterfaceState(StateSel),
+    /// `%LINEPROTO-5-UPDOWN` on an interface.
+    LineProtoState(StateSel),
+    /// `%SYS-5-RESTART`.
+    RouterReboot,
+    /// `%SYS-3-CPUHOG` with at least this percentage.
+    CpuSpike { min_pct: u32 },
+    /// `%BGP-5-ADJCHANGE` down matched with the next up (session flap).
+    EbgpFlap,
+    /// `%BGP-5-NOTIFICATION` hold-timer expiry.
+    EbgpHoldTimerExpired,
+    /// `%BGP-5-NOTIFICATION` administrative reset from the neighbor.
+    CustomerResetSession,
+    /// `%PIM-5-NBRCHG` adjacency loss within the given scope.
+    PimAdjacencyChange(PimScope),
+
+    // ---- database threshold queries ----
+    /// SNMP metric at or above `min` (per 5-minute sample). Consecutive
+    /// qualifying samples merge into one event window.
+    SnmpThreshold { metric: SnmpMetric, min: f64 },
+
+    // ---- layer-1 log parsing ----
+    /// A layer-1 restoration event of the given kind.
+    L1Restoration(L1EventKind),
+
+    // ---- OSPF-monitor-derived ----
+    /// Any link weight update (reconvergence trigger).
+    OspfReconvergence,
+    /// Link withdrawn (cost out or down), inferred from weight changes.
+    LinkCostOutDown,
+    /// Link restored (cost in or up), inferred from weight changes.
+    LinkCostInUp,
+    /// Most links of one router withdrawn/restored together, inferred from
+    /// weight changes (maintenance cost in/out of a whole router).
+    RouterCostInOut,
+
+    // ---- TACACS command parsing ----
+    /// Operator command costing links out (max metric / cost 65535).
+    CommandCostOut,
+    /// Operator command costing links back in.
+    CommandCostIn,
+    /// MVPN (de)provisioning command.
+    PimConfigCommand,
+
+    // ---- BGP-derived (route emulation) ----
+    /// The emulated best egress changed for some (ingress, prefix). The
+    /// ingress set to emulate for is application-provided (e.g. the CDN
+    /// attachment routers).
+    BgpEgressChange { ingresses: Vec<RouterId> },
+
+    // ---- anomaly detection programs ----
+    /// End-to-end probe metric deviates from its per-pair baseline.
+    PerfAnomaly {
+        metric: PerfMetric,
+        sense: AnomalySense,
+    },
+    /// CDN RTT above `rtt_factor` × the pair's baseline (median).
+    CdnRttIncrease { rtt_factor: f64 },
+    /// CDN throughput below `1/tput_factor` × the pair's baseline.
+    CdnThroughputDrop { tput_factor: f64 },
+    /// CDN server farm load at or above `min_load`.
+    CdnServerIssue { min_load: f64 },
+
+    // ---- workflow log queries ----
+    /// Workflow records with this exact activity type.
+    WorkflowActivity { activity: String },
+
+    // ---- generic signatures (knowledge-building output) ----
+    /// Any syslog message with this mnemonic (e.g. a signature surfaced by
+    /// the blind correlation screening and codified by an operator before
+    /// a dedicated parser exists).
+    SyslogMnemonic { mnemonic: String },
+}
+
+/// A complete event definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDefinition {
+    pub name: String,
+    pub location_type: LocationType,
+    pub retrieval: Retrieval,
+    pub description: String,
+    /// The feed it reads (Table I's "Data Source" column).
+    pub data_source: String,
+}
+
+impl EventDefinition {
+    pub fn new(
+        name: impl Into<String>,
+        location_type: LocationType,
+        retrieval: Retrieval,
+        description: impl Into<String>,
+        data_source: impl Into<String>,
+    ) -> Self {
+        EventDefinition {
+            name: name.into(),
+            location_type,
+            retrieval,
+            description: description.into(),
+            data_source: data_source.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definition_carries_table_i_fields() {
+        let d = EventDefinition::new(
+            "link-congestion-alarm",
+            LocationType::Interface,
+            Retrieval::SnmpThreshold {
+                metric: SnmpMetric::LinkUtil5m,
+                min: 80.0,
+            },
+            ">= 80% link utilization in 5-minute intervals",
+            "snmp",
+        );
+        assert_eq!(d.name, "link-congestion-alarm");
+        assert_eq!(d.location_type, LocationType::Interface);
+        assert_eq!(d.data_source, "snmp");
+    }
+}

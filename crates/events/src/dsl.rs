@@ -1,0 +1,368 @@
+//! The event-definition half of the rule specification language.
+//!
+//! The paper's "simple yet flexible rule specification language" covers
+//! both event signatures and diagnosis rules; `grca-core::dsl` handles the
+//! graphs, this module the event definitions:
+//!
+//! ```text
+//! event "link-congestion-alarm" {
+//!     location interface
+//!     source snmp
+//!     retrieval snmp-threshold link-util 80
+//!     describe ">= 80% link utilization in 5-minute intervals"
+//! }
+//! ```
+//!
+//! Every Table I / application event is expressible; render → parse is the
+//! identity (tested over the whole Knowledge Library). The one retrieval
+//! that carries non-textual state — the BGP egress-change emulation's
+//! ingress set — parses with an empty set for the application to fill.
+
+use crate::def::{AnomalySense, EventDefinition, PimScope, Retrieval, StateSel};
+use grca_net_model::LocationType;
+use grca_telemetry::records::{L1EventKind, PerfMetric, SnmpMetric};
+use grca_types::{GrcaError, Result};
+
+/// Render one definition.
+pub fn render_event(d: &EventDefinition) -> String {
+    let mut out = format!("event {:?} {{\n", d.name);
+    out.push_str(&format!("    location {}\n", d.location_type));
+    out.push_str(&format!("    source {:?}\n", d.data_source));
+    out.push_str(&format!(
+        "    retrieval {}\n",
+        render_retrieval(&d.retrieval)
+    ));
+    if !d.description.is_empty() {
+        out.push_str(&format!("    describe {:?}\n", d.description));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a set of definitions.
+pub fn render_events(defs: &[EventDefinition]) -> String {
+    defs.iter().map(render_event).collect::<Vec<_>>().join("\n")
+}
+
+fn state_name(s: StateSel) -> &'static str {
+    match s {
+        StateSel::Down => "down",
+        StateSel::Up => "up",
+        StateSel::Flap => "flap",
+    }
+}
+
+fn render_retrieval(r: &Retrieval) -> String {
+    match r {
+        Retrieval::InterfaceState(s) => format!("interface-state {}", state_name(*s)),
+        Retrieval::LineProtoState(s) => format!("line-proto-state {}", state_name(*s)),
+        Retrieval::RouterReboot => "router-reboot".into(),
+        Retrieval::CpuSpike { min_pct } => format!("cpu-spike {min_pct}"),
+        Retrieval::EbgpFlap => "ebgp-flap".into(),
+        Retrieval::EbgpHoldTimerExpired => "ebgp-hold-timer-expired".into(),
+        Retrieval::CustomerResetSession => "customer-reset-session".into(),
+        Retrieval::PimAdjacencyChange(PimScope::PePeOrCe) => "pim-adjacency pe".into(),
+        Retrieval::PimAdjacencyChange(PimScope::Uplink) => "pim-adjacency uplink".into(),
+        Retrieval::SnmpThreshold { metric, min } => {
+            let m = match metric {
+                SnmpMetric::CpuUtil5m => "cpu",
+                SnmpMetric::LinkUtil5m => "link-util",
+                SnmpMetric::OverflowPkts5m => "overflow",
+            };
+            format!("snmp-threshold {m} {min}")
+        }
+        Retrieval::L1Restoration(k) => {
+            let k = match k {
+                L1EventKind::SonetRestoration => "sonet",
+                L1EventKind::MeshFastRestoration => "mesh-fast",
+                L1EventKind::MeshRegularRestoration => "mesh-regular",
+            };
+            format!("l1-restoration {k}")
+        }
+        Retrieval::OspfReconvergence => "ospf-reconvergence".into(),
+        Retrieval::LinkCostOutDown => "link-cost-out".into(),
+        Retrieval::LinkCostInUp => "link-cost-in".into(),
+        Retrieval::RouterCostInOut => "router-cost".into(),
+        Retrieval::CommandCostOut => "command-cost-out".into(),
+        Retrieval::CommandCostIn => "command-cost-in".into(),
+        Retrieval::PimConfigCommand => "pim-config".into(),
+        Retrieval::BgpEgressChange { .. } => "bgp-egress-change".into(),
+        Retrieval::PerfAnomaly { metric, sense } => {
+            let m = match metric {
+                PerfMetric::DelayMs => "delay",
+                PerfMetric::LossPct => "loss",
+                PerfMetric::ThroughputMbps => "throughput",
+            };
+            let s = match sense {
+                AnomalySense::Increase => "increase",
+                AnomalySense::Drop => "drop",
+            };
+            format!("perf-anomaly {m} {s}")
+        }
+        Retrieval::CdnRttIncrease { rtt_factor } => format!("cdn-rtt-increase {rtt_factor}"),
+        Retrieval::CdnThroughputDrop { tput_factor } => {
+            format!("cdn-throughput-drop {tput_factor}")
+        }
+        Retrieval::CdnServerIssue { min_load } => format!("cdn-server-issue {min_load}"),
+        Retrieval::WorkflowActivity { activity } => format!("workflow-activity {activity:?}"),
+        Retrieval::SyslogMnemonic { mnemonic } => format!("syslog-mnemonic {mnemonic:?}"),
+    }
+}
+
+/// Parse a set of event definitions from DSL text.
+///
+/// ```
+/// let defs = grca_events::parse_events(r#"
+/// event "link-congestion-alarm" {
+///     location interface
+///     source "snmp"
+///     retrieval snmp-threshold link-util 90
+/// }
+/// "#).unwrap();
+/// assert_eq!(defs.len(), 1);
+/// ```
+pub fn parse_events(text: &str) -> Result<Vec<EventDefinition>> {
+    let mut defs = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| GrcaError::parse(format!("line {}: {m}", lineno + 1));
+        let rest = line
+            .strip_prefix("event ")
+            .ok_or_else(|| err(format!("expected 'event', got {line:?}")))?;
+        let (name, tail) = parse_quoted(rest).map_err(|e| e.context("event name"))?;
+        if tail.trim() != "{" {
+            return Err(err("expected '{' after event name".into()));
+        }
+        // Body fields until '}'.
+        let mut location: Option<LocationType> = None;
+        let mut source = String::new();
+        let mut retrieval: Option<Retrieval> = None;
+        let mut describe = String::new();
+        loop {
+            let Some((lineno, raw)) = lines.next() else {
+                return Err(GrcaError::parse("unterminated event block"));
+            };
+            let line = strip_comment(raw);
+            if line.is_empty() {
+                continue;
+            }
+            if line == "}" {
+                break;
+            }
+            let err = |m: String| GrcaError::parse(format!("line {}: {m}", lineno + 1));
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| err(format!("bad field {line:?}")))?;
+            match key {
+                "location" => location = Some(LocationType::parse(rest.trim())?),
+                "source" => source = parse_quoted(rest.trim())?.0,
+                "describe" => describe = parse_quoted(rest.trim())?.0,
+                "retrieval" => {
+                    retrieval = Some(
+                        parse_retrieval(rest.trim())
+                            .map_err(|e| e.context(&format!("line {}", lineno + 1)))?,
+                    )
+                }
+                other => return Err(err(format!("unknown field {other:?}"))),
+            }
+        }
+        defs.push(EventDefinition::new(
+            name,
+            location.ok_or_else(|| GrcaError::parse("event missing location"))?,
+            retrieval.ok_or_else(|| GrcaError::parse("event missing retrieval"))?,
+            describe,
+            source,
+        ));
+    }
+    Ok(defs)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+/// Parse a leading quoted string, returning (content, rest).
+fn parse_quoted(s: &str) -> Result<(String, &str)> {
+    let s = s.trim_start();
+    let rest = s
+        .strip_prefix('"')
+        .ok_or_else(|| GrcaError::parse(format!("expected quoted string at {s:?}")))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| GrcaError::parse("unterminated string"))?;
+    Ok((rest[..end].to_string(), &rest[end + 1..]))
+}
+
+fn parse_state(s: &str) -> Result<StateSel> {
+    match s {
+        "down" => Ok(StateSel::Down),
+        "up" => Ok(StateSel::Up),
+        "flap" => Ok(StateSel::Flap),
+        _ => Err(GrcaError::parse(format!("unknown state {s:?}"))),
+    }
+}
+
+fn parse_retrieval(s: &str) -> Result<Retrieval> {
+    let mut words = s.split_whitespace();
+    let head = words.next().unwrap_or("").to_string();
+    fn arg<'a>(head: &str, w: Option<&'a str>) -> Result<&'a str> {
+        w.ok_or_else(|| GrcaError::parse(format!("{head}: missing argument")))
+    }
+    fn num(head: &str, w: Option<&str>) -> Result<f64> {
+        arg(head, w)?
+            .parse()
+            .map_err(|_| GrcaError::parse(format!("{head}: bad number")))
+    }
+    Ok(match head.as_str() {
+        "interface-state" => Retrieval::InterfaceState(parse_state(arg(&head, words.next())?)?),
+        "line-proto-state" => Retrieval::LineProtoState(parse_state(arg(&head, words.next())?)?),
+        "router-reboot" => Retrieval::RouterReboot,
+        "cpu-spike" => Retrieval::CpuSpike {
+            min_pct: num(&head, words.next())? as u32,
+        },
+        "ebgp-flap" => Retrieval::EbgpFlap,
+        "ebgp-hold-timer-expired" => Retrieval::EbgpHoldTimerExpired,
+        "customer-reset-session" => Retrieval::CustomerResetSession,
+        "pim-adjacency" => match arg(&head, words.next())? {
+            "pe" => Retrieval::PimAdjacencyChange(PimScope::PePeOrCe),
+            "uplink" => Retrieval::PimAdjacencyChange(PimScope::Uplink),
+            other => return Err(GrcaError::parse(format!("unknown pim scope {other:?}"))),
+        },
+        "snmp-threshold" => {
+            let metric = match arg(&head, words.next())? {
+                "cpu" => SnmpMetric::CpuUtil5m,
+                "link-util" => SnmpMetric::LinkUtil5m,
+                "overflow" => SnmpMetric::OverflowPkts5m,
+                other => return Err(GrcaError::parse(format!("unknown metric {other:?}"))),
+            };
+            Retrieval::SnmpThreshold {
+                metric,
+                min: num(&head, words.next())?,
+            }
+        }
+        "l1-restoration" => {
+            let kind = match arg(&head, words.next())? {
+                "sonet" => L1EventKind::SonetRestoration,
+                "mesh-fast" => L1EventKind::MeshFastRestoration,
+                "mesh-regular" => L1EventKind::MeshRegularRestoration,
+                other => return Err(GrcaError::parse(format!("unknown layer-1 kind {other:?}"))),
+            };
+            Retrieval::L1Restoration(kind)
+        }
+        "ospf-reconvergence" => Retrieval::OspfReconvergence,
+        "link-cost-out" => Retrieval::LinkCostOutDown,
+        "link-cost-in" => Retrieval::LinkCostInUp,
+        "router-cost" => Retrieval::RouterCostInOut,
+        "command-cost-out" => Retrieval::CommandCostOut,
+        "command-cost-in" => Retrieval::CommandCostIn,
+        "pim-config" => Retrieval::PimConfigCommand,
+        "bgp-egress-change" => Retrieval::BgpEgressChange {
+            ingresses: Vec::new(),
+        },
+        "perf-anomaly" => {
+            let metric = match arg(&head, words.next())? {
+                "delay" => PerfMetric::DelayMs,
+                "loss" => PerfMetric::LossPct,
+                "throughput" => PerfMetric::ThroughputMbps,
+                other => return Err(GrcaError::parse(format!("unknown metric {other:?}"))),
+            };
+            let sense = match arg(&head, words.next())? {
+                "increase" => AnomalySense::Increase,
+                "drop" => AnomalySense::Drop,
+                other => return Err(GrcaError::parse(format!("unknown sense {other:?}"))),
+            };
+            Retrieval::PerfAnomaly { metric, sense }
+        }
+        "cdn-rtt-increase" => Retrieval::CdnRttIncrease {
+            rtt_factor: num(&head, words.next())?,
+        },
+        "cdn-throughput-drop" => Retrieval::CdnThroughputDrop {
+            tput_factor: num(&head, words.next())?,
+        },
+        "cdn-server-issue" => Retrieval::CdnServerIssue {
+            min_load: num(&head, words.next())?,
+        },
+        "workflow-activity" => {
+            let (activity, _) = parse_quoted(s.strip_prefix("workflow-activity").unwrap().trim())?;
+            Retrieval::WorkflowActivity { activity }
+        }
+        "syslog-mnemonic" => {
+            let (mnemonic, _) = parse_quoted(s.strip_prefix("syslog-mnemonic").unwrap().trim())?;
+            Retrieval::SyslogMnemonic { mnemonic }
+        }
+        other => return Err(GrcaError::parse(format!("unknown retrieval {other:?}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{bgp_app_events, cdn_app_events, knowledge_library, pim_app_events};
+
+    #[test]
+    fn whole_library_roundtrips() {
+        let mut defs = knowledge_library();
+        defs.extend(bgp_app_events());
+        defs.extend(cdn_app_events(vec![])); // redefines egress change
+        defs.extend(pim_app_events());
+        defs.push(EventDefinition::new(
+            "noise-7",
+            grca_net_model::LocationType::Router,
+            Retrieval::SyslogMnemonic {
+                mnemonic: "%NOISE-6-T007".into(),
+            },
+            "a codified screening hit",
+            "syslog",
+        ));
+        let text = render_events(&defs);
+        let back = parse_events(&text).unwrap();
+        assert_eq!(defs, back);
+    }
+
+    #[test]
+    fn sample_text_parses() {
+        let text = r#"
+# a redefined congestion alarm (§II-A's 90% example)
+event "link-congestion-alarm" {
+    location interface
+    source "snmp"
+    retrieval snmp-threshold link-util 90
+    describe ">= 90% link utilization in 5-minute intervals"
+}
+
+event "my-workflow" {
+    location router
+    source "workflow logs"
+    retrieval workflow-activity "provision-customer-port"
+}
+"#;
+        let defs = parse_events(text).unwrap();
+        assert_eq!(defs.len(), 2);
+        assert!(matches!(
+            defs[0].retrieval,
+            Retrieval::SnmpThreshold { min, .. } if min == 90.0
+        ));
+        assert!(matches!(
+            &defs[1].retrieval,
+            Retrieval::WorkflowActivity { activity } if activity == "provision-customer-port"
+        ));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_events("garbage").is_err());
+        assert!(parse_events("event \"x\" {\n location nowhere\n}\n").is_err());
+        assert!(parse_events("event \"x\" {\n location router\n}\n").is_err()); // no retrieval
+        assert!(
+            parse_events("event \"x\" {\n retrieval frobnicate\n location router\n}\n").is_err()
+        );
+        assert!(parse_events("event \"x\" {").is_err()); // unterminated
+    }
+}

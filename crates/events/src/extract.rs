@@ -1,0 +1,746 @@
+//! The retrieval processes: turn collector tables into event instances.
+//!
+//! Each [`Retrieval`] variant is interpreted here. Everything operates on
+//! *proactively collected* data only (§I): state transitions are paired
+//! from syslog, thresholds are evaluated over SNMP samples, routing-derived
+//! events come from monitor feeds (with the BGP decision process emulated
+//! per §II-B), and performance events come from baseline-relative anomaly
+//! detection over probe series.
+
+use crate::def::{AnomalySense, EventDefinition, PimScope, Retrieval, StateSel};
+use crate::instance::{EventInstance, EventStore};
+use grca_collector::Database;
+use grca_net_model::{Ipv4, LinkId, Location, RouterId, RouterRole, Topology};
+use grca_routing::RoutingState;
+use grca_telemetry::syslog::SyslogEvent;
+use grca_types::{Duration, TimeWindow, Timestamp};
+use std::collections::BTreeMap;
+
+/// Maximum gap between a down and its matching up to count as one flap.
+const MAX_FLAP_GAP: Duration = Duration::hours(2);
+/// Gap merging consecutive anomalous samples into one event: one 5-minute
+/// sampling interval plus timestamp slack, so only strictly adjacent bins
+/// merge (a healthy bin in between splits the episode).
+const MERGE_GAP: Duration = Duration::secs(330);
+/// Nominal duration of an OSPF reconvergence episode.
+const RECONV_DUR: Duration = Duration::secs(10);
+
+/// Everything extraction needs.
+pub struct ExtractCx<'a> {
+    pub topo: &'a Topology,
+    pub db: &'a Database,
+    /// Routing state reconstructed from the collected monitor feeds —
+    /// required for `BgpEgressChange`, unused otherwise.
+    pub routing: Option<&'a RoutingState<'a>>,
+    loopback_of: BTreeMap<Ipv4, RouterId>,
+}
+
+impl<'a> ExtractCx<'a> {
+    pub fn new(
+        topo: &'a Topology,
+        db: &'a Database,
+        routing: Option<&'a RoutingState<'a>>,
+    ) -> Self {
+        let loopback_of = topo
+            .routers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.loopback, RouterId::from(i)))
+            .collect();
+        ExtractCx {
+            topo,
+            db,
+            routing,
+            loopback_of,
+        }
+    }
+}
+
+/// Extract all instances for a set of definitions into a store.
+pub fn extract_all(defs: &[EventDefinition], cx: &ExtractCx) -> EventStore {
+    let mut store = EventStore::new();
+    for def in defs {
+        store.add(extract(def, cx));
+    }
+    store
+}
+
+/// Extract the instances of one event definition.
+pub fn extract(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
+    match &def.retrieval {
+        Retrieval::InterfaceState(sel) => iface_state(def, cx, *sel, false),
+        Retrieval::LineProtoState(sel) => iface_state(def, cx, *sel, true),
+        Retrieval::RouterReboot => simple_syslog(def, cx, |ev| matches!(ev, SyslogEvent::Restart)),
+        Retrieval::CpuSpike { min_pct } => {
+            let min = *min_pct;
+            cx.db
+                .syslog
+                .all()
+                .iter()
+                .filter_map(|row| match &row.event {
+                    Some(SyslogEvent::CpuHog { pct }) if *pct >= min => Some(
+                        EventInstance::new(
+                            &def.name,
+                            TimeWindow::at(row.utc),
+                            Location::Router(row.router),
+                        )
+                        .with_info(format!("{pct}%")),
+                    ),
+                    _ => None,
+                })
+                .collect()
+        }
+        Retrieval::EbgpFlap => ebgp_flaps(def, cx),
+        Retrieval::EbgpHoldTimerExpired => syslog_neighbor(def, cx, |ev| match ev {
+            SyslogEvent::BgpHoldTimerExpired { neighbor } => Some(*neighbor),
+            _ => None,
+        }),
+        Retrieval::CustomerResetSession => syslog_neighbor(def, cx, |ev| match ev {
+            SyslogEvent::BgpPeerReset { neighbor } => Some(*neighbor),
+            _ => None,
+        }),
+        Retrieval::PimAdjacencyChange(scope) => pim_changes(def, cx, *scope),
+        Retrieval::SnmpThreshold { metric, min } => snmp_threshold(def, cx, *metric, *min),
+        Retrieval::L1Restoration(kind) => cx
+            .db
+            .l1
+            .all()
+            .iter()
+            .filter(|row| row.kind == *kind)
+            .map(|row| {
+                EventInstance::new(
+                    &def.name,
+                    TimeWindow::at(row.utc),
+                    Location::PhysicalLink(row.circuit),
+                )
+                .with_info(cx.topo.phys_link(row.circuit).circuit.clone())
+            })
+            .collect(),
+        Retrieval::OspfReconvergence => cx
+            .db
+            .ospf
+            .all()
+            .iter()
+            .map(|row| {
+                EventInstance::new(
+                    &def.name,
+                    TimeWindow::new(row.utc, row.utc + RECONV_DUR),
+                    Location::LogicalLink(row.link),
+                )
+                .with_info(match row.weight {
+                    Some(w) => format!("weight -> {w}"),
+                    None => "withdrawn".to_string(),
+                })
+            })
+            .collect(),
+        Retrieval::LinkCostOutDown => link_cost_transitions(def, cx, false),
+        Retrieval::LinkCostInUp => link_cost_transitions(def, cx, true),
+        Retrieval::RouterCostInOut => router_cost_events(def, cx),
+        Retrieval::CommandCostOut => command_events(def, cx, true),
+        Retrieval::CommandCostIn => command_events(def, cx, false),
+        Retrieval::PimConfigCommand => cx
+            .db
+            .tacacs
+            .all()
+            .iter()
+            .filter(|row| row.command.contains("mvpn customer"))
+            .map(|row| {
+                EventInstance::new(
+                    &def.name,
+                    TimeWindow::at(row.utc),
+                    Location::Router(row.router),
+                )
+                .with_info(row.command.clone())
+            })
+            .collect(),
+        Retrieval::BgpEgressChange { ingresses } => egress_changes(def, cx, ingresses),
+        Retrieval::PerfAnomaly { metric, sense } => perf_anomalies(def, cx, *metric, *sense),
+        Retrieval::CdnRttIncrease { rtt_factor } => cdn_anomalies(def, cx, Some(*rtt_factor), None),
+        Retrieval::CdnThroughputDrop { tput_factor } => {
+            cdn_anomalies(def, cx, None, Some(*tput_factor))
+        }
+        Retrieval::CdnServerIssue { min_load } => {
+            let mut by_node: BTreeMap<u32, Vec<Timestamp>> = BTreeMap::new();
+            for row in cx.db.server.all() {
+                if row.load >= *min_load {
+                    by_node.entry(row.node.0).or_default().push(row.utc);
+                }
+            }
+            let mut out = Vec::new();
+            for (node, times) in by_node {
+                let node = grca_net_model::CdnNodeId::new(node);
+                let attach = cx.topo.cdn_node(node).attach_router;
+                for w in merge_times(&times, MERGE_GAP) {
+                    out.push(
+                        EventInstance::new(&def.name, w, Location::Router(attach))
+                            .with_info(cx.topo.cdn_node(node).name.clone()),
+                    );
+                }
+            }
+            out
+        }
+        Retrieval::SyslogMnemonic { mnemonic } => cx
+            .db
+            .syslog
+            .all()
+            .iter()
+            .filter(|row| row.mnemonic() == mnemonic)
+            .map(|row| {
+                EventInstance::new(
+                    &def.name,
+                    TimeWindow::at(row.utc),
+                    Location::Router(row.router),
+                )
+                .with_info(row.raw.clone())
+            })
+            .collect(),
+        Retrieval::WorkflowActivity { activity } => cx
+            .db
+            .workflow
+            .all()
+            .iter()
+            .filter(|row| &row.activity == activity)
+            .filter_map(|row| {
+                // Resolve the entity: a router, or a CDN node's attachment.
+                let loc = row.router.map(Location::Router).or_else(|| {
+                    cx.topo
+                        .cdn_nodes
+                        .iter()
+                        .position(|n| n.name == row.entity)
+                        .map(|i| {
+                            Location::Router(
+                                cx.topo
+                                    .cdn_node(grca_net_model::CdnNodeId::from(i))
+                                    .attach_router,
+                            )
+                        })
+                })?;
+                Some(
+                    EventInstance::new(&def.name, TimeWindow::at(row.utc), loc)
+                        .with_info(row.activity.clone()),
+                )
+            })
+            .collect(),
+    }
+}
+
+// ------------------------------------------------------------------ helpers
+
+/// Pair (time, is_up) transitions per key into down / up / flap instances.
+fn pair_transitions<K: Ord + Clone>(
+    events: Vec<(Timestamp, K, bool)>,
+    sel: StateSel,
+) -> Vec<(K, TimeWindow)> {
+    let mut by_key: BTreeMap<K, Vec<(Timestamp, bool)>> = BTreeMap::new();
+    for (t, k, up) in events {
+        by_key.entry(k).or_default().push((t, up));
+    }
+    let mut out = Vec::new();
+    for (k, mut seq) in by_key {
+        seq.sort();
+        match sel {
+            StateSel::Down => {
+                out.extend(
+                    seq.iter()
+                        .filter(|(_, up)| !up)
+                        .map(|(t, _)| (k.clone(), TimeWindow::at(*t))),
+                );
+            }
+            StateSel::Up => {
+                out.extend(
+                    seq.iter()
+                        .filter(|(_, up)| *up)
+                        .map(|(t, _)| (k.clone(), TimeWindow::at(*t))),
+                );
+            }
+            StateSel::Flap => {
+                // Each down is matched to the first up at or after it.
+                // Overlapping outages (two downs before an up — e.g. two
+                // independent faults hitting one session) still yield one
+                // flap per down, matching how each underlying incident is
+                // counted.
+                let ups: Vec<Timestamp> =
+                    seq.iter().filter(|(_, up)| *up).map(|(t, _)| *t).collect();
+                for (t, up) in &seq {
+                    if *up {
+                        continue;
+                    }
+                    let i = ups.partition_point(|u| u < t);
+                    if let Some(&u) = ups.get(i) {
+                        if u - *t <= MAX_FLAP_GAP {
+                            out.push((k.clone(), TimeWindow::new(*t, u)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Interface or line-protocol state events.
+fn iface_state(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    sel: StateSel,
+    proto: bool,
+) -> Vec<EventInstance> {
+    let mut transitions = Vec::new();
+    for row in cx.db.syslog.all() {
+        let (iface, up) = match (&row.event, proto) {
+            (Some(SyslogEvent::LinkUpDown { iface, up }), false) => (iface, *up),
+            (Some(SyslogEvent::LineProtoUpDown { iface, up }), true) => (iface, *up),
+            _ => continue,
+        };
+        if let Some(i) = cx.topo.iface_by_name(row.router, iface) {
+            transitions.push((row.utc, i, up));
+        }
+    }
+    pair_transitions(transitions, sel)
+        .into_iter()
+        .map(|(i, w)| EventInstance::new(&def.name, w, Location::Interface(i)))
+        .collect()
+}
+
+/// Point events from a syslog predicate, located at the router.
+fn simple_syslog(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    pred: impl Fn(&SyslogEvent) -> bool,
+) -> Vec<EventInstance> {
+    cx.db
+        .syslog
+        .all()
+        .iter()
+        .filter(|row| row.event.as_ref().is_some_and(&pred))
+        .map(|row| {
+            EventInstance::new(
+                &def.name,
+                TimeWindow::at(row.utc),
+                Location::Router(row.router),
+            )
+        })
+        .collect()
+}
+
+/// Point events from a syslog extractor yielding a neighbor IP.
+fn syslog_neighbor(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    get: impl Fn(&SyslogEvent) -> Option<Ipv4>,
+) -> Vec<EventInstance> {
+    cx.db
+        .syslog
+        .all()
+        .iter()
+        .filter_map(|row| {
+            let neighbor = row.event.as_ref().and_then(&get)?;
+            Some(EventInstance::new(
+                &def.name,
+                TimeWindow::at(row.utc),
+                Location::RouterNeighborIp {
+                    router: row.router,
+                    neighbor,
+                },
+            ))
+        })
+        .collect()
+}
+
+/// eBGP session flaps: ADJCHANGE down paired with the next up.
+fn ebgp_flaps(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
+    let mut transitions = Vec::new();
+    for row in cx.db.syslog.all() {
+        if let Some(SyslogEvent::BgpAdjChange { neighbor, up }) = &row.event {
+            transitions.push((row.utc, (row.router, *neighbor), *up));
+        }
+    }
+    pair_transitions(transitions, StateSel::Flap)
+        .into_iter()
+        .map(|((router, neighbor), w)| {
+            EventInstance::new(
+                &def.name,
+                w,
+                Location::RouterNeighborIp { router, neighbor },
+            )
+        })
+        .collect()
+}
+
+/// PIM adjacency changes, filtered by neighbor kind.
+fn pim_changes(def: &EventDefinition, cx: &ExtractCx, scope: PimScope) -> Vec<EventInstance> {
+    let mut transitions = Vec::new();
+    for row in cx.db.syslog.all() {
+        if let Some(SyslogEvent::PimNbrChange { neighbor, up, .. }) = &row.event {
+            let is_uplink = cx
+                .loopback_of
+                .get(neighbor)
+                .is_some_and(|&r| cx.topo.router(r).role == RouterRole::Core);
+            let keep = match scope {
+                PimScope::Uplink => is_uplink,
+                PimScope::PePeOrCe => !is_uplink,
+            };
+            if keep {
+                transitions.push((row.utc, (row.router, *neighbor), *up));
+            }
+        }
+    }
+    pair_transitions(transitions, StateSel::Flap)
+        .into_iter()
+        .map(|((router, neighbor), w)| {
+            EventInstance::new(
+                &def.name,
+                w,
+                Location::RouterNeighborIp { router, neighbor },
+            )
+        })
+        .collect()
+}
+
+/// SNMP threshold events, merging consecutive qualifying 5-minute samples.
+fn snmp_threshold(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    metric: grca_telemetry::records::SnmpMetric,
+    min: f64,
+) -> Vec<EventInstance> {
+    let mut by_entity: BTreeMap<(RouterId, Option<u32>), Vec<Timestamp>> = BTreeMap::new();
+    for row in cx.db.snmp.all() {
+        if row.metric == metric && row.value >= min {
+            by_entity
+                .entry((row.router, row.iface.map(|i| i.0)))
+                .or_default()
+                .push(row.utc);
+        }
+    }
+    let mut out = Vec::new();
+    for ((router, iface), times) in by_entity {
+        let loc = match iface {
+            Some(i) => Location::Interface(grca_net_model::InterfaceId::new(i)),
+            None => Location::Router(router),
+        };
+        for w in merge_times(&times, MERGE_GAP) {
+            // A 5-minute sample covers [t, t+300).
+            out.push(EventInstance::new(
+                &def.name,
+                TimeWindow::new(w.start, w.end + Duration::mins(5)),
+                loc,
+            ));
+        }
+    }
+    out
+}
+
+/// Merge sorted instants within `gap` into windows.
+fn merge_times(times: &[Timestamp], gap: Duration) -> Vec<TimeWindow> {
+    let mut times = times.to_vec();
+    times.sort();
+    let mut out: Vec<TimeWindow> = Vec::new();
+    for &t in &times {
+        match out.last_mut() {
+            Some(w) if t - w.end <= gap => w.end = t,
+            _ => out.push(TimeWindow::at(t)),
+        }
+    }
+    out
+}
+
+/// Link cost-out (Some→None) / cost-in (None→Some) transitions.
+fn link_cost_transitions(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    cost_in: bool,
+) -> Vec<EventInstance> {
+    let mut last: BTreeMap<LinkId, bool> = BTreeMap::new(); // true = alive
+    let mut out = Vec::new();
+    for row in cx.db.ospf.all() {
+        let alive_now = row.weight.is_some();
+        let was_alive = *last.get(&row.link).unwrap_or(&true);
+        let is_cost_out = was_alive && !alive_now;
+        let is_cost_in = !was_alive && alive_now;
+        if (cost_in && is_cost_in) || (!cost_in && is_cost_out) {
+            out.push(EventInstance::new(
+                &def.name,
+                TimeWindow::at(row.utc),
+                Location::LogicalLink(row.link),
+            ));
+        }
+        last.insert(row.link, alive_now);
+    }
+    out
+}
+
+/// Router-wide cost in/out: most of a router's links withdrawn (or
+/// restored) within a short window.
+fn router_cost_events(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
+    const WINDOW: Duration = Duration::secs(120);
+    // Per router: (time, link, withdrawn?) for its links' transitions.
+    let mut per_router: BTreeMap<RouterId, Vec<(Timestamp, LinkId, bool)>> = BTreeMap::new();
+    let mut last: BTreeMap<LinkId, bool> = BTreeMap::new();
+    for row in cx.db.ospf.all() {
+        let alive_now = row.weight.is_some();
+        let was_alive = *last.get(&row.link).unwrap_or(&true);
+        last.insert(row.link, alive_now);
+        if alive_now == was_alive {
+            continue;
+        }
+        let (a, b) = cx.topo.link_routers(row.link);
+        for r in [a, b] {
+            per_router
+                .entry(r)
+                .or_default()
+                .push((row.utc, row.link, !alive_now));
+        }
+    }
+    let mut out = Vec::new();
+    for (router, mut evs) in per_router {
+        let degree = cx.topo.links_at_router(router).len();
+        if degree < 2 {
+            continue;
+        }
+        let need = (((degree as f64) * 0.7).ceil() as usize).max(2);
+        evs.sort();
+        for withdrawn in [true, false] {
+            let times: Vec<(Timestamp, LinkId)> = evs
+                .iter()
+                .filter(|(_, _, w)| *w == withdrawn)
+                .map(|(t, l, _)| (*t, *l))
+                .collect();
+            // Sliding window: count distinct links within WINDOW.
+            let mut i = 0;
+            while i < times.len() {
+                let start = times[i].0;
+                let mut links: Vec<LinkId> = Vec::new();
+                let mut j = i;
+                while j < times.len() && times[j].0 - start <= WINDOW {
+                    if !links.contains(&times[j].1) {
+                        links.push(times[j].1);
+                    }
+                    j += 1;
+                }
+                if links.len() >= need {
+                    out.push(
+                        EventInstance::new(
+                            &def.name,
+                            TimeWindow::new(start, times[j - 1].0 + RECONV_DUR),
+                            Location::Router(router),
+                        )
+                        .with_info(if withdrawn { "cost out" } else { "cost in" }.to_string()),
+                    );
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// TACACS cost-out / cost-in command events.
+fn command_events(def: &EventDefinition, cx: &ExtractCx, out_dir: bool) -> Vec<EventInstance> {
+    cx.db
+        .tacacs
+        .all()
+        .iter()
+        .filter_map(|row| {
+            let c = &row.command;
+            let is_out = c.contains("cost 65535")
+                || (c.contains("max-metric") && !c.contains("no max-metric"));
+            let is_in = (c.contains("ip ospf cost ") && !c.contains("65535"))
+                || c.contains("no max-metric");
+            if (out_dir && !is_out) || (!out_dir && !is_in) {
+                return None;
+            }
+            // Interface-scoped command → interface location; else router.
+            let loc = c
+                .split_whitespace()
+                .skip_while(|w| *w != "interface")
+                .nth(1)
+                .and_then(|name| cx.topo.iface_by_name(row.router, name))
+                .map(Location::Interface)
+                .unwrap_or(Location::Router(row.router));
+            Some(EventInstance::new(&def.name, TimeWindow::at(row.utc), loc).with_info(c.clone()))
+        })
+        .collect()
+}
+
+/// Emulated best-egress changes per (ingress, prefix) at BGP update times.
+fn egress_changes(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    ingresses: &[RouterId],
+) -> Vec<EventInstance> {
+    let Some(routing) = cx.routing else {
+        return Vec::new();
+    };
+    // Deduplicate reflector copies of the same update.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut update_times: BTreeMap<grca_net_model::Prefix, Vec<Timestamp>> = BTreeMap::new();
+    for row in cx.db.bgp.all() {
+        if seen.insert((row.utc, row.prefix, row.egress, row.attrs)) {
+            update_times.entry(row.prefix).or_default().push(row.utc);
+        }
+    }
+    let mut out = Vec::new();
+    for (prefix, times) in update_times {
+        for t in times {
+            for &ingress in ingresses {
+                use grca_net_model::RouteOracle;
+                let before = routing.egress_for(ingress, prefix, t - Duration::secs(1));
+                let after = routing.egress_for(ingress, prefix, t);
+                if before != after {
+                    out.push(
+                        EventInstance::new(
+                            &def.name,
+                            TimeWindow::at(t),
+                            Location::IngressDestination {
+                                ingress,
+                                dst: prefix,
+                            },
+                        )
+                        .with_info(format!(
+                            "{} -> {}",
+                            before
+                                .map(|r| cx.topo.router(r).name.clone())
+                                .unwrap_or_else(|| "none".into()),
+                            after
+                                .map(|r| cx.topo.router(r).name.clone())
+                                .unwrap_or_else(|| "none".into()),
+                        )),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Trailing-median baseline tracker: the baseline for each sample is the
+/// median of up to the previous `window` samples, never the future — so
+/// batch and real-time extraction agree, and an anomaly cannot inflate its
+/// own baseline (no lookahead bias).
+struct TrailingBaseline {
+    window: usize,
+    min_history: usize,
+    history: std::collections::VecDeque<f64>,
+}
+
+impl TrailingBaseline {
+    fn new(window: usize, min_history: usize) -> Self {
+        TrailingBaseline {
+            window,
+            min_history,
+            history: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The baseline before observing `value`, then absorb it.
+    /// Returns `None` until enough history exists to judge.
+    fn observe(&mut self, value: f64) -> Option<f64> {
+        let base = if self.history.len() >= self.min_history {
+            let mut v: Vec<f64> = self.history.iter().copied().collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Some(v[v.len() / 2])
+        } else {
+            None
+        };
+        self.history.push_back(value);
+        if self.history.len() > self.window {
+            self.history.pop_front();
+        }
+        base
+    }
+}
+
+/// End-to-end probe anomalies relative to the per-pair median baseline.
+fn perf_anomalies(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    metric: grca_telemetry::records::PerfMetric,
+    sense: AnomalySense,
+) -> Vec<EventInstance> {
+    let mut series: BTreeMap<(RouterId, RouterId), Vec<(Timestamp, f64)>> = BTreeMap::new();
+    for row in cx.db.perf.all() {
+        if row.metric == metric {
+            series
+                .entry((row.ingress, row.egress))
+                .or_default()
+                .push((row.utc, row.value));
+        }
+    }
+    let mut out = Vec::new();
+    for ((ingress, egress), mut pts) in series {
+        pts.sort_by_key(|(t, _)| *t);
+        let mut baseline = TrailingBaseline::new(50, 4);
+        let anomalous: Vec<Timestamp> = pts
+            .iter()
+            .filter_map(|(t, v)| {
+                let med = baseline.observe(*v)?;
+                let hit = match sense {
+                    AnomalySense::Increase => *v > 2.0 * med + 0.2,
+                    AnomalySense::Drop => *v < 0.5 * med,
+                };
+                hit.then_some(*t)
+            })
+            .collect();
+        for w in merge_times(&anomalous, MERGE_GAP) {
+            out.push(EventInstance::new(
+                &def.name,
+                TimeWindow::new(w.start, w.end + Duration::mins(5)),
+                Location::IngressEgress { ingress, egress },
+            ));
+        }
+    }
+    out
+}
+
+/// CDN RTT / throughput anomalies relative to the per-pair median.
+fn cdn_anomalies(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    rtt_factor: Option<f64>,
+    tput_factor: Option<f64>,
+) -> Vec<EventInstance> {
+    // (instant, rtt, throughput) samples per (node, client) pair.
+    type PairSamples = Vec<(Timestamp, f64, f64)>;
+    let mut series: BTreeMap<(u32, u32), PairSamples> = BTreeMap::new();
+    for row in cx.db.cdn.all() {
+        series.entry((row.node.0, row.client.0)).or_default().push((
+            row.utc,
+            row.rtt_ms,
+            row.throughput_mbps,
+        ));
+    }
+    let mut out = Vec::new();
+    for ((node, client), mut pts) in series {
+        pts.sort_by_key(|(t, _, _)| *t);
+        let mut rtt_base = TrailingBaseline::new(50, 4);
+        let mut tput_base = TrailingBaseline::new(50, 4);
+        let anomalous: Vec<Timestamp> = pts
+            .iter()
+            .filter_map(|(t, rtt, tput)| {
+                let med_rtt = rtt_base.observe(*rtt);
+                let med_tput = tput_base.observe(*tput);
+                let hit = match (rtt_factor, tput_factor) {
+                    (Some(f), _) => med_rtt.map(|m| *rtt > f * m),
+                    (None, Some(f)) => med_tput.map(|m| *tput < m / f),
+                    (None, None) => Some(false),
+                }?;
+                hit.then_some(*t)
+            })
+            .collect();
+        let loc = Location::ServerClient {
+            node: grca_net_model::CdnNodeId::new(node),
+            client: grca_net_model::ClientSiteId::new(client),
+        };
+        for w in merge_times(&anomalous, MERGE_GAP) {
+            out.push(EventInstance::new(
+                &def.name,
+                TimeWindow::new(w.start, w.end + Duration::mins(5)),
+                loc,
+            ));
+        }
+    }
+    out
+}

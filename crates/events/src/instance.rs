@@ -1,0 +1,180 @@
+//! Event instances and the indexed store the RCA engine queries.
+//!
+//! An event instance is the paper's `(event-name, start-time, end-time,
+//! event location, additional info)` tuple (§II-A). The [`EventStore`]
+//! groups instances by event name, sorted by start time, and answers
+//! "instances of event E whose window could overlap W" with a binary
+//! search — the inner loop of temporal joining.
+
+use grca_net_model::Location;
+use grca_types::{Duration, TimeWindow, Timestamp};
+use std::collections::BTreeMap;
+
+/// One occurrence of an event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventInstance {
+    /// The event definition's name.
+    pub name: String,
+    pub window: TimeWindow,
+    pub location: Location,
+    /// Free-form additional info (for the Result Browser).
+    pub info: String,
+}
+
+impl EventInstance {
+    pub fn new(name: impl Into<String>, window: TimeWindow, location: Location) -> Self {
+        EventInstance {
+            name: name.into(),
+            window,
+            location,
+            info: String::new(),
+        }
+    }
+
+    pub fn with_info(mut self, info: impl Into<String>) -> Self {
+        self.info = info.into();
+        self
+    }
+
+    pub fn start(&self) -> Timestamp {
+        self.window.start
+    }
+}
+
+/// Per-event-name index of instances.
+#[derive(Debug, Default, Clone)]
+pub struct EventStore {
+    by_name: BTreeMap<String, NameIndex>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct NameIndex {
+    /// Sorted by `window.start`.
+    instances: Vec<EventInstance>,
+    /// Longest window among instances (bounds the candidate scan).
+    max_dur: Duration,
+}
+
+impl EventStore {
+    pub fn new() -> Self {
+        EventStore::default()
+    }
+
+    /// Add instances (any order); the store keeps them sorted.
+    pub fn add(&mut self, instances: Vec<EventInstance>) {
+        for inst in instances {
+            let idx = self.by_name.entry(inst.name.clone()).or_default();
+            if inst.window.duration() > idx.max_dur {
+                idx.max_dur = inst.window.duration();
+            }
+            idx.instances.push(inst);
+        }
+        for idx in self.by_name.values_mut() {
+            idx.instances.sort_by_key(|i| i.window.start);
+        }
+    }
+
+    /// All instances of one event, in start order.
+    pub fn instances(&self, name: &str) -> &[EventInstance] {
+        self.by_name
+            .get(name)
+            .map(|i| i.instances.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Event names present.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.by_name.keys().map(String::as_str)
+    }
+
+    /// Total instance count.
+    pub fn total(&self) -> usize {
+        self.by_name.values().map(|i| i.instances.len()).sum()
+    }
+
+    /// Instances of `name` whose raw window, after expansion by at most
+    /// `slack` on either side, could overlap `w`. The caller still applies
+    /// its precise temporal rule; this is the index-driven candidate cut.
+    pub fn candidates(&self, name: &str, w: TimeWindow, slack: Duration) -> &[EventInstance] {
+        let Some(idx) = self.by_name.get(name) else {
+            return &[];
+        };
+        let lo_start = w.start - slack - idx.max_dur;
+        let hi_start = w.end + slack;
+        let v = &idx.instances;
+        let lo = v.partition_point(|i| i.window.start < lo_start);
+        let hi = v.partition_point(|i| i.window.start <= hi_start);
+        &v[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_net_model::RouterId;
+
+    fn inst(name: &str, s: i64, e: i64) -> EventInstance {
+        EventInstance::new(
+            name,
+            TimeWindow::new(Timestamp(s), Timestamp(e)),
+            Location::Router(RouterId::new(0)),
+        )
+    }
+
+    #[test]
+    fn store_sorts_and_indexes() {
+        let mut st = EventStore::new();
+        st.add(vec![inst("a", 50, 60), inst("a", 10, 20), inst("b", 5, 5)]);
+        let a = st.instances("a");
+        assert_eq!(a.len(), 2);
+        assert!(a[0].start() < a[1].start());
+        assert_eq!(st.instances("missing").len(), 0);
+        assert_eq!(st.total(), 3);
+        assert_eq!(st.names().count(), 2);
+    }
+
+    #[test]
+    fn candidates_cut_respects_slack_and_duration() {
+        let mut st = EventStore::new();
+        st.add(vec![
+            inst("a", 0, 100), // long instance starting well before the window
+            inst("a", 500, 510),
+            inst("a", 2000, 2010),
+        ]);
+        let w = TimeWindow::new(Timestamp(520), Timestamp(530));
+        // slack 50: only the instance at 500 can overlap; the long one at
+        // [0,100] is out of reach even with max_dur widening, and 2000 is
+        // past the upper cut.
+        let c = st.candidates("a", w, Duration::secs(50));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].start(), Timestamp(500));
+        // Widen the window so max_dur matters: a window starting at 130
+        // must still see the long [0,100] instance (expanded end 150).
+        let w2 = TimeWindow::new(Timestamp(130), Timestamp(140));
+        let c2 = st.candidates("a", w2, Duration::secs(50));
+        assert_eq!(c2.len(), 1);
+        assert_eq!(c2[0].start(), Timestamp(0));
+    }
+
+    #[test]
+    fn candidates_never_miss_overlaps() {
+        // Property-ish check: every instance that truly overlaps the
+        // slack-expanded window is in the candidate set.
+        let mut st = EventStore::new();
+        let mut all = Vec::new();
+        for s in (0..2000).step_by(37) {
+            let e = s + (s % 90);
+            all.push(inst("a", s as i64, e as i64));
+        }
+        st.add(all.clone());
+        let w = TimeWindow::new(Timestamp(700), Timestamp(800));
+        let slack = Duration::secs(60);
+        let expanded = TimeWindow::new(w.start - slack, w.end + slack);
+        let c = st.candidates("a", w, slack);
+        for i in &all {
+            if i.window.overlaps(&expanded) {
+                assert!(c.contains(i), "missed {:?}", i.window);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The event model of G-RCA (§II-A).
+//!
+//! An *event* is a signature capturing a particular network condition. Each
+//! event definition is the paper's `(event-name, location type, retrieval
+//! process, description)` tuple; extraction runs the retrieval process over
+//! the Data Collector's normalized tables and produces event instances
+//! `(event-name, start, end, location, info)`.
+//!
+//! * [`def`] — definitions and typed retrieval processes;
+//! * [`extract`](crate::extract()) / [`mod@extract`] — the retrieval interpreters (parsing, thresholds,
+//!   route-derived events, anomaly detection);
+//! * [`instance`] — instances and the indexed [`EventStore`];
+//! * [`library`] — the Knowledge Library: Table I's 24 common events plus
+//!   the application-specific constructors of Tables III, V and VII.
+
+pub mod def;
+pub mod dsl;
+pub mod extract;
+pub mod instance;
+pub mod library;
+
+pub use def::{AnomalySense, EventDefinition, PimScope, Retrieval, StateSel};
+pub use dsl::{parse_events, render_event, render_events};
+pub use extract::{extract, extract_all, ExtractCx};
+pub use instance::{EventInstance, EventStore};
+pub use library::{
+    bgp_app_events, cdn_app_events, knowledge_library, names, pim_app_events, workflow_event,
+};

@@ -1,0 +1,397 @@
+//! The event-definition Knowledge Library (Table I) plus the
+//! application-specific event constructors (Tables III, V, VII).
+//!
+//! Any library event can be *redefined* by an application (§II-A — e.g.
+//! tightening the link-congestion threshold from 80% to 90%); the
+//! constructors here take the tunable parameters for exactly that reason.
+
+use crate::def::{AnomalySense, EventDefinition, PimScope, Retrieval, StateSel};
+use grca_net_model::{LocationType, RouterId};
+use grca_telemetry::records::{L1EventKind, PerfMetric, SnmpMetric};
+
+/// Canonical event names, shared by the rule library and the applications.
+pub mod names {
+    pub const ROUTER_REBOOT: &str = "router-reboot";
+    pub const CPU_HIGH_AVERAGE: &str = "cpu-high-average";
+    pub const CPU_HIGH_SPIKE: &str = "cpu-high-spike";
+    pub const INTERFACE_DOWN: &str = "interface-down";
+    pub const INTERFACE_UP: &str = "interface-up";
+    pub const INTERFACE_FLAP: &str = "interface-flap";
+    pub const LINE_PROTOCOL_DOWN: &str = "line-protocol-down";
+    pub const LINE_PROTOCOL_UP: &str = "line-protocol-up";
+    pub const LINE_PROTOCOL_FLAP: &str = "line-protocol-flap";
+    pub const MESH_REGULAR_RESTORATION: &str = "regular-optical-mesh-restoration";
+    pub const MESH_FAST_RESTORATION: &str = "fast-optical-mesh-restoration";
+    pub const SONET_RESTORATION: &str = "sonet-restoration";
+    pub const LINK_CONGESTION_ALARM: &str = "link-congestion-alarm";
+    pub const LINK_LOSS_ALARM: &str = "link-loss-alarm";
+    pub const OSPF_RECONVERGENCE: &str = "ospf-reconvergence";
+    pub const ROUTER_COST_IN_OUT: &str = "router-cost-in-out";
+    pub const LINK_COST_OUT_DOWN: &str = "link-cost-out-down";
+    pub const LINK_COST_IN_UP: &str = "link-cost-in-up";
+    pub const COMMAND_COST_IN: &str = "command-cost-in-links";
+    pub const COMMAND_COST_OUT: &str = "command-cost-out-links";
+    pub const BGP_EGRESS_CHANGE: &str = "bgp-egress-change";
+    pub const E2E_DELAY_INCREASE: &str = "in-network-delay-increase";
+    pub const E2E_LOSS_INCREASE: &str = "in-network-loss-increase";
+    pub const E2E_THROUGHPUT_DROP: &str = "in-network-throughput-drop";
+
+    // application-specific (Table III)
+    pub const EBGP_FLAP: &str = "ebgp-flap";
+    pub const CUSTOMER_RESET_SESSION: &str = "customer-reset-session";
+    pub const EBGP_HTE: &str = "ebgp-hold-timer-expired";
+    // application-specific (Table V)
+    pub const CDN_RTT_INCREASE: &str = "cdn-rtt-increase";
+    pub const CDN_THROUGHPUT_DROP: &str = "cdn-throughput-drop";
+    pub const CDN_SERVER_ISSUE: &str = "cdn-server-issue";
+    pub const CDN_POLICY_CHANGE: &str = "cdn-assignment-policy-change";
+    // application-specific (Table VII)
+    pub const PIM_ADJACENCY_CHANGE: &str = "pim-neighbor-adjacency-change";
+    pub const PIM_CONFIG_CHANGE: &str = "pim-configuration-change";
+    pub const UPLINK_PIM_ADJACENCY_CHANGE: &str = "uplink-pim-adjacency-change";
+}
+
+/// The Table I common event definitions.
+pub fn knowledge_library() -> Vec<EventDefinition> {
+    use names::*;
+    use LocationType as LT;
+    let mut defs = vec![
+        EventDefinition::new(
+            ROUTER_REBOOT,
+            LT::Router,
+            Retrieval::RouterReboot,
+            "router was rebooted",
+            "syslog",
+        ),
+        EventDefinition::new(
+            CPU_HIGH_AVERAGE,
+            LT::Router,
+            Retrieval::SnmpThreshold {
+                metric: SnmpMetric::CpuUtil5m,
+                min: 80.0,
+            },
+            ">= 80% average utilization in 5-minute intervals",
+            "snmp",
+        ),
+        EventDefinition::new(
+            CPU_HIGH_SPIKE,
+            LT::Router,
+            Retrieval::CpuSpike { min_pct: 90 },
+            ">= 90% average utilization over the past 5 seconds",
+            "syslog",
+        ),
+    ];
+    for (name, sel) in [
+        (INTERFACE_DOWN, StateSel::Down),
+        (INTERFACE_UP, StateSel::Up),
+        (INTERFACE_FLAP, StateSel::Flap),
+    ] {
+        defs.push(EventDefinition::new(
+            name,
+            LT::Interface,
+            Retrieval::InterfaceState(sel),
+            "LINK-3-UPDOWN msg",
+            "syslog",
+        ));
+    }
+    for (name, sel) in [
+        (LINE_PROTOCOL_DOWN, StateSel::Down),
+        (LINE_PROTOCOL_UP, StateSel::Up),
+        (LINE_PROTOCOL_FLAP, StateSel::Flap),
+    ] {
+        defs.push(EventDefinition::new(
+            name,
+            LT::Interface,
+            Retrieval::LineProtoState(sel),
+            "LINEPROTO-5-UPDOWN msg",
+            "syslog",
+        ));
+    }
+    for (name, kind, desc) in [
+        (
+            MESH_REGULAR_RESTORATION,
+            L1EventKind::MeshRegularRestoration,
+            "regular restoration events in layer-1 optical mesh network",
+        ),
+        (
+            MESH_FAST_RESTORATION,
+            L1EventKind::MeshFastRestoration,
+            "fast restoration events in layer-1 optical mesh network",
+        ),
+        (
+            SONET_RESTORATION,
+            L1EventKind::SonetRestoration,
+            "restoration events in the layer-1 SONET network",
+        ),
+    ] {
+        // Table I locates these at the layer-1 device; our inventory
+        // resolves the exact circuit, so the finer physical-link location
+        // is used (conversion utility 7 covers the device mapping).
+        defs.push(EventDefinition::new(
+            name,
+            LT::PhysicalLink,
+            Retrieval::L1Restoration(kind),
+            desc,
+            "layer-1 device log",
+        ));
+    }
+    defs.extend([
+        EventDefinition::new(
+            LINK_CONGESTION_ALARM,
+            LT::Interface,
+            Retrieval::SnmpThreshold {
+                metric: SnmpMetric::LinkUtil5m,
+                min: 80.0,
+            },
+            ">= 80% link utilization in 5-minute intervals",
+            "snmp",
+        ),
+        EventDefinition::new(
+            LINK_LOSS_ALARM,
+            LT::Interface,
+            Retrieval::SnmpThreshold {
+                metric: SnmpMetric::OverflowPkts5m,
+                min: 100.0,
+            },
+            ">= 100 corrupted packets in 5-minute intervals",
+            "snmp",
+        ),
+        EventDefinition::new(
+            OSPF_RECONVERGENCE,
+            LT::LogicalLink,
+            Retrieval::OspfReconvergence,
+            "link weight update in OSPF",
+            "ospf monitor",
+        ),
+        EventDefinition::new(
+            ROUTER_COST_IN_OUT,
+            LT::Router,
+            Retrieval::RouterCostInOut,
+            "router cost in/out inferred from link weight changes",
+            "ospf monitor",
+        ),
+        EventDefinition::new(
+            LINK_COST_OUT_DOWN,
+            LT::LogicalLink,
+            Retrieval::LinkCostOutDown,
+            "link cost out or link down inferred from link weight changes",
+            "ospf monitor",
+        ),
+        EventDefinition::new(
+            LINK_COST_IN_UP,
+            LT::LogicalLink,
+            Retrieval::LinkCostInUp,
+            "link cost in or link up inferred from link weight changes",
+            "ospf monitor",
+        ),
+        EventDefinition::new(
+            COMMAND_COST_IN,
+            LT::Interface,
+            Retrieval::CommandCostIn,
+            "command typed by operators to cost in links",
+            "tacacs",
+        ),
+        EventDefinition::new(
+            COMMAND_COST_OUT,
+            LT::Interface,
+            Retrieval::CommandCostOut,
+            "command typed by operators to cost out links",
+            "tacacs",
+        ),
+        EventDefinition::new(
+            BGP_EGRESS_CHANGE,
+            LT::IngressDestination,
+            Retrieval::BgpEgressChange {
+                ingresses: Vec::new(),
+            },
+            "BGP next hop to some external prefix changed",
+            "bgp monitor",
+        ),
+        EventDefinition::new(
+            E2E_DELAY_INCREASE,
+            LT::IngressEgress,
+            Retrieval::PerfAnomaly {
+                metric: PerfMetric::DelayMs,
+                sense: AnomalySense::Increase,
+            },
+            "delay increase between two PoPs",
+            "performance monitor",
+        ),
+        EventDefinition::new(
+            E2E_LOSS_INCREASE,
+            LT::IngressEgress,
+            Retrieval::PerfAnomaly {
+                metric: PerfMetric::LossPct,
+                sense: AnomalySense::Increase,
+            },
+            "loss increase between two PoPs",
+            "performance monitor",
+        ),
+        EventDefinition::new(
+            E2E_THROUGHPUT_DROP,
+            LT::IngressEgress,
+            Retrieval::PerfAnomaly {
+                metric: PerfMetric::ThroughputMbps,
+                sense: AnomalySense::Drop,
+            },
+            "throughput drop between two PoPs",
+            "performance monitor",
+        ),
+    ]);
+    defs
+}
+
+/// Table III: eBGP-flap application events.
+pub fn bgp_app_events() -> Vec<EventDefinition> {
+    use names::*;
+    vec![
+        EventDefinition::new(
+            EBGP_FLAP,
+            LocationType::RouterNeighborIp,
+            Retrieval::EbgpFlap,
+            "eBGP session goes down and comes up, BGP-5-ADJCHANGE msg",
+            "syslog",
+        ),
+        EventDefinition::new(
+            CUSTOMER_RESET_SESSION,
+            LocationType::RouterNeighborIp,
+            Retrieval::CustomerResetSession,
+            "eBGP session is reset by the customer, BGP-5-NOTIFICATION msg",
+            "syslog",
+        ),
+        EventDefinition::new(
+            EBGP_HTE,
+            LocationType::RouterNeighborIp,
+            Retrieval::EbgpHoldTimerExpired,
+            "eBGP hold timer expired, BGP-5-NOTIFICATION msg",
+            "syslog",
+        ),
+    ]
+}
+
+/// Table V: CDN application events. `ingresses` parameterizes the egress
+/// change emulation (the CDN attachment routers).
+pub fn cdn_app_events(ingresses: Vec<RouterId>) -> Vec<EventDefinition> {
+    use names::*;
+    vec![
+        EventDefinition::new(
+            CDN_RTT_INCREASE,
+            LocationType::ServerClient,
+            Retrieval::CdnRttIncrease { rtt_factor: 1.25 },
+            "increase in end-to-end round trip time between end-users and CDN servers",
+            "CDN traffic monitor",
+        ),
+        EventDefinition::new(
+            CDN_THROUGHPUT_DROP,
+            LocationType::ServerClient,
+            Retrieval::CdnThroughputDrop { tput_factor: 1.3 },
+            "decrease in average download throughput",
+            "CDN traffic monitor",
+        ),
+        EventDefinition::new(
+            CDN_SERVER_ISSUE,
+            LocationType::Router,
+            Retrieval::CdnServerIssue { min_load: 1.2 },
+            "CDN server load is high",
+            "server logs",
+        ),
+        EventDefinition::new(
+            CDN_POLICY_CHANGE,
+            LocationType::Router,
+            Retrieval::WorkflowActivity {
+                activity: "cdn-assignment-policy-change".to_string(),
+            },
+            "CDN request assignment policy changed",
+            "workflow logs",
+        ),
+        EventDefinition::new(
+            names::BGP_EGRESS_CHANGE,
+            LocationType::IngressDestination,
+            Retrieval::BgpEgressChange { ingresses },
+            "BGP next hop to some external prefix changed (emulated at the CDN ingresses)",
+            "bgp monitor",
+        ),
+    ]
+}
+
+/// Table VII: PIM MVPN application events.
+pub fn pim_app_events() -> Vec<EventDefinition> {
+    use names::*;
+    vec![
+        EventDefinition::new(
+            PIM_ADJACENCY_CHANGE,
+            LocationType::RouterNeighborIp,
+            Retrieval::PimAdjacencyChange(PimScope::PePeOrCe),
+            "a PE lost a neighbor adjacency with another PE (or its CE) in the MVPN",
+            "syslog",
+        ),
+        EventDefinition::new(
+            PIM_CONFIG_CHANGE,
+            LocationType::Router,
+            Retrieval::PimConfigCommand,
+            "a MVPN is either provisioned or de-provisioned on a router",
+            "router command logs",
+        ),
+        EventDefinition::new(
+            UPLINK_PIM_ADJACENCY_CHANGE,
+            LocationType::RouterNeighborIp,
+            Retrieval::PimAdjacencyChange(PimScope::Uplink),
+            "a PE lost a neighbor adjacency with its directly connected router on its uplink",
+            "syslog",
+        ),
+    ]
+}
+
+/// A generic workflow-activity event (used by discovery screening).
+pub fn workflow_event(activity: &str) -> EventDefinition {
+    EventDefinition::new(
+        format!("workflow:{activity}"),
+        LocationType::Router,
+        Retrieval::WorkflowActivity {
+            activity: activity.to_string(),
+        },
+        format!("workflow activity {activity}"),
+        "workflow logs",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_matches_table_i_count() {
+        let lib = knowledge_library();
+        assert_eq!(lib.len(), 24, "Table I defines 24 common events");
+        // Names are unique.
+        let mut names: Vec<&str> = lib.iter().map(|d| d.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), lib.len());
+    }
+
+    #[test]
+    fn app_events_match_paper_tables() {
+        assert_eq!(bgp_app_events().len(), 3); // Table III
+        assert_eq!(cdn_app_events(vec![]).len(), 5); // Table V + redefined egress change
+        assert_eq!(pim_app_events().len(), 3); // Table VII
+    }
+
+    #[test]
+    fn redefinition_is_possible() {
+        // §II-A: "link congestion alarm" can be redefined as >= 90%.
+        let mut lib = knowledge_library();
+        let idx = lib
+            .iter()
+            .position(|d| d.name == names::LINK_CONGESTION_ALARM)
+            .unwrap();
+        lib[idx].retrieval = Retrieval::SnmpThreshold {
+            metric: SnmpMetric::LinkUtil5m,
+            min: 90.0,
+        };
+        assert!(matches!(
+            lib[idx].retrieval,
+            Retrieval::SnmpThreshold { min, .. } if min == 90.0
+        ));
+    }
+}

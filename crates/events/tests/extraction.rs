@@ -1,0 +1,277 @@
+//! End-to-end extraction tests: simulate faults, ingest, extract, verify
+//! the right event instances appear with the right locations.
+
+use grca_collector::Database;
+use grca_events::{
+    bgp_app_events, cdn_app_events, extract, extract_all, knowledge_library, names, pim_app_events,
+    EventDefinition, ExtractCx, Retrieval,
+};
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::{Location, LocationType, RouteOracle, Topology};
+use grca_routing::{BgpState, OspfState, RoutingState, WeightEvent};
+use grca_simnet::{FaultRates, ScenarioConfig, SimOutput, SymptomKind};
+use grca_types::Timestamp;
+
+fn simulate(rates: FaultRates, days: u32) -> (Topology, SimOutput, Database) {
+    let topo = generate(&TopoGenConfig::small());
+    let mut cfg = ScenarioConfig::new(days, 17, rates);
+    cfg.background.emit_baseline = true;
+    let out = grca_simnet::run_scenario(&topo, &cfg);
+    let (db, stats) = Database::ingest(&topo, &out.records);
+    assert_eq!(stats.total_dropped(), 0, "{}", stats.render());
+    (topo, out, db)
+}
+
+/// Rebuild routing state from the collected monitor feeds (the way an
+/// application must — never from the simulator's internals).
+fn routing_from_db<'a>(topo: &'a Topology, db: &Database) -> RoutingState<'a> {
+    let weights: Vec<WeightEvent> = db
+        .ospf
+        .all()
+        .iter()
+        .map(|r| WeightEvent {
+            time: r.utc,
+            link: r.link,
+            weight: r.weight,
+        })
+        .collect();
+    let ospf = OspfState::new(topo, weights);
+    let baseline = topo
+        .ext_nets
+        .iter()
+        .flat_map(|n| {
+            n.egress_candidates
+                .iter()
+                .map(|&e| (n.prefix, e, grca_routing::RouteAttrs::default()))
+        })
+        .collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let updates = db
+        .bgp
+        .all()
+        .iter()
+        .filter(|r| seen.insert((r.utc, r.prefix, r.egress, r.attrs)))
+        .map(|r| grca_routing::BgpUpdate {
+            time: r.utc,
+            prefix: r.prefix,
+            egress: r.egress,
+            attrs: r.attrs.map(|(lp, asl)| grca_routing::RouteAttrs {
+                local_pref: lp,
+                as_path_len: asl,
+            }),
+        })
+        .collect();
+    RoutingState::new(topo, ospf, BgpState::new(baseline, updates))
+}
+
+#[test]
+fn bgp_scenario_extracts_flaps_matching_truth() {
+    let (topo, out, db) = simulate(FaultRates::bgp_study(), 5);
+    let cx = ExtractCx::new(&topo, &db, None);
+    let mut defs = knowledge_library();
+    defs.extend(bgp_app_events());
+    let store = extract_all(&defs, &cx);
+
+    let true_flaps: Vec<_> = out
+        .truth
+        .iter()
+        .filter(|t| t.symptom == SymptomKind::EbgpFlap)
+        .collect();
+    let extracted = store.instances(names::EBGP_FLAP);
+    assert!(
+        !extracted.is_empty() && !true_flaps.is_empty(),
+        "need flaps to compare"
+    );
+    // Every ground-truth flap must be recovered (same key + start time).
+    for t in &true_flaps {
+        let hit = extracted
+            .iter()
+            .any(|i| i.window.start == t.time && i.location.display(&topo) == t.key);
+        assert!(hit, "missed truth flap {} at {}", t.key, t.time);
+    }
+    // And symmetrically, extraction does not invent flaps.
+    assert_eq!(extracted.len(), true_flaps.len());
+}
+
+#[test]
+fn interface_and_line_proto_events_extracted() {
+    let (_, _, db) = simulate(FaultRates::bgp_study(), 3);
+    let topo = generate(&TopoGenConfig::small());
+    let cx = ExtractCx::new(&topo, &db, None);
+    let store = extract_all(&knowledge_library(), &cx);
+    assert!(store.instances(names::INTERFACE_FLAP).len() > 10);
+    assert!(store.instances(names::LINE_PROTOCOL_FLAP).len() > 10);
+    // Downs >= flaps (every flap starts with a down).
+    assert!(
+        store.instances(names::INTERFACE_DOWN).len()
+            >= store.instances(names::INTERFACE_FLAP).len()
+    );
+    // All located on interfaces.
+    for i in store.instances(names::INTERFACE_FLAP) {
+        assert_eq!(i.location.location_type(), LocationType::Interface);
+    }
+}
+
+#[test]
+fn cpu_and_reset_events_extracted() {
+    let (_, _, db) = simulate(FaultRates::bgp_study(), 5);
+    let topo = generate(&TopoGenConfig::small());
+    let cx = ExtractCx::new(&topo, &db, None);
+    let mut defs = knowledge_library();
+    defs.extend(bgp_app_events());
+    let store = extract_all(&defs, &cx);
+    assert!(!store.instances(names::CPU_HIGH_SPIKE).is_empty());
+    assert!(!store.instances(names::EBGP_HTE).is_empty());
+    assert!(!store.instances(names::CUSTOMER_RESET_SESSION).is_empty());
+}
+
+#[test]
+fn l1_and_routing_events_extracted() {
+    let mut rates = FaultRates::zero();
+    rates.sonet_restoration = 30.0;
+    rates.mesh_fast_restoration = 10.0;
+    rates.link_cost_out_maint = 4.0;
+    rates.router_cost_out_maint = 1.0;
+    rates.ospf_weight_change = 4.0;
+    let (topo, _, db) = simulate(rates, 5);
+    let cx = ExtractCx::new(&topo, &db, None);
+    let store = extract_all(&knowledge_library(), &cx);
+    assert!(!store.instances(names::SONET_RESTORATION).is_empty());
+    assert!(!store.instances(names::OSPF_RECONVERGENCE).is_empty());
+    assert!(!store.instances(names::LINK_COST_OUT_DOWN).is_empty());
+    assert!(!store.instances(names::LINK_COST_IN_UP).is_empty());
+    assert!(!store.instances(names::ROUTER_COST_IN_OUT).is_empty());
+    assert!(!store.instances(names::COMMAND_COST_OUT).is_empty());
+    assert!(!store.instances(names::COMMAND_COST_IN).is_empty());
+    // Cost-out and cost-in counts roughly pair up.
+    let outs = store.instances(names::LINK_COST_OUT_DOWN).len();
+    let ins = store.instances(names::LINK_COST_IN_UP).len();
+    assert!(ins <= outs && ins + 5 >= outs, "outs={outs} ins={ins}");
+}
+
+#[test]
+fn congestion_and_perf_events_extracted() {
+    let mut rates = FaultRates::zero();
+    rates.link_congestion = 6.0;
+    rates.link_loss = 4.0;
+    let (topo, out, db) = simulate(rates, 5);
+    let cx = ExtractCx::new(&topo, &db, None);
+    let store = extract_all(&knowledge_library(), &cx);
+    assert!(!store.instances(names::LINK_CONGESTION_ALARM).is_empty());
+    assert!(!store.instances(names::LINK_LOSS_ALARM).is_empty());
+    // e2e loss events only if some probe pair crossed a congested link.
+    let e2e_truth = out
+        .truth
+        .iter()
+        .filter(|t| t.symptom == SymptomKind::E2eLoss)
+        .count();
+    if e2e_truth > 0 {
+        assert!(!store.instances(names::E2E_LOSS_INCREASE).is_empty());
+    }
+}
+
+#[test]
+fn cdn_events_and_egress_changes_extracted() {
+    let mut rates = FaultRates::cdn_study();
+    rates.egress_change = 10.0;
+    let (topo, out, db) = simulate(rates, 10);
+    let routing = routing_from_db(&topo, &db);
+    let cx = ExtractCx::new(&topo, &db, Some(&routing));
+    let ingresses: Vec<_> = topo.cdn_nodes.iter().map(|n| n.attach_router).collect();
+    let mut defs = knowledge_library();
+    defs.extend(cdn_app_events(ingresses));
+    let store = extract_all(&defs, &cx);
+
+    let cdn_truth = out
+        .truth
+        .iter()
+        .filter(|t| t.symptom == SymptomKind::CdnDegradation)
+        .count();
+    let rtt_events = store.instances(names::CDN_RTT_INCREASE).len();
+    assert!(cdn_truth > 0 && rtt_events > 0);
+    // Most degradations should be detected (merging can fuse adjacent ones).
+    assert!(
+        rtt_events * 2 >= cdn_truth,
+        "detected {rtt_events} of {cdn_truth}"
+    );
+    assert!(!store.instances(names::BGP_EGRESS_CHANGE).is_empty());
+    assert!(!store.instances(names::CDN_POLICY_CHANGE).is_empty());
+}
+
+#[test]
+fn pim_events_extracted_with_scope_split() {
+    let (topo, out, db) = simulate(FaultRates::pim_study(), 7);
+    let cx = ExtractCx::new(&topo, &db, None);
+    let store = extract_all(&pim_app_events(), &cx);
+    let symptoms = store.instances(names::PIM_ADJACENCY_CHANGE);
+    let truth = out
+        .truth
+        .iter()
+        .filter(|t| t.symptom == SymptomKind::PimAdjChange)
+        .count();
+    assert!(truth > 0);
+    assert_eq!(symptoms.len(), truth, "PE-PE/PE-CE adjacency changes");
+    // Uplink events exist only when uplink faults were injected; with the
+    // pim_study preset they occur at low rate — allow zero but check the
+    // scope split never mixes (no symptom with a core-loopback neighbor).
+    for i in symptoms {
+        if let Location::RouterNeighborIp { neighbor, .. } = i.location {
+            let core = topo
+                .routers
+                .iter()
+                .any(|r| r.loopback == neighbor && r.role == grca_net_model::RouterRole::Core);
+            assert!(!core, "uplink adjacency leaked into the symptom event");
+        }
+    }
+}
+
+#[test]
+fn egress_change_emulation_against_oracle() {
+    // Hand-built update: withdraw the best egress; the extractor must emit
+    // exactly one egress-change instance per affected ingress per update.
+    let topo = generate(&TopoGenConfig::small());
+    let client = &topo
+        .ext_nets
+        .iter()
+        .find(|n| n.egress_candidates.len() >= 2)
+        .unwrap();
+    let prefix = client.prefix;
+    let ingress = topo
+        .cdn_node(grca_net_model::CdnNodeId::new(0))
+        .attach_router;
+    let base = RoutingState::baseline(&topo);
+    let best = base.egress_for(ingress, prefix, Timestamp(0)).unwrap();
+
+    // Raw BGP monitor records through the collector.
+    let t = Timestamp::from_civil(2010, 1, 2, 0, 0, 0);
+    let recs = vec![grca_telemetry::records::RawRecord::BgpMon(
+        grca_telemetry::records::BgpMonRecord {
+            utc: t,
+            reflector: "rr1".into(),
+            prefix,
+            egress_router: topo.router(best).name.clone(),
+            attrs: None,
+        },
+    )];
+    let (db, _) = Database::ingest(&topo, &recs);
+    let routing = routing_from_db(&topo, &db);
+    let cx = ExtractCx::new(&topo, &db, Some(&routing));
+    let def = EventDefinition::new(
+        names::BGP_EGRESS_CHANGE,
+        LocationType::IngressDestination,
+        Retrieval::BgpEgressChange {
+            ingresses: vec![ingress],
+        },
+        "test",
+        "bgp monitor",
+    );
+    let instances = extract(&def, &cx);
+    assert_eq!(instances.len(), 1);
+    assert_eq!(
+        instances[0].location,
+        Location::IngressDestination {
+            ingress,
+            dst: prefix
+        }
+    );
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for transition pairing, threshold merging and the
+//! event-store index, exercised through the public extraction interface.
+
+use grca_collector::Database;
+use grca_events::{extract, names, EventDefinition, ExtractCx, Retrieval, StateSel};
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::{LocationType, Topology};
+use grca_telemetry::records::{RawRecord, SnmpMetric, SnmpSample, SyslogLine};
+use grca_telemetry::syslog::SyslogEvent;
+use grca_types::{TimeZone, Timestamp};
+use proptest::prelude::*;
+
+fn topo() -> Topology {
+    generate(&TopoGenConfig::small())
+}
+
+/// Build raw syslog lines for a sequence of (time, up) transitions on one
+/// interface of one router.
+fn transition_records(topo: &Topology, seq: &[(i64, bool)]) -> Vec<RawRecord> {
+    let router = topo.router_by_name("nyc-per1").unwrap();
+    let ifc = topo.interfaces.iter().find(|i| i.router == router).unwrap();
+    let tz = topo.router_tz(router);
+    seq.iter()
+        .map(|&(t, up)| {
+            let ev = SyslogEvent::LinkUpDown {
+                iface: ifc.name.clone(),
+                up,
+            };
+            RawRecord::Syslog(SyslogLine {
+                host: "nyc-per1".into(),
+                line: ev.format_line(tz.to_local(Timestamp::from_unix(t))),
+            })
+        })
+        .collect()
+}
+
+fn def(sel: StateSel) -> EventDefinition {
+    EventDefinition::new(
+        match sel {
+            StateSel::Down => names::INTERFACE_DOWN,
+            StateSel::Up => names::INTERFACE_UP,
+            StateSel::Flap => names::INTERFACE_FLAP,
+        },
+        LocationType::Interface,
+        Retrieval::InterfaceState(sel),
+        "t",
+        "syslog",
+    )
+}
+
+proptest! {
+    /// For any transition sequence: #downs and #ups extract exactly; every
+    /// flap starts at a down and ends at the first up at/after it; flap
+    /// count never exceeds min(#downs paired within the gap).
+    #[test]
+    fn pairing_invariants(seq in proptest::collection::vec((0i64..200_000, any::<bool>()), 0..40)) {
+        let topo = topo();
+        let recs = transition_records(&topo, &seq);
+        let (db, _) = Database::ingest(&topo, &recs);
+        let cx = ExtractCx::new(&topo, &db, None);
+        let downs = extract(&def(StateSel::Down), &cx);
+        let ups = extract(&def(StateSel::Up), &cx);
+        let flaps = extract(&def(StateSel::Flap), &cx);
+        let n_down = seq.iter().filter(|(_, up)| !up).count();
+        let n_up = seq.iter().filter(|(_, up)| *up).count();
+        prop_assert_eq!(downs.len(), n_down);
+        prop_assert_eq!(ups.len(), n_up);
+        prop_assert!(flaps.len() <= n_down);
+        // Sorted up instants for verification.
+        let mut up_times: Vec<i64> = seq.iter().filter(|(_, u)| *u).map(|(t, _)| *t).collect();
+        up_times.sort();
+        for f in &flaps {
+            prop_assert!(f.window.start <= f.window.end);
+            // The flap end is the first up at or after the start.
+            let first_up = up_times
+                .iter()
+                .find(|&&u| u >= f.window.start.unix())
+                .copied();
+            prop_assert_eq!(Some(f.window.end.unix()), first_up);
+        }
+        // Every down with an up within the pairing gap produced a flap.
+        let expected = seq
+            .iter()
+            .filter(|(t, u)| {
+                !u && up_times
+                    .iter()
+                    .any(|&x| x >= *t && x - t <= 7200)
+            })
+            .count();
+        prop_assert_eq!(flaps.len(), expected);
+    }
+
+    /// SNMP threshold extraction: events cover exactly the qualifying
+    /// samples, merged when adjacent.
+    #[test]
+    fn threshold_merging(values in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let topo = topo();
+        let router = topo.router_by_name("nyc-per1").unwrap();
+        let recs: Vec<RawRecord> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                RawRecord::Snmp(SnmpSample {
+                    system: topo.router(router).snmp_name(),
+                    local_time: TimeZone::US_EASTERN
+                        .to_local(Timestamp::from_unix(300 * i as i64)),
+                    metric: SnmpMetric::CpuUtil5m,
+                    if_index: None,
+                    value: v,
+                })
+            })
+            .collect();
+        let (db, _) = Database::ingest(&topo, &recs);
+        let cx = ExtractCx::new(&topo, &db, None);
+        let d = EventDefinition::new(
+            names::CPU_HIGH_AVERAGE,
+            LocationType::Router,
+            Retrieval::SnmpThreshold { metric: SnmpMetric::CpuUtil5m, min: 80.0 },
+            "t",
+            "snmp",
+        );
+        let events = extract(&d, &cx);
+        // Number of events equals the number of maximal runs of
+        // qualifying samples (gap merging at 10 min covers two adjacent
+        // 5-minute bins).
+        let mut runs = 0;
+        let mut in_run = false;
+        for &v in &values {
+            let q = v >= 80.0;
+            if q && !in_run {
+                runs += 1;
+            }
+            in_run = q;
+        }
+        prop_assert_eq!(events.len(), runs);
+        // Every qualifying sample instant is inside some event window.
+        for (i, &v) in values.iter().enumerate() {
+            if v >= 80.0 {
+                let t = Timestamp::from_unix(300 * i as i64);
+                prop_assert!(
+                    events.iter().any(|e| e.window.contains(t)),
+                    "sample {} uncovered", i
+                );
+            }
+        }
+    }
+}

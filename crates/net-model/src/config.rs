@@ -1,0 +1,413 @@
+//! Router configuration snapshots.
+//!
+//! G-RCA "parses daily router configuration snapshots" (§II-B, utility 6)
+//! to learn which interfaces sit on which line cards, which neighbor IPs
+//! map to which interfaces, which physical circuits back each logical link
+//! (APS groups / multilink bundles), which route reflectors feed each PE,
+//! and which MVPNs are provisioned where. We reproduce that data path: the
+//! simulator emits a textual config per router in a compact IOS-flavoured
+//! format, and [`parse_config`] recovers a [`ConfigDb`] that the rest of
+//! the platform can use instead of trusting the in-memory topology.
+//!
+//! The emit→parse round trip is tested to agree with the topology, which is
+//! exactly the invariant the real system relies on (configs are the ground
+//! truth for configuration-derived mappings).
+
+use crate::ids::*;
+use crate::ip::Ipv4;
+use crate::topology::{InterfaceKind, Topology};
+use grca_types::{GrcaError, Result};
+use std::collections::BTreeMap;
+
+/// One router's configuration snapshot, as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSnapshot {
+    pub router: String,
+    pub text: String,
+}
+
+/// Emit the configuration snapshot for `router` from the topology.
+pub fn emit_config(topo: &Topology, router: RouterId) -> ConfigSnapshot {
+    let r = topo.router(router);
+    let mut out = String::new();
+    out.push_str(&format!("hostname {}\n", r.name));
+    out.push_str(&format!("loopback {}\n", r.loopback));
+    for &cid in &r.cards {
+        let card = topo.card(cid);
+        out.push_str(&format!("linecard slot {}\n", card.slot));
+        for &iid in &card.interfaces {
+            let ifc = topo.interface(iid);
+            out.push_str(&format!(" interface {}\n", ifc.name));
+            if let Some(ip) = ifc.ip {
+                out.push_str(&format!("  ip address {ip}/30\n"));
+            }
+            out.push_str(&format!("  snmp ifindex {}\n", ifc.if_index));
+            match ifc.kind {
+                InterfaceKind::Backbone => out.push_str("  role backbone\n"),
+                InterfaceKind::CustomerFacing { customer } => out.push_str(&format!(
+                    "  role customer {}\n",
+                    topo.customer(customer).name
+                )),
+                InterfaceKind::Peering => out.push_str("  role peering\n"),
+            }
+            if let Some(l) = topo.link_of_iface(iid) {
+                let link = topo.link(l);
+                let circuits: Vec<&str> = link
+                    .phys
+                    .iter()
+                    .map(|&p| topo.phys_link(p).circuit.as_str())
+                    .collect();
+                if circuits.len() > 1 {
+                    let kw = match link.aggregation {
+                        crate::topology::Aggregation::MlpppBundle => "bundle",
+                        _ => "aps",
+                    };
+                    out.push_str(&format!("  {kw} group {}\n", circuits.join(" ")));
+                } else {
+                    out.push_str(&format!("  circuit {}\n", circuits[0]));
+                }
+            } else if let Some(ckt) = ifc.access_circuit {
+                out.push_str(&format!("  circuit {}\n", topo.phys_link(ckt).circuit));
+            }
+        }
+    }
+    for (sid, s) in topo.sessions.iter().enumerate() {
+        if s.pe == router {
+            out.push_str(&format!(
+                "bgp neighbor {} remote customer {} interface {}\n",
+                s.neighbor_ip,
+                topo.customer(s.customer).name,
+                topo.interface(s.iface).name
+            ));
+            let _ = sid;
+        }
+    }
+    if let Some(rrs) = topo.reflectors_of.get(&router) {
+        for &rr in rrs {
+            out.push_str(&format!(
+                "bgp route-reflector-client-of {}\n",
+                topo.router(rr).name
+            ));
+        }
+    }
+    for m in &topo.mvpns {
+        if m.pes.contains(&router) {
+            out.push_str(&format!(
+                "mvpn customer {}\n",
+                topo.customer(m.customer).name
+            ));
+        }
+    }
+    ConfigSnapshot {
+        router: r.name.clone(),
+        text: out,
+    }
+}
+
+/// Emit snapshots for every router.
+pub fn emit_all(topo: &Topology) -> Vec<ConfigSnapshot> {
+    (0..topo.routers.len())
+        .map(|i| emit_config(topo, RouterId::from(i)))
+        .collect()
+}
+
+/// Configuration-derived mappings for one router, as parsed from text.
+#[derive(Debug, Default, Clone)]
+pub struct RouterConfig {
+    pub hostname: String,
+    pub loopback: Option<Ipv4>,
+    /// (slot, interface name) in declaration order.
+    pub interfaces: Vec<ParsedInterface>,
+    /// neighbor IP -> interface name.
+    pub bgp_neighbors: BTreeMap<Ipv4, String>,
+    /// Route reflector names feeding this router.
+    pub reflectors: Vec<String>,
+    /// MVPN customer names provisioned here.
+    pub mvpns: Vec<String>,
+}
+
+/// One parsed interface stanza.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ParsedInterface {
+    pub slot: u8,
+    pub name: String,
+    pub ip: Option<Ipv4>,
+    pub if_index: Option<u32>,
+    pub role: String,
+    /// Circuits backing the attached link (singular circuit, APS group or
+    /// MLPPP bundle members).
+    pub circuits: Vec<String>,
+    /// Whether the circuits form a multilink PPP bundle.
+    pub bundle: bool,
+}
+
+/// The parsed configuration of the whole network.
+#[derive(Debug, Default, Clone)]
+pub struct ConfigDb {
+    pub routers: BTreeMap<String, RouterConfig>,
+}
+
+impl ConfigDb {
+    /// Parse every snapshot.
+    pub fn parse(snapshots: &[ConfigSnapshot]) -> Result<ConfigDb> {
+        let mut db = ConfigDb::default();
+        for s in snapshots {
+            let rc =
+                parse_config(&s.text).map_err(|e| e.context(&format!("config of {}", s.router)))?;
+            db.routers.insert(rc.hostname.clone(), rc);
+        }
+        Ok(db)
+    }
+
+    /// Utility 2: neighbor IP on a router → interface name.
+    pub fn neighbor_interface(&self, router: &str, neighbor: Ipv4) -> Option<&str> {
+        self.routers
+            .get(router)?
+            .bgp_neighbors
+            .get(&neighbor)
+            .map(String::as_str)
+    }
+
+    /// Utility 5: interface → backing circuits (APS pair / bundle members).
+    pub fn circuits_of(&self, router: &str, iface: &str) -> Option<&[String]> {
+        self.routers
+            .get(router)?
+            .interfaces
+            .iter()
+            .find(|i| i.name == iface)
+            .map(|i| i.circuits.as_slice())
+    }
+
+    /// Utility 6: interface → line-card slot.
+    pub fn slot_of(&self, router: &str, iface: &str) -> Option<u8> {
+        self.routers
+            .get(router)?
+            .interfaces
+            .iter()
+            .find(|i| i.name == iface)
+            .map(|i| i.slot)
+    }
+
+    /// The reflectors feeding a PE (used by BGP decision emulation, §II-B).
+    pub fn reflectors_of(&self, router: &str) -> &[String] {
+        self.routers
+            .get(router)
+            .map(|r| r.reflectors.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Parse one snapshot's text.
+pub fn parse_config(text: &str) -> Result<RouterConfig> {
+    let mut rc = RouterConfig::default();
+    let mut cur_slot: Option<u8> = None;
+    let mut cur_iface: Option<usize> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| GrcaError::parse(format!("line {}: {msg}: {line:?}", lineno + 1));
+        let mut words = line.split_whitespace();
+        let key = words.next().unwrap();
+        let rest: Vec<&str> = words.collect();
+        // Indented lines belong to the current interface stanza.
+        let indented = raw.starts_with("  ");
+        match (key, indented) {
+            ("hostname", _) => {
+                rc.hostname = rest
+                    .first()
+                    .ok_or_else(|| err("missing hostname"))?
+                    .to_string()
+            }
+            ("loopback", _) => {
+                rc.loopback = Some(
+                    rest.first()
+                        .ok_or_else(|| err("missing address"))?
+                        .parse()?,
+                )
+            }
+            ("linecard", _) => {
+                let slot = rest
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad slot"))?;
+                cur_slot = Some(slot);
+                cur_iface = None;
+            }
+            ("interface", false) => {
+                let slot = cur_slot.ok_or_else(|| err("interface outside linecard"))?;
+                rc.interfaces.push(ParsedInterface {
+                    slot,
+                    name: rest.first().ok_or_else(|| err("missing name"))?.to_string(),
+                    ..ParsedInterface::default()
+                });
+                cur_iface = Some(rc.interfaces.len() - 1);
+            }
+            ("ip", true) => {
+                let i = cur_iface.ok_or_else(|| err("ip outside interface"))?;
+                let addr = rest.get(1).ok_or_else(|| err("missing address"))?;
+                let addr = addr.split('/').next().unwrap();
+                rc.interfaces[i].ip = Some(addr.parse()?);
+            }
+            ("snmp", true) => {
+                let i = cur_iface.ok_or_else(|| err("snmp outside interface"))?;
+                rc.interfaces[i].if_index = rest.get(1).and_then(|s| s.parse().ok());
+            }
+            ("role", true) => {
+                let i = cur_iface.ok_or_else(|| err("role outside interface"))?;
+                rc.interfaces[i].role = rest.join(" ");
+            }
+            ("circuit", true) => {
+                let i = cur_iface.ok_or_else(|| err("circuit outside interface"))?;
+                rc.interfaces[i].circuits = vec![rest
+                    .first()
+                    .ok_or_else(|| err("missing circuit"))?
+                    .to_string()];
+            }
+            ("aps" | "bundle", true) => {
+                let i = cur_iface.ok_or_else(|| err("group outside interface"))?;
+                rc.interfaces[i].circuits = rest[1..].iter().map(|s| s.to_string()).collect();
+                rc.interfaces[i].bundle = key == "bundle";
+            }
+            ("bgp", _) => match rest.first() {
+                Some(&"neighbor") => {
+                    let ip: Ipv4 = rest
+                        .get(1)
+                        .ok_or_else(|| err("missing neighbor"))?
+                        .parse()?;
+                    let iface = rest.last().ok_or_else(|| err("missing interface"))?;
+                    rc.bgp_neighbors.insert(ip, iface.to_string());
+                }
+                Some(&"route-reflector-client-of") => {
+                    rc.reflectors.push(
+                        rest.get(1)
+                            .ok_or_else(|| err("missing reflector"))?
+                            .to_string(),
+                    );
+                }
+                _ => return Err(err("unknown bgp stanza")),
+            },
+            ("mvpn", _) => {
+                rc.mvpns.push(
+                    rest.get(1)
+                        .ok_or_else(|| err("missing customer"))?
+                        .to_string(),
+                );
+            }
+            _ => return Err(err("unknown directive")),
+        }
+    }
+    if rc.hostname.is_empty() {
+        return Err(GrcaError::parse("config missing hostname"));
+    }
+    Ok(rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TopoGenConfig};
+
+    #[test]
+    fn roundtrip_matches_topology() {
+        let topo = generate(&TopoGenConfig::small());
+        let db = ConfigDb::parse(&emit_all(&topo)).unwrap();
+        assert_eq!(db.routers.len(), topo.routers.len());
+
+        // Utility 2: every session's neighbor resolves to its interface.
+        for s in &topo.sessions {
+            let pe = topo.router(s.pe);
+            let iface = topo.interface(s.iface);
+            assert_eq!(
+                db.neighbor_interface(&pe.name, s.neighbor_ip),
+                Some(iface.name.as_str())
+            );
+        }
+
+        // Utility 5: link circuits recovered per interface.
+        for l in &topo.links {
+            let a = topo.interface(l.a);
+            let router = topo.router(a.router);
+            let circuits = db.circuits_of(&router.name, &a.name).unwrap();
+            assert_eq!(circuits.len(), l.phys.len());
+            for (&p, c) in l.phys.iter().zip(circuits) {
+                assert_eq!(&topo.phys_link(p).circuit, c);
+            }
+        }
+
+        // Utility 6: slot mapping.
+        for ifc in &topo.interfaces {
+            let router = topo.router(ifc.router);
+            assert_eq!(
+                db.slot_of(&router.name, &ifc.name),
+                Some(topo.card(ifc.card).slot)
+            );
+        }
+
+        // Reflector assignments.
+        for pe in topo.provider_edges() {
+            let name = &topo.router(pe).name;
+            assert_eq!(db.reflectors_of(name).len(), 2);
+        }
+    }
+
+    #[test]
+    fn mvpn_membership_recovered() {
+        let topo = generate(&TopoGenConfig::small());
+        let db = ConfigDb::parse(&emit_all(&topo)).unwrap();
+        for m in &topo.mvpns {
+            let cust = &topo.customer(m.customer).name;
+            for &pe in &m.pes {
+                let rc = &db.routers[&topo.router(pe).name];
+                assert!(rc.mvpns.contains(cust));
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_groups_roundtrip() {
+        let cfg = TopoGenConfig {
+            bundle_fraction: 1.0,
+            sonet_fraction: 0.0,
+            ..TopoGenConfig::default()
+        };
+        let topo = generate(&cfg);
+        let db = ConfigDb::parse(&emit_all(&topo)).unwrap();
+        let mut bundles_seen = 0;
+        for l in &topo.links {
+            if l.aggregation == crate::topology::Aggregation::MlpppBundle {
+                let a = topo.interface(l.a);
+                let rc = &db.routers[&topo.router(a.router).name];
+                let pi = rc.interfaces.iter().find(|i| i.name == a.name).unwrap();
+                assert!(pi.bundle, "bundle flag lost for {}", a.name);
+                assert_eq!(pi.circuits.len(), 2);
+                bundles_seen += 1;
+            }
+        }
+        assert!(bundles_seen > 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_config("nonsense directive here\n").is_err());
+        assert!(parse_config("interface Serial0/0/0\n").is_err()); // outside linecard
+        assert!(parse_config("").is_err()); // missing hostname
+        assert!(parse_config("hostname r1\nbgp frobnicate\n").is_err());
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let rc = parse_config(
+            "hostname r1\nloopback 10.0.0.1\nlinecard slot 2\n interface Serial2/0/0\n  ip address 10.200.0.1/30\n  snmp ifindex 5\n  role backbone\n  circuit CKT-A-B-0001\n",
+        )
+        .unwrap();
+        assert_eq!(rc.hostname, "r1");
+        assert_eq!(rc.loopback, Some(Ipv4::new(10, 0, 0, 1)));
+        assert_eq!(rc.interfaces.len(), 1);
+        let i = &rc.interfaces[0];
+        assert_eq!(i.slot, 2);
+        assert_eq!(i.if_index, Some(5));
+        assert_eq!(i.circuits, vec!["CKT-A-B-0001".to_string()]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Dense typed ids for every entity kind in the topology.
+
+use grca_types::define_id;
+
+define_id!(
+    /// A point of presence (a city-level site housing routers).
+    PopId,
+    "pop"
+);
+define_id!(
+    /// A router (core, provider edge, or route reflector).
+    RouterId,
+    "router"
+);
+define_id!(
+    /// A line card installed in a router slot.
+    LineCardId,
+    "card"
+);
+define_id!(
+    /// A physical or logical interface on a line card.
+    InterfaceId,
+    "iface"
+);
+define_id!(
+    /// A layer-3 logical (point-to-point) link between two interfaces.
+    LinkId,
+    "link"
+);
+define_id!(
+    /// A physical circuit carrying one side of a logical link.
+    PhysLinkId,
+    "circuit"
+);
+define_id!(
+    /// A layer-1 transport device (SONET ring node / optical mesh node).
+    L1DeviceId,
+    "l1dev"
+);
+define_id!(
+    /// A customer organisation (owns sites + eBGP sessions, maybe an MVPN).
+    CustomerId,
+    "customer"
+);
+define_id!(
+    /// One eBGP session between a customer router and a provider edge router.
+    SessionId,
+    "session"
+);
+define_id!(
+    /// A multicast VPN instance.
+    MvpnId,
+    "mvpn"
+);
+define_id!(
+    /// A CDN node (data centre hosting content servers).
+    CdnNodeId,
+    "cdn"
+);
+define_id!(
+    /// An external client site (eyeball network) reaching the CDN.
+    ClientSiteId,
+    "client"
+);

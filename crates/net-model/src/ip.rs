@@ -1,0 +1,202 @@
+//! Minimal IPv4 address and prefix types.
+//!
+//! The platform only needs addressing for three jobs: numbering /30
+//! point-to-point links (so a link can be associated with its two routers,
+//! conversion utility 4 of §II-B), identifying eBGP neighbors
+//! (`Router:NeighborIP` locations), and longest-prefix matching external
+//! destinations to egress routers. A `u32`-backed newtype keeps all three
+//! cheap and `Copy`.
+
+use grca_types::{GrcaError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// The /30 subnet containing this address — point-to-point link
+    /// numbering convention used across the backbone.
+    pub const fn slash30(self) -> Prefix {
+        Prefix {
+            bits: self.0 & !0b11,
+            len: 30,
+        }
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl FromStr for Ipv4 {
+    type Err = GrcaError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let mut parts = s.split('.');
+        let mut oct = [0u8; 4];
+        for o in &mut oct {
+            *o = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| GrcaError::parse(format!("bad IPv4 {s:?}")))?;
+        }
+        if parts.next().is_some() {
+            return Err(GrcaError::parse(format!("bad IPv4 {s:?}")));
+        }
+        Ok(Ipv4::new(oct[0], oct[1], oct[2], oct[3]))
+    }
+}
+
+/// An IPv4 prefix (`addr/len`), normalized so host bits are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network bits (host bits cleared).
+    pub bits: u32,
+    /// Prefix length, 0..=32.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { bits: 0, len: 0 };
+
+    /// Build a prefix, clearing any host bits.
+    pub fn new(addr: Ipv4, len: u8) -> Self {
+        debug_assert!(len <= 32);
+        Prefix {
+            bits: addr.0 & Self::mask(len),
+            len,
+        }
+    }
+
+    const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4) -> bool {
+        addr.0 & Self::mask(self.len) == self.bits
+    }
+
+    /// Whether `other` is fully contained in (or equal to) `self`.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && other.bits & Self::mask(self.len) == self.bits
+    }
+
+    /// The network address as an [`Ipv4`].
+    pub fn network(&self) -> Ipv4 {
+        Ipv4(self.bits)
+    }
+
+    /// The `i`-th host address within the prefix (no broadcast handling —
+    /// callers know their numbering plan).
+    pub fn host(&self, i: u32) -> Ipv4 {
+        Ipv4(self.bits | i)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = GrcaError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let (a, l) = s
+            .split_once('/')
+            .ok_or_else(|| GrcaError::parse(format!("bad prefix {s:?}")))?;
+        let addr: Ipv4 = a.parse()?;
+        let len: u8 = l
+            .parse()
+            .ok()
+            .filter(|&l| l <= 32)
+            .ok_or_else(|| GrcaError::parse(format!("bad prefix length in {s:?}")))?;
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let a = Ipv4::new(10, 1, 2, 3);
+        assert_eq!(a.to_string(), "10.1.2.3");
+        assert_eq!("10.1.2.3".parse::<Ipv4>().unwrap(), a);
+        assert!("10.1.2".parse::<Ipv4>().is_err());
+        assert!("10.1.2.3.4".parse::<Ipv4>().is_err());
+        assert!("10.1.2.999".parse::<Ipv4>().is_err());
+    }
+
+    #[test]
+    fn slash30_pairing() {
+        // The two endpoints of a /30-numbered link share the same subnet.
+        let a = Ipv4::new(10, 200, 0, 1);
+        let b = Ipv4::new(10, 200, 0, 2);
+        let c = Ipv4::new(10, 200, 0, 5);
+        assert_eq!(a.slash30(), b.slash30());
+        assert_ne!(a.slash30(), c.slash30());
+        assert_eq!(a.slash30().to_string(), "10.200.0.0/30");
+    }
+
+    #[test]
+    fn prefix_contains_and_covers() {
+        let p: Prefix = "192.168.0.0/16".parse().unwrap();
+        assert!(p.contains(Ipv4::new(192, 168, 55, 1)));
+        assert!(!p.contains(Ipv4::new(192, 169, 0, 1)));
+        let q: Prefix = "192.168.4.0/24".parse().unwrap();
+        assert!(p.covers(&q));
+        assert!(!q.covers(&p));
+        assert!(p.covers(&p));
+        assert!(Prefix::DEFAULT.contains(Ipv4::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn prefix_normalizes_host_bits() {
+        let p = Prefix::new(Ipv4::new(10, 1, 2, 200), 24);
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+        assert_eq!(p.host(7).to_string(), "10.1.2.7");
+    }
+
+    #[test]
+    fn prefix_parse_errors() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("bogus/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn zero_length_mask() {
+        assert_eq!(Prefix::DEFAULT.len, 0);
+        assert!(Prefix::DEFAULT.covers(&"10.0.0.0/8".parse().unwrap()));
+    }
+}

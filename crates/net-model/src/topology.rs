@@ -1,0 +1,953 @@
+//! The static structure of the modeled ISP network.
+//!
+//! Entities are stored arena-style in flat vectors inside [`Topology`] and
+//! referenced by the dense typed ids from [`crate::ids`]. Lookup maps cover
+//! every naming convention the raw telemetry uses, so the Data Collector can
+//! resolve a syslog hostname + interface name, an SNMP system name +
+//! ifIndex, or a layer-1 circuit id back to canonical entities.
+//!
+//! The model deliberately stops at the ISP boundary: customer routers and
+//! neighboring ISPs exist only as neighbor IPs / external prefixes, exactly
+//! the visibility a provider has (the paper's BGP-flap study calls
+//! cross-trust-domain diagnosis "a particularly challenging problem").
+
+use crate::ids::*;
+use crate::ip::{Ipv4, Prefix};
+use grca_types::TimeZone;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A point of presence: a city site housing routers and layer-1 gear.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pop {
+    /// Short city code, e.g. `"nyc"`.
+    pub name: String,
+    /// The device-local time zone used by equipment at this site.
+    pub tz: TimeZone,
+}
+
+/// The role a router plays in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterRole {
+    /// Backbone core router.
+    Core,
+    /// Provider edge router terminating customer attachments.
+    ProviderEdge,
+    /// BGP route reflector (control-plane only).
+    RouteReflector,
+}
+
+/// A router.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Router {
+    /// Canonical lowercase name, e.g. `"nyc-per3"`.
+    pub name: String,
+    pub role: RouterRole,
+    pub pop: PopId,
+    /// Loopback address (stable router identifier in routing protocols).
+    pub loopback: Ipv4,
+    /// Line cards installed, in slot order.
+    pub cards: Vec<LineCardId>,
+}
+
+impl Router {
+    /// The name this router reports through SNMP — uppercase and
+    /// domain-qualified, one of the naming mismatches the collector
+    /// normalizes away.
+    pub fn snmp_name(&self) -> String {
+        format!("{}.ISP.NET", self.name.to_uppercase())
+    }
+}
+
+/// A line card in a router slot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LineCard {
+    pub router: RouterId,
+    /// Slot number within the chassis.
+    pub slot: u8,
+    /// Interfaces on this card, in port order.
+    pub interfaces: Vec<InterfaceId>,
+}
+
+/// What an interface connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterfaceKind {
+    /// Connects two backbone routers (core–core or PE-uplink–core).
+    Backbone,
+    /// Faces a customer router; carries an eBGP session.
+    CustomerFacing { customer: CustomerId },
+    /// Faces a neighboring ISP (settlement peering).
+    Peering,
+}
+
+/// A router interface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Interface {
+    pub router: RouterId,
+    pub card: LineCardId,
+    /// Port on the card.
+    pub port: u8,
+    /// Name as it appears in this router's syslog, e.g. `"Serial3/0/0"`.
+    pub name: String,
+    /// Interface address if numbered (`/30` convention on backbone links).
+    pub ip: Option<Ipv4>,
+    pub kind: InterfaceKind,
+    /// SNMP ifIndex — how SNMP data refers to this interface.
+    pub if_index: u32,
+    /// For customer-facing interfaces: the layer-1 access circuit carrying
+    /// the attachment toward the customer site (backbone interfaces carry
+    /// their circuits on the logical link instead).
+    pub access_circuit: Option<PhysLinkId>,
+}
+
+/// Which layer-1 technology carries a physical circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L1Kind {
+    /// SONET ring with Automatic Protection Switching.
+    Sonet,
+    /// Intelligent optical mesh (supports regular and fast restoration).
+    OpticalMesh,
+}
+
+/// What a layer-1 device is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L1DeviceKind {
+    /// SONET add-drop multiplexer.
+    SonetAdm,
+    /// Optical cross-connect in the mesh.
+    OpticalSwitch,
+}
+
+/// A layer-1 transport device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct L1Device {
+    /// Inventory name, e.g. `"adm-nyc-2"` or `"oxc-chi-1"`.
+    pub name: String,
+    pub kind: L1DeviceKind,
+    pub pop: PopId,
+}
+
+/// A physical circuit. The layer-1 inventory database records which
+/// layer-1 devices the circuit traverses (conversion utility 7, §II-B).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhysicalLink {
+    /// Circuit id as the layer-1 systems know it, e.g. `"CKT-NYC-CHI-0042"`.
+    pub circuit: String,
+    pub kind: L1Kind,
+    /// Layer-1 devices along the circuit, in order.
+    pub l1_path: Vec<L1DeviceId>,
+}
+
+/// How multiple physical circuits under one logical link relate
+/// (conversion utility 5 of §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// One circuit, no redundancy.
+    Single,
+    /// SONET Automatic Protection Switching: a standby circuit takes over
+    /// on failure of the working one.
+    ApsProtected,
+    /// Multilink PPP bundle: all member circuits carry traffic; losing one
+    /// halves capacity but keeps the link up.
+    MlpppBundle,
+}
+
+/// A layer-3 point-to-point logical link between two interfaces.
+///
+/// A logical link may ride more than one physical circuit for redundancy or
+/// capacity (SONET APS protection pairs, multilink PPP bundles) —
+/// conversion utility 5 of §II-B.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogicalLink {
+    pub a: InterfaceId,
+    pub b: InterfaceId,
+    /// Default OSPF weight (dynamic weight changes live in `grca-routing`).
+    pub base_weight: u32,
+    /// Physical circuits carrying this logical link.
+    pub phys: Vec<PhysLinkId>,
+    /// Link capacity in Mb/s (used by congestion modeling).
+    pub capacity_mbps: u32,
+    /// Relationship among the circuits in `phys`.
+    pub aggregation: Aggregation,
+}
+
+/// A customer organisation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Customer {
+    pub name: String,
+    /// The customer's eBGP sessions (one per attached site).
+    pub sessions: Vec<SessionId>,
+}
+
+/// One eBGP session between a customer router (outside the ISP) and a PE.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EbgpSession {
+    pub customer: CustomerId,
+    /// The provider edge router terminating the session.
+    pub pe: RouterId,
+    /// The customer-facing interface on the PE.
+    pub iface: InterfaceId,
+    /// The customer router's address — all the ISP sees of the far end.
+    pub neighbor_ip: Ipv4,
+}
+
+/// A multicast VPN: the PEs attaching one customer's sites maintain a full
+/// mesh of PIM neighbor adjacencies with each other (§III-C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mvpn {
+    pub customer: CustomerId,
+    /// Distinct PE routers participating (adjacency = every unordered pair).
+    pub pes: Vec<RouterId>,
+}
+
+/// A CDN node: a data centre attached to the network at one PE.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdnNode {
+    pub name: String,
+    pub pop: PopId,
+    /// The router through which CDN traffic enters the backbone.
+    pub attach_router: RouterId,
+    /// Address block of the content servers.
+    pub server_prefix: Prefix,
+}
+
+/// An external network (destination prefix) reachable via one or more
+/// egress routers. Used both as generic Internet destinations (BGP egress
+/// change events) and as CDN client sites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtNet {
+    pub name: String,
+    pub prefix: Prefix,
+    /// Egress routers currently advertising reachability (BGP candidates).
+    pub egress_candidates: Vec<RouterId>,
+}
+
+/// The complete static network structure plus lookup indices.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    pub pops: Vec<Pop>,
+    pub routers: Vec<Router>,
+    pub cards: Vec<LineCard>,
+    pub interfaces: Vec<Interface>,
+    pub links: Vec<LogicalLink>,
+    pub phys_links: Vec<PhysicalLink>,
+    pub l1_devices: Vec<L1Device>,
+    pub customers: Vec<Customer>,
+    pub sessions: Vec<EbgpSession>,
+    pub mvpns: Vec<Mvpn>,
+    pub cdn_nodes: Vec<CdnNode>,
+    pub ext_nets: Vec<ExtNet>,
+    /// Route reflectors serving each PE (from router configuration).
+    /// Serialized as an association list so JSON works.
+    #[serde(with = "reflectors_serde")]
+    pub reflectors_of: BTreeMap<RouterId, Vec<RouterId>>,
+
+    // ---- lookup indices: derived data, rebuilt on deserialization ----
+    #[serde(skip)]
+    router_by_name: BTreeMap<String, RouterId>,
+    #[serde(skip)]
+    iface_by_name: BTreeMap<(RouterId, String), InterfaceId>,
+    #[serde(skip)]
+    iface_by_ifindex: BTreeMap<(RouterId, u32), InterfaceId>,
+    #[serde(skip)]
+    iface_by_ip: BTreeMap<Ipv4, InterfaceId>,
+    #[serde(skip)]
+    circuit_by_name: BTreeMap<String, PhysLinkId>,
+    #[serde(skip)]
+    l1dev_by_name: BTreeMap<String, L1DeviceId>,
+    #[serde(skip)]
+    session_by_neighbor: BTreeMap<(RouterId, Ipv4), SessionId>,
+    #[serde(skip)]
+    link_by_ifaces: BTreeMap<(InterfaceId, InterfaceId), LinkId>,
+    #[serde(skip)]
+    links_at_router: BTreeMap<RouterId, Vec<LinkId>>,
+}
+
+/// (De)serialize `reflectors_of` as `Vec<(RouterId, Vec<RouterId>)>` —
+/// JSON maps require string keys.
+mod reflectors_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        m: &BTreeMap<RouterId, Vec<RouterId>>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let v: Vec<(&RouterId, &Vec<RouterId>)> = m.iter().collect();
+        serde::Serialize::serialize(&v, s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<BTreeMap<RouterId, Vec<RouterId>>, D::Error> {
+        let v: Vec<(RouterId, Vec<RouterId>)> = serde::Deserialize::deserialize(d)?;
+        Ok(v.into_iter().collect())
+    }
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Rebuild every lookup index from the entity vectors. Indices are
+    /// derived data and are skipped by serialization; call this after
+    /// deserializing a topology.
+    pub fn rebuild_indices(&mut self) {
+        self.router_by_name = self
+            .routers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), RouterId::from(i)))
+            .collect();
+        self.iface_by_name.clear();
+        self.iface_by_ifindex.clear();
+        self.iface_by_ip.clear();
+        for (i, ifc) in self.interfaces.iter().enumerate() {
+            let id = InterfaceId::from(i);
+            self.iface_by_name
+                .insert((ifc.router, ifc.name.clone()), id);
+            self.iface_by_ifindex.insert((ifc.router, ifc.if_index), id);
+            if let Some(ip) = ifc.ip {
+                self.iface_by_ip.insert(ip, id);
+            }
+        }
+        self.circuit_by_name = self
+            .phys_links
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.circuit.clone(), PhysLinkId::from(i)))
+            .collect();
+        self.l1dev_by_name = self
+            .l1_devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), L1DeviceId::from(i)))
+            .collect();
+        self.session_by_neighbor = self
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.pe, s.neighbor_ip), SessionId::from(i)))
+            .collect();
+        self.link_by_ifaces.clear();
+        self.links_at_router.clear();
+        for (i, l) in self.links.iter().enumerate() {
+            let id = LinkId::from(i);
+            let (lo, hi) = if l.a <= l.b { (l.a, l.b) } else { (l.b, l.a) };
+            self.link_by_ifaces.insert((lo, hi), id);
+            let ra = self.interfaces[l.a.index()].router;
+            let rb = self.interfaces[l.b.index()].router;
+            self.links_at_router.entry(ra).or_default().push(id);
+            self.links_at_router.entry(rb).or_default().push(id);
+        }
+    }
+
+    // ---------------------------------------------------------------- adds
+
+    pub fn add_pop(&mut self, name: impl Into<String>, tz: TimeZone) -> PopId {
+        let id = PopId::from(self.pops.len());
+        self.pops.push(Pop {
+            name: name.into(),
+            tz,
+        });
+        id
+    }
+
+    pub fn add_router(
+        &mut self,
+        name: impl Into<String>,
+        role: RouterRole,
+        pop: PopId,
+        loopback: Ipv4,
+    ) -> RouterId {
+        let id = RouterId::from(self.routers.len());
+        let name = name.into();
+        self.router_by_name.insert(name.clone(), id);
+        self.routers.push(Router {
+            name,
+            role,
+            pop,
+            loopback,
+            cards: Vec::new(),
+        });
+        id
+    }
+
+    pub fn add_card(&mut self, router: RouterId, slot: u8) -> LineCardId {
+        let id = LineCardId::from(self.cards.len());
+        self.cards.push(LineCard {
+            router,
+            slot,
+            interfaces: Vec::new(),
+        });
+        self.routers[router.index()].cards.push(id);
+        id
+    }
+
+    pub fn add_interface(
+        &mut self,
+        card: LineCardId,
+        port: u8,
+        ip: Option<Ipv4>,
+        kind: InterfaceKind,
+    ) -> InterfaceId {
+        let id = InterfaceId::from(self.interfaces.len());
+        let router = self.cards[card.index()].router;
+        let slot = self.cards[card.index()].slot;
+        let name = format!("Serial{slot}/{port}/0");
+        let if_index = 1 + self.routers[router.index()]
+            .cards
+            .iter()
+            .map(|c| self.cards[c.index()].interfaces.len() as u32)
+            .sum::<u32>();
+        self.iface_by_name.insert((router, name.clone()), id);
+        self.iface_by_ifindex.insert((router, if_index), id);
+        if let Some(ip) = ip {
+            self.iface_by_ip.insert(ip, id);
+        }
+        self.cards[card.index()].interfaces.push(id);
+        self.interfaces.push(Interface {
+            router,
+            card,
+            port,
+            name,
+            ip,
+            kind,
+            if_index,
+            access_circuit: None,
+        });
+        id
+    }
+
+    /// Attach a layer-1 access circuit to a (customer-facing) interface.
+    pub fn set_access_circuit(&mut self, iface: InterfaceId, circuit: PhysLinkId) {
+        self.interfaces[iface.index()].access_circuit = Some(circuit);
+    }
+
+    pub fn add_l1_device(
+        &mut self,
+        name: impl Into<String>,
+        kind: L1DeviceKind,
+        pop: PopId,
+    ) -> L1DeviceId {
+        let id = L1DeviceId::from(self.l1_devices.len());
+        let name = name.into();
+        self.l1dev_by_name.insert(name.clone(), id);
+        self.l1_devices.push(L1Device { name, kind, pop });
+        id
+    }
+
+    pub fn add_phys_link(
+        &mut self,
+        circuit: impl Into<String>,
+        kind: L1Kind,
+        l1_path: Vec<L1DeviceId>,
+    ) -> PhysLinkId {
+        let id = PhysLinkId::from(self.phys_links.len());
+        let circuit = circuit.into();
+        self.circuit_by_name.insert(circuit.clone(), id);
+        self.phys_links.push(PhysicalLink {
+            circuit,
+            kind,
+            l1_path,
+        });
+        id
+    }
+
+    pub fn add_link(
+        &mut self,
+        a: InterfaceId,
+        b: InterfaceId,
+        base_weight: u32,
+        phys: Vec<PhysLinkId>,
+        capacity_mbps: u32,
+    ) -> LinkId {
+        let id = LinkId::from(self.links.len());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.link_by_ifaces.insert((lo, hi), id);
+        let ra = self.interfaces[a.index()].router;
+        let rb = self.interfaces[b.index()].router;
+        self.links_at_router.entry(ra).or_default().push(id);
+        self.links_at_router.entry(rb).or_default().push(id);
+        let aggregation = if phys.len() > 1 {
+            Aggregation::ApsProtected
+        } else {
+            Aggregation::Single
+        };
+        self.links.push(LogicalLink {
+            a,
+            b,
+            base_weight,
+            phys,
+            capacity_mbps,
+            aggregation,
+        });
+        id
+    }
+
+    /// Mark a multi-circuit link as a multilink PPP bundle instead of the
+    /// default APS protection pair.
+    pub fn set_link_aggregation(&mut self, link: LinkId, aggregation: Aggregation) {
+        self.links[link.index()].aggregation = aggregation;
+    }
+
+    pub fn add_customer(&mut self, name: impl Into<String>) -> CustomerId {
+        let id = CustomerId::from(self.customers.len());
+        self.customers.push(Customer {
+            name: name.into(),
+            sessions: Vec::new(),
+        });
+        id
+    }
+
+    pub fn add_session(
+        &mut self,
+        customer: CustomerId,
+        pe: RouterId,
+        iface: InterfaceId,
+        neighbor_ip: Ipv4,
+    ) -> SessionId {
+        let id = SessionId::from(self.sessions.len());
+        self.session_by_neighbor.insert((pe, neighbor_ip), id);
+        self.customers[customer.index()].sessions.push(id);
+        self.sessions.push(EbgpSession {
+            customer,
+            pe,
+            iface,
+            neighbor_ip,
+        });
+        id
+    }
+
+    pub fn add_mvpn(&mut self, customer: CustomerId, pes: Vec<RouterId>) -> MvpnId {
+        let id = MvpnId::from(self.mvpns.len());
+        self.mvpns.push(Mvpn { customer, pes });
+        id
+    }
+
+    pub fn add_cdn_node(
+        &mut self,
+        name: impl Into<String>,
+        pop: PopId,
+        attach_router: RouterId,
+        server_prefix: Prefix,
+    ) -> CdnNodeId {
+        let id = CdnNodeId::from(self.cdn_nodes.len());
+        self.cdn_nodes.push(CdnNode {
+            name: name.into(),
+            pop,
+            attach_router,
+            server_prefix,
+        });
+        id
+    }
+
+    pub fn add_ext_net(
+        &mut self,
+        name: impl Into<String>,
+        prefix: Prefix,
+        egress_candidates: Vec<RouterId>,
+    ) -> ClientSiteId {
+        let id = ClientSiteId::from(self.ext_nets.len());
+        self.ext_nets.push(ExtNet {
+            name: name.into(),
+            prefix,
+            egress_candidates,
+        });
+        id
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    pub fn pop(&self, id: PopId) -> &Pop {
+        &self.pops[id.index()]
+    }
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.index()]
+    }
+    pub fn card(&self, id: LineCardId) -> &LineCard {
+        &self.cards[id.index()]
+    }
+    pub fn interface(&self, id: InterfaceId) -> &Interface {
+        &self.interfaces[id.index()]
+    }
+    pub fn link(&self, id: LinkId) -> &LogicalLink {
+        &self.links[id.index()]
+    }
+    pub fn phys_link(&self, id: PhysLinkId) -> &PhysicalLink {
+        &self.phys_links[id.index()]
+    }
+    pub fn l1_device(&self, id: L1DeviceId) -> &L1Device {
+        &self.l1_devices[id.index()]
+    }
+    pub fn customer(&self, id: CustomerId) -> &Customer {
+        &self.customers[id.index()]
+    }
+    pub fn session(&self, id: SessionId) -> &EbgpSession {
+        &self.sessions[id.index()]
+    }
+    pub fn mvpn(&self, id: MvpnId) -> &Mvpn {
+        &self.mvpns[id.index()]
+    }
+    pub fn cdn_node(&self, id: CdnNodeId) -> &CdnNode {
+        &self.cdn_nodes[id.index()]
+    }
+    pub fn ext_net(&self, id: ClientSiteId) -> &ExtNet {
+        &self.ext_nets[id.index()]
+    }
+
+    /// The device-local time zone of a router (its PoP's zone).
+    pub fn router_tz(&self, id: RouterId) -> TimeZone {
+        self.pop(self.router(id).pop).tz
+    }
+
+    /// Canonical `router:interface` display name.
+    pub fn iface_full_name(&self, id: InterfaceId) -> String {
+        let i = self.interface(id);
+        format!("{}:{}", self.router(i.router).name, i.name)
+    }
+
+    // ------------------------------------------------------------- lookups
+
+    pub fn router_by_name(&self, name: &str) -> Option<RouterId> {
+        self.router_by_name.get(name).copied()
+    }
+
+    /// Resolve an SNMP system name (`"NYC-PER1.ISP.NET"`) to a router.
+    pub fn router_by_snmp_name(&self, snmp: &str) -> Option<RouterId> {
+        let lower = snmp.to_lowercase();
+        let base = lower.strip_suffix(".isp.net").unwrap_or(&lower);
+        self.router_by_name(base)
+    }
+
+    pub fn iface_by_name(&self, router: RouterId, name: &str) -> Option<InterfaceId> {
+        self.iface_by_name.get(&(router, name.to_string())).copied()
+    }
+
+    pub fn iface_by_ifindex(&self, router: RouterId, if_index: u32) -> Option<InterfaceId> {
+        self.iface_by_ifindex.get(&(router, if_index)).copied()
+    }
+
+    pub fn iface_by_ip(&self, ip: Ipv4) -> Option<InterfaceId> {
+        self.iface_by_ip.get(&ip).copied()
+    }
+
+    pub fn circuit_by_name(&self, circuit: &str) -> Option<PhysLinkId> {
+        self.circuit_by_name.get(circuit).copied()
+    }
+
+    pub fn l1dev_by_name(&self, name: &str) -> Option<L1DeviceId> {
+        self.l1dev_by_name.get(name).copied()
+    }
+
+    pub fn session_by_neighbor(&self, pe: RouterId, neighbor: Ipv4) -> Option<SessionId> {
+        self.session_by_neighbor.get(&(pe, neighbor)).copied()
+    }
+
+    /// The logical link between two interfaces, if any.
+    pub fn link_between_ifaces(&self, a: InterfaceId, b: InterfaceId) -> Option<LinkId> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_by_ifaces.get(&key).copied()
+    }
+
+    /// All logical links with an endpoint on `router`.
+    pub fn links_at_router(&self, router: RouterId) -> &[LinkId] {
+        self.links_at_router
+            .get(&router)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The logical link an interface terminates, if it is a link endpoint.
+    pub fn link_of_iface(&self, iface: InterfaceId) -> Option<LinkId> {
+        let router = self.interface(iface).router;
+        self.links_at_router(router)
+            .iter()
+            .copied()
+            .find(|&l| self.links[l.index()].a == iface || self.links[l.index()].b == iface)
+    }
+
+    /// The router at the far end of a link from `from`.
+    pub fn link_peer_router(&self, link: LinkId, from: RouterId) -> RouterId {
+        let l = self.link(link);
+        let ra = self.interface(l.a).router;
+        let rb = self.interface(l.b).router;
+        if ra == from {
+            rb
+        } else {
+            ra
+        }
+    }
+
+    /// Both endpoint routers of a link.
+    pub fn link_routers(&self, link: LinkId) -> (RouterId, RouterId) {
+        let l = self.link(link);
+        (self.interface(l.a).router, self.interface(l.b).router)
+    }
+
+    /// Associate a /30 interface address with its link — conversion
+    /// utility 4 of §II-B: a point-to-point link is identified by matching
+    /// the IP addresses of the logical interfaces to a /30 network.
+    pub fn link_by_slash30(&self, addr: Ipv4) -> Option<LinkId> {
+        let net = addr.slash30();
+        // Endpoint addresses are .1/.2 inside the /30.
+        for host in 1..=2u32 {
+            if let Some(i) = self.iface_by_ip(net.host(host)) {
+                if let Some(l) = self.link_of_iface(i) {
+                    return Some(l);
+                }
+            }
+        }
+        None
+    }
+
+    /// All eBGP sessions terminating on interfaces of one line card.
+    pub fn sessions_on_card(&self, card: LineCardId) -> Vec<SessionId> {
+        let mut out = Vec::new();
+        for &i in &self.card(card).interfaces {
+            for (sid, s) in self.sessions.iter().enumerate() {
+                if s.iface == i {
+                    out.push(SessionId::from(sid));
+                }
+            }
+        }
+        out
+    }
+
+    /// All PEs, in id order.
+    pub fn provider_edges(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.routers
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.role == RouterRole::ProviderEdge)
+            .map(|(i, _)| RouterId::from(i))
+    }
+
+    /// Longest-prefix match over external networks.
+    pub fn ext_net_for(&self, addr: Ipv4) -> Option<ClientSiteId> {
+        self.ext_nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.prefix.contains(addr))
+            .max_by_key(|(_, n)| n.prefix.len)
+            .map(|(i, _)| ClientSiteId::from(i))
+    }
+
+    /// Summary line used by reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} pops, {} routers ({} PE), {} cards, {} interfaces, {} links, \
+             {} circuits, {} l1-devices, {} customers, {} sessions, {} mvpns, \
+             {} cdn nodes, {} ext nets",
+            self.pops.len(),
+            self.routers.len(),
+            self.provider_edges().count(),
+            self.cards.len(),
+            self.interfaces.len(),
+            self.links.len(),
+            self.phys_links.len(),
+            self.l1_devices.len(),
+            self.customers.len(),
+            self.sessions.len(),
+            self.mvpns.len(),
+            self.cdn_nodes.len(),
+            self.ext_nets.len()
+        )
+    }
+
+    /// Internal consistency check; returns human-readable violations.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        for (i, card) in self.cards.iter().enumerate() {
+            if card.router.index() >= self.routers.len() {
+                errs.push(format!("card#{i} references missing router"));
+            }
+        }
+        for (i, ifc) in self.interfaces.iter().enumerate() {
+            if self.cards[ifc.card.index()].router != ifc.router {
+                errs.push(format!("iface#{i} router/card mismatch"));
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            let (ra, rb) = (
+                self.interfaces[l.a.index()].router,
+                self.interfaces[l.b.index()].router,
+            );
+            if ra == rb {
+                errs.push(format!(
+                    "link#{i} is a self-loop on {}",
+                    self.router(ra).name
+                ));
+            }
+            if l.phys.is_empty() {
+                errs.push(format!("link#{i} has no physical circuit"));
+            }
+            if l.phys.len() < 2 && l.aggregation != Aggregation::Single {
+                errs.push(format!("link#{i} aggregation needs >= 2 circuits"));
+            }
+            // /30 numbering: both ends numbered in the same /30.
+            if let (Some(ia), Some(ib)) = (
+                self.interfaces[l.a.index()].ip,
+                self.interfaces[l.b.index()].ip,
+            ) {
+                if ia.slash30() != ib.slash30() {
+                    errs.push(format!("link#{i} endpoints not in one /30"));
+                }
+            }
+        }
+        for (i, s) in self.sessions.iter().enumerate() {
+            if self.interfaces[s.iface.index()].router != s.pe {
+                errs.push(format!("session#{i} iface not on its PE"));
+            }
+            if !matches!(
+                self.interfaces[s.iface.index()].kind,
+                InterfaceKind::CustomerFacing { .. }
+            ) {
+                errs.push(format!("session#{i} iface is not customer-facing"));
+            }
+        }
+        for (i, m) in self.mvpns.iter().enumerate() {
+            if m.pes.len() < 2 {
+                errs.push(format!("mvpn#{i} has fewer than two PEs"));
+            }
+        }
+        errs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-router fixture with one backbone link and one customer session.
+    pub(crate) fn tiny() -> Topology {
+        let mut t = Topology::new();
+        let nyc = t.add_pop("nyc", TimeZone::US_EASTERN);
+        let chi = t.add_pop("chi", TimeZone::US_CENTRAL);
+        let r1 = t.add_router("nyc-cr1", RouterRole::Core, nyc, Ipv4::new(10, 0, 0, 1));
+        let r2 = t.add_router(
+            "chi-per1",
+            RouterRole::ProviderEdge,
+            chi,
+            Ipv4::new(10, 0, 0, 2),
+        );
+        let c1 = t.add_card(r1, 0);
+        let c2 = t.add_card(r2, 0);
+        let adm = t.add_l1_device("adm-nyc-1", L1DeviceKind::SonetAdm, nyc);
+        let pl = t.add_phys_link("CKT-NYC-CHI-0001", L1Kind::Sonet, vec![adm]);
+        let i1 = t.add_interface(
+            c1,
+            0,
+            Some(Ipv4::new(10, 200, 0, 1)),
+            InterfaceKind::Backbone,
+        );
+        let i2 = t.add_interface(
+            c2,
+            0,
+            Some(Ipv4::new(10, 200, 0, 2)),
+            InterfaceKind::Backbone,
+        );
+        t.add_link(i1, i2, 10, vec![pl], 10_000);
+        let cust = t.add_customer("acme");
+        let i3 = t.add_interface(
+            c2,
+            1,
+            Some(Ipv4::new(172, 16, 0, 1)),
+            InterfaceKind::CustomerFacing { customer: cust },
+        );
+        t.add_session(cust, r2, i3, Ipv4::new(172, 16, 0, 2));
+        t
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        let t = tiny();
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+    }
+
+    #[test]
+    fn name_lookups() {
+        let t = tiny();
+        let r2 = t.router_by_name("chi-per1").unwrap();
+        assert_eq!(t.router(r2).role, RouterRole::ProviderEdge);
+        assert_eq!(t.router_by_snmp_name("CHI-PER1.ISP.NET"), Some(r2));
+        assert_eq!(t.router_by_snmp_name("CHI-PER1"), Some(r2));
+        assert!(t.router_by_snmp_name("NOPE.ISP.NET").is_none());
+        let i = t.iface_by_name(r2, "Serial0/0/0").unwrap();
+        assert_eq!(t.interface(i).router, r2);
+        assert_eq!(t.iface_by_ifindex(r2, t.interface(i).if_index), Some(i));
+    }
+
+    #[test]
+    fn snmp_names_differ_from_canonical() {
+        let t = tiny();
+        let r = t.router_by_name("nyc-cr1").unwrap();
+        assert_eq!(t.router(r).snmp_name(), "NYC-CR1.ISP.NET");
+    }
+
+    #[test]
+    fn link_associations() {
+        let t = tiny();
+        let r1 = t.router_by_name("nyc-cr1").unwrap();
+        let r2 = t.router_by_name("chi-per1").unwrap();
+        let l = LinkId::new(0);
+        assert_eq!(t.link_routers(l), (r1, r2));
+        assert_eq!(t.link_peer_router(l, r1), r2);
+        assert_eq!(t.links_at_router(r1), &[l]);
+        // /30 association (utility 4)
+        assert_eq!(t.link_by_slash30(Ipv4::new(10, 200, 0, 2)), Some(l));
+        assert_eq!(t.link_by_slash30(Ipv4::new(10, 200, 9, 1)), None);
+    }
+
+    #[test]
+    fn session_and_card_lookups() {
+        let t = tiny();
+        let r2 = t.router_by_name("chi-per1").unwrap();
+        let s = t.session_by_neighbor(r2, Ipv4::new(172, 16, 0, 2)).unwrap();
+        assert_eq!(t.session(s).pe, r2);
+        let card = t.interface(t.session(s).iface).card;
+        assert_eq!(t.sessions_on_card(card), vec![s]);
+    }
+
+    #[test]
+    fn circuit_and_l1_lookup() {
+        let t = tiny();
+        let pl = t.circuit_by_name("CKT-NYC-CHI-0001").unwrap();
+        assert_eq!(t.phys_link(pl).kind, L1Kind::Sonet);
+        let d = t.l1dev_by_name("adm-nyc-1").unwrap();
+        assert_eq!(t.phys_link(pl).l1_path, vec![d]);
+    }
+
+    #[test]
+    fn ext_net_longest_prefix() {
+        let mut t = tiny();
+        let r = t.router_by_name("nyc-cr1").unwrap();
+        t.add_ext_net("coarse", "96.0.0.0/8".parse().unwrap(), vec![r]);
+        let fine = t.add_ext_net("fine", "96.1.0.0/16".parse().unwrap(), vec![r]);
+        assert_eq!(t.ext_net_for(Ipv4::new(96, 1, 2, 3)), Some(fine));
+        assert_eq!(
+            t.ext_net_for(Ipv4::new(96, 9, 2, 3)),
+            Some(ClientSiteId::new(0))
+        );
+        assert_eq!(t.ext_net_for(Ipv4::new(9, 9, 9, 9)), None);
+    }
+
+    #[test]
+    fn validate_catches_bad_session() {
+        let mut t = tiny();
+        // Session whose interface lives on the wrong router.
+        let cust = CustomerId::new(0);
+        let wrong_iface = InterfaceId::new(0); // backbone iface on nyc-cr1
+        let pe = t.router_by_name("chi-per1").unwrap();
+        t.add_session(cust, pe, wrong_iface, Ipv4::new(172, 16, 0, 6));
+        assert!(!t.validate().is_empty());
+    }
+
+    #[test]
+    fn router_tz_follows_pop() {
+        let t = tiny();
+        let r1 = t.router_by_name("nyc-cr1").unwrap();
+        assert_eq!(t.router_tz(r1), TimeZone::US_EASTERN);
+    }
+}

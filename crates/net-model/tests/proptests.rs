@@ -1,0 +1,136 @@
+//! Property-based tests: prefixes, generated-topology invariants, config
+//! round trips, and spatial-expansion consistency.
+
+use grca_net_model::config::{emit_all, ConfigDb};
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::{Ipv4, JoinLevel, Location, NullOracle, Prefix, SpatialModel};
+use grca_types::Timestamp;
+use proptest::prelude::*;
+
+proptest! {
+    /// Prefix::contains agrees with bit arithmetic; covers is transitive
+    /// with contains.
+    #[test]
+    fn prefix_contains_consistent(addr: u32, net: u32, len in 0u8..=32) {
+        let p = Prefix::new(Ipv4(net), len);
+        let a = Ipv4(addr);
+        let mask = if len == 0 { 0u32 } else { u32::MAX << (32 - len) };
+        prop_assert_eq!(p.contains(a), (addr & mask) == p.bits);
+        // A prefix always covers itself and contains its own network.
+        prop_assert!(p.covers(&p));
+        prop_assert!(p.contains(p.network()));
+    }
+
+    /// covers(q) implies every address in q is in p.
+    #[test]
+    fn covers_implies_contains(net: u32, len in 8u8..=24, sub in 0u8..=8, host: u32) {
+        let p = Prefix::new(Ipv4(net), len);
+        let q = Prefix::new(Ipv4(net), len + sub);
+        prop_assert!(p.covers(&q));
+        let a = Ipv4(q.bits | (host & !(if len + sub == 0 { 0 } else { u32::MAX << (32 - (len + sub)) })));
+        if q.contains(a) {
+            prop_assert!(p.contains(a));
+        }
+    }
+
+    /// IPv4 display/parse round trip.
+    #[test]
+    fn ipv4_roundtrip(bits: u32) {
+        let a = Ipv4(bits);
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ipv4>().unwrap(), a);
+    }
+
+    /// Generated topologies of any shape validate, index consistently,
+    /// and survive the config round trip.
+    #[test]
+    fn generated_topology_invariants(
+        pops in 2usize..8,
+        pes in 1usize..4,
+        sessions in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let cfg = TopoGenConfig {
+            pops,
+            pes_per_pop: pes,
+            sessions_per_pe: sessions,
+            seed,
+            ..TopoGenConfig::small()
+        };
+        let topo = generate(&cfg);
+        prop_assert!(topo.validate().is_empty(), "{:?}", topo.validate());
+        // Name round trips for every router and interface.
+        for (i, r) in topo.routers.iter().enumerate() {
+            prop_assert_eq!(topo.router_by_name(&r.name).map(|x| x.index()), Some(i));
+        }
+        for (i, ifc) in topo.interfaces.iter().enumerate() {
+            prop_assert_eq!(
+                topo.iface_by_name(ifc.router, &ifc.name).map(|x| x.index()),
+                Some(i)
+            );
+            prop_assert_eq!(
+                topo.iface_by_ifindex(ifc.router, ifc.if_index).map(|x| x.index()),
+                Some(i)
+            );
+        }
+        // Config round trip recovers neighbor mappings.
+        let db = ConfigDb::parse(&emit_all(&topo)).unwrap();
+        for s in &topo.sessions {
+            let pe = &topo.router(s.pe).name;
+            prop_assert_eq!(
+                db.neighbor_interface(pe, s.neighbor_ip),
+                Some(topo.interface(s.iface).name.as_str())
+            );
+        }
+    }
+
+    /// Spatial expansion is consistent: expanding any interface up to the
+    /// router level and back down contains the original interface, and
+    /// expansion at a location's own level is the identity.
+    #[test]
+    fn expansion_consistency(seed in 0u64..200, idx in 0usize..64) {
+        let topo = generate(&TopoGenConfig { seed, ..TopoGenConfig::small() });
+        let sm = SpatialModel::new(&topo, &NullOracle);
+        let t = Timestamp::from_unix(0);
+        let i = grca_net_model::InterfaceId::from(idx % topo.interfaces.len());
+        let loc = Location::Interface(i);
+        // Identity at own level.
+        prop_assert_eq!(sm.expand(&loc, t, JoinLevel::Interface), vec![loc]);
+        // Up to router, back down to interfaces: contains the original.
+        let routers = sm.expand(&loc, t, JoinLevel::Router);
+        prop_assert_eq!(routers.len(), 1);
+        let back = sm.expand(&routers[0], t, JoinLevel::Interface);
+        prop_assert!(back.contains(&loc));
+        // joined() is reflexive at every level where expansion is
+        // non-empty.
+        for level in JoinLevel::ALL {
+            if !sm.expand(&loc, t, level).is_empty() {
+                prop_assert!(sm.joined(&loc, &loc, t, level), "{level}");
+            }
+        }
+    }
+
+    /// Spatial join is symmetric for structural (non-path) levels.
+    #[test]
+    fn join_symmetric(seed in 0u64..100, a in 0usize..64, b in 0usize..64) {
+        let topo = generate(&TopoGenConfig { seed, ..TopoGenConfig::small() });
+        let sm = SpatialModel::new(&topo, &NullOracle);
+        let t = Timestamp::from_unix(0);
+        let la = Location::Interface(grca_net_model::InterfaceId::from(a % topo.interfaces.len()));
+        let lb = Location::Interface(grca_net_model::InterfaceId::from(b % topo.interfaces.len()));
+        for level in [
+            JoinLevel::Router,
+            JoinLevel::LineCard,
+            JoinLevel::Interface,
+            JoinLevel::LogicalLink,
+            JoinLevel::PhysicalLink,
+            JoinLevel::Layer1Device,
+        ] {
+            prop_assert_eq!(
+                sm.joined(&la, &lb, t, level),
+                sm.joined(&lb, &la, t, level),
+                "{}", level
+            );
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Reconstruction of BGP egress selection from route-reflector feeds.
+//!
+//! The paper (§II-B, item 1) notes that BGP routing changes are not
+//! observable at every ingress router — only the route reflectors are
+//! monitored. G-RCA therefore *emulates* the BGP decision process at an
+//! ingress router: the candidate egress points for a destination prefix are
+//! taken from the reflector-visible updates, and the best path is selected
+//! using standard BGP tie-breaking with the IGP (OSPF) distance from the
+//! ingress router to each candidate egress ("hot-potato" routing).
+//!
+//! [`BgpState`] stores the update stream and answers "which egress carried
+//! traffic from ingress X to destination D at time T?" for any historical T.
+
+use crate::ospf::OspfState;
+use grca_net_model::{Ipv4, Prefix, RouterId};
+use grca_types::Timestamp;
+use std::collections::BTreeMap;
+
+/// BGP path attributes relevant to best-path selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteAttrs {
+    /// Higher wins.
+    pub local_pref: u32,
+    /// Shorter wins.
+    pub as_path_len: u32,
+}
+
+impl Default for RouteAttrs {
+    fn default() -> Self {
+        RouteAttrs {
+            local_pref: 100,
+            as_path_len: 3,
+        }
+    }
+}
+
+/// One reflector-observed update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgpUpdate {
+    pub time: Timestamp,
+    pub prefix: Prefix,
+    /// The egress router whose reachability changed.
+    pub egress: RouterId,
+    /// `Some(attrs)` = announce / refresh; `None` = withdraw.
+    pub attrs: Option<RouteAttrs>,
+}
+
+/// The reconstructed BGP table history.
+pub struct BgpState {
+    /// Per-prefix update history, sorted by time.
+    by_prefix: BTreeMap<Prefix, Vec<BgpUpdate>>,
+    /// All update times (sorted) — the BGP state epoch for caching.
+    epochs: Vec<Timestamp>,
+}
+
+impl BgpState {
+    /// Build from the baseline reachability (each external net's candidate
+    /// egresses, treated as announced since the beginning of time) plus the
+    /// observed update stream.
+    pub fn new(baseline: Vec<(Prefix, RouterId, RouteAttrs)>, mut updates: Vec<BgpUpdate>) -> Self {
+        updates.sort_by_key(|u| u.time);
+        let mut by_prefix: BTreeMap<Prefix, Vec<BgpUpdate>> = BTreeMap::new();
+        for (prefix, egress, attrs) in baseline {
+            by_prefix.entry(prefix).or_default().push(BgpUpdate {
+                time: Timestamp::MIN,
+                prefix,
+                egress,
+                attrs: Some(attrs),
+            });
+        }
+        let mut epochs = Vec::with_capacity(updates.len());
+        for u in updates {
+            epochs.push(u.time);
+            by_prefix.entry(u.prefix).or_default().push(u);
+        }
+        epochs.dedup();
+        BgpState { by_prefix, epochs }
+    }
+
+    /// The BGP state epoch at `t` (see [`crate::ospf::OspfState::epoch`]).
+    pub fn epoch(&self, t: Timestamp) -> usize {
+        self.epochs.partition_point(|&e| e <= t)
+    }
+
+    /// Longest-prefix match over known prefixes for an address.
+    pub fn lpm(&self, addr: Ipv4) -> Option<Prefix> {
+        self.by_prefix
+            .keys()
+            .filter(|p| p.contains(addr))
+            .max_by_key(|p| p.len)
+            .copied()
+    }
+
+    /// The covering table prefix for a (possibly more specific) query
+    /// prefix: exact match first, else the longest table prefix covering it.
+    pub fn lookup_prefix(&self, q: Prefix) -> Option<Prefix> {
+        if self.by_prefix.contains_key(&q) {
+            return Some(q);
+        }
+        self.by_prefix
+            .keys()
+            .filter(|p| p.covers(&q))
+            .max_by_key(|p| p.len)
+            .copied()
+    }
+
+    /// The candidate egress set for `prefix` alive at time `t`, with the
+    /// attributes of each candidate's most recent announce.
+    pub fn candidates_at(&self, prefix: Prefix, t: Timestamp) -> Vec<(RouterId, RouteAttrs)> {
+        let Some(hist) = self.by_prefix.get(&prefix) else {
+            return Vec::new();
+        };
+        let mut state: BTreeMap<RouterId, RouteAttrs> = BTreeMap::new();
+        for u in hist.iter().take_while(|u| u.time <= t) {
+            match u.attrs {
+                Some(a) => {
+                    state.insert(u.egress, a);
+                }
+                None => {
+                    state.remove(&u.egress);
+                }
+            }
+        }
+        state.into_iter().collect()
+    }
+
+    /// Emulate the ingress router's best-path selection at time `t`:
+    /// highest local-pref, then shortest AS path, then nearest egress by
+    /// IGP distance (hot-potato), then lowest router id as the final
+    /// deterministic tie-break (standing in for lowest router-id in BGP).
+    pub fn best_egress(
+        &self,
+        ospf: &OspfState,
+        ingress: RouterId,
+        dst: Prefix,
+        t: Timestamp,
+    ) -> Option<RouterId> {
+        let table_prefix = self.lookup_prefix(dst)?;
+        let cands = self.candidates_at(table_prefix, t);
+        if cands.is_empty() {
+            return None;
+        }
+        let spf = ospf.spf(ingress, t);
+        cands
+            .into_iter()
+            .filter_map(|(egress, attrs)| {
+                let igp = if egress == ingress {
+                    0
+                } else {
+                    spf.dist[egress.index()]
+                };
+                (igp != u64::MAX).then_some((egress, attrs, igp))
+            })
+            .min_by_key(|&(egress, attrs, igp)| {
+                (
+                    std::cmp::Reverse(attrs.local_pref),
+                    attrs.as_path_len,
+                    igp,
+                    egress,
+                )
+            })
+            .map(|(egress, _, _)| egress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_net_model::gen::{generate, TopoGenConfig};
+    use grca_net_model::Topology;
+    use grca_types::Timestamp;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_unix(s)
+    }
+
+    fn setup() -> (Topology, OspfState) {
+        let topo = generate(&TopoGenConfig::small());
+        let ospf = OspfState::new(&topo, vec![]);
+        (topo, ospf)
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lpm_prefers_longest() {
+        let r = RouterId::new(0);
+        let st = BgpState::new(
+            vec![
+                (p("96.0.0.0/8"), r, RouteAttrs::default()),
+                (p("96.1.0.0/16"), r, RouteAttrs::default()),
+            ],
+            vec![],
+        );
+        assert_eq!(st.lpm(Ipv4::new(96, 1, 9, 9)), Some(p("96.1.0.0/16")));
+        assert_eq!(st.lpm(Ipv4::new(96, 9, 9, 9)), Some(p("96.0.0.0/8")));
+        assert_eq!(st.lpm(Ipv4::new(1, 2, 3, 4)), None);
+        assert_eq!(st.lookup_prefix(p("96.1.4.0/24")), Some(p("96.1.0.0/16")));
+    }
+
+    #[test]
+    fn hot_potato_picks_nearest_egress() {
+        let (topo, ospf) = setup();
+        // Two candidate egresses: one in the ingress's own PoP, one remote.
+        let ingress = topo.router_by_name("nyc-per1").unwrap();
+        let near = topo.router_by_name("nyc-cr1").unwrap();
+        let far = topo.router_by_name("lax-cr1").unwrap();
+        let st = BgpState::new(
+            vec![
+                (p("96.0.0.0/16"), near, RouteAttrs::default()),
+                (p("96.0.0.0/16"), far, RouteAttrs::default()),
+            ],
+            vec![],
+        );
+        assert_eq!(
+            st.best_egress(&ospf, ingress, p("96.0.0.0/16"), ts(0)),
+            Some(near)
+        );
+        // From LAX's own PE the decision flips.
+        let lax_pe = topo.router_by_name("lax-per1").unwrap();
+        assert_eq!(
+            st.best_egress(&ospf, lax_pe, p("96.0.0.0/16"), ts(0)),
+            Some(far)
+        );
+    }
+
+    #[test]
+    fn local_pref_beats_igp() {
+        let (topo, ospf) = setup();
+        let ingress = topo.router_by_name("nyc-per1").unwrap();
+        let near = topo.router_by_name("nyc-cr1").unwrap();
+        let far = topo.router_by_name("lax-cr1").unwrap();
+        let st = BgpState::new(
+            vec![
+                (
+                    p("96.0.0.0/16"),
+                    near,
+                    RouteAttrs {
+                        local_pref: 100,
+                        as_path_len: 3,
+                    },
+                ),
+                (
+                    p("96.0.0.0/16"),
+                    far,
+                    RouteAttrs {
+                        local_pref: 200,
+                        as_path_len: 3,
+                    },
+                ),
+            ],
+            vec![],
+        );
+        assert_eq!(
+            st.best_egress(&ospf, ingress, p("96.0.0.0/16"), ts(0)),
+            Some(far)
+        );
+    }
+
+    #[test]
+    fn as_path_tiebreak() {
+        let (topo, ospf) = setup();
+        let ingress = topo.router_by_name("nyc-per1").unwrap();
+        let near = topo.router_by_name("nyc-cr1").unwrap();
+        let far = topo.router_by_name("lax-cr1").unwrap();
+        let st = BgpState::new(
+            vec![
+                (
+                    p("96.0.0.0/16"),
+                    near,
+                    RouteAttrs {
+                        local_pref: 100,
+                        as_path_len: 5,
+                    },
+                ),
+                (
+                    p("96.0.0.0/16"),
+                    far,
+                    RouteAttrs {
+                        local_pref: 100,
+                        as_path_len: 2,
+                    },
+                ),
+            ],
+            vec![],
+        );
+        assert_eq!(
+            st.best_egress(&ospf, ingress, p("96.0.0.0/16"), ts(0)),
+            Some(far)
+        );
+    }
+
+    #[test]
+    fn withdraw_causes_egress_change() {
+        let (topo, ospf) = setup();
+        let ingress = topo.router_by_name("nyc-per1").unwrap();
+        let near = topo.router_by_name("nyc-cr1").unwrap();
+        let far = topo.router_by_name("lax-cr1").unwrap();
+        let pre = p("96.0.0.0/16");
+        let st = BgpState::new(
+            vec![
+                (pre, near, RouteAttrs::default()),
+                (pre, far, RouteAttrs::default()),
+            ],
+            vec![
+                BgpUpdate {
+                    time: ts(100),
+                    prefix: pre,
+                    egress: near,
+                    attrs: None,
+                },
+                BgpUpdate {
+                    time: ts(500),
+                    prefix: pre,
+                    egress: near,
+                    attrs: Some(RouteAttrs::default()),
+                },
+            ],
+        );
+        assert_eq!(st.best_egress(&ospf, ingress, pre, ts(99)), Some(near));
+        assert_eq!(st.best_egress(&ospf, ingress, pre, ts(100)), Some(far));
+        assert_eq!(st.best_egress(&ospf, ingress, pre, ts(500)), Some(near));
+        assert_eq!(st.epoch(ts(0)), 0);
+        assert_eq!(st.epoch(ts(100)), 1);
+        assert_eq!(st.epoch(ts(501)), 2);
+    }
+
+    #[test]
+    fn all_withdrawn_yields_none() {
+        let (topo, ospf) = setup();
+        let ingress = topo.router_by_name("nyc-per1").unwrap();
+        let near = topo.router_by_name("nyc-cr1").unwrap();
+        let pre = p("96.0.0.0/16");
+        let st = BgpState::new(
+            vec![(pre, near, RouteAttrs::default())],
+            vec![BgpUpdate {
+                time: ts(10),
+                prefix: pre,
+                egress: near,
+                attrs: None,
+            }],
+        );
+        assert_eq!(st.best_egress(&ospf, ingress, pre, ts(10)), None);
+    }
+
+    #[test]
+    fn igp_change_causes_egress_change() {
+        // Hot-potato interaction: an OSPF weight change can flip the egress
+        // even with no BGP update at all (a subtle dependency the spatial
+        // model must capture).
+        let (topo, _) = setup();
+        let ingress = topo.router_by_name("nyc-per1").unwrap();
+        // Both cores of the ingress PoP advertise the prefix. Initially they
+        // tie on IGP distance (5 via either uplink) and nyc-cr1 wins the
+        // router-id tie-break; penalizing every link at nyc-cr1 flips the
+        // hot-potato decision to nyc-cr2.
+        let near = topo.router_by_name("nyc-cr1").unwrap();
+        let far = topo.router_by_name("nyc-cr2").unwrap();
+        let mut events = Vec::new();
+        for &l in topo.links_at_router(near) {
+            events.push(crate::ospf::WeightEvent {
+                time: ts(100),
+                link: l,
+                weight: Some(1000),
+            });
+        }
+        let ospf = OspfState::new(&topo, events);
+        let pre = p("96.0.0.0/16");
+        let st = BgpState::new(
+            vec![
+                (pre, near, RouteAttrs::default()),
+                (pre, far, RouteAttrs::default()),
+            ],
+            vec![],
+        );
+        assert_eq!(st.best_egress(&ospf, ingress, pre, ts(0)), Some(near));
+        assert_eq!(st.best_egress(&ospf, ingress, pre, ts(100)), Some(far));
+    }
+}

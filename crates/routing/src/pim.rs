@@ -1,0 +1,110 @@
+//! PIM neighbor-adjacency structure for multicast VPNs.
+//!
+//! For each MVPN customer, every pair of participating PEs maintains a PIM
+//! neighbor adjacency (Hello protocol) across the backbone (§III-C). A PE
+//! additionally maintains PIM adjacencies on its uplinks toward its core
+//! routers, and on customer-facing interfaces toward CE routers. This
+//! module enumerates those adjacency relationships from the topology; their
+//! dynamic state (flaps) is produced by the simulator and analyzed by the
+//! PIM RCA application.
+
+use grca_net_model::{MvpnId, RouterId, Topology};
+
+/// A PE–PE PIM neighbor adjacency within an MVPN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PimAdjacency {
+    pub mvpn: MvpnId,
+    /// The PE observing the adjacency (reports the syslog on loss).
+    pub pe: RouterId,
+    /// The neighbor PE.
+    pub neighbor: RouterId,
+}
+
+/// Every directed PE–PE adjacency across all MVPNs: each unordered PE pair
+/// appears twice (once per observing side), matching how syslog reports
+/// adjacency changes from both routers.
+pub fn pim_adjacencies(topo: &Topology) -> Vec<PimAdjacency> {
+    let mut out = Vec::new();
+    for (mi, m) in topo.mvpns.iter().enumerate() {
+        for &a in &m.pes {
+            for &b in &m.pes {
+                if a != b {
+                    out.push(PimAdjacency {
+                        mvpn: MvpnId::from(mi),
+                        pe: a,
+                        neighbor: b,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The PE→core uplink adjacencies of one PE: the PIM adjacency a PE holds
+/// with each directly connected backbone router on its uplinks.
+pub fn uplink_adjacencies(topo: &Topology, pe: RouterId) -> Vec<RouterId> {
+    topo.links_at_router(pe)
+        .iter()
+        .map(|&l| topo.link_peer_router(l, pe))
+        .collect()
+}
+
+/// MVPNs a given PE participates in.
+pub fn mvpns_of_pe(topo: &Topology, pe: RouterId) -> Vec<MvpnId> {
+    topo.mvpns
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.pes.contains(&pe))
+        .map(|(i, _)| MvpnId::from(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_net_model::gen::{generate, TopoGenConfig};
+
+    #[test]
+    fn adjacency_pairs_are_symmetric() {
+        let topo = generate(&TopoGenConfig::small());
+        let adj = pim_adjacencies(&topo);
+        assert!(!adj.is_empty());
+        for a in &adj {
+            assert!(adj
+                .iter()
+                .any(|b| b.mvpn == a.mvpn && b.pe == a.neighbor && b.neighbor == a.pe));
+            assert_ne!(a.pe, a.neighbor);
+        }
+    }
+
+    #[test]
+    fn adjacency_count_matches_mesh() {
+        let topo = generate(&TopoGenConfig::small());
+        let expect: usize = topo
+            .mvpns
+            .iter()
+            .map(|m| m.pes.len() * (m.pes.len() - 1))
+            .sum();
+        assert_eq!(pim_adjacencies(&topo).len(), expect);
+    }
+
+    #[test]
+    fn uplinks_reach_cores() {
+        let topo = generate(&TopoGenConfig::small());
+        for pe in topo.provider_edges() {
+            let ups = uplink_adjacencies(&topo, pe);
+            assert_eq!(ups.len(), 2, "dual-homed PE expected");
+        }
+    }
+
+    #[test]
+    fn mvpn_membership_roundtrip() {
+        let topo = generate(&TopoGenConfig::small());
+        for (mi, m) in topo.mvpns.iter().enumerate() {
+            for &pe in &m.pes {
+                assert!(mvpns_of_pe(&topo, pe).contains(&MvpnId::from(mi)));
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests: SPF against a brute-force reference, ECMP union
+//! soundness, BGP decision invariants.
+
+use grca_net_model::{InterfaceKind, Ipv4, LinkId, Prefix, RouterId, RouterRole, Topology};
+use grca_routing::{BgpState, OspfState, RouteAttrs, WeightEvent};
+use grca_types::{TimeZone, Timestamp};
+use proptest::prelude::*;
+
+/// Build a random connected topology of `n` routers and `extra` chords.
+fn random_topo(n: usize, extra: usize, weights: &[u32]) -> Topology {
+    let mut t = Topology::new();
+    let p = t.add_pop("x", TimeZone::UTC);
+    let d = t.add_l1_device(
+        "adm-x-1",
+        grca_net_model::topology::L1DeviceKind::SonetAdm,
+        p,
+    );
+    for i in 0..n {
+        t.add_router(
+            format!("r{i}"),
+            RouterRole::Core,
+            p,
+            Ipv4(0x0A00_0000 + i as u32 + 1),
+        );
+    }
+    let mut wi = 0;
+    let mut next_w = || {
+        let w = weights[wi % weights.len()];
+        wi += 1;
+        1 + w % 50
+    };
+    let mut net = 0u32;
+    let mut add_link = |t: &mut Topology, a: usize, b: usize, w: u32| {
+        let ra = RouterId::from(a);
+        let rb = RouterId::from(b);
+        let ca = t.add_card(ra, (net % 250) as u8);
+        let cb = t.add_card(rb, (net % 250) as u8);
+        let base = 0x0A80_0000 | (net << 2);
+        net += 1;
+        let ia = t.add_interface(ca, 0, Some(Ipv4(base | 1)), InterfaceKind::Backbone);
+        let ib = t.add_interface(cb, 0, Some(Ipv4(base | 2)), InterfaceKind::Backbone);
+        let pl = t.add_phys_link(
+            format!("CKT-{net:05}"),
+            grca_net_model::L1Kind::Sonet,
+            vec![d],
+        );
+        t.add_link(ia, ib, w, vec![pl], 10_000);
+    };
+    // Spanning chain keeps it connected.
+    for i in 1..n {
+        let w = next_w();
+        add_link(&mut t, i - 1, i, w);
+    }
+    for k in 0..extra {
+        let a = (k * 7 + 1) % n;
+        let b = (k * 13 + 3) % n;
+        if a != b {
+            let w = next_w();
+            add_link(&mut t, a, b, w);
+        }
+    }
+    t
+}
+
+/// Floyd–Warshall reference distances.
+fn reference_dist(topo: &Topology) -> Vec<Vec<u64>> {
+    let n = topo.routers.len();
+    let mut d = vec![vec![u64::MAX / 4; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for l in &topo.links {
+        let (a, b) = topo.link_routers(LinkId::from(
+            topo.links.iter().position(|x| std::ptr::eq(x, l)).unwrap(),
+        ));
+        let w = l.base_weight as u64;
+        if w < d[a.index()][b.index()] {
+            d[a.index()][b.index()] = w;
+            d[b.index()][a.index()] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Dijkstra agrees with Floyd–Warshall on random connected graphs.
+    #[test]
+    fn spf_matches_reference(
+        n in 3usize..12,
+        extra in 0usize..8,
+        weights in proptest::collection::vec(0u32..50, 1..30),
+    ) {
+        let topo = random_topo(n, extra, &weights);
+        let ospf = OspfState::new(&topo, vec![]);
+        let reference = reference_dist(&topo);
+        let t = Timestamp::from_unix(0);
+        for (a, ref_row) in reference.iter().enumerate() {
+            let spf = ospf.spf(RouterId::from(a), t);
+            for (b, &want) in ref_row.iter().enumerate() {
+                prop_assert_eq!(spf.dist[b], want, "dist {}->{}", a, b);
+            }
+        }
+    }
+
+    /// Every link in the ECMP union lies on a tight shortest path, and
+    /// following tight links from the source reaches the target.
+    #[test]
+    fn ecmp_union_sound(
+        n in 3usize..12,
+        extra in 0usize..8,
+        weights in proptest::collection::vec(0u32..50, 1..30),
+        src in 0usize..12,
+        dst in 0usize..12,
+    ) {
+        let topo = random_topo(n, extra, &weights);
+        let (src, dst) = (src % n, dst % n);
+        let ospf = OspfState::new(&topo, vec![]);
+        let t = Timestamp::from_unix(0);
+        let a = RouterId::from(src);
+        let b = RouterId::from(dst);
+        let spf = ospf.spf(a, t);
+        let (routers, links) = ospf.ecmp_union(a, b, t);
+        prop_assert!(routers.contains(&a) && routers.contains(&b));
+        for l in &links {
+            let (u, v) = topo.link_routers(*l);
+            let w = topo.link(*l).base_weight as u64;
+            let du = spf.dist[u.index()];
+            let dv = spf.dist[v.index()];
+            // Tight in one direction.
+            prop_assert!(
+                du + w == dv || dv + w == du,
+                "link {:?}-{:?} not tight", u, v
+            );
+            prop_assert!(routers.contains(&u) && routers.contains(&v));
+        }
+        // Every router on the union is on SOME shortest path: its
+        // distance from src plus distance to dst equals dist(src,dst).
+        let spf_back = ospf.spf(b, t);
+        let total = spf.dist[b.index()];
+        for r in &routers {
+            prop_assert_eq!(
+                spf.dist[r.index()] + spf_back.dist[r.index()],
+                total,
+                "router {:?} off-path", r
+            );
+        }
+    }
+
+    /// Withdrawing a non-cut link never decreases distances; restoring it
+    /// returns exactly to baseline.
+    #[test]
+    fn withdraw_monotone(
+        n in 4usize..10,
+        extra in 2usize..8,
+        weights in proptest::collection::vec(0u32..50, 1..30),
+        victim in 0usize..30,
+    ) {
+        let topo = random_topo(n, extra, &weights);
+        let victim = LinkId::from(victim % topo.links.len());
+        let t_ev = Timestamp::from_unix(100);
+        let ospf = OspfState::new(
+            &topo,
+            vec![
+                WeightEvent { time: t_ev, link: victim, weight: None },
+                WeightEvent { time: Timestamp::from_unix(200), link: victim, weight: Some(topo.link(victim).base_weight) },
+            ],
+        );
+        let before = Timestamp::from_unix(0);
+        let during = Timestamp::from_unix(150);
+        let after = Timestamp::from_unix(250);
+        for a in 0..n {
+            let d0 = ospf.spf(RouterId::from(a), before);
+            let d1 = ospf.spf(RouterId::from(a), during);
+            let d2 = ospf.spf(RouterId::from(a), after);
+            for b in 0..n {
+                prop_assert!(d1.dist[b] >= d0.dist[b]);
+                prop_assert_eq!(d2.dist[b], d0.dist[b]);
+            }
+        }
+    }
+
+    /// BGP: the chosen egress is always an alive candidate, and shrinking
+    /// the candidate set never yields a strictly better (IGP-closer) pick.
+    #[test]
+    fn bgp_pick_is_candidate(
+        n in 3usize..10,
+        weights in proptest::collection::vec(0u32..50, 1..20),
+        cands in proptest::collection::vec(0usize..10, 1..4),
+        ingress in 0usize..10,
+    ) {
+        let topo = random_topo(n, 3, &weights);
+        let prefix: Prefix = "96.1.0.0/16".parse().unwrap();
+        let cands: Vec<RouterId> = {
+            let mut v: Vec<RouterId> = cands.iter().map(|&c| RouterId::from(c % n)).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let baseline: Vec<(Prefix, RouterId, RouteAttrs)> = cands
+            .iter()
+            .map(|&r| (prefix, r, RouteAttrs::default()))
+            .collect();
+        let ospf = OspfState::new(&topo, vec![]);
+        let bgp = BgpState::new(baseline, vec![]);
+        let ingress = RouterId::from(ingress % n);
+        let t = Timestamp::from_unix(0);
+        let best = bgp.best_egress(&ospf, ingress, prefix, t).unwrap();
+        prop_assert!(cands.contains(&best));
+        // Hot potato: no candidate is strictly closer.
+        let spf = ospf.spf(ingress, t);
+        let d_best = if best == ingress { 0 } else { spf.dist[best.index()] };
+        for &c in &cands {
+            let d = if c == ingress { 0 } else { spf.dist[c.index()] };
+            prop_assert!(d >= d_best, "candidate {:?} closer than pick", c);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Scenario configuration: fault mixes, timers and background volumes.
+//!
+//! Rates are expected *network-wide events per day*; arrivals are Poisson
+//! with uniform placement over the scenario window. The per-study presets
+//! are calibrated so that the resulting ground-truth symptom breakdown
+//! lands near the paper's published tables — the experiment then verifies
+//! that the RCA platform *recovers* that breakdown from raw telemetry.
+
+use grca_types::{Duration, Timestamp};
+
+/// Expected events per day, network-wide, for each injected fault kind.
+#[derive(Debug, Clone)]
+pub struct FaultRates {
+    // BGP-study faults
+    pub customer_iface_flap: f64,
+    /// Customer flaps targeted at MVPN sessions (PIM study).
+    pub mvpn_customer_flap: f64,
+    pub line_proto_flap: f64,
+    pub router_reboot: f64,
+    pub cpu_spike: f64,
+    pub cpu_average: f64,
+    pub customer_reset: f64,
+    pub hte_unknown: f64,
+    pub unknown_flap: f64,
+    pub sonet_restoration: f64,
+    pub mesh_fast_restoration: f64,
+    pub mesh_regular_restoration: f64,
+    pub line_card_crash: f64,
+    /// Workflow provisioning activity (mostly benign; a small set of buggy
+    /// routers flap sessions on `provision-customer-port`).
+    pub provisioning_activity: f64,
+
+    // backbone / routing faults
+    pub backbone_link_failure: f64,
+    pub link_cost_out_maint: f64,
+    pub router_cost_out_maint: f64,
+    pub ospf_weight_change: f64,
+    pub link_congestion: f64,
+    pub link_loss: f64,
+    pub egress_change: f64,
+
+    // CDN faults
+    pub cdn_policy_change: f64,
+    pub cdn_server_issue: f64,
+    pub external_rtt_degradation: f64,
+
+    // PIM faults
+    pub pim_config_change: f64,
+    pub uplink_pim_loss: f64,
+
+    // noise volumes (records per day)
+    pub noise_syslog: f64,
+    pub noise_workflow: f64,
+}
+
+impl FaultRates {
+    /// Everything off.
+    pub fn zero() -> Self {
+        FaultRates {
+            customer_iface_flap: 0.0,
+            mvpn_customer_flap: 0.0,
+            line_proto_flap: 0.0,
+            router_reboot: 0.0,
+            cpu_spike: 0.0,
+            cpu_average: 0.0,
+            customer_reset: 0.0,
+            hte_unknown: 0.0,
+            unknown_flap: 0.0,
+            sonet_restoration: 0.0,
+            mesh_fast_restoration: 0.0,
+            mesh_regular_restoration: 0.0,
+            line_card_crash: 0.0,
+            provisioning_activity: 0.0,
+            backbone_link_failure: 0.0,
+            link_cost_out_maint: 0.0,
+            router_cost_out_maint: 0.0,
+            ospf_weight_change: 0.0,
+            link_congestion: 0.0,
+            link_loss: 0.0,
+            egress_change: 0.0,
+            cdn_policy_change: 0.0,
+            cdn_server_issue: 0.0,
+            external_rtt_degradation: 0.0,
+            pim_config_change: 0.0,
+            uplink_pim_loss: 0.0,
+            noise_syslog: 0.0,
+            noise_workflow: 0.0,
+        }
+    }
+
+    /// Fault mix for the BGP-flap study (Table IV shape): interface flaps
+    /// dominate, line-protocol flaps second, a visible tail of CPU spikes,
+    /// HTE-unknowns and no-evidence flaps, and a sliver of reboots,
+    /// customer resets and layer-1 restorations.
+    pub fn bgp_study() -> Self {
+        FaultRates {
+            customer_iface_flap: 140.0,
+            line_proto_flap: 30.0,
+            router_reboot: 0.05,
+            cpu_spike: 4.5,
+            cpu_average: 0.15,
+            customer_reset: 2.6,
+            hte_unknown: 10.0,
+            unknown_flap: 17.0,
+            sonet_restoration: 1.8,
+            mesh_fast_restoration: 1.2,
+            mesh_regular_restoration: 0.5,
+            line_card_crash: 0.0,
+            provisioning_activity: 60.0,
+            noise_syslog: 400.0,
+            noise_workflow: 200.0,
+            ..FaultRates::zero()
+        }
+    }
+
+    /// Fault mix for the CDN study (Table VI shape): three quarters of RTT
+    /// degradations originate outside the network.
+    pub fn cdn_study() -> Self {
+        FaultRates {
+            external_rtt_degradation: 55.0,
+            egress_change: 5.4,
+            cdn_policy_change: 0.9,
+            link_congestion: 3.2,
+            link_loss: 3.0,
+            ospf_weight_change: 7.4,
+            customer_iface_flap: 20.0, // edge noise: never on CDN paths
+            backbone_link_failure: 5.0,
+            cdn_server_issue: 0.0,
+            noise_syslog: 200.0,
+            ..FaultRates::zero()
+        }
+    }
+
+    /// Fault mix for the PIM MVPN study (Table VIII shape): customer-facing
+    /// interface flaps dominate, routing maintenance and reconvergence are
+    /// the visible tail.
+    pub fn pim_study() -> Self {
+        FaultRates {
+            mvpn_customer_flap: 118.0,
+            customer_iface_flap: 15.0,
+            pim_config_change: 0.9,
+            router_cost_out_maint: 0.36,
+            link_cost_out_maint: 1.8,
+            ospf_weight_change: 13.0,
+            uplink_pim_loss: 0.9,
+            router_reboot: 0.08,
+            noise_syslog: 200.0,
+            noise_workflow: 80.0,
+            ..FaultRates::zero()
+        }
+    }
+}
+
+/// Background (non-fault) telemetry volumes.
+#[derive(Debug, Clone)]
+pub struct BackgroundConfig {
+    /// Interval between baseline SNMP samples per entity (anomalies are
+    /// always emitted at the native 5-minute cadence regardless).
+    pub snmp_baseline_bin: Duration,
+    /// Interval between baseline end-to-end probe samples per pair.
+    pub perf_baseline_bin: Duration,
+    /// Interval between baseline CDN monitor samples per (node, client).
+    pub cdn_baseline_bin: Duration,
+    /// Emit baseline SNMP CPU/util samples at all.
+    pub emit_baseline: bool,
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        BackgroundConfig {
+            snmp_baseline_bin: Duration::hours(2),
+            perf_baseline_bin: Duration::hours(2),
+            cdn_baseline_bin: Duration::hours(2),
+            emit_baseline: true,
+        }
+    }
+}
+
+/// A complete scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scenario start (UTC).
+    pub start: Timestamp,
+    /// Scenario length in days.
+    pub days: u32,
+    pub seed: u64,
+    pub rates: FaultRates,
+    pub background: BackgroundConfig,
+    /// Probability a session has BGP fast external fallover configured
+    /// (an interface/line-protocol flap then drops the session instantly
+    /// instead of waiting for the 180 s hold timer, §III-A).
+    pub fast_fallover_prob: f64,
+    /// Fraction of routers carrying the hidden provisioning bug (§IV-B).
+    pub buggy_router_fraction: f64,
+    /// Probability that an eBGP flap (from any cause) drives the PE CPU
+    /// high shortly *after* — the reverse-causality confounder of §IV-B.
+    pub reverse_cpu_prob: f64,
+    /// Probability a reconvergence event flaps a PIM adjacency whose
+    /// PE-pair path crossed the affected element.
+    pub pim_reconv_flap_prob: f64,
+    /// Number of distinct syslog noise message types (series for the
+    /// §IV-B blind screening; the paper had 2533).
+    pub noise_syslog_types: usize,
+    /// Number of distinct workflow activity types (the paper had 831).
+    pub noise_workflow_types: usize,
+    /// Mean customer-interface outage duration in seconds (exponential).
+    /// 40 s makes hold-timer expiries rare; raising it toward the 180 s
+    /// hold timer makes them the dominant flap mechanism.
+    pub iface_outage_mean_secs: f64,
+}
+
+impl ScenarioConfig {
+    /// The eBGP hold timer (RFC 4271 default, used throughout §II-C).
+    pub const BGP_HOLD_TIMER: Duration = Duration::secs(180);
+
+    pub fn new(days: u32, seed: u64, rates: FaultRates) -> Self {
+        ScenarioConfig {
+            // 2010-01-01 00:00 UTC, matching the paper's example instance.
+            start: Timestamp::from_civil(2010, 1, 1, 0, 0, 0),
+            days,
+            seed,
+            rates,
+            background: BackgroundConfig::default(),
+            fast_fallover_prob: 0.62,
+            buggy_router_fraction: 0.05,
+            reverse_cpu_prob: 0.12,
+            pim_reconv_flap_prob: 0.5,
+            noise_syslog_types: 60,
+            noise_workflow_types: 40,
+            iface_outage_mean_secs: 40.0,
+        }
+    }
+
+    pub fn end(&self) -> Timestamp {
+        self.start + Duration::days(self.days as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_window() {
+        let c = ScenarioConfig::new(30, 1, FaultRates::bgp_study());
+        assert_eq!(c.end() - c.start, Duration::days(30));
+        assert_eq!(ScenarioConfig::BGP_HOLD_TIMER, Duration::secs(180));
+    }
+
+    #[test]
+    fn presets_have_sane_shapes() {
+        let b = FaultRates::bgp_study();
+        assert!(b.customer_iface_flap > b.line_proto_flap);
+        assert!(b.line_proto_flap > b.cpu_spike);
+        let c = FaultRates::cdn_study();
+        assert!(c.external_rtt_degradation > c.egress_change);
+        let p = FaultRates::pim_study();
+        assert!(p.customer_iface_flap > p.ospf_weight_change);
+    }
+}

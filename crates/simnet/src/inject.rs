@@ -1,0 +1,849 @@
+//! Session-level fault injectors: the causal chains behind the BGP-flap
+//! study (Fig. 4 of the paper).
+//!
+//! Each injector writes the telemetry a real incident would leave across
+//! feeds — with protocol timers in between (the 180 s eBGP hold timer, the
+//! boot time of a rebooting router) — plus the hidden ground-truth labels.
+//! Deliberate confounders from §IV of the paper are reproduced here:
+//!
+//! * the *reverse causality* between BGP flaps and CPU load (a flap storms
+//!   the route processor, so high-CPU evidence appears next to flaps it did
+//!   not cause) — [`Sim::reverse_cpu_pass`];
+//! * the *hidden vendor bug* where provisioning activity stalls the CPU and
+//!   times out unrelated sessions — [`Sim::inject_provisioning`];
+//! * the *unobservable line-card crash* that manifests only as a burst of
+//!   interface flaps on one card — [`Sim::inject_line_card_crash`].
+
+use crate::config::ScenarioConfig;
+use crate::sim::Sim;
+use crate::truth::{RootCause, SymptomKind};
+use grca_net_model::{InterfaceKind, LineCardId, RouterId, SessionId};
+use grca_telemetry::records::SnmpMetric;
+use grca_telemetry::syslog::SyslogEvent;
+use grca_types::{Duration, Timestamp};
+
+/// Interface outage propagation options.
+#[derive(Debug, Clone, Copy)]
+pub struct OutageOpts {
+    /// Emit `%LINK-3-UPDOWN` (false = line-protocol-only fault).
+    pub link_layer: bool,
+    /// Emit `%LINEPROTO-5-UPDOWN`.
+    pub line_proto: bool,
+}
+
+impl Sim<'_> {
+    /// Pick a random eBGP session.
+    pub fn random_session(&mut self) -> SessionId {
+        SessionId::from(self.pick(self.topo.sessions.len()))
+    }
+
+    /// Pick a random provider-edge router.
+    pub fn random_pe(&mut self) -> RouterId {
+        let pes: Vec<RouterId> = self.topo.provider_edges().collect();
+        pes[self.pick(pes.len())]
+    }
+
+    /// Emit the syslog for one eBGP session flap and record ground truth.
+    pub fn ebgp_flap(
+        &mut self,
+        s: SessionId,
+        down: Timestamp,
+        up: Timestamp,
+        hte: bool,
+        cause: RootCause,
+        fault: usize,
+    ) {
+        let sess = self.topo.session(s);
+        let (pe, nbr) = (sess.pe, sess.neighbor_ip);
+        if hte {
+            self.syslog(
+                pe,
+                down,
+                &SyslogEvent::BgpHoldTimerExpired { neighbor: nbr },
+            );
+        }
+        self.syslog(
+            pe,
+            down,
+            &SyslogEvent::BgpAdjChange {
+                neighbor: nbr,
+                up: false,
+            },
+        );
+        self.syslog(
+            pe,
+            up,
+            &SyslogEvent::BgpAdjChange {
+                neighbor: nbr,
+                up: true,
+            },
+        );
+        let key = self.session_key(s);
+        self.symptom(SymptomKind::EbgpFlap, down, key, cause, fault);
+        self.flap_log.push((pe, down));
+    }
+
+    /// How a session reacts to an underlying interface / line-protocol
+    /// outage `[t_down, t_up]`:
+    ///
+    /// * with BGP fast external fallover, the session drops immediately;
+    /// * without it, the session only flaps if the outage outlasts the
+    ///   180 s hold timer — then a hold-timer-expired notification appears
+    ///   and the flap starts a full hold-timer after the outage began (the
+    ///   cause–effect delay the paper's temporal rule X=180 models).
+    ///
+    /// Returns true if a BGP flap resulted.
+    pub fn session_reacts_to_outage(
+        &mut self,
+        s: SessionId,
+        t_down: Timestamp,
+        t_up: Timestamp,
+        cause: RootCause,
+        fault: usize,
+    ) -> bool {
+        if self.fast_fallover[s.index()] {
+            let down = t_down + self.secs_between(0, 2);
+            let up = t_up + self.secs_between(15, 60);
+            self.ebgp_flap(s, down, up, false, cause, fault);
+            true
+        } else if t_up - t_down >= ScenarioConfig::BGP_HOLD_TIMER {
+            let down = t_down + ScenarioConfig::BGP_HOLD_TIMER;
+            let up = t_up + self.secs_between(15, 60);
+            self.ebgp_flap(s, down, up, true, cause, fault);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A customer-facing interface outage on a PE: LINK/LINEPROTO syslog,
+    /// eBGP reaction, and — if the customer runs an MVPN here — a PIM
+    /// adjacency change toward the CE.
+    pub fn customer_iface_outage(
+        &mut self,
+        s: SessionId,
+        t: Timestamp,
+        dur: Duration,
+        opts: OutageOpts,
+        cause: RootCause,
+        fault: usize,
+    ) {
+        let sess = self.topo.session(s).clone();
+        let iface_name = self.topo.interface(sess.iface).name.clone();
+        let t_up = t + dur;
+        if opts.link_layer {
+            self.syslog(
+                sess.pe,
+                t,
+                &SyslogEvent::LinkUpDown {
+                    iface: iface_name.clone(),
+                    up: false,
+                },
+            );
+            self.syslog(
+                sess.pe,
+                t_up,
+                &SyslogEvent::LinkUpDown {
+                    iface: iface_name.clone(),
+                    up: true,
+                },
+            );
+        }
+        if opts.line_proto {
+            let lag = self.secs_between(0, 2);
+            self.syslog(
+                sess.pe,
+                t + lag,
+                &SyslogEvent::LineProtoUpDown {
+                    iface: iface_name.clone(),
+                    up: false,
+                },
+            );
+            self.syslog(
+                sess.pe,
+                t_up + lag,
+                &SyslogEvent::LineProtoUpDown {
+                    iface: iface_name.clone(),
+                    up: true,
+                },
+            );
+        }
+        self.session_reacts_to_outage(s, t, t_up, cause, fault);
+        // PIM PE–CE adjacency, if this customer's MVPN is provisioned here.
+        let in_mvpn = self
+            .topo
+            .mvpns
+            .iter()
+            .any(|m| m.customer == sess.customer && m.pes.contains(&sess.pe));
+        if in_mvpn {
+            let d = self.secs_between(0, 5);
+            let u = self.secs_between(1, 10);
+            // A very short outage can end before the jittered adjacency
+            // loss would be logged; the loss still precedes the recovery.
+            let down = (t + d).min(t_up);
+            self.pim_flap(
+                sess.pe,
+                sess.neighbor_ip,
+                iface_name,
+                down,
+                t_up + u,
+                cause,
+                fault,
+            );
+        }
+    }
+
+    /// Emit one PIM neighbor adjacency loss (+recovery) and record truth.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pim_flap(
+        &mut self,
+        pe: RouterId,
+        neighbor: grca_net_model::Ipv4,
+        iface: String,
+        down: Timestamp,
+        up: Timestamp,
+        cause: RootCause,
+        fault: usize,
+    ) {
+        self.syslog(
+            pe,
+            down,
+            &SyslogEvent::PimNbrChange {
+                neighbor,
+                iface: iface.clone(),
+                up: false,
+            },
+        );
+        self.syslog(
+            pe,
+            up,
+            &SyslogEvent::PimNbrChange {
+                neighbor,
+                iface,
+                up: true,
+            },
+        );
+        let key = format!("{}:{neighbor}", self.topo.router(pe).name);
+        self.symptom(SymptomKind::PimAdjChange, down, key, cause, fault);
+    }
+
+    // ------------------------------------------------------------ injectors
+
+    /// Table IV's dominant cause: a customer-side link flap on the PE's
+    /// customer-facing interface.
+    pub fn inject_customer_iface_flap(&mut self, t: Timestamp) {
+        let s = self.random_session();
+        let dur = self.exp_secs(self.cfg.iface_outage_mean_secs);
+        let fault = self.fault(RootCause::InterfaceFlap, t, self.session_key(s));
+        self.customer_iface_outage(
+            s,
+            t,
+            dur,
+            OutageOpts {
+                link_layer: true,
+                line_proto: true,
+            },
+            RootCause::InterfaceFlap,
+            fault,
+        );
+    }
+
+    /// A customer-side link flap targeted at an MVPN customer's session —
+    /// the dominant PIM-study fault (Table VIII: "interface (customer
+    /// facing) flap", ~69%). Non-MVPN customer flaps never surface as PIM
+    /// symptoms, so the PIM scenario injects these directly.
+    pub fn inject_mvpn_customer_flap(&mut self, t: Timestamp) {
+        let candidates: Vec<SessionId> = (0..self.topo.sessions.len())
+            .map(SessionId::from)
+            .filter(|&s| {
+                let sess = self.topo.session(s);
+                self.topo
+                    .mvpns
+                    .iter()
+                    .any(|m| m.customer == sess.customer && m.pes.contains(&sess.pe))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let s = candidates[self.pick(candidates.len())];
+        let dur = self.exp_secs(self.cfg.iface_outage_mean_secs);
+        let fault = self.fault(RootCause::InterfaceFlap, t, self.session_key(s));
+        self.customer_iface_outage(
+            s,
+            t,
+            dur,
+            OutageOpts {
+                link_layer: true,
+                line_proto: true,
+            },
+            RootCause::InterfaceFlap,
+            fault,
+        );
+    }
+
+    /// A line-protocol-only fault (keepalive failure without layer-2 loss).
+    pub fn inject_line_proto_flap(&mut self, t: Timestamp) {
+        let s = self.random_session();
+        let dur = self.exp_secs(30.0);
+        let fault = self.fault(RootCause::LineProtocolFlap, t, self.session_key(s));
+        self.customer_iface_outage(
+            s,
+            t,
+            dur,
+            OutageOpts {
+                link_layer: false,
+                line_proto: true,
+            },
+            RootCause::LineProtocolFlap,
+            fault,
+        );
+    }
+
+    /// A full router reboot: every session and interface on the PE flaps;
+    /// the restart banner appears when the box comes back.
+    pub fn inject_router_reboot(&mut self, t: Timestamp) {
+        let pe = self.random_pe();
+        let boot = self.secs_between(120, 240);
+        let fault = self.fault(
+            RootCause::RouterReboot,
+            t,
+            self.topo.router(pe).name.clone(),
+        );
+        self.syslog(pe, t + boot, &SyslogEvent::Restart);
+        let sessions: Vec<SessionId> = (0..self.topo.sessions.len())
+            .map(SessionId::from)
+            .filter(|&s| self.topo.session(s).pe == pe)
+            .collect();
+        for s in sessions {
+            let d = self.secs_between(0, 5);
+            let u = boot + self.secs_between(10, 60);
+            let iface = self.topo.session(s).iface;
+            let iface_name = self.topo.interface(iface).name.clone();
+            self.syslog(
+                pe,
+                t + d,
+                &SyslogEvent::LinkUpDown {
+                    iface: iface_name.clone(),
+                    up: false,
+                },
+            );
+            self.syslog(
+                pe,
+                t + u,
+                &SyslogEvent::LinkUpDown {
+                    iface: iface_name,
+                    up: true,
+                },
+            );
+            self.ebgp_flap(s, t + d, t + u, false, RootCause::RouterReboot, fault);
+        }
+        // Other PEs sharing an MVPN with this one observe adjacency loss.
+        let loopback = self.topo.router(pe).loopback;
+        let mvpn_peers: Vec<(RouterId, usize)> = self
+            .topo
+            .mvpns
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.pes.contains(&pe))
+            .flat_map(|(mi, m)| m.pes.iter().filter(|&&p| p != pe).map(move |&p| (p, mi)))
+            .collect();
+        for (peer, mi) in mvpn_peers {
+            let d = self.secs_between(30, 90);
+            let u = boot + self.secs_between(30, 120);
+            self.pim_flap(
+                peer,
+                loopback,
+                format!("Tunnel{mi}"),
+                t + d,
+                t + u,
+                RootCause::RouterReboot,
+                fault,
+            );
+        }
+    }
+
+    /// An instantaneous CPU spike on a PE that times out a few sessions.
+    pub fn inject_cpu_spike(&mut self, t: Timestamp) {
+        let pe = self.random_pe();
+        let pct = 90 + self.pick(10) as u32;
+        let fault = self.fault(
+            RootCause::CpuHighSpike,
+            t,
+            self.topo.router(pe).name.clone(),
+        );
+        self.syslog(pe, t, &SyslogEvent::CpuHog { pct });
+        let sessions: Vec<SessionId> = (0..self.topo.sessions.len())
+            .map(SessionId::from)
+            .filter(|&s| self.topo.session(s).pe == pe)
+            .collect();
+        if sessions.is_empty() {
+            return;
+        }
+        let n = 1 + self.pick(2.min(sessions.len()));
+        for _ in 0..n {
+            let s = sessions[self.pick(sessions.len())];
+            let d = self.secs_between(5, 60);
+            let u = d + self.secs_between(30, 90);
+            self.ebgp_flap(s, t + d, t + u, true, RootCause::CpuHighSpike, fault);
+        }
+    }
+
+    /// A sustained 5-minute-average CPU overload visible in SNMP.
+    pub fn inject_cpu_average(&mut self, t: Timestamp) {
+        let pe = self.random_pe();
+        let fault = self.fault(
+            RootCause::CpuHighAverage,
+            t,
+            self.topo.router(pe).name.clone(),
+        );
+        let bin = t.bin_floor(Duration::mins(5));
+        let bins = 1 + self.pick(3);
+        for b in 0..bins {
+            let v = self.uniform(82.0, 95.0);
+            self.snmp(
+                pe,
+                bin + Duration::mins(5 * b as i64),
+                SnmpMetric::CpuUtil5m,
+                None,
+                v,
+            );
+        }
+        let sessions: Vec<SessionId> = (0..self.topo.sessions.len())
+            .map(SessionId::from)
+            .filter(|&s| self.topo.session(s).pe == pe)
+            .collect();
+        if !sessions.is_empty() {
+            let s = sessions[self.pick(sessions.len())];
+            let d = self.secs_between(10, 280);
+            let u = d + self.secs_between(30, 90);
+            self.ebgp_flap(s, bin + d, bin + u, true, RootCause::CpuHighAverage, fault);
+        }
+    }
+
+    /// The customer administratively resets the session from their side.
+    pub fn inject_customer_reset(&mut self, t: Timestamp) {
+        let s = self.random_session();
+        let sess = self.topo.session(s).clone();
+        let fault = self.fault(RootCause::CustomerReset, t, self.session_key(s));
+        self.syslog(
+            sess.pe,
+            t,
+            &SyslogEvent::BgpPeerReset {
+                neighbor: sess.neighbor_ip,
+            },
+        );
+        let d = self.secs_between(0, 2);
+        let u = d + self.secs_between(10, 60);
+        self.ebgp_flap(s, t + d, t + u, false, RootCause::CustomerReset, fault);
+    }
+
+    /// A hold-timer expiry with no deeper cause visible inside the ISP
+    /// (e.g. trouble on the far side of the trust boundary).
+    pub fn inject_hte_unknown(&mut self, t: Timestamp) {
+        let s = self.random_session();
+        let fault = self.fault(RootCause::EbgpHteUnknown, t, self.session_key(s));
+        let u = self.secs_between(30, 120);
+        self.ebgp_flap(s, t, t + u, true, RootCause::EbgpHteUnknown, fault);
+    }
+
+    /// A flap with no evidence at all (silent customer-side failure).
+    pub fn inject_unknown_flap(&mut self, t: Timestamp) {
+        let s = self.random_session();
+        let fault = self.fault(RootCause::Unknown, t, self.session_key(s));
+        let u = self.secs_between(20, 120);
+        self.ebgp_flap(s, t, t + u, false, RootCause::Unknown, fault);
+    }
+
+    /// §IV-C: an *unobservable* line-card crash — every interface on one
+    /// card flaps within ~3 minutes, with no card-level log at all.
+    /// Returns the card chosen.
+    pub fn inject_line_card_crash(&mut self, t: Timestamp, card: Option<LineCardId>) -> LineCardId {
+        let card = card.unwrap_or_else(|| {
+            // Prefer the card with the most customer-facing interfaces.
+            let best = self
+                .topo
+                .cards
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| {
+                    c.interfaces
+                        .iter()
+                        .filter(|&&i| {
+                            matches!(
+                                self.topo.interface(i).kind,
+                                InterfaceKind::CustomerFacing { .. }
+                            )
+                        })
+                        .count()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            LineCardId::from(best)
+        });
+        let pe = self.topo.card(card).router;
+        let fault = self.fault(
+            RootCause::LineCardCrash,
+            t,
+            format!(
+                "{}:slot{}",
+                self.topo.router(pe).name,
+                self.topo.card(card).slot
+            ),
+        );
+        let ifaces = self.topo.card(card).interfaces.clone();
+        for i in ifaces {
+            let d = self.secs_between(0, 150);
+            let dur = self.secs_between(200, 320); // outlasts the hold timer
+            let name = self.topo.interface(i).name.clone();
+            let t_down = t + d;
+            let t_up = t_down + dur;
+            self.syslog(
+                pe,
+                t_down,
+                &SyslogEvent::LinkUpDown {
+                    iface: name.clone(),
+                    up: false,
+                },
+            );
+            self.syslog(
+                pe,
+                t_up,
+                &SyslogEvent::LinkUpDown {
+                    iface: name.clone(),
+                    up: true,
+                },
+            );
+            let lag = self.secs_between(0, 2);
+            self.syslog(
+                pe,
+                t_down + lag,
+                &SyslogEvent::LineProtoUpDown {
+                    iface: name.clone(),
+                    up: false,
+                },
+            );
+            self.syslog(
+                pe,
+                t_up + lag,
+                &SyslogEvent::LineProtoUpDown {
+                    iface: name,
+                    up: true,
+                },
+            );
+            // Which session rides this interface?
+            let session = (0..self.topo.sessions.len())
+                .map(SessionId::from)
+                .find(|&s| self.topo.session(s).iface == i);
+            if let Some(s) = session {
+                self.session_reacts_to_outage(s, t_down, t_up, RootCause::LineCardCrash, fault);
+            }
+        }
+        card
+    }
+
+    /// A provisioning activity from the workflow system. On the small set
+    /// of buggy routers, `provision-customer-port` stalls the route
+    /// processor and times out unrelated sessions (§IV-B's hidden bug).
+    pub fn inject_provisioning(&mut self, t: Timestamp) {
+        let pe = self.random_pe();
+        let k = self.pick(self.cfg.noise_workflow_types);
+        let activity = workflow_activity(k);
+        let name = self.topo.router(pe).name.clone();
+        self.workflow(&name, t, &activity);
+        if activity == BUGGY_ACTIVITY && self.is_buggy_router(pe) {
+            let fault = self.fault(RootCause::ProvisioningBug, t, name);
+            // The bug's mechanism: CPU stall → hold-timer expiries.
+            let spike = t + self.secs_between(5, 60);
+            let pct = 91 + self.pick(8) as u32;
+            self.syslog(pe, spike, &SyslogEvent::CpuHog { pct });
+            let bin = spike.bin_floor(Duration::mins(5));
+            let v = self.uniform(81.0, 93.0);
+            self.snmp(pe, bin, SnmpMetric::CpuUtil5m, None, v);
+            let sessions: Vec<SessionId> = (0..self.topo.sessions.len())
+                .map(SessionId::from)
+                .filter(|&s| self.topo.session(s).pe == pe)
+                .collect();
+            if sessions.is_empty() {
+                return;
+            }
+            let n = 1 + self.pick(2.min(sessions.len()));
+            for _ in 0..n {
+                let s = sessions[self.pick(sessions.len())];
+                let d = self.secs_between(0, 30);
+                let u = d + self.secs_between(30, 120);
+                self.ebgp_flap(
+                    s,
+                    spike + d,
+                    spike + u,
+                    true,
+                    RootCause::ProvisioningBug,
+                    fault,
+                );
+            }
+        }
+    }
+
+    /// §IV-B reverse causality: after the fact, some flaps drive the PE CPU
+    /// high (route recomputation), planting high-CPU evidence next to flaps
+    /// the CPU did not cause. Run once after all fault injection.
+    pub fn reverse_cpu_pass(&mut self) {
+        let log = std::mem::take(&mut self.flap_log);
+        for (pe, t) in &log {
+            if self.chance(self.cfg.reverse_cpu_prob) {
+                let d = self.secs_between(0, 5);
+                let pct = 90 + self.pick(9) as u32;
+                self.syslog(*pe, *t + d, &SyslogEvent::CpuHog { pct });
+                if self.chance(0.2) {
+                    let bin = t.bin_floor(Duration::mins(5));
+                    let v = self.uniform(80.0, 92.0);
+                    self.snmp(*pe, bin, SnmpMetric::CpuUtil5m, None, v);
+                }
+            }
+        }
+        self.flap_log = log;
+    }
+}
+
+/// The workflow activity that triggers the hidden vendor bug.
+pub const BUGGY_ACTIVITY: &str = "provision-customer-port";
+
+/// Workflow activity-type catalog (type 0 is the buggy one).
+pub fn workflow_activity(k: usize) -> String {
+    if k == 0 {
+        BUGGY_ACTIVITY.to_string()
+    } else {
+        format!("workflow-activity-{k:03}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FaultRates, ScenarioConfig};
+    use grca_net_model::gen::{generate, TopoGenConfig};
+    use grca_telemetry::records::RawRecord;
+    use grca_telemetry::syslog::{parse_syslog_message, split_line, SyslogEvent as Ev};
+
+    fn mk_sim(topo: &grca_net_model::Topology) -> (&grca_net_model::Topology, ScenarioConfig) {
+        (topo, ScenarioConfig::new(30, 42, FaultRates::zero()))
+    }
+
+    fn t0() -> Timestamp {
+        Timestamp::from_civil(2010, 1, 5, 12, 0, 0)
+    }
+
+    fn count_syslog<F: Fn(&Ev) -> bool>(sim: &Sim, f: F) -> usize {
+        sim.records
+            .iter()
+            .filter_map(|r| match r {
+                RawRecord::Syslog(l) => split_line(&l.line)
+                    .ok()
+                    .and_then(|(_, body)| parse_syslog_message(body).ok()),
+                _ => None,
+            })
+            .filter(|e| f(e))
+            .count()
+    }
+
+    #[test]
+    fn iface_flap_produces_link_and_proto_messages() {
+        let topo = generate(&TopoGenConfig::small());
+        let (topo, cfg) = mk_sim(&topo);
+        let mut sim = Sim::new(topo, &cfg);
+        sim.inject_customer_iface_flap(t0());
+        assert_eq!(
+            count_syslog(&sim, |e| matches!(e, Ev::LinkUpDown { .. })),
+            2
+        );
+        assert_eq!(
+            count_syslog(&sim, |e| matches!(e, Ev::LineProtoUpDown { .. })),
+            2
+        );
+    }
+
+    #[test]
+    fn fast_fallover_flaps_immediately_short_outage() {
+        let topo = generate(&TopoGenConfig::small());
+        let (topo, cfg) = mk_sim(&topo);
+        let mut sim = Sim::new(topo, &cfg);
+        // Force fallover on session 0 and a short outage.
+        sim.fast_fallover[0] = true;
+        let fault = sim.fault(RootCause::InterfaceFlap, t0(), "test");
+        let flapped = sim.session_reacts_to_outage(
+            SessionId::new(0),
+            t0(),
+            t0() + Duration::secs(10),
+            RootCause::InterfaceFlap,
+            fault,
+        );
+        assert!(flapped);
+        assert_eq!(sim.truth.len(), 1);
+        assert_eq!(
+            count_syslog(&sim, |e| matches!(e, Ev::BgpHoldTimerExpired { .. })),
+            0
+        );
+    }
+
+    #[test]
+    fn hold_timer_governs_non_fallover_sessions() {
+        let topo = generate(&TopoGenConfig::small());
+        let (topo, cfg) = mk_sim(&topo);
+        let mut sim = Sim::new(topo, &cfg);
+        sim.fast_fallover[0] = false;
+        let fault = sim.fault(RootCause::InterfaceFlap, t0(), "test");
+        // Short outage: survives.
+        assert!(!sim.session_reacts_to_outage(
+            SessionId::new(0),
+            t0(),
+            t0() + Duration::secs(100),
+            RootCause::InterfaceFlap,
+            fault,
+        ));
+        // Long outage: HTE + flap 180 s after onset.
+        assert!(sim.session_reacts_to_outage(
+            SessionId::new(0),
+            t0(),
+            t0() + Duration::secs(400),
+            RootCause::InterfaceFlap,
+            fault,
+        ));
+        assert_eq!(
+            count_syslog(&sim, |e| matches!(e, Ev::BgpHoldTimerExpired { .. })),
+            1
+        );
+        assert_eq!(sim.truth[0].time, t0() + Duration::secs(180));
+    }
+
+    #[test]
+    fn reboot_flaps_every_session_on_pe() {
+        let topo = generate(&TopoGenConfig::small());
+        let (topo, cfg) = mk_sim(&topo);
+        let mut sim = Sim::new(topo, &cfg);
+        sim.inject_router_reboot(t0());
+        let restarted: Vec<_> = sim
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                RawRecord::Syslog(l) => Some(l.host.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(!restarted.is_empty());
+        let n_flaps = sim
+            .truth
+            .iter()
+            .filter(|t| t.symptom == SymptomKind::EbgpFlap)
+            .count();
+        assert_eq!(n_flaps, 8, "sessions_per_pe in small config");
+        assert!(sim.truth.iter().all(|t| t.cause == RootCause::RouterReboot));
+    }
+
+    #[test]
+    fn line_card_crash_is_unobservable_but_bursty() {
+        let topo = generate(&TopoGenConfig::small());
+        let (topo, cfg) = mk_sim(&topo);
+        let mut sim = Sim::new(topo, &cfg);
+        let card = sim.inject_line_card_crash(t0(), None);
+        // No card-level syslog exists; only LINK/LINEPROTO and BGP messages.
+        assert_eq!(count_syslog(&sim, |e| matches!(e, Ev::Restart)), 0);
+        let flaps: Vec<_> = sim
+            .truth
+            .iter()
+            .filter(|t| t.symptom == SymptomKind::EbgpFlap)
+            .collect();
+        // Every session on the card flapped (outage outlasts hold timer).
+        assert_eq!(flaps.len(), topo.sessions_on_card(card).len());
+        assert!(flaps.len() >= 4);
+        // ... within a ~3 minute burst.
+        let lo = flaps.iter().map(|t| t.time).min().unwrap();
+        let hi = flaps.iter().map(|t| t.time).max().unwrap();
+        assert!(hi - lo <= Duration::secs(340), "{}", (hi - lo));
+        assert!(flaps.iter().all(|t| t.cause == RootCause::LineCardCrash));
+    }
+
+    #[test]
+    fn provisioning_bug_fires_only_on_buggy_router_and_activity() {
+        let topo = generate(&TopoGenConfig::paper_scale());
+        let mut cfg = ScenarioConfig::new(30, 42, FaultRates::zero());
+        cfg.buggy_router_fraction = 1.0; // every router buggy for the test
+        let mut sim = Sim::new(&topo, &cfg);
+        let mut bug_flaps = 0;
+        for i in 0..200 {
+            sim.inject_provisioning(t0() + Duration::mins(i));
+            bug_flaps = sim
+                .truth
+                .iter()
+                .filter(|t| t.cause == RootCause::ProvisioningBug)
+                .count();
+        }
+        assert!(bug_flaps > 0, "buggy activity should fire over 200 draws");
+        // All bug flaps carry HTE evidence.
+        assert_eq!(
+            count_syslog(&sim, |e| matches!(e, Ev::BgpHoldTimerExpired { .. })),
+            sim.truth.len()
+        );
+    }
+
+    #[test]
+    fn reverse_cpu_plants_confounding_evidence() {
+        let topo = generate(&TopoGenConfig::small());
+        let mut cfg = ScenarioConfig::new(30, 42, FaultRates::zero());
+        cfg.reverse_cpu_prob = 1.0;
+        let mut sim = Sim::new(&topo, &cfg);
+        sim.inject_unknown_flap(t0());
+        sim.reverse_cpu_pass();
+        assert_eq!(count_syslog(&sim, |e| matches!(e, Ev::CpuHog { .. })), 1);
+        // Yet the truth says the flap was NOT CPU-caused.
+        assert_eq!(sim.truth[0].cause, RootCause::Unknown);
+    }
+
+    #[test]
+    fn customer_reset_emits_notification() {
+        let topo = generate(&TopoGenConfig::small());
+        let (topo, cfg) = mk_sim(&topo);
+        let mut sim = Sim::new(topo, &cfg);
+        sim.inject_customer_reset(t0());
+        assert_eq!(
+            count_syslog(&sim, |e| matches!(e, Ev::BgpPeerReset { .. })),
+            1
+        );
+        assert_eq!(sim.truth[0].cause, RootCause::CustomerReset);
+    }
+
+    #[test]
+    fn mvpn_customer_flap_changes_pim_adjacency() {
+        let topo = generate(&TopoGenConfig::small());
+        let (topo, cfg) = mk_sim(&topo);
+        let mut sim = Sim::new(topo, &cfg);
+        // Find a session whose customer+PE is in an MVPN.
+        let s = (0..topo.sessions.len())
+            .map(SessionId::from)
+            .find(|&s| {
+                let sess = topo.session(s);
+                topo.mvpns
+                    .iter()
+                    .any(|m| m.customer == sess.customer && m.pes.contains(&sess.pe))
+            })
+            .expect("small config provisions MVPNs");
+        let fault = sim.fault(RootCause::InterfaceFlap, t0(), "t");
+        sim.customer_iface_outage(
+            s,
+            t0(),
+            Duration::secs(30),
+            OutageOpts {
+                link_layer: true,
+                line_proto: true,
+            },
+            RootCause::InterfaceFlap,
+            fault,
+        );
+        assert_eq!(
+            sim.truth
+                .iter()
+                .filter(|t| t.symptom == SymptomKind::PimAdjChange)
+                .count(),
+            1
+        );
+    }
+}

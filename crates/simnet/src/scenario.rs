@@ -1,0 +1,344 @@
+//! Top-level scenario runner: Poisson fault arrivals, confounder passes,
+//! background telemetry, and the final [`SimOutput`].
+
+use crate::config::ScenarioConfig;
+use crate::sim::Sim;
+use crate::truth::{FaultInstance, TruthRecord};
+use grca_net_model::{CdnNodeId, ClientSiteId, InterfaceKind, RouterId, RouterRole, Topology};
+use grca_telemetry::records::{L1EventKind, PerfMetric, RawRecord, SnmpMetric};
+
+/// Everything a scenario produces. `records` is what the Data Collector
+/// ingests; `truth`/`faults` are for experiment scoring only.
+pub struct SimOutput {
+    pub records: Vec<RawRecord>,
+    pub truth: Vec<TruthRecord>,
+    pub faults: Vec<FaultInstance>,
+}
+
+/// Run a complete scenario over `topo`.
+pub fn run_scenario(topo: &Topology, cfg: &ScenarioConfig) -> SimOutput {
+    let mut sim = Sim::new(topo, cfg);
+    let days = cfg.days as f64;
+
+    // Draw arrival counts per fault kind, then inject at uniform times.
+    macro_rules! arrivals {
+        ($rate:expr, $inject:expr) => {{
+            let n = sim.poisson($rate * days);
+            for _ in 0..n {
+                let t = sim.uniform_time();
+                #[allow(clippy::redundant_closure_call)]
+                ($inject)(&mut sim, t);
+            }
+        }};
+    }
+
+    arrivals!(cfg.rates.customer_iface_flap, |s: &mut Sim, t| s
+        .inject_customer_iface_flap(t));
+    arrivals!(cfg.rates.mvpn_customer_flap, |s: &mut Sim, t| s
+        .inject_mvpn_customer_flap(t));
+    arrivals!(cfg.rates.line_proto_flap, |s: &mut Sim, t| s
+        .inject_line_proto_flap(t));
+    arrivals!(cfg.rates.router_reboot, |s: &mut Sim, t| s
+        .inject_router_reboot(t));
+    arrivals!(cfg.rates.cpu_spike, |s: &mut Sim, t| s.inject_cpu_spike(t));
+    arrivals!(cfg.rates.cpu_average, |s: &mut Sim, t| s
+        .inject_cpu_average(t));
+    arrivals!(cfg.rates.customer_reset, |s: &mut Sim, t| s
+        .inject_customer_reset(t));
+    arrivals!(cfg.rates.hte_unknown, |s: &mut Sim, t| s
+        .inject_hte_unknown(t));
+    arrivals!(cfg.rates.unknown_flap, |s: &mut Sim, t| s
+        .inject_unknown_flap(t));
+    arrivals!(cfg.rates.sonet_restoration, |s: &mut Sim, t| {
+        s.inject_l1_restoration(t, L1EventKind::SonetRestoration)
+    });
+    arrivals!(cfg.rates.mesh_fast_restoration, |s: &mut Sim, t| {
+        s.inject_l1_restoration(t, L1EventKind::MeshFastRestoration)
+    });
+    arrivals!(cfg.rates.mesh_regular_restoration, |s: &mut Sim, t| {
+        s.inject_l1_restoration(t, L1EventKind::MeshRegularRestoration)
+    });
+    arrivals!(cfg.rates.line_card_crash, |s: &mut Sim, t| {
+        s.inject_line_card_crash(t, None);
+    });
+    arrivals!(
+        cfg.rates.provisioning_activity + cfg.rates.noise_workflow,
+        |s: &mut Sim, t| s.inject_provisioning(t)
+    );
+    arrivals!(cfg.rates.backbone_link_failure, |s: &mut Sim, t| {
+        s.inject_backbone_link_failure(t)
+    });
+    arrivals!(cfg.rates.link_cost_out_maint, |s: &mut Sim, t| s
+        .inject_link_cost_out_maint(t));
+    arrivals!(cfg.rates.router_cost_out_maint, |s: &mut Sim, t| {
+        s.inject_router_cost_out_maint(t)
+    });
+    arrivals!(cfg.rates.ospf_weight_change, |s: &mut Sim, t| s
+        .inject_ospf_weight_change(t));
+    arrivals!(cfg.rates.link_congestion, |s: &mut Sim, t| s
+        .inject_link_congestion(t));
+    arrivals!(cfg.rates.link_loss, |s: &mut Sim, t| s.inject_link_loss(t));
+    arrivals!(cfg.rates.egress_change, |s: &mut Sim, t| s
+        .inject_egress_change(t));
+    arrivals!(cfg.rates.cdn_policy_change, |s: &mut Sim, t| s
+        .inject_cdn_policy_change(t));
+    arrivals!(cfg.rates.cdn_server_issue, |s: &mut Sim, t| s
+        .inject_cdn_server_issue(t));
+    arrivals!(cfg.rates.external_rtt_degradation, |s: &mut Sim, t| s
+        .inject_external_rtt(t));
+    arrivals!(cfg.rates.pim_config_change, |s: &mut Sim, t| s
+        .inject_pim_config_change(t));
+    arrivals!(cfg.rates.uplink_pim_loss, |s: &mut Sim, t| s
+        .inject_uplink_pim_loss(t));
+
+    // Confounders and background.
+    sim.reverse_cpu_pass();
+    emit_noise(&mut sim);
+    emit_background(&mut sim);
+
+    // Deliver records in (approximate) chronological order, as live feeds
+    // would; each record still carries its source-local clock.
+    let mut records = sim.records;
+    records.sort_by_cached_key(|r| approx_utc(topo, r));
+
+    SimOutput {
+        records,
+        truth: sim.truth,
+        faults: sim.faults,
+    }
+}
+
+/// The UTC emission instant of a raw record, recovered by inverting each
+/// feed's clock convention (the same logic the collector applies).
+pub fn approx_utc(topo: &Topology, r: &RawRecord) -> grca_types::Timestamp {
+    use grca_types::{TimeZone, Timestamp};
+    match r {
+        RawRecord::Syslog(l) => {
+            let local = grca_telemetry::syslog::split_line(&l.line)
+                .map(|(t, _)| t)
+                .unwrap_or(Timestamp(0));
+            match topo.router_by_name(&l.host) {
+                Some(router) => topo.router_tz(router).to_utc(local),
+                None => local,
+            }
+        }
+        RawRecord::Snmp(x) => TimeZone::US_EASTERN.to_utc(x.local_time),
+        RawRecord::L1Log(x) => match topo.l1dev_by_name(&x.device) {
+            Some(d) => topo.pop(topo.l1_device(d).pop).tz.to_utc(x.local_time),
+            None => x.local_time,
+        },
+        RawRecord::OspfMon(x) => x.utc,
+        RawRecord::BgpMon(x) => x.utc,
+        RawRecord::Tacacs(x) => TimeZone::US_EASTERN.to_utc(x.local_time),
+        RawRecord::Workflow(x) => TimeZone::US_EASTERN.to_utc(x.local_time),
+        RawRecord::Perf(x) => x.utc,
+        RawRecord::CdnMon(x) => x.utc,
+        RawRecord::ServerLog(x) => match topo.cdn_nodes.iter().position(|n| n.name == x.node) {
+            Some(i) => topo
+                .pop(topo.cdn_node(grca_net_model::CdnNodeId::from(i)).pop)
+                .tz
+                .to_utc(x.local_time),
+            None => x.local_time,
+        },
+    }
+}
+
+/// Syslog noise: the sea of routine messages the §IV-B blind screening has
+/// to sift through. Each noise type forms its own candidate time series.
+fn emit_noise(sim: &mut Sim) {
+    let days = sim.cfg.days as f64;
+    let n = sim.poisson(sim.cfg.rates.noise_syslog * days);
+    let routers = sim.topo.routers.len();
+    for _ in 0..n {
+        let t = sim.uniform_time();
+        let r = RouterId::from(sim.pick(routers));
+        let k = sim.pick(sim.cfg.noise_syslog_types);
+        sim.syslog_raw(
+            r,
+            t,
+            &format!("%NOISE-6-T{k:03}: periodic condition type {k}"),
+        );
+    }
+}
+
+/// Baseline (healthy) telemetry so detectors have something to compare
+/// against: normal SNMP readings, nominal probe measurements, nominal CDN
+/// RTT samples. Cadence is configurable (coarser than the native 5-minute
+/// bins to keep scenario sizes manageable; anomalies are always emitted at
+/// full cadence by the injectors).
+fn emit_background(sim: &mut Sim) {
+    if !sim.cfg.background.emit_baseline {
+        return;
+    }
+    let start = sim.cfg.start;
+    let end = sim.cfg.end();
+
+    // SNMP: router CPU plus link utilization on backbone interfaces.
+    let bin = sim.cfg.background.snmp_baseline_bin;
+    let routers: Vec<RouterId> = (0..sim.topo.routers.len())
+        .map(RouterId::from)
+        .filter(|&r| sim.topo.router(r).role != RouterRole::RouteReflector)
+        .collect();
+    let backbone_ifaces: Vec<grca_net_model::InterfaceId> = (0..sim.topo.interfaces.len())
+        .map(grca_net_model::InterfaceId::from)
+        .filter(|&i| sim.topo.interface(i).kind == InterfaceKind::Backbone)
+        .collect();
+    let mut t = start;
+    while t < end {
+        for &r in &routers {
+            let v = sim.uniform(15.0, 55.0);
+            sim.snmp(r, t, SnmpMetric::CpuUtil5m, None, v);
+        }
+        for &i in &backbone_ifaces {
+            let r = sim.topo.interface(i).router;
+            let v = sim.uniform(20.0, 60.0);
+            sim.snmp(r, t, SnmpMetric::LinkUtil5m, Some(i), v);
+            let ovf = sim.uniform(0.0, 5.0).round();
+            sim.snmp(r, t, SnmpMetric::OverflowPkts5m, Some(i), ovf);
+        }
+        t += bin;
+    }
+
+    // End-to-end probes between designated PoP pairs.
+    let pairs = sim.perf_pairs();
+    let bin = sim.cfg.background.perf_baseline_bin;
+    let mut t = start;
+    while t < end {
+        for &(a, b) in &pairs {
+            let delay = sim.uniform(10.0, 45.0);
+            let loss = sim.uniform(0.0, 0.05);
+            let tput = sim.uniform(700.0, 950.0);
+            sim.perf(a, b, t, PerfMetric::DelayMs, delay);
+            sim.perf(a, b, t, PerfMetric::LossPct, loss);
+            sim.perf(a, b, t, PerfMetric::ThroughputMbps, tput);
+        }
+        t += bin;
+    }
+
+    // CDN monitor baselines.
+    let bin = sim.cfg.background.cdn_baseline_bin;
+    let mut t = start;
+    while t < end {
+        for n in 0..sim.topo.cdn_nodes.len() {
+            for c in 0..sim.topo.ext_nets.len() {
+                let node = CdnNodeId::from(n);
+                let client = ClientSiteId::from(c);
+                let rtt = sim.base_rtt(node, client) * sim.uniform(0.95, 1.05);
+                let tput = sim.base_tput(node, client) * sim.uniform(0.9, 1.1);
+                sim.cdnmon(node, client, t, rtt, tput);
+            }
+        }
+        t += bin;
+    }
+
+    // CDN server load baseline (nominal ~1.0).
+    let mut t = start;
+    while t < end {
+        for n in 0..sim.topo.cdn_nodes.len() {
+            let load = sim.uniform(0.5, 1.0);
+            sim.serverlog(CdnNodeId::from(n), t, load);
+        }
+        t += bin;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FaultRates;
+    use crate::truth::{breakdown, RootCause, SymptomKind};
+    use grca_net_model::gen::{generate, TopoGenConfig};
+
+    #[test]
+    fn bgp_scenario_produces_flap_mix() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(10, 5, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        assert!(!out.records.is_empty());
+        let flaps: Vec<_> = out
+            .truth
+            .iter()
+            .filter(|t| t.symptom == SymptomKind::EbgpFlap)
+            .collect();
+        assert!(flaps.len() > 100, "got {}", flaps.len());
+        let b = breakdown(&out.truth, SymptomKind::EbgpFlap);
+        let share = |c: RootCause| {
+            b.iter()
+                .find(|(k, _, _)| *k == c)
+                .map(|(_, _, p)| *p)
+                .unwrap_or(0.0)
+        };
+        // Interface flaps dominate, as in Table IV.
+        assert!(share(RootCause::InterfaceFlap) > 35.0);
+        assert!(share(RootCause::InterfaceFlap) < 85.0);
+        assert!(share(RootCause::LineProtocolFlap) > 2.0);
+        assert!(share(RootCause::Unknown) > 2.0);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(3, 77, FaultRates::bgp_study());
+        let a = run_scenario(&topo, &cfg);
+        let b = run_scenario(&topo, &cfg);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn cdn_scenario_majority_external() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(15, 5, FaultRates::cdn_study());
+        let out = run_scenario(&topo, &cfg);
+        let b = breakdown(&out.truth, SymptomKind::CdnDegradation);
+        let ext = b
+            .iter()
+            .find(|(k, _, _)| *k == RootCause::ExternalDegradation)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(0.0);
+        assert!(ext > 35.0, "external share {ext}");
+    }
+
+    #[test]
+    fn pim_scenario_dominated_by_customer_flaps() {
+        let topo = generate(&TopoGenConfig::default());
+        let cfg = ScenarioConfig::new(14, 5, FaultRates::pim_study());
+        let out = run_scenario(&topo, &cfg);
+        let pim: Vec<_> = out
+            .truth
+            .iter()
+            .filter(|t| t.symptom == SymptomKind::PimAdjChange)
+            .collect();
+        assert!(pim.len() > 50, "got {}", pim.len());
+        let b = breakdown(&out.truth, SymptomKind::PimAdjChange);
+        let top = b
+            .iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+            .unwrap();
+        assert_eq!(top.0, RootCause::InterfaceFlap, "{b:?}");
+    }
+
+    #[test]
+    fn background_baseline_present() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(2, 5, FaultRates::zero());
+        let out = run_scenario(&topo, &cfg);
+        let feeds: std::collections::BTreeSet<&str> =
+            out.records.iter().map(|r| r.feed()).collect();
+        for f in ["snmp", "perf", "cdnmon", "serverlog"] {
+            assert!(feeds.contains(f), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn zero_rates_produce_no_truth() {
+        let topo = generate(&TopoGenConfig::small());
+        let mut cfg = ScenarioConfig::new(2, 5, FaultRates::zero());
+        cfg.background.emit_baseline = false;
+        let out = run_scenario(&topo, &cfg);
+        assert!(out.truth.is_empty());
+        assert!(out.faults.is_empty());
+        assert!(out.records.is_empty());
+    }
+}

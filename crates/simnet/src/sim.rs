@@ -1,0 +1,453 @@
+//! The simulation context: RNG, record sink, ground truth, and the emit
+//! helpers that encode each feed's clock and naming conventions.
+//!
+//! Injectors (see [`crate::inject`]) call these helpers; everything messy
+//! about the raw data — device-local syslog clocks, Eastern-time SNMP
+//! polling, uppercase SNMP system names, ifIndex references, circuit ids —
+//! is produced here, so the Data Collector has real normalization work to
+//! do, as in the paper (§II-A).
+
+use crate::config::ScenarioConfig;
+use crate::truth::{FaultInstance, RootCause, SymptomKind, TruthRecord};
+use grca_net_model::{
+    CdnNodeId, ClientSiteId, InterfaceId, LinkId, PhysLinkId, RouterId, Topology,
+};
+use grca_routing::RoutingState;
+use grca_telemetry::records::*;
+use grca_telemetry::syslog::SyslogEvent;
+use grca_types::{Duration, TimeZone, Timestamp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The mutable simulation state threaded through all injectors.
+pub struct Sim<'a> {
+    pub topo: &'a Topology,
+    pub cfg: &'a ScenarioConfig,
+    pub rng: StdRng,
+    pub records: Vec<RawRecord>,
+    pub truth: Vec<TruthRecord>,
+    pub faults: Vec<FaultInstance>,
+    /// Baseline routing (for targeting path-dependent effects).
+    pub routing: RoutingState<'a>,
+    /// Per-session: fast external fallover configured?
+    pub fast_fallover: Vec<bool>,
+    /// (PE, flap-down time) log for the reverse-CPU confounder pass.
+    pub flap_log: Vec<(RouterId, Timestamp)>,
+}
+
+impl<'a> Sim<'a> {
+    pub fn new(topo: &'a Topology, cfg: &'a ScenarioConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let fast_fallover = (0..topo.sessions.len())
+            .map(|_| rng.random::<f64>() < cfg.fast_fallover_prob)
+            .collect();
+        Sim {
+            topo,
+            cfg,
+            rng,
+            records: Vec::new(),
+            truth: Vec::new(),
+            faults: Vec::new(),
+            routing: RoutingState::baseline(topo),
+            fast_fallover,
+            flap_log: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------ sampling
+
+    /// Poisson-distributed count with the given mean.
+    pub fn poisson(&mut self, lambda: f64) -> usize {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            // Knuth's method.
+            let l = (-lambda).exp();
+            let mut k = 0usize;
+            let mut p = 1.0;
+            loop {
+                p *= self.rng.random::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+        // Normal approximation for large means.
+        let g = self.gauss();
+        (lambda + lambda.sqrt() * g).round().max(0.0) as usize
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn gauss(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Exponentially distributed duration (seconds), at least 1 s.
+    pub fn exp_secs(&mut self, mean: f64) -> Duration {
+        let u: f64 = self.rng.random::<f64>().max(1e-12);
+        Duration::secs((-mean * u.ln()).round().max(1.0) as i64)
+    }
+
+    /// Uniform instant within the scenario window.
+    pub fn uniform_time(&mut self) -> Timestamp {
+        let span = (self.cfg.end() - self.cfg.start).as_secs();
+        self.cfg.start + Duration::secs(self.rng.random_range(0..span))
+    }
+
+    /// Uniform integer seconds in `[lo, hi]` as a duration.
+    pub fn secs_between(&mut self, lo: i64, hi: i64) -> Duration {
+        Duration::secs(self.rng.random_range(lo..=hi))
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.rng.random::<f64>()
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.random::<f64>() < p
+    }
+
+    /// Pick a uniformly random element index.
+    pub fn pick(&mut self, len: usize) -> usize {
+        self.rng.random_range(0..len)
+    }
+
+    // ------------------------------------------------------------- bookkeeping
+
+    /// Register an injected fault, returning its id.
+    pub fn fault(&mut self, kind: RootCause, time: Timestamp, what: impl Into<String>) -> usize {
+        let id = self.faults.len();
+        self.faults.push(FaultInstance {
+            id,
+            kind,
+            time,
+            what: what.into(),
+        });
+        id
+    }
+
+    /// Record a ground-truth symptom.
+    pub fn symptom(
+        &mut self,
+        symptom: SymptomKind,
+        time: Timestamp,
+        key: String,
+        cause: RootCause,
+        fault: usize,
+    ) {
+        self.truth.push(TruthRecord {
+            symptom,
+            time,
+            key,
+            cause,
+            fault,
+        });
+    }
+
+    // ------------------------------------------------------------- emitters
+
+    /// Emit a syslog line from `router` for a UTC instant (written in the
+    /// router's device-local clock).
+    pub fn syslog(&mut self, router: RouterId, utc: Timestamp, ev: &SyslogEvent) {
+        let tz = self.topo.router_tz(router);
+        let local = tz.to_local(utc);
+        self.records.push(RawRecord::Syslog(SyslogLine {
+            host: self.topo.router(router).name.clone(),
+            line: ev.format_line(local),
+        }));
+    }
+
+    /// Emit an arbitrary-text syslog line (noise messages).
+    pub fn syslog_raw(&mut self, router: RouterId, utc: Timestamp, body: &str) {
+        let tz = self.topo.router_tz(router);
+        let local = tz.to_local(utc);
+        self.records.push(RawRecord::Syslog(SyslogLine {
+            host: self.topo.router(router).name.clone(),
+            line: format!("{local} {body}"),
+        }));
+    }
+
+    /// Emit an SNMP sample (timestamped in provider network time, named by
+    /// SNMP system name; per-interface metrics referenced by ifIndex).
+    pub fn snmp(
+        &mut self,
+        router: RouterId,
+        bin_start_utc: Timestamp,
+        metric: SnmpMetric,
+        iface: Option<InterfaceId>,
+        value: f64,
+    ) {
+        self.records.push(RawRecord::Snmp(SnmpSample {
+            system: self.topo.router(router).snmp_name(),
+            local_time: TimeZone::US_EASTERN.to_local(bin_start_utc),
+            metric,
+            if_index: iface.map(|i| self.topo.interface(i).if_index),
+            value,
+        }));
+    }
+
+    /// Emit a layer-1 device log entry for a circuit event.
+    pub fn l1log(&mut self, circuit: PhysLinkId, utc: Timestamp, kind: L1EventKind) {
+        let pl = self.topo.phys_link(circuit);
+        let dev_id = pl.l1_path[0];
+        let dev = self.topo.l1_device(dev_id);
+        let tz = self.topo.pop(dev.pop).tz;
+        self.records.push(RawRecord::L1Log(L1LogRecord {
+            device: dev.name.clone(),
+            local_time: tz.to_local(utc),
+            kind,
+            circuit: pl.circuit.clone(),
+        }));
+    }
+
+    /// Emit an OSPF monitor observation for a link weight change. The LSA
+    /// identifies the link by an endpoint /30 address.
+    pub fn ospfmon(&mut self, link: LinkId, utc: Timestamp, weight: Option<u32>) {
+        let l = self.topo.link(link);
+        let addr = self
+            .topo
+            .interface(l.a)
+            .ip
+            .expect("backbone links are numbered");
+        self.records.push(RawRecord::OspfMon(OspfMonRecord {
+            utc,
+            link_addr: addr,
+            weight,
+        }));
+    }
+
+    /// Emit a BGP monitor update from both reflectors (the paper's
+    /// reflector-visibility approximation: the feed is what reflectors saw).
+    pub fn bgpmon(
+        &mut self,
+        utc: Timestamp,
+        prefix: grca_net_model::Prefix,
+        egress: RouterId,
+        attrs: Option<(u32, u32)>,
+    ) {
+        for rr in ["rr1", "rr2"] {
+            self.records.push(RawRecord::BgpMon(BgpMonRecord {
+                utc,
+                reflector: rr.to_string(),
+                prefix,
+                egress_router: self.topo.router(egress).name.clone(),
+                attrs,
+            }));
+        }
+    }
+
+    /// Emit a TACACS command log entry.
+    pub fn tacacs(&mut self, router: RouterId, utc: Timestamp, user: &str, command: String) {
+        self.records.push(RawRecord::Tacacs(TacacsRecord {
+            local_time: TimeZone::US_EASTERN.to_local(utc),
+            router: self.topo.router(router).name.clone(),
+            user: user.to_string(),
+            command,
+        }));
+    }
+
+    /// Emit a workflow-system activity record.
+    pub fn workflow(&mut self, router_name: &str, utc: Timestamp, activity: &str) {
+        self.records.push(RawRecord::Workflow(WorkflowRecord {
+            local_time: TimeZone::US_EASTERN.to_local(utc),
+            router: router_name.to_string(),
+            activity: activity.to_string(),
+        }));
+    }
+
+    /// Emit one end-to-end probe sample.
+    pub fn perf(
+        &mut self,
+        ingress: RouterId,
+        egress: RouterId,
+        bin_start_utc: Timestamp,
+        metric: PerfMetric,
+        value: f64,
+    ) {
+        self.records.push(RawRecord::Perf(PerfRecord {
+            utc: bin_start_utc,
+            ingress_router: self.topo.router(ingress).name.clone(),
+            egress_router: self.topo.router(egress).name.clone(),
+            metric,
+            value,
+        }));
+    }
+
+    /// Emit one CDN monitor sample for a (node, client site) pair.
+    pub fn cdnmon(
+        &mut self,
+        node: CdnNodeId,
+        client: ClientSiteId,
+        bin_start_utc: Timestamp,
+        rtt_ms: f64,
+        throughput_mbps: f64,
+    ) {
+        let client_addr = self.topo.ext_net(client).prefix.host(10);
+        self.records.push(RawRecord::CdnMon(CdnMonRecord {
+            utc: bin_start_utc,
+            node: self.topo.cdn_node(node).name.clone(),
+            client_addr,
+            rtt_ms,
+            throughput_mbps,
+        }));
+    }
+
+    /// Emit a CDN server-farm load sample.
+    pub fn serverlog(&mut self, node: CdnNodeId, utc: Timestamp, load: f64) {
+        let n = self.topo.cdn_node(node);
+        let tz = self.topo.pop(n.pop).tz;
+        self.records.push(RawRecord::ServerLog(ServerLogRecord {
+            local_time: tz.to_local(utc),
+            node: n.name.clone(),
+            load,
+        }));
+    }
+
+    // --------------------------------------------------------- conventions
+
+    /// Deterministic per-pair baseline RTT in ms (20–80), stable across the
+    /// scenario so detectors can learn it.
+    pub fn base_rtt(&self, node: CdnNodeId, client: ClientSiteId) -> f64 {
+        let h = (node.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(client.0 as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        20.0 + (h % 6000) as f64 / 100.0
+    }
+
+    /// Deterministic baseline throughput in Mb/s (5–50).
+    pub fn base_tput(&self, node: CdnNodeId, client: ClientSiteId) -> f64 {
+        let h = (client.0 as u64)
+            .wrapping_mul(0x94D0_49BB_1331_11EB)
+            .wrapping_add(node.0 as u64);
+        5.0 + (h % 4500) as f64 / 100.0
+    }
+
+    /// Whether a router carries the hidden provisioning bug (§IV-B): a
+    /// deterministic pseudo-random subset of PEs.
+    pub fn is_buggy_router(&self, r: RouterId) -> bool {
+        let h = (r.0 as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ self.cfg.seed;
+        ((h >> 8) % 10_000) as f64 / 10_000.0 < self.cfg.buggy_router_fraction
+    }
+
+    /// The canonical location key for an eBGP session symptom (matches
+    /// `Location::RouterNeighborIp` display).
+    pub fn session_key(&self, s: grca_net_model::SessionId) -> String {
+        let sess = self.topo.session(s);
+        format!("{}:{}", self.topo.router(sess.pe).name, sess.neighbor_ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FaultRates, ScenarioConfig};
+    use grca_net_model::gen::{generate, TopoGenConfig};
+
+    fn mk() -> (Topology, ScenarioConfig) {
+        (
+            generate(&TopoGenConfig::small()),
+            ScenarioConfig::new(7, 11, FaultRates::zero()),
+        )
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let (topo, cfg) = mk();
+        let mut sim = Sim::new(&topo, &cfg);
+        for &lam in &[0.5, 5.0, 80.0] {
+            let n: usize = (0..400).map(|_| sim.poisson(lam)).sum();
+            let mean = n as f64 / 400.0;
+            assert!(
+                (mean - lam).abs() < lam.max(1.0) * 0.25,
+                "lambda={lam} mean={mean}"
+            );
+        }
+        assert_eq!(sim.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn uniform_time_in_window() {
+        let (topo, cfg) = mk();
+        let mut sim = Sim::new(&topo, &cfg);
+        for _ in 0..100 {
+            let t = sim.uniform_time();
+            assert!(t >= cfg.start && t < cfg.end());
+        }
+    }
+
+    #[test]
+    fn syslog_uses_device_local_clock() {
+        let (topo, cfg) = mk();
+        let mut sim = Sim::new(&topo, &cfg);
+        let r = topo.router_by_name("nyc-per1").unwrap();
+        let utc = Timestamp::from_civil(2010, 1, 1, 12, 0, 0);
+        sim.syslog(r, utc, &SyslogEvent::Restart);
+        let RawRecord::Syslog(line) = &sim.records[0] else {
+            panic!()
+        };
+        // NYC is Eastern: 12:00 UTC == 07:00 local.
+        assert!(
+            line.line.starts_with("2010-01-01 07:00:00"),
+            "{}",
+            line.line
+        );
+        assert_eq!(line.host, "nyc-per1");
+    }
+
+    #[test]
+    fn snmp_uses_network_time_and_snmp_names() {
+        let (topo, cfg) = mk();
+        let mut sim = Sim::new(&topo, &cfg);
+        let r = topo.router_by_name("lax-per1").unwrap();
+        let utc = Timestamp::from_civil(2010, 1, 1, 12, 0, 0);
+        sim.snmp(r, utc, SnmpMetric::CpuUtil5m, None, 42.0);
+        let RawRecord::Snmp(s) = &sim.records[0] else {
+            panic!()
+        };
+        assert_eq!(s.system, "LAX-PER1.ISP.NET");
+        // Eastern regardless of the device's own zone.
+        assert_eq!(s.local_time, TimeZone::US_EASTERN.to_local(utc));
+    }
+
+    #[test]
+    fn base_rtt_stable_and_bounded() {
+        let (topo, cfg) = mk();
+        let sim = Sim::new(&topo, &cfg);
+        let n = CdnNodeId::new(0);
+        for c in 0..topo.ext_nets.len() {
+            let r = sim.base_rtt(n, ClientSiteId::from(c));
+            assert!((20.0..=80.0).contains(&r));
+            assert_eq!(r, sim.base_rtt(n, ClientSiteId::from(c)));
+        }
+    }
+
+    #[test]
+    fn buggy_router_fraction_is_roughly_respected() {
+        let topo = generate(&TopoGenConfig::paper_scale());
+        let cfg = ScenarioConfig::new(7, 11, FaultRates::zero());
+        let sim = Sim::new(&topo, &cfg);
+        let buggy = topo
+            .provider_edges()
+            .filter(|&r| sim.is_buggy_router(r))
+            .count();
+        let frac = buggy as f64 / 600.0;
+        assert!(frac > 0.01 && frac < 0.12, "frac={frac}");
+    }
+
+    #[test]
+    fn fast_fallover_assignment_prob() {
+        let (topo, _) = mk();
+        let cfg = ScenarioConfig::new(7, 3, FaultRates::zero());
+        let sim = Sim::new(&topo, &cfg);
+        let on = sim.fast_fallover.iter().filter(|&&b| b).count();
+        let frac = on as f64 / sim.fast_fallover.len() as f64;
+        assert!(frac > 0.3 && frac < 0.9, "frac={frac}");
+    }
+}

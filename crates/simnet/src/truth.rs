@@ -1,0 +1,168 @@
+//! Ground-truth bookkeeping for simulated scenarios.
+//!
+//! Every injected fault records which *symptom* instances it caused, with
+//! the true root-cause label. The RCA platform never sees this — it works
+//! from the raw telemetry alone. Experiments join diagnosed root causes
+//! back to the truth by `(symptom kind, location key, time)` to score
+//! accuracy and to verify that the recovered breakdown matches the
+//! injected mix (Tables IV, VI, VIII).
+
+use grca_types::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The true root cause of a simulated symptom.
+///
+/// The variants mirror the root-cause categories of the paper's result
+/// tables (Table IV for BGP flaps, Table VI for CDN RTT degradations,
+/// Table VIII for PIM adjacency losses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RootCause {
+    // --- BGP flap study (Table IV) ---
+    RouterReboot,
+    CustomerReset,
+    CpuHighAverage,
+    CpuHighSpike,
+    InterfaceFlap,
+    LineProtocolFlap,
+    /// Hold-timer expiry with no deeper cause visible to the ISP.
+    EbgpHteUnknown,
+    MeshRegularRestoration,
+    MeshFastRestoration,
+    SonetRestoration,
+    /// Line-card failure — *unobservable*: no direct log exists (§IV-C).
+    LineCardCrash,
+    /// Vendor bug: unrelated provisioning activity flaps sessions (§IV-B).
+    ProvisioningBug,
+    /// No evidence at all within the ISP.
+    Unknown,
+
+    // --- CDN study (Table VI) ---
+    CdnPolicyChange,
+    EgressChange,
+    LinkCongestion,
+    LinkLoss,
+    CdnServerIssue,
+    /// Degradation outside the ISP's network.
+    ExternalDegradation,
+
+    // --- PIM study (Table VIII) ---
+    PimConfigChange,
+    RouterCostInOut,
+    LinkCostOut,
+    LinkCostIn,
+    OspfReconvergence,
+    UplinkPimLoss,
+    BackboneLinkFailure,
+}
+
+impl fmt::Display for RootCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The kind of service symptom a truth record labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SymptomKind {
+    /// An eBGP session flap (BGP application).
+    EbgpFlap,
+    /// A PIM neighbor adjacency change (MVPN application).
+    PimAdjChange,
+    /// A CDN round-trip-time / throughput degradation (CDN application).
+    CdnDegradation,
+    /// An in-network end-to-end loss increase.
+    E2eLoss,
+    /// An in-network end-to-end delay increase.
+    E2eDelay,
+    /// An in-network end-to-end throughput drop.
+    E2eThroughput,
+}
+
+/// One labeled symptom occurrence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthRecord {
+    pub symptom: SymptomKind,
+    /// Symptom onset (UTC): session-down time for flaps, first degraded
+    /// bin for performance symptoms.
+    pub time: Timestamp,
+    /// Location key matching `Location::display` for the symptom's
+    /// canonical location (e.g. `"nyc-per1:172.16.0.2"`).
+    pub key: String,
+    pub cause: RootCause,
+    /// The fault instance that produced this symptom.
+    pub fault: usize,
+}
+
+/// One injected fault (may cause zero or many symptoms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInstance {
+    pub id: usize,
+    pub kind: RootCause,
+    pub time: Timestamp,
+    /// Human-readable description of where it was injected.
+    pub what: String,
+}
+
+/// Tabulate the share of each root cause among truth records of one
+/// symptom kind — the ground-truth analogue of the paper's result tables.
+pub fn breakdown(truth: &[TruthRecord], kind: SymptomKind) -> Vec<(RootCause, usize, f64)> {
+    let mut counts: std::collections::BTreeMap<RootCause, usize> = Default::default();
+    let mut total = 0usize;
+    for t in truth.iter().filter(|t| t.symptom == kind) {
+        *counts.entry(t.cause).or_default() += 1;
+        total += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(c, n)| (c, n, 100.0 * n as f64 / total.max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let truth = vec![
+            TruthRecord {
+                symptom: SymptomKind::EbgpFlap,
+                time: Timestamp(0),
+                key: "a".into(),
+                cause: RootCause::InterfaceFlap,
+                fault: 0,
+            },
+            TruthRecord {
+                symptom: SymptomKind::EbgpFlap,
+                time: Timestamp(1),
+                key: "b".into(),
+                cause: RootCause::InterfaceFlap,
+                fault: 1,
+            },
+            TruthRecord {
+                symptom: SymptomKind::EbgpFlap,
+                time: Timestamp(2),
+                key: "c".into(),
+                cause: RootCause::Unknown,
+                fault: 2,
+            },
+            TruthRecord {
+                symptom: SymptomKind::PimAdjChange,
+                time: Timestamp(3),
+                key: "d".into(),
+                cause: RootCause::PimConfigChange,
+                fault: 3,
+            },
+        ];
+        let b = breakdown(&truth, SymptomKind::EbgpFlap);
+        let total: f64 = b.iter().map(|(_, _, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(b.iter().map(|(_, n, _)| n).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn breakdown_empty_kind() {
+        assert!(breakdown(&[], SymptomKind::EbgpFlap).is_empty());
+    }
+}

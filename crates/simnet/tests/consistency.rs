@@ -1,0 +1,107 @@
+//! Simulator consistency: every ground-truth symptom must be backed by the
+//! raw telemetry an operator would see — the contract the RCA pipeline
+//! relies on.
+
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_simnet::scenario::approx_utc;
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig, SymptomKind};
+use grca_telemetry::records::RawRecord;
+use grca_telemetry::syslog::{parse_syslog_message, split_line, SyslogEvent};
+
+#[test]
+fn every_truth_symptom_has_raw_telemetry() {
+    let topo = generate(&TopoGenConfig::small());
+    let mut rates = FaultRates::bgp_study();
+    rates.mvpn_customer_flap = 30.0;
+    rates.pim_config_change = 1.0;
+    let cfg = ScenarioConfig::new(5, 123, rates);
+    let out = run_scenario(&topo, &cfg);
+
+    // Index syslog bodies by (host, kind, key-ish string).
+    let mut bgp_downs: Vec<(String, String)> = Vec::new(); // (host, neighbor)
+    let mut pim_downs: Vec<(String, String)> = Vec::new();
+    for r in &out.records {
+        if let RawRecord::Syslog(l) = r {
+            if let Ok((_, body)) = split_line(&l.line) {
+                match parse_syslog_message(body) {
+                    Ok(SyslogEvent::BgpAdjChange {
+                        neighbor,
+                        up: false,
+                    }) => {
+                        bgp_downs.push((l.host.clone(), neighbor.to_string()));
+                    }
+                    Ok(SyslogEvent::PimNbrChange {
+                        neighbor,
+                        up: false,
+                        ..
+                    }) => {
+                        pim_downs.push((l.host.clone(), neighbor.to_string()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    for t in &out.truth {
+        let (host, neighbor) = t.key.split_once(':').expect("key is host:neighbor-ish");
+        match t.symptom {
+            SymptomKind::EbgpFlap => {
+                assert!(
+                    bgp_downs.iter().any(|(h, n)| h == host && n == neighbor),
+                    "truth flap {} has no ADJCHANGE down",
+                    t.key
+                );
+            }
+            SymptomKind::PimAdjChange => {
+                assert!(
+                    pim_downs.iter().any(|(h, n)| h == host && n == neighbor),
+                    "truth PIM change {} has no NBRCHG down",
+                    t.key
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn records_are_chronologically_sorted() {
+    let topo = generate(&TopoGenConfig::small());
+    let cfg = ScenarioConfig::new(3, 7, FaultRates::bgp_study());
+    let out = run_scenario(&topo, &cfg);
+    let mut prev = None;
+    for r in &out.records {
+        let t = approx_utc(&topo, r);
+        if let Some(p) = prev {
+            assert!(t >= p, "records out of order");
+        }
+        prev = Some(t);
+    }
+}
+
+#[test]
+fn truth_times_lie_within_the_scenario_window() {
+    let topo = generate(&TopoGenConfig::small());
+    let cfg = ScenarioConfig::new(3, 7, FaultRates::bgp_study());
+    let out = run_scenario(&topo, &cfg);
+    for t in &out.truth {
+        // Symptoms may trail a fault injected near the window's edge by a
+        // protocol timer, never by more than the hold timer + slack.
+        assert!(t.time >= cfg.start);
+        assert!(t.time <= cfg.end() + grca_types::Duration::mins(10));
+    }
+}
+
+#[test]
+fn fault_ids_are_dense_and_referenced() {
+    let topo = generate(&TopoGenConfig::small());
+    let cfg = ScenarioConfig::new(3, 7, FaultRates::bgp_study());
+    let out = run_scenario(&topo, &cfg);
+    for (i, f) in out.faults.iter().enumerate() {
+        assert_eq!(f.id, i);
+    }
+    for t in &out.truth {
+        assert!(t.fault < out.faults.len(), "dangling fault reference");
+    }
+}

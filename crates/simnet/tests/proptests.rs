@@ -1,0 +1,67 @@
+//! Property-based tests for the simulator: determinism, rate scaling and
+//! structural invariants over arbitrary configurations.
+
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig, SymptomKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Identical configuration → identical output, for arbitrary seeds and
+    /// rate mixes (resumability/reproducibility contract).
+    #[test]
+    fn determinism(seed in 0u64..10_000, flap in 0.0f64..80.0, cpu in 0.0f64..10.0) {
+        let topo = generate(&TopoGenConfig::small());
+        let mut rates = FaultRates::zero();
+        rates.customer_iface_flap = flap;
+        rates.cpu_spike = cpu;
+        let mut cfg = ScenarioConfig::new(2, seed, rates);
+        cfg.background.emit_baseline = false;
+        let a = run_scenario(&topo, &cfg);
+        let b = run_scenario(&topo, &cfg);
+        prop_assert_eq!(a.records.len(), b.records.len());
+        prop_assert_eq!(a.truth, b.truth);
+    }
+
+    /// Symptom volume scales roughly linearly with the driving rate.
+    #[test]
+    fn rate_scaling(seed in 0u64..2_000) {
+        let topo = generate(&TopoGenConfig::small());
+        let count = |rate: f64| {
+            let mut rates = FaultRates::zero();
+            rates.customer_iface_flap = rate;
+            let mut cfg = ScenarioConfig::new(6, seed, rates);
+            cfg.background.emit_baseline = false;
+            run_scenario(&topo, &cfg)
+                .truth
+                .iter()
+                .filter(|t| t.symptom == SymptomKind::EbgpFlap)
+                .count() as f64
+        };
+        let lo = count(30.0);
+        let hi = count(120.0);
+        // 4x the rate: expect roughly 4x the flaps (generous Poisson slack).
+        prop_assert!(hi > 2.0 * lo, "lo={lo} hi={hi}");
+        prop_assert!(hi < 8.0 * lo.max(1.0), "lo={lo} hi={hi}");
+    }
+
+    /// Truth keys always parse as `host:neighbor` against the topology.
+    #[test]
+    fn truth_keys_resolve(seed in 0u64..2_000) {
+        let topo = generate(&TopoGenConfig::small());
+        let mut cfg = ScenarioConfig::new(2, seed, FaultRates::bgp_study());
+        cfg.background.emit_baseline = false;
+        let out = run_scenario(&topo, &cfg);
+        for t in out.truth.iter().filter(|t| t.symptom == SymptomKind::EbgpFlap) {
+            let (host, neighbor) = t.key.split_once(':').unwrap();
+            let router = topo.router_by_name(host);
+            prop_assert!(router.is_some(), "unknown host {host}");
+            let ip: grca_net_model::Ipv4 = neighbor.parse().unwrap();
+            prop_assert!(
+                topo.session_by_neighbor(router.unwrap(), ip).is_some(),
+                "unknown session {}", t.key
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Raw record types, one per data feed.
+//!
+//! Clock conventions (normalized away by the collector):
+//!
+//! | feed        | clock                            | entity naming          |
+//! |-------------|----------------------------------|------------------------|
+//! | syslog      | device-local (PoP time zone)     | hostname + iface name  |
+//! | SNMP        | provider network time (Eastern)  | `NAME.ISP.NET` + ifIndex |
+//! | layer-1 log | device-local                     | device name + circuit  |
+//! | OSPF mon    | GMT                              | interface /30 address  |
+//! | BGP mon     | GMT                              | router names           |
+//! | TACACS      | provider network time            | router name            |
+//! | workflow    | provider network time            | router name            |
+//! | perf probe  | GMT                              | router names           |
+//! | CDN monitor | GMT                              | node name + client IP  |
+//! | server log  | device-local                     | node name              |
+
+use grca_net_model::{Ipv4, Prefix};
+use grca_types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A raw syslog line: hostname plus the full textual line
+/// (`"<local timestamp> <message>"`). The message bodies are produced and
+/// parsed by [`crate::syslog`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyslogLine {
+    /// Canonical lowercase hostname (syslog convention).
+    pub host: String,
+    /// `"YYYY-MM-DD HH:MM:SS %FACILITY-SEV-MNEMONIC: ..."` in *device-local*
+    /// time.
+    pub line: String,
+}
+
+/// What an SNMP sample measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnmpMetric {
+    /// 5-minute average route-processor CPU utilization, percent.
+    CpuUtil5m,
+    /// 5-minute average link utilization, percent (per interface).
+    LinkUtil5m,
+    /// Corrupted/overflow packets in the 5-minute interval (per interface).
+    OverflowPkts5m,
+}
+
+/// One SNMP poll result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnmpSample {
+    /// SNMP system name, e.g. `"NYC-PER1.ISP.NET"`.
+    pub system: String,
+    /// Interval start in provider network time (US Eastern).
+    pub local_time: Timestamp,
+    pub metric: SnmpMetric,
+    /// Interface index for per-interface metrics; `None` for router-level.
+    pub if_index: Option<u32>,
+    pub value: f64,
+}
+
+/// Kinds of layer-1 restoration events (Table I rows 10–12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L1EventKind {
+    /// Regular restoration in the optical mesh.
+    MeshRegularRestoration,
+    /// Fast restoration in the optical mesh.
+    MeshFastRestoration,
+    /// SONET ring protection switch.
+    SonetRestoration,
+}
+
+/// One layer-1 device log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct L1LogRecord {
+    /// Layer-1 device inventory name, e.g. `"adm-nyc-1"`.
+    pub device: String,
+    /// Device-local time.
+    pub local_time: Timestamp,
+    pub kind: L1EventKind,
+    /// Affected circuit id, e.g. `"CKT-NYC-CHI-0042"`.
+    pub circuit: String,
+}
+
+/// One OSPF monitor observation: a flooded LSA changed a link's metric.
+/// The link is identified the way the LSA identifies it — by an interface
+/// address inside the link's /30 (conversion utility 4 recovers the link).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OspfMonRecord {
+    /// GMT.
+    pub utc: Timestamp,
+    /// An endpoint address of the affected link.
+    pub link_addr: Ipv4,
+    /// New weight; `None` = link withdrawn (down / cost out at max metric).
+    pub weight: Option<u32>,
+}
+
+/// One BGP monitor observation from a route reflector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BgpMonRecord {
+    /// GMT.
+    pub utc: Timestamp,
+    /// Reflector that observed the update.
+    pub reflector: String,
+    pub prefix: Prefix,
+    /// Egress (next-hop) router name.
+    pub egress_router: String,
+    /// `Some((local_pref, as_path_len))` = announce; `None` = withdraw.
+    pub attrs: Option<(u32, u32)>,
+}
+
+/// One TACACS-logged operator command on a router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TacacsRecord {
+    /// Provider network time.
+    pub local_time: Timestamp,
+    pub router: String,
+    pub user: String,
+    /// The command line typed, e.g.
+    /// `"interface Serial3/0/0 ; ip ospf cost 65535"`.
+    pub command: String,
+}
+
+/// One workflow-system log entry (provisioning and maintenance activity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowRecord {
+    /// Provider network time.
+    pub local_time: Timestamp,
+    pub router: String,
+    /// Activity type, e.g. `"provision-customer-port"`.
+    pub activity: String,
+}
+
+/// Metric measured by backbone probe infrastructure between PoP pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerfMetric {
+    /// One-way delay, milliseconds.
+    DelayMs,
+    /// Loss rate, percent.
+    LossPct,
+    /// Achieved throughput, Mb/s.
+    ThroughputMbps,
+}
+
+/// One end-to-end probe measurement between two backbone routers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRecord {
+    /// GMT, interval start (5-minute bins).
+    pub utc: Timestamp,
+    pub ingress_router: String,
+    pub egress_router: String,
+    pub metric: PerfMetric,
+    pub value: f64,
+}
+
+/// One CDN monitor measurement (Keynote-style agent): per 5-minute bin,
+/// the RTT and download throughput between a client site and a CDN node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdnMonRecord {
+    /// GMT, interval start.
+    pub utc: Timestamp,
+    /// CDN node name, e.g. `"cdn-nyc"`.
+    pub node: String,
+    /// A client address within the client site's prefix.
+    pub client_addr: Ipv4,
+    pub rtt_ms: f64,
+    pub throughput_mbps: f64,
+}
+
+/// One CDN server-farm load sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerLogRecord {
+    /// Device-local time (node PoP zone).
+    pub local_time: Timestamp,
+    pub node: String,
+    /// Normalized server load (1.0 = nominal capacity).
+    pub load: f64,
+}
+
+/// A raw record from any feed — what the Data Collector ingests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RawRecord {
+    Syslog(SyslogLine),
+    Snmp(SnmpSample),
+    L1Log(L1LogRecord),
+    OspfMon(OspfMonRecord),
+    BgpMon(BgpMonRecord),
+    Tacacs(TacacsRecord),
+    Workflow(WorkflowRecord),
+    Perf(PerfRecord),
+    CdnMon(CdnMonRecord),
+    ServerLog(ServerLogRecord),
+}
+
+impl RawRecord {
+    /// Short feed name, for collector statistics.
+    pub fn feed(&self) -> &'static str {
+        match self {
+            RawRecord::Syslog(_) => "syslog",
+            RawRecord::Snmp(_) => "snmp",
+            RawRecord::L1Log(_) => "l1log",
+            RawRecord::OspfMon(_) => "ospfmon",
+            RawRecord::BgpMon(_) => "bgpmon",
+            RawRecord::Tacacs(_) => "tacacs",
+            RawRecord::Workflow(_) => "workflow",
+            RawRecord::Perf(_) => "perf",
+            RawRecord::CdnMon(_) => "cdnmon",
+            RawRecord::ServerLog(_) => "serverlog",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_names_are_distinct() {
+        let recs = [
+            RawRecord::Syslog(SyslogLine {
+                host: "h".into(),
+                line: "l".into(),
+            }),
+            RawRecord::Snmp(SnmpSample {
+                system: "S".into(),
+                local_time: Timestamp(0),
+                metric: SnmpMetric::CpuUtil5m,
+                if_index: None,
+                value: 0.0,
+            }),
+            RawRecord::Tacacs(TacacsRecord {
+                local_time: Timestamp(0),
+                router: "r".into(),
+                user: "u".into(),
+                command: "c".into(),
+            }),
+        ];
+        let names: Vec<_> = recs.iter().map(|r| r.feed()).collect();
+        assert_eq!(names, vec!["syslog", "snmp", "tacacs"]);
+    }
+}

@@ -1,0 +1,274 @@
+//! The syslog message catalog: formatting (used by the simulator) and
+//! parsing (used by the Data Collector) of the message bodies G-RCA's
+//! event signatures match on.
+//!
+//! The formats follow the IOS conventions the paper quotes in Table I and
+//! Table III: `LINK-3-UPDOWN`, `LINEPROTO-5-UPDOWN`, `BGP-5-ADJCHANGE`,
+//! `BGP-5-NOTIFICATION` (hold-timer expiry and administrative reset),
+//! `PIM-5-NBRCHG`, plus system restart and CPU-hog messages. Formatting
+//! and parsing live side by side so the round trip is tested in one place.
+
+use grca_net_model::Ipv4;
+use grca_types::{GrcaError, Result, Timestamp};
+
+/// A parsed syslog message body (no timestamp/host — those are in the
+/// enclosing [`crate::records::SyslogLine`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyslogEvent {
+    /// `%LINK-3-UPDOWN` — physical interface state change.
+    LinkUpDown { iface: String, up: bool },
+    /// `%LINEPROTO-5-UPDOWN` — line protocol state change.
+    LineProtoUpDown { iface: String, up: bool },
+    /// `%BGP-5-ADJCHANGE` — eBGP session came up / went down.
+    BgpAdjChange { neighbor: Ipv4, up: bool },
+    /// `%BGP-5-NOTIFICATION` — hold timer expired (4/0).
+    BgpHoldTimerExpired { neighbor: Ipv4 },
+    /// `%BGP-5-NOTIFICATION` — administrative reset received from the
+    /// neighbor (6/4): the customer reset the session.
+    BgpPeerReset { neighbor: Ipv4 },
+    /// `%PIM-5-NBRCHG` — PIM neighbor adjacency change.
+    PimNbrChange {
+        neighbor: Ipv4,
+        iface: String,
+        up: bool,
+    },
+    /// `%SYS-5-RESTART` — the router rebooted.
+    Restart,
+    /// `%SYS-3-CPUHOG` — instantaneous CPU spike (5-second measurement).
+    CpuHog { pct: u32 },
+}
+
+fn updown(up: bool) -> &'static str {
+    if up {
+        "up"
+    } else {
+        "down"
+    }
+}
+
+impl SyslogEvent {
+    /// Render the message body in IOS style.
+    pub fn format(&self) -> String {
+        match self {
+            SyslogEvent::LinkUpDown { iface, up } => format!(
+                "%LINK-3-UPDOWN: Interface {iface}, changed state to {}",
+                updown(*up)
+            ),
+            SyslogEvent::LineProtoUpDown { iface, up } => format!(
+                "%LINEPROTO-5-UPDOWN: Line protocol on Interface {iface}, changed state to {}",
+                updown(*up)
+            ),
+            SyslogEvent::BgpAdjChange { neighbor, up } => format!(
+                "%BGP-5-ADJCHANGE: neighbor {neighbor} {}",
+                if *up { "Up" } else { "Down" }
+            ),
+            SyslogEvent::BgpHoldTimerExpired { neighbor } => {
+                format!("%BGP-5-NOTIFICATION: sent to neighbor {neighbor} 4/0 (hold time expired)")
+            }
+            SyslogEvent::BgpPeerReset { neighbor } => format!(
+                "%BGP-5-NOTIFICATION: received from neighbor {neighbor} 6/4 (administrative reset)"
+            ),
+            SyslogEvent::PimNbrChange {
+                neighbor,
+                iface,
+                up,
+            } => format!(
+                "%PIM-5-NBRCHG: neighbor {neighbor} {} on interface {iface}",
+                if *up { "UP" } else { "DOWN" }
+            ),
+            SyslogEvent::Restart => "%SYS-5-RESTART: System restarted".to_string(),
+            SyslogEvent::CpuHog { pct } => {
+                format!("%SYS-3-CPUHOG: High CPU utilization: 5-sec average {pct}%")
+            }
+        }
+    }
+
+    /// Render a full syslog line (`"<local time> <body>"`).
+    pub fn format_line(&self, local_time: Timestamp) -> String {
+        format!("{local_time} {}", self.format())
+    }
+}
+
+/// Parse a message body (everything after the timestamp).
+pub fn parse_syslog_message(msg: &str) -> Result<SyslogEvent> {
+    let bad = || GrcaError::parse(format!("unrecognized syslog message {msg:?}"));
+    let (tag, rest) = msg.split_once(": ").ok_or_else(bad)?;
+    match tag {
+        "%LINK-3-UPDOWN" => {
+            let rest = rest.strip_prefix("Interface ").ok_or_else(bad)?;
+            let (iface, state) = rest.split_once(", changed state to ").ok_or_else(bad)?;
+            Ok(SyslogEvent::LinkUpDown {
+                iface: iface.to_string(),
+                up: state == "up",
+            })
+        }
+        "%LINEPROTO-5-UPDOWN" => {
+            let rest = rest
+                .strip_prefix("Line protocol on Interface ")
+                .ok_or_else(bad)?;
+            let (iface, state) = rest.split_once(", changed state to ").ok_or_else(bad)?;
+            Ok(SyslogEvent::LineProtoUpDown {
+                iface: iface.to_string(),
+                up: state == "up",
+            })
+        }
+        "%BGP-5-ADJCHANGE" => {
+            let rest = rest.strip_prefix("neighbor ").ok_or_else(bad)?;
+            let (nbr, state) = rest.split_once(' ').ok_or_else(bad)?;
+            Ok(SyslogEvent::BgpAdjChange {
+                neighbor: nbr.parse()?,
+                up: state == "Up",
+            })
+        }
+        "%BGP-5-NOTIFICATION" => {
+            // "sent to neighbor <ip> 4/0 (hold time expired)"
+            // "received from neighbor <ip> 6/4 (administrative reset)"
+            let after = rest
+                .split_once("neighbor ")
+                .map(|(_, a)| a)
+                .ok_or_else(bad)?;
+            let (nbr, code) = after.split_once(' ').ok_or_else(bad)?;
+            let neighbor: Ipv4 = nbr.parse()?;
+            if code.starts_with("4/0") {
+                Ok(SyslogEvent::BgpHoldTimerExpired { neighbor })
+            } else if code.starts_with("6/4") {
+                Ok(SyslogEvent::BgpPeerReset { neighbor })
+            } else {
+                Err(bad())
+            }
+        }
+        "%PIM-5-NBRCHG" => {
+            let rest = rest.strip_prefix("neighbor ").ok_or_else(bad)?;
+            let mut w = rest.split(' ');
+            let neighbor: Ipv4 = w.next().ok_or_else(bad)?.parse()?;
+            let state = w.next().ok_or_else(bad)?;
+            let iface = rest.split_once("on interface ").ok_or_else(bad)?.1;
+            Ok(SyslogEvent::PimNbrChange {
+                neighbor,
+                iface: iface.to_string(),
+                up: state == "UP",
+            })
+        }
+        "%SYS-5-RESTART" => Ok(SyslogEvent::Restart),
+        "%SYS-3-CPUHOG" => {
+            let pct = rest
+                .rsplit(' ')
+                .next()
+                .and_then(|w| w.strip_suffix('%'))
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(bad)?;
+            Ok(SyslogEvent::CpuHog { pct })
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Split a full syslog line into its local timestamp and message body.
+pub fn split_line(line: &str) -> Result<(Timestamp, &str)> {
+    // The canonical timestamp is exactly 19 ASCII bytes; anything where
+    // byte 19 is not a character boundary cannot be well-formed.
+    if line.len() < 20 || !line.is_char_boundary(19) {
+        return Err(GrcaError::parse(format!("short syslog line {line:?}")));
+    }
+    let (ts, body) = line.split_at(19);
+    let t: Timestamp = ts.parse()?;
+    Ok((t, body.trim_start()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip() -> Ipv4 {
+        Ipv4::new(172, 16, 0, 2)
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let cases = vec![
+            SyslogEvent::LinkUpDown {
+                iface: "Serial3/0/0".into(),
+                up: false,
+            },
+            SyslogEvent::LinkUpDown {
+                iface: "Serial3/0/0".into(),
+                up: true,
+            },
+            SyslogEvent::LineProtoUpDown {
+                iface: "Serial1/2/0".into(),
+                up: false,
+            },
+            SyslogEvent::BgpAdjChange {
+                neighbor: ip(),
+                up: false,
+            },
+            SyslogEvent::BgpAdjChange {
+                neighbor: ip(),
+                up: true,
+            },
+            SyslogEvent::BgpHoldTimerExpired { neighbor: ip() },
+            SyslogEvent::BgpPeerReset { neighbor: ip() },
+            SyslogEvent::PimNbrChange {
+                neighbor: ip(),
+                iface: "Serial0/1/0".into(),
+                up: false,
+            },
+            SyslogEvent::Restart,
+            SyslogEvent::CpuHog { pct: 97 },
+        ];
+        for ev in cases {
+            let msg = ev.format();
+            let back = parse_syslog_message(&msg).unwrap_or_else(|e| panic!("{msg}: {e}"));
+            assert_eq!(back, ev, "{msg}");
+        }
+    }
+
+    #[test]
+    fn full_line_roundtrip() {
+        let t = Timestamp::from_civil(2010, 1, 1, 7, 30, 5);
+        let ev = SyslogEvent::LinkUpDown {
+            iface: "Serial3/0/0".into(),
+            up: false,
+        };
+        let line = ev.format_line(t);
+        let (pt, body) = split_line(&line).unwrap();
+        assert_eq!(pt, t);
+        assert_eq!(parse_syslog_message(body).unwrap(), ev);
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(parse_syslog_message("hello world").is_err());
+        assert!(parse_syslog_message("%FOO-1-BAR: x").is_err());
+        assert!(
+            parse_syslog_message("%BGP-5-NOTIFICATION: sent to neighbor 1.2.3.4 9/9 (x)").is_err()
+        );
+        assert!(split_line("short").is_err());
+    }
+
+    #[test]
+    fn paper_table_i_signatures_match() {
+        // Table I keys events off these exact mnemonics.
+        assert!(SyslogEvent::LinkUpDown {
+            iface: "S".into(),
+            up: true
+        }
+        .format()
+        .contains("LINK-3-UPDOWN"));
+        assert!(SyslogEvent::LineProtoUpDown {
+            iface: "S".into(),
+            up: true
+        }
+        .format()
+        .contains("LINEPROTO-5-UPDOWN"));
+        assert!(SyslogEvent::BgpAdjChange {
+            neighbor: ip(),
+            up: true
+        }
+        .format()
+        .contains("BGP-5-ADJCHANGE"));
+        assert!(SyslogEvent::BgpHoldTimerExpired { neighbor: ip() }
+            .format()
+            .contains("BGP-5-NOTIFICATION"));
+    }
+}

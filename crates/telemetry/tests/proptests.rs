@@ -1,0 +1,70 @@
+//! Property-based tests: syslog format/parse round trips over arbitrary
+//! interface names, addresses and percentages.
+
+use grca_net_model::Ipv4;
+use grca_telemetry::syslog::{parse_syslog_message, split_line, SyslogEvent};
+use grca_types::Timestamp;
+use proptest::prelude::*;
+
+fn any_iface() -> impl Strategy<Value = String> {
+    (0u8..16, 0u8..64).prop_map(|(slot, port)| format!("Serial{slot}/{port}/0"))
+}
+
+fn any_ip() -> impl Strategy<Value = Ipv4> {
+    any::<u32>().prop_map(Ipv4)
+}
+
+proptest! {
+    #[test]
+    fn link_updown_roundtrip(iface in any_iface(), up: bool) {
+        let ev = SyslogEvent::LinkUpDown { iface, up };
+        prop_assert_eq!(parse_syslog_message(&ev.format()).unwrap(), ev);
+    }
+
+    #[test]
+    fn lineproto_roundtrip(iface in any_iface(), up: bool) {
+        let ev = SyslogEvent::LineProtoUpDown { iface, up };
+        prop_assert_eq!(parse_syslog_message(&ev.format()).unwrap(), ev);
+    }
+
+    #[test]
+    fn bgp_messages_roundtrip(neighbor in any_ip(), up: bool, which in 0u8..3) {
+        let ev = match which {
+            0 => SyslogEvent::BgpAdjChange { neighbor, up },
+            1 => SyslogEvent::BgpHoldTimerExpired { neighbor },
+            _ => SyslogEvent::BgpPeerReset { neighbor },
+        };
+        prop_assert_eq!(parse_syslog_message(&ev.format()).unwrap(), ev);
+    }
+
+    #[test]
+    fn pim_roundtrip(neighbor in any_ip(), iface in any_iface(), up: bool) {
+        let ev = SyslogEvent::PimNbrChange { neighbor, iface, up };
+        prop_assert_eq!(parse_syslog_message(&ev.format()).unwrap(), ev);
+    }
+
+    #[test]
+    fn cpu_roundtrip(pct in 0u32..=100) {
+        let ev = SyslogEvent::CpuHog { pct };
+        prop_assert_eq!(parse_syslog_message(&ev.format()).unwrap(), ev);
+    }
+
+    /// Full lines split back into the exact timestamp and body for any
+    /// representable instant.
+    #[test]
+    fn full_line_roundtrip(unix in 0i64..4_000_000_000i64, pct in 0u32..=100) {
+        let t = Timestamp::from_unix(unix);
+        let ev = SyslogEvent::CpuHog { pct };
+        let line = ev.format_line(t);
+        let (pt, body) = split_line(&line).unwrap();
+        prop_assert_eq!(pt, t);
+        prop_assert_eq!(parse_syslog_message(body).unwrap(), ev);
+    }
+
+    /// Arbitrary garbage never panics the parser; it errors.
+    #[test]
+    fn garbage_never_panics(s in "\\PC{0,120}") {
+        let _ = parse_syslog_message(&s);
+        let _ = split_line(&s);
+    }
+}

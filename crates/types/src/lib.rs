@@ -1,0 +1,22 @@
+//! Common foundation types for the G-RCA platform.
+//!
+//! This crate provides the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`time`] — timestamps, time zones, durations and time windows. Raw
+//!   telemetry in a large ISP arrives stamped in a mixture of device-local
+//!   time, provider "network time" and GMT (G-RCA paper, Section II-A); the
+//!   normalization into UTC performed by the Data Collector is built on the
+//!   types defined here.
+//! * [`error`] — the crate-spanning error type.
+//! * [`seq`] — small typed index newtypes used by arena-style stores.
+//!
+//! The crate is dependency-light by design: everything above it (network
+//! model, routing, collector, RCA core) agrees on these definitions.
+
+pub mod error;
+pub mod seq;
+pub mod time;
+
+pub use error::{GrcaError, Result};
+pub use time::{Duration, TimeWindow, TimeZone, Timestamp};

@@ -1,0 +1,63 @@
+//! Typed index newtypes for arena-style stores.
+//!
+//! The network model and the collector keep entities in flat `Vec`s and
+//! refer to them by dense integer ids. The `define_id!` macro generates a
+//! zero-cost newtype per entity kind so a `RouterId` can never be confused
+//! with an `InterfaceId` at compile time.
+
+/// Define a `u32`-backed dense id newtype.
+///
+/// Generated ids implement `Copy`, ordering, hashing, `Display` (as
+/// `prefix#n`), conversion from/to `usize`, and serde.
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            serde::Serialize, serde::Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a dense index.
+            pub const fn new(i: u32) -> Self {
+                $name(i)
+            }
+            /// The dense index, for `Vec` addressing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "#{}"), self.0)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    define_id!(
+        /// Test id.
+        TestId,
+        "test"
+    );
+
+    #[test]
+    fn id_basics() {
+        let a = TestId::new(3);
+        assert_eq!(a.index(), 3);
+        assert_eq!(a.to_string(), "test#3");
+        assert_eq!(TestId::from(3usize), a);
+        assert!(TestId::new(2) < a);
+    }
+}

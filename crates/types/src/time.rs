@@ -1,0 +1,504 @@
+//! Time handling for G-RCA.
+//!
+//! All analysis inside the platform happens on UTC [`Timestamp`]s with
+//! one-second resolution — the granularity at which router syslog, SNMP
+//! polling intervals and protocol timers (e.g. the 180 s BGP hold timer)
+//! operate. Raw telemetry, however, is stamped in whatever zone the
+//! producing device was configured with; [`TimeZone`] captures that offset
+//! so the Data Collector can normalize on ingest.
+//!
+//! No external date/time crate is used: the civil-calendar conversion is the
+//! standard days-from-civil algorithm, sufficient for log formatting and
+//! parsing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A signed span of time with one-second resolution.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    /// A duration of `n` seconds.
+    pub const fn secs(n: i64) -> Self {
+        Duration(n)
+    }
+
+    /// A duration of `n` minutes.
+    pub const fn mins(n: i64) -> Self {
+        Duration(n * 60)
+    }
+
+    /// A duration of `n` hours.
+    pub const fn hours(n: i64) -> Self {
+        Duration(n * 3600)
+    }
+
+    /// A duration of `n` days.
+    pub const fn days(n: i64) -> Self {
+        Duration(n * 86_400)
+    }
+
+    /// The raw number of seconds (may be negative).
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Absolute value.
+    pub const fn abs(self) -> Self {
+        Duration(self.0.abs())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0.abs();
+        let sign = if self.0 < 0 { "-" } else { "" };
+        if s >= 86_400 && s % 86_400 == 0 {
+            write!(f, "{sign}{}d", s / 86_400)
+        } else if s >= 3600 && s % 3600 == 0 {
+            write!(f, "{sign}{}h", s / 3600)
+        } else if s >= 60 && s % 60 == 0 {
+            write!(f, "{sign}{}m", s / 60)
+        } else {
+            write!(f, "{sign}{s}s")
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// An absolute instant, stored as seconds since the Unix epoch, UTC.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    pub const MIN: Timestamp = Timestamp(i64::MIN / 4);
+    pub const MAX: Timestamp = Timestamp(i64::MAX / 4);
+
+    /// Construct from raw Unix seconds.
+    pub const fn from_unix(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Raw Unix seconds.
+    pub const fn unix(self) -> i64 {
+        self.0
+    }
+
+    /// Construct from a UTC civil date and time-of-day.
+    ///
+    /// `month` is 1..=12, `day` 1..=31.
+    pub fn from_civil(year: i32, month: u32, day: u32, hh: u32, mm: u32, ss: u32) -> Self {
+        let days = days_from_civil(year, month, day);
+        Timestamp(days * 86_400 + (hh as i64) * 3600 + (mm as i64) * 60 + ss as i64)
+    }
+
+    /// Decompose into UTC civil `(year, month, day, hh, mm, ss)`.
+    pub fn to_civil(self) -> (i32, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(86_400);
+        let secs = self.0.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        (
+            y,
+            m,
+            d,
+            (secs / 3600) as u32,
+            ((secs % 3600) / 60) as u32,
+            (secs % 60) as u32,
+        )
+    }
+
+    /// Truncate to the start of the `bin`-second bucket containing `self`.
+    pub fn bin_floor(self, bin: Duration) -> Timestamp {
+        debug_assert!(bin.0 > 0);
+        Timestamp(self.0.div_euclid(bin.0) * bin.0)
+    }
+
+    /// The UTC day (as days-since-epoch) containing this instant.
+    pub fn day_index(self) -> i64 {
+        self.0.div_euclid(86_400)
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    /// Formats as `YYYY-MM-DD HH:MM:SS` in UTC — the canonical, normalized
+    /// representation used everywhere past the Data Collector.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi, s) = self.to_civil();
+        write!(f, "{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Duration> for Timestamp {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// Parse the canonical `YYYY-MM-DD HH:MM:SS` form (UTC).
+impl std::str::FromStr for Timestamp {
+    type Err = crate::GrcaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_civil(s)
+            .map(|(y, mo, d, h, mi, se)| Timestamp::from_civil(y, mo, d, h, mi, se))
+            .ok_or_else(|| crate::GrcaError::parse(format!("bad timestamp {s:?}")))
+    }
+}
+
+fn parse_civil(s: &str) -> Option<(i32, u32, u32, u32, u32, u32)> {
+    let s = s.trim();
+    let (date, time) = s.split_once([' ', 'T'])?;
+    let mut dit = date.split('-');
+    let y: i32 = dit.next()?.parse().ok()?;
+    let mo: u32 = dit.next()?.parse().ok()?;
+    let d: u32 = dit.next()?.parse().ok()?;
+    if dit.next().is_some() || mo == 0 || mo > 12 || d == 0 || d > 31 {
+        return None;
+    }
+    let mut tit = time.split(':');
+    let h: u32 = tit.next()?.parse().ok()?;
+    let mi: u32 = tit.next()?.parse().ok()?;
+    let se: u32 = tit.next()?.parse().ok()?;
+    if tit.next().is_some() || h > 23 || mi > 59 || se > 60 {
+        return None;
+    }
+    Some((y, mo, d, h, mi, se))
+}
+
+/// Howard Hinnant's `days_from_civil`: days since 1970-01-01 for a civil date.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = (y as i64) - if m <= 2 { 1 } else { 0 };
+    let era = y.div_euclid(400);
+    let yoe = y.rem_euclid(400); // [0, 399]
+    let mp = ((m as i64) + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + (d as i64) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m, d)
+}
+
+/// A fixed-offset time zone, as configured on a device or management system.
+///
+/// The paper notes that timestamps arriving at the Data Collector "can be a
+/// mixture of local time (depending on the time zone of the device), network
+/// time as defined by the service provider, and GMT" (§II-A). We model each
+/// producing system's zone as a fixed offset; the collector subtracts it on
+/// ingest so that all stored data is UTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeZone {
+    /// Offset from UTC in seconds (positive = east of Greenwich).
+    pub offset_secs: i32,
+}
+
+impl TimeZone {
+    pub const UTC: TimeZone = TimeZone { offset_secs: 0 };
+    /// US Eastern, standard time (the provider "network time" in our model).
+    pub const US_EASTERN: TimeZone = TimeZone {
+        offset_secs: -5 * 3600,
+    };
+    /// US Central, standard time.
+    pub const US_CENTRAL: TimeZone = TimeZone {
+        offset_secs: -6 * 3600,
+    };
+    /// US Mountain, standard time.
+    pub const US_MOUNTAIN: TimeZone = TimeZone {
+        offset_secs: -7 * 3600,
+    };
+    /// US Pacific, standard time.
+    pub const US_PACIFIC: TimeZone = TimeZone {
+        offset_secs: -8 * 3600,
+    };
+
+    pub const fn from_hours(h: i32) -> TimeZone {
+        TimeZone {
+            offset_secs: h * 3600,
+        }
+    }
+
+    /// Express a UTC instant in this zone's local clock (for log emission).
+    pub fn to_local(self, t: Timestamp) -> Timestamp {
+        Timestamp(t.0 + self.offset_secs as i64)
+    }
+
+    /// Interpret a local clock reading in this zone as a UTC instant
+    /// (used on ingest by the Data Collector).
+    pub fn to_utc(self, local: Timestamp) -> Timestamp {
+        Timestamp(local.0 - self.offset_secs as i64)
+    }
+}
+
+impl fmt::Display for TimeZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset_secs == 0 {
+            return write!(f, "UTC");
+        }
+        let sign = if self.offset_secs < 0 { '-' } else { '+' };
+        let a = self.offset_secs.abs();
+        write!(f, "UTC{sign}{:02}:{:02}", a / 3600, (a % 3600) / 60)
+    }
+}
+
+/// A closed time interval `[start, end]`, `start <= end`.
+///
+/// Event instances carry a window (instantaneous events have
+/// `start == end`); the temporal-join logic of the RCA engine expands and
+/// intersects these windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    pub start: Timestamp,
+    pub end: Timestamp,
+}
+
+impl TimeWindow {
+    /// A window spanning `[start, end]`. Panics in debug builds if reversed.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        debug_assert!(start <= end, "reversed time window: {start} > {end}");
+        TimeWindow { start, end }
+    }
+
+    /// An instantaneous window.
+    pub fn at(t: Timestamp) -> Self {
+        TimeWindow { start: t, end: t }
+    }
+
+    /// Construct, swapping the endpoints if they are reversed. The temporal
+    /// expansion rules can legitimately produce reversed raw endpoints when
+    /// large negative margins are configured; callers that want lenient
+    /// behaviour normalize through here.
+    pub fn normalized(a: Timestamp, b: Timestamp) -> Self {
+        if a <= b {
+            TimeWindow { start: a, end: b }
+        } else {
+            TimeWindow { start: b, end: a }
+        }
+    }
+
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Closed-interval overlap test.
+    pub fn overlaps(&self, other: &TimeWindow) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Whether `t` lies within the closed interval.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &TimeWindow) -> Option<TimeWindow> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        (s <= e).then_some(TimeWindow { start: s, end: e })
+    }
+
+    /// Smallest window covering both.
+    pub fn union_span(&self, other: &TimeWindow) -> TimeWindow {
+        TimeWindow {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Shift both endpoints by `d`.
+    pub fn shifted(&self, d: Duration) -> TimeWindow {
+        TimeWindow {
+            start: self.start + d,
+            end: self.end + d,
+        }
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_roundtrip_epoch() {
+        let t = Timestamp::from_civil(1970, 1, 1, 0, 0, 0);
+        assert_eq!(t.unix(), 0);
+        assert_eq!(t.to_civil(), (1970, 1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn civil_known_dates() {
+        // 2010-01-01 12:30:00 UTC == 1262349000 (the paper's example instance)
+        let t = Timestamp::from_civil(2010, 1, 1, 12, 30, 0);
+        assert_eq!(t.unix(), 1_262_349_000);
+        assert_eq!(t.to_string(), "2010-01-01 12:30:00");
+        // leap year day
+        let t = Timestamp::from_civil(2008, 2, 29, 23, 59, 59);
+        assert_eq!(t.to_civil(), (2008, 2, 29, 23, 59, 59));
+    }
+
+    #[test]
+    fn civil_pre_epoch() {
+        let t = Timestamp::from_civil(1969, 12, 31, 23, 59, 59);
+        assert_eq!(t.unix(), -1);
+        assert_eq!(t.to_civil(), (1969, 12, 31, 23, 59, 59));
+    }
+
+    #[test]
+    fn parse_canonical() {
+        let t: Timestamp = "2010-01-01 12:30:00".parse().unwrap();
+        assert_eq!(t.unix(), 1_262_349_000);
+        let t2: Timestamp = "2010-01-01T12:30:00".parse().unwrap();
+        assert_eq!(t, t2);
+        assert!("2010-13-01 00:00:00".parse::<Timestamp>().is_err());
+        assert!("garbage".parse::<Timestamp>().is_err());
+        assert!("2010-01-01 24:00:00".parse::<Timestamp>().is_err());
+    }
+
+    #[test]
+    fn timezone_roundtrip() {
+        let utc = Timestamp::from_civil(2010, 6, 15, 4, 0, 0);
+        let tz = TimeZone::US_EASTERN;
+        let local = tz.to_local(utc);
+        assert_eq!(local.to_civil().3, 23); // 04:00 UTC == 23:00 EST prev day
+        assert_eq!(tz.to_utc(local), utc);
+    }
+
+    #[test]
+    fn timezone_display() {
+        assert_eq!(TimeZone::UTC.to_string(), "UTC");
+        assert_eq!(TimeZone::US_EASTERN.to_string(), "UTC-05:00");
+        assert_eq!(TimeZone::from_hours(5).to_string(), "UTC+05:00");
+    }
+
+    #[test]
+    fn window_overlap_paper_example() {
+        // §II-C: expanded eBGP flap window [820, 1005] overlaps expanded
+        // interface-flap window [895, 906].
+        let a = TimeWindow::new(Timestamp(820), Timestamp(1005));
+        let b = TimeWindow::new(Timestamp(895), Timestamp(906));
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert_eq!(
+            a.intersect(&b),
+            Some(TimeWindow::new(Timestamp(895), Timestamp(906)))
+        );
+    }
+
+    #[test]
+    fn window_touching_endpoints_overlap() {
+        let a = TimeWindow::new(Timestamp(0), Timestamp(10));
+        let b = TimeWindow::new(Timestamp(10), Timestamp(20));
+        assert!(a.overlaps(&b));
+        let c = TimeWindow::new(Timestamp(11), Timestamp(20));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn window_ops() {
+        let a = TimeWindow::new(Timestamp(5), Timestamp(15));
+        assert_eq!(a.duration(), Duration::secs(10));
+        assert!(a.contains(Timestamp(5)));
+        assert!(a.contains(Timestamp(15)));
+        assert!(!a.contains(Timestamp(16)));
+        let b = a.shifted(Duration::secs(-5));
+        assert_eq!(b, TimeWindow::new(Timestamp(0), Timestamp(10)));
+        assert_eq!(
+            a.union_span(&b),
+            TimeWindow::new(Timestamp(0), Timestamp(15))
+        );
+        assert_eq!(
+            TimeWindow::normalized(Timestamp(9), Timestamp(3)).start,
+            Timestamp(3)
+        );
+    }
+
+    #[test]
+    fn bin_floor_and_day_index() {
+        let t = Timestamp::from_civil(2010, 1, 1, 12, 34, 56);
+        let b = t.bin_floor(Duration::mins(5));
+        assert_eq!(b.to_civil().4, 30);
+        assert_eq!(b.to_civil().5, 0);
+        assert_eq!(
+            t.day_index(),
+            Timestamp::from_civil(2010, 1, 1, 0, 0, 0).unix() / 86_400
+        );
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(Duration::secs(5).to_string(), "5s");
+        assert_eq!(Duration::mins(3).to_string(), "3m");
+        assert_eq!(Duration::hours(2).to_string(), "2h");
+        assert_eq!(Duration::days(1).to_string(), "1d");
+        assert_eq!(Duration::secs(-90).to_string(), "-90s");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the time foundation.
+
+use grca_types::{Duration, TimeWindow, TimeZone, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Civil decomposition and recomposition are inverse for any instant
+    /// within ±30000 years.
+    #[test]
+    fn civil_roundtrip(unix in -900_000_000_000i64..900_000_000_000i64) {
+        let t = Timestamp::from_unix(unix);
+        let (y, mo, d, h, mi, s) = t.to_civil();
+        prop_assert_eq!(Timestamp::from_civil(y, mo, d, h, mi, s), t);
+        prop_assert!((1..=12).contains(&mo));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert!(h < 24 && mi < 60 && s < 60);
+    }
+
+    /// Display followed by parse is identity for representable instants.
+    #[test]
+    fn display_parse_roundtrip(unix in -60_000_000_000i64..60_000_000_000i64) {
+        let t = Timestamp::from_unix(unix);
+        let s = t.to_string();
+        let back: Timestamp = s.parse().unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Time zone conversion round-trips and shifts by exactly the offset.
+    #[test]
+    fn tz_roundtrip(unix in -1_000_000_000i64..4_000_000_000i64, hours in -12i32..=14) {
+        let tz = TimeZone::from_hours(hours);
+        let t = Timestamp::from_unix(unix);
+        let local = tz.to_local(t);
+        prop_assert_eq!(tz.to_utc(local), t);
+        prop_assert_eq!((local - t).as_secs(), (hours as i64) * 3600);
+    }
+
+    /// Window overlap is symmetric and agrees with intersection.
+    #[test]
+    fn overlap_symmetric(a in 0i64..10_000, la in 0i64..500, b in 0i64..10_000, lb in 0i64..500) {
+        let wa = TimeWindow::new(Timestamp(a), Timestamp(a + la));
+        let wb = TimeWindow::new(Timestamp(b), Timestamp(b + lb));
+        prop_assert_eq!(wa.overlaps(&wb), wb.overlaps(&wa));
+        prop_assert_eq!(wa.overlaps(&wb), wa.intersect(&wb).is_some());
+        // Intersection, when present, is contained in both.
+        if let Some(i) = wa.intersect(&wb) {
+            prop_assert!(i.start >= wa.start && i.end <= wa.end);
+            prop_assert!(i.start >= wb.start && i.end <= wb.end);
+        }
+        // Union span contains both.
+        let u = wa.union_span(&wb);
+        prop_assert!(u.start <= wa.start && u.end >= wa.end);
+        prop_assert!(u.start <= wb.start && u.end >= wb.end);
+    }
+
+    /// bin_floor is idempotent, at or before its input, within one bin.
+    #[test]
+    fn bin_floor_props(unix in -1_000_000i64..1_000_000_000i64, bin in 1i64..100_000) {
+        let t = Timestamp::from_unix(unix);
+        let b = Duration::secs(bin);
+        let f = t.bin_floor(b);
+        prop_assert!(f <= t);
+        prop_assert!((t - f).as_secs() < bin);
+        prop_assert_eq!(f.bin_floor(b), f);
+    }
+
+    /// Shifting a window preserves duration and shifts both edges.
+    #[test]
+    fn shift_preserves_duration(s in 0i64..10_000, l in 0i64..1000, d in -5_000i64..5_000) {
+        let w = TimeWindow::new(Timestamp(s), Timestamp(s + l));
+        let sh = w.shifted(Duration::secs(d));
+        prop_assert_eq!(sh.duration(), w.duration());
+        prop_assert_eq!((sh.start - w.start).as_secs(), d);
+    }
+}

@@ -1,0 +1,89 @@
+//! Learning an unobservable root cause with the Bayesian engine (§IV-C,
+//! Fig. 8 of the paper).
+//!
+//! A line card crashes. There is no line-card log — the only telemetry is
+//! every interface on the card flapping within ~3 minutes, and the
+//! session flaps that follow. Rule-based reasoning (correctly, per its
+//! evidence) calls each flap an "interface flap". Joint Bayesian
+//! inference over the burst attributes them to the virtual
+//! `line-card-issue` class — reproducing the paper's 133-flap finding.
+//!
+//! ```sh
+//! cargo run --release --example bayesian_linecard
+//! ```
+
+use grca::apps::bgp;
+use grca::collector::Database;
+use grca::net_model::gen::{generate, TopoGenConfig};
+use grca::simnet::{FaultRates, ScenarioConfig, Sim};
+use grca::types::{Duration, Timestamp};
+
+fn main() {
+    // A PE with many sessions per card, so the burst is paper-sized.
+    let topo_cfg = TopoGenConfig {
+        sessions_per_pe: 120,
+        ports_per_card: 160,
+        ..TopoGenConfig::default()
+    };
+    let topo = generate(&topo_cfg);
+
+    // Ordinary background month + one planted line-card crash.
+    let cfg = ScenarioConfig::new(7, 11, FaultRates::bgp_study());
+    let mut sim = Sim::new(&topo, &cfg);
+    let crash_at = Timestamp::from_civil(2010, 1, 4, 3, 15, 0);
+    let card = sim.inject_line_card_crash(crash_at, None);
+    println!(
+        "planted line-card crash on {}:slot{} at {crash_at}",
+        topo.router(topo.card(card).router).name,
+        topo.card(card).slot
+    );
+    // Plus the normal fault mix around it.
+    let out = grca::simnet::run_scenario(&topo, &cfg);
+    let mut records = out.records;
+    records.extend(sim.records);
+
+    let (db, _) = Database::ingest(&topo, &records);
+    let run = bgp::run(&topo, &db).unwrap();
+
+    // Rule-based verdicts for the burst window:
+    let burst: Vec<_> = run
+        .diagnoses
+        .iter()
+        .filter(|d| {
+            d.symptom.window.start >= crash_at - Duration::mins(1)
+                && d.symptom.window.start <= crash_at + Duration::mins(10)
+        })
+        .collect();
+    println!("\nrule-based labels during the burst window:");
+    let mut counts = std::collections::BTreeMap::new();
+    for d in &burst {
+        *counts.entry(d.label()).or_insert(0usize) += 1;
+    }
+    for (label, n) in counts {
+        println!("  {label:<30} {n}");
+    }
+
+    // Joint Bayesian inference over card-grouped flaps:
+    let findings = bgp::analyze_card_groups(&topo, &run.diagnoses, Duration::mins(5), 5);
+    println!("\ncard-burst groups found: {}", findings.len());
+    for f in &findings {
+        println!(
+            "  {}: {} flaps on {} sessions -> {}",
+            grca::net_model::Location::LineCard(f.card).display(&topo),
+            f.members.len(),
+            f.sessions,
+            f.bayes_class
+        );
+    }
+    let hit = findings
+        .iter()
+        .find(|f| f.card == card && f.bayes_class == bgp::classes::LINE_CARD_ISSUE);
+    match hit {
+        Some(f) => println!(
+            "\n=> the planted crash was recovered as a line-card issue \
+             ({} flaps, paper found 133 on 125 sessions)",
+            f.members.len()
+        ),
+        None => println!("\n=> the planted crash was NOT attributed to the card"),
+    }
+}

@@ -1,0 +1,115 @@
+//! Building a brand-new RCA application from configuration alone — the
+//! paper's central claim (§III: "new RCA applications can be quickly
+//! incorporated into G-RCA via simple configuration").
+//!
+//! The "application" here diagnoses *link loss alarms* (overflow packets on
+//! an interface): are they congestion-driven, line-instability-driven, or
+//! unexplained? Everything — event definitions and the diagnosis graph —
+//! is the DSL text below; no Rust beyond plumbing.
+//!
+//! ```sh
+//! cargo run --release --example custom_application
+//! ```
+
+use grca::apps::run_app;
+use grca::collector::Database;
+use grca::core::{parse_graph, ResultBrowser};
+use grca::events::parse_events;
+use grca::net_model::gen::{generate, TopoGenConfig};
+use grca::net_model::NullOracle;
+use grca::simnet::{run_scenario, FaultRates, ScenarioConfig};
+
+/// The complete application-specific configuration, as an operator would
+/// write it.
+const EVENTS: &str = r#"
+event "link-loss-alarm" {
+    location interface
+    source "snmp"
+    retrieval snmp-threshold overflow 100
+    describe ">= 100 corrupted packets in 5-minute intervals"
+}
+
+event "link-congestion-alarm" {
+    location interface
+    source "snmp"
+    retrieval snmp-threshold link-util 80
+    describe ">= 80% link utilization in 5-minute intervals"
+}
+
+event "line-protocol-flap" {
+    location interface
+    source "syslog"
+    retrieval line-proto-state flap
+}
+
+event "interface-flap" {
+    location interface
+    source "syslog"
+    retrieval interface-state flap
+}
+"#;
+
+const GRAPH: &str = r#"
+graph "link-loss-rca" root "link-loss-alarm"
+
+# Table II: Link loss alarm <- Link congestion alarm
+rule "link-loss-alarm" <- "link-congestion-alarm" {
+    priority 150
+    symptom start/end 300 300
+    diagnostic start/end 300 300
+    join interface
+}
+
+# Table II: Link loss alarm <- Line protocol down/up/flap
+rule "link-loss-alarm" <- "line-protocol-flap" {
+    priority 160
+    symptom start/end 300 300
+    diagnostic start/end 5 5
+    join interface
+}
+
+rule "line-protocol-flap" <- "interface-flap" {
+    priority 180
+    symptom start/start 15 5
+    diagnostic start/end 5 5
+    join interface
+}
+"#;
+
+fn main() {
+    // Parse the operator's configuration.
+    let defs = parse_events(EVENTS).expect("valid event definitions");
+    let graph = parse_graph(GRAPH).expect("valid diagnosis graph");
+    println!(
+        "configured application {:?}: {} events, {} rules\n",
+        graph.name,
+        defs.len(),
+        graph.rules.len()
+    );
+
+    // A scenario with congestion, lossy links and flaps.
+    let topo = generate(&TopoGenConfig::default());
+    let mut rates = FaultRates::zero();
+    rates.link_congestion = 6.0;
+    rates.link_loss = 4.0;
+    rates.customer_iface_flap = 30.0;
+    rates.backbone_link_failure = 2.0;
+    let cfg = ScenarioConfig::new(14, 3, rates);
+    let out = run_scenario(&topo, &cfg);
+    let (db, _) = Database::ingest(&topo, &out.records);
+
+    // Run it: same engine, same spatial model, zero app-specific code.
+    let run = run_app(&topo, &db, &NullOracle, &defs, graph, None).expect("valid app");
+    let rb = ResultBrowser::new(&topo, &run.diagnoses);
+    println!(
+        "{}",
+        rb.breakdown()
+            .render("link-loss root causes (14 days, from DSL-only configuration)")
+    );
+
+    // The iterative loop's starting point: what remains unexplained.
+    println!(
+        "{} unexplained alarms would feed the §IV-A knowledge-building loop",
+        rb.unexplained().len()
+    );
+}

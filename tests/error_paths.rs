@@ -1,0 +1,101 @@
+//! Error-path and serialization tests across the facade.
+
+use grca::apps::{run_app, OnlineRca};
+use grca::core::{DiagnosisGraph, DiagnosisRule, TemporalRule};
+use grca::net_model::gen::{generate, TopoGenConfig};
+use grca::net_model::{JoinLevel, NullOracle, Topology};
+
+fn bad_graph() -> DiagnosisGraph {
+    // Priority inversion: deeper rule weaker than its parent.
+    let mut g = DiagnosisGraph::new("bad", "s");
+    g.add_rule(DiagnosisRule::new(
+        "s",
+        "a",
+        TemporalRule::symmetric(5),
+        JoinLevel::Router,
+        100,
+    ));
+    g.add_rule(DiagnosisRule::new(
+        "a",
+        "b",
+        TemporalRule::symmetric(5),
+        JoinLevel::Router,
+        10,
+    ));
+    g
+}
+
+#[test]
+fn run_app_rejects_invalid_graphs() {
+    let topo = generate(&TopoGenConfig::small());
+    let db = grca::collector::Database::default();
+    let err = match run_app(&topo, &db, &NullOracle, &[], bad_graph(), None) {
+        Err(e) => e,
+        Ok(_) => panic!("invalid graph accepted"),
+    };
+    assert!(err.to_string().contains("priority inversion"), "{err}");
+}
+
+#[test]
+fn online_rca_rejects_invalid_graphs() {
+    let topo = generate(&TopoGenConfig::small());
+    assert!(OnlineRca::new(&topo, vec![], bad_graph()).is_err());
+}
+
+#[test]
+fn cyclic_graph_is_rejected_everywhere() {
+    let mut g = DiagnosisGraph::new("cyc", "a");
+    g.add_rule(DiagnosisRule::new(
+        "a",
+        "b",
+        TemporalRule::symmetric(5),
+        JoinLevel::Router,
+        10,
+    ));
+    g.add_rule(DiagnosisRule::new(
+        "b",
+        "a",
+        TemporalRule::symmetric(5),
+        JoinLevel::Router,
+        10,
+    ));
+    assert!(g.validate().is_err());
+    let text = grca::core::render_graph(&g);
+    assert!(grca::core::parse_graph(&text).is_err());
+}
+
+#[test]
+fn topology_serde_roundtrip() {
+    let topo = generate(&TopoGenConfig::small());
+    let json = serde_json::to_string(&topo).expect("serialize");
+    let mut back: Topology = serde_json::from_str(&json).expect("deserialize");
+    back.rebuild_indices();
+    assert_eq!(back.routers.len(), topo.routers.len());
+    assert_eq!(back.summary(), topo.summary());
+    // Lookup indices are derived data, rebuilt after deserialization.
+    let r = topo.router_by_name("nyc-per1").unwrap();
+    assert_eq!(back.router_by_name("nyc-per1"), Some(r));
+    let s = &topo.sessions[0];
+    assert_eq!(
+        back.session_by_neighbor(s.pe, s.neighbor_ip),
+        topo.session_by_neighbor(s.pe, s.neighbor_ip)
+    );
+}
+
+#[test]
+fn collector_ignores_malformed_lines_gracefully() {
+    let topo = generate(&TopoGenConfig::small());
+    let recs = vec![
+        grca::telemetry::records::RawRecord::Syslog(grca::telemetry::records::SyslogLine {
+            host: "nyc-per1".into(),
+            line: "not a timestamp at all".into(),
+        }),
+        grca::telemetry::records::RawRecord::Syslog(grca::telemetry::records::SyslogLine {
+            host: "nyc-per1".into(),
+            line: "2010-01-01 ¡broken".into(),
+        }),
+    ];
+    let (db, stats) = grca::collector::Database::ingest(&topo, &recs);
+    assert_eq!(db.total_rows(), 0);
+    assert_eq!(stats.total_dropped(), 2);
+}

@@ -1,0 +1,124 @@
+//! Cross-crate precision tests: the spatial model must credit evidence to
+//! the *right* symptoms, not merely to temporally nearby ones.
+
+use grca::apps::{build_routing, cdn, pim};
+use grca::collector::Database;
+use grca::net_model::gen::{generate, TopoGenConfig};
+use grca::net_model::{Location, RouteOracle};
+use grca::simnet::{FaultRates, ScenarioConfig, Sim, SymptomKind};
+use grca::types::Timestamp;
+
+fn t(day: u32, h: u32) -> Timestamp {
+    Timestamp::from_civil(2010, 1, day, h, 0, 0)
+}
+
+#[test]
+fn egress_change_is_credited_to_the_affected_client_only() {
+    let topo = generate(&TopoGenConfig::default());
+    let cfg = ScenarioConfig::new(10, 77, FaultRates::zero());
+    let mut sim = Sim::new(&topo, &cfg);
+
+    // One egress change plus a simultaneous *external* degradation on a
+    // different client: same instant, different spatial scope.
+    sim.inject_egress_change(t(3, 12));
+    sim.inject_external_rtt(t(3, 12));
+    let records = {
+        // Add baseline so anomaly detection has a reference.
+        let out = grca::simnet::run_scenario(&topo, &cfg);
+        let mut r = out.records;
+        r.extend(sim.records);
+        r
+    };
+    let (db, _) = Database::ingest(&topo, &records);
+    let run = cdn::run(&topo, &db).unwrap();
+
+    // Which client did the egress change hit (from the simulator's truth)?
+    let egress_truth = sim.truth.iter().find(|t| {
+        t.symptom == SymptomKind::CdnDegradation && t.cause == grca::simnet::RootCause::EgressChange
+    });
+    let external_truth = sim
+        .truth
+        .iter()
+        .find(|t| t.cause == grca::simnet::RootCause::ExternalDegradation)
+        .expect("external degradation planted");
+
+    for d in &run.diagnoses {
+        let key = d.symptom.location.display(&topo);
+        if key == external_truth.key && d.symptom.window.contains(external_truth.time) {
+            // The co-temporal egress change must NOT leak onto the
+            // unaffected client (unless they coincidentally share the
+            // ingress:destination pair, which distinct clients cannot).
+            assert_ne!(
+                d.label(),
+                "bgp-egress-change",
+                "egress change leaked onto {key}"
+            );
+        }
+        if let Some(truth) = egress_truth {
+            if key == truth.key && d.symptom.window.contains(truth.time) {
+                assert_eq!(d.label(), "bgp-egress-change", "missed on {key}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pim_path_evidence_respects_the_pe_pair_path() {
+    let topo = generate(&TopoGenConfig::default());
+    let cfg = ScenarioConfig::new(10, 99, FaultRates::zero());
+    let mut sim = Sim::new(&topo, &cfg);
+    // A router-wide maintenance cost-out: only PE pairs whose path crossed
+    // the router may be diagnosed with it.
+    sim.inject_router_cost_out_maint(t(4, 9));
+    let out = grca::simnet::run_scenario(&topo, &cfg);
+    let mut records = out.records;
+    records.extend(sim.records);
+    let (db, _) = Database::ingest(&topo, &records);
+    let run = pim::run(&topo, &db).unwrap();
+    let routing = build_routing(&topo, &db);
+
+    for d in &run.diagnoses {
+        if d.label() != "router-cost-in-out" {
+            continue;
+        }
+        // The diagnosed evidence names a router; verify it lies on the
+        // PE-pair's path shortly before the symptom.
+        let Location::RouterNeighborIp { router, neighbor } = d.symptom.location else {
+            continue;
+        };
+        let evidence_router = d
+            .root_causes
+            .iter()
+            .map(|&i| &d.evidence[i])
+            .find_map(|e| match e.instance.location {
+                Location::Router(r) => Some(r),
+                _ => None,
+            })
+            .expect("router-cost evidence is router-located");
+        // Resolve the neighbor loopback to the peer PE.
+        let peer = topo
+            .routers
+            .iter()
+            .position(|r| r.loopback == neighbor)
+            .map(grca::net_model::RouterId::from)
+            .expect("PE-PE adjacency symptom");
+        // The engine accepts the join at either the pre-event or the
+        // post-event routing epoch (cost-out symptoms ride the old path,
+        // cost-in symptoms the restored one); check both.
+        let before = d.symptom.window.start - grca::types::Duration::mins(5);
+        let after = d.symptom.window.end + grca::types::Duration::mins(1);
+        let on_pre = routing
+            .path_routers(router, peer, before)
+            .contains(&evidence_router);
+        let on_post = routing
+            .path_routers(router, peer, after)
+            .contains(&evidence_router);
+        assert!(
+            on_pre || on_post,
+            "cost-out router {} off the {}~{} path at both epochs",
+            topo.router(evidence_router).name,
+            topo.router(router).name,
+            topo.router(peer).name,
+        );
+    }
+}
