@@ -180,10 +180,7 @@ mod tests {
         assert_eq!(rtt.rules.len(), tput.rules.len());
         // Same diagnostics in the same order.
         let diag = |g: &grca_core::DiagnosisGraph| {
-            g.rules
-                .iter()
-                .map(|r| r.diagnostic.clone())
-                .collect::<Vec<_>>()
+            g.rules.iter().map(|r| r.diagnostic).collect::<Vec<_>>()
         };
         assert_eq!(diag(&rtt), diag(&tput));
     }

@@ -46,7 +46,7 @@ pub fn diagnosis_graph() -> DiagnosisGraph {
     // Pull in every library rule reachable from the root, transitively.
     let all = grca_core::knowledge_rules();
     let mut events = std::collections::BTreeSet::new();
-    events.insert(ev::E2E_LOSS_INCREASE.to_string());
+    events.insert(grca_types::Symbol::new(ev::E2E_LOSS_INCREASE));
     let mut keep = vec![false; all.len()];
     let mut changed = true;
     while changed {
@@ -54,7 +54,7 @@ pub fn diagnosis_graph() -> DiagnosisGraph {
         for (i, r) in all.iter().enumerate() {
             if !keep[i] && events.contains(&r.symptom) {
                 keep[i] = true;
-                events.insert(r.diagnostic.clone());
+                events.insert(r.diagnostic);
                 changed = true;
             }
         }

@@ -105,7 +105,7 @@ impl<'a> OnlineRca<'a> {
         let spatial = SpatialModel::new(self.topo, oracle);
         let engine = Engine::new(&self.graph, &store, &spatial);
         let mut out = Vec::new();
-        for symptom in store.instances(&self.graph.root) {
+        for symptom in store.instances(self.graph.root) {
             if symptom.window.end > watermark {
                 continue; // evidence horizon not reached yet
             }

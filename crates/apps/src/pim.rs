@@ -163,6 +163,9 @@ mod tests {
         // Table VIII keeps maintenance and failure together under
         // Link/Router Cost categories; command edges would re-split them.
         let g = diagnosis_graph();
-        assert!(!g.rules.iter().any(|r| r.diagnostic.contains("command")));
+        assert!(!g
+            .rules
+            .iter()
+            .any(|r| r.diagnostic.as_str().contains("command")));
     }
 }

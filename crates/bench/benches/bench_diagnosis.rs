@@ -39,7 +39,7 @@ fn bench_apps(c: &mut Criterion) {
         let store = extract_all(&defs, &cx);
         let sm = SpatialModel::new(&fx.topo, &NullOracle);
         let engine = Engine::new(&graph, &store, &sm);
-        let symptoms = store.instances(&graph.root).to_vec();
+        let symptoms = store.instances(graph.root).to_vec();
         assert!(!symptoms.is_empty());
         let mut i = 0;
         group.bench_function("bgp_flap", |b| {
@@ -59,7 +59,7 @@ fn bench_apps(c: &mut Criterion) {
         let store = extract_all(&defs, &cx);
         let sm = SpatialModel::new(&fx.topo, &routing);
         let engine = Engine::new(&graph, &store, &sm);
-        let symptoms = store.instances(&graph.root).to_vec();
+        let symptoms = store.instances(graph.root).to_vec();
         assert!(!symptoms.is_empty());
         let mut i = 0;
         group.bench_function("pim_adjacency", |b| {
@@ -80,7 +80,7 @@ fn bench_apps(c: &mut Criterion) {
         let store = extract_all(&defs, &cx);
         let sm = SpatialModel::new(&fx.topo, &routing);
         let engine = Engine::new(&graph, &store, &sm);
-        let symptoms = store.instances(&graph.root).to_vec();
+        let symptoms = store.instances(graph.root).to_vec();
         assert!(!symptoms.is_empty());
         let mut i = 0;
         group.bench_function("cdn_rtt", |b| {

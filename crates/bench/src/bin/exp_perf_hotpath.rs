@@ -1,0 +1,465 @@
+//! E-hotpath — end-to-end speedup of the diagnosis hot-path overhaul.
+//!
+//! Benchmarks the current engine (interned event names, pre-indexed rules,
+//! zero-clone traversal, per-diagnosis spatial-join memo, sharded route
+//! caches, work-stealing parallelism) against an in-binary replica of the
+//! previous implementation (heap `String` names compared per step, linear
+//! rule scans, per-candidate spatial joins with no memo, route caches
+//! behind two global `Mutex`es, fixed-chunk parallelism).
+//!
+//! The workload is the shape the paper says dominates diagnosis cost
+//! (§III-B): end-to-end loss symptoms located at (ingress, egress) router
+//! pairs whose evidence rules join at the *path* level, so every candidate
+//! asks the routing oracle for the ECMP path as of the symptom instant.
+//! Each symptom arrives with a storm of co-temporal router/link events
+//! (most off-path — the join must reject them), the rule set is padded to
+//! knowledge-library size, and OSPF weight churn splits the horizon into
+//! many routing epochs.
+//!
+//! Writes `results/BENCH_rca_hotpath.json` with per-configuration wall
+//! times and the sequential / 8-thread speedups.
+
+use grca_bench::save_json;
+use grca_core::{Diagnosis, DiagnosisGraph, DiagnosisRule, Engine, TemporalRule};
+use grca_events::{EventInstance, EventStore};
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::{
+    Ipv4, JoinLevel, LinkId, Location, Prefix, RouteOracle, RouterId, SpatialModel, Topology,
+};
+use grca_routing::{BgpState, OspfState, RoutingState, WeightEvent};
+use grca_types::{TimeWindow, Timestamp};
+use serde::Serialize;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Replica of the pre-overhaul route oracle: correct memoization on
+/// routing epochs, but both caches behind single global mutexes, so every
+/// query — hit or miss — serializes, and no epoch fingerprint is exposed.
+type SeedPathCache = Mutex<HashMap<(RouterId, RouterId, usize), (Vec<RouterId>, Vec<LinkId>)>>;
+type SeedEgressCache = Mutex<HashMap<(RouterId, Prefix, usize, usize), Option<RouterId>>>;
+
+struct SeedOracle<'a> {
+    rs: &'a RoutingState<'a>,
+    path: SeedPathCache,
+    egress: SeedEgressCache,
+}
+
+impl<'a> SeedOracle<'a> {
+    fn new(rs: &'a RoutingState<'a>) -> Self {
+        SeedOracle {
+            rs,
+            path: Mutex::new(HashMap::new()),
+            egress: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn ecmp_cached(&self, a: RouterId, b: RouterId, at: Timestamp) -> (Vec<RouterId>, Vec<LinkId>) {
+        let key = (a, b, self.rs.ospf.epoch(at));
+        if let Some(hit) = self.path.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let val = self.rs.ospf.ecmp_union(a, b, at);
+        self.path.lock().unwrap().insert(key, val.clone());
+        val
+    }
+}
+
+impl RouteOracle for SeedOracle<'_> {
+    fn egress_for(&self, ingress: RouterId, dst: Prefix, at: Timestamp) -> Option<RouterId> {
+        let key = (ingress, dst, self.rs.ospf.epoch(at), self.rs.bgp.epoch(at));
+        if let Some(&hit) = self.egress.lock().unwrap().get(&key) {
+            return hit;
+        }
+        let val = self.rs.bgp.best_egress(&self.rs.ospf, ingress, dst, at);
+        self.egress.lock().unwrap().insert(key, val);
+        val
+    }
+
+    fn ingress_for(&self, src: Ipv4, at: Timestamp) -> Option<RouterId> {
+        self.rs.ingress_for(src, at)
+    }
+
+    fn path_routers(&self, a: RouterId, b: RouterId, at: Timestamp) -> Vec<RouterId> {
+        self.ecmp_cached(a, b, at).0
+    }
+
+    fn path_links(&self, a: RouterId, b: RouterId, at: Timestamp) -> Vec<LinkId> {
+        self.ecmp_cached(a, b, at).1
+    }
+    // No epoch() override: the seed predates join memoization.
+}
+
+/// Replica of the pre-overhaul engine inner loop: `String` event names
+/// cloned on every frontier step and evidence push, a linear scan of all
+/// rules per step, a `BTreeSet` dedup key, and every spatial join
+/// evaluated from scratch.
+struct SeedEngine<'a> {
+    graph: &'a DiagnosisGraph,
+    store: &'a EventStore,
+    spatial: &'a SpatialModel<'a>,
+    max_depth: usize,
+}
+
+struct SeedEvidence {
+    event: String,
+    priority: u32,
+    parent: Option<usize>,
+}
+
+struct SeedDiagnosis {
+    evidence: Vec<SeedEvidence>,
+    root_causes: Vec<usize>,
+}
+
+impl SeedDiagnosis {
+    fn label(&self) -> String {
+        if self.root_causes.is_empty() {
+            return grca_core::UNKNOWN.to_string();
+        }
+        let mut names: Vec<&str> = self
+            .root_causes
+            .iter()
+            .map(|&i| self.evidence[i].event.as_str())
+            .collect();
+        names.sort();
+        names.dedup();
+        names.join("+")
+    }
+}
+
+impl SeedEngine<'_> {
+    fn diagnose(&self, symptom: &EventInstance) -> SeedDiagnosis {
+        let mut evidence: Vec<SeedEvidence> = Vec::new();
+        let mut seen: BTreeSet<(usize, i64, i64, Location)> = BTreeSet::new();
+        let mut frontier: Vec<(String, EventInstance, Option<usize>, usize)> =
+            vec![(symptom.name.to_string(), symptom.clone(), None, 0)];
+        while let Some((name, inst, parent, depth)) = frontier.pop() {
+            if depth >= self.max_depth {
+                continue;
+            }
+            let matching = self
+                .graph
+                .rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.symptom.as_str() == name);
+            for (ri, rule) in matching {
+                let slack = rule.temporal.slack() + grca_types::Duration::secs(1);
+                for cand in self.store.candidates(rule.diagnostic, inst.window, slack) {
+                    if !rule.temporal.joined(inst.window, cand.window) {
+                        continue;
+                    }
+                    let pre = rule.temporal.symptom.expand(inst.window).start;
+                    let post = inst.window.end;
+                    let joined_pre =
+                        rule.spatial
+                            .joined(self.spatial, &inst.location, &cand.location, pre);
+                    let joined_post = !joined_pre
+                        && post != pre
+                        && rule
+                            .spatial
+                            .joined(self.spatial, &inst.location, &cand.location, post);
+                    if !joined_pre && !joined_post {
+                        continue;
+                    }
+                    let key = (ri, cand.window.start.0, cand.window.end.0, cand.location);
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let idx = evidence.len();
+                    evidence.push(SeedEvidence {
+                        event: rule.diagnostic.to_string(),
+                        priority: rule.priority,
+                        parent,
+                    });
+                    frontier.push((
+                        rule.diagnostic.to_string(),
+                        cand.clone(),
+                        Some(idx),
+                        depth + 1,
+                    ));
+                }
+            }
+        }
+        let max_prio = evidence.iter().map(|e| e.priority).max();
+        let root_causes = match max_prio {
+            None => Vec::new(),
+            Some(p) => evidence
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.priority == p)
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        SeedDiagnosis {
+            evidence,
+            root_causes,
+        }
+    }
+
+    fn diagnose_all(&self) -> Vec<SeedDiagnosis> {
+        self.store
+            .instances(self.graph.root)
+            .iter()
+            .map(|s| self.diagnose(s))
+            .collect()
+    }
+
+    /// The seed's fixed-chunk fan-out: one contiguous chunk per worker.
+    fn diagnose_all_parallel(&self, threads: usize) -> Vec<SeedDiagnosis> {
+        let symptoms = self.store.instances(self.graph.root);
+        let threads = threads.max(1).min(symptoms.len().max(1));
+        if threads <= 1 {
+            return self.diagnose_all();
+        }
+        let chunk = symptoms.len().div_ceil(threads);
+        let mut out: Vec<Vec<SeedDiagnosis>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = symptoms
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || part.iter().map(|s| self.diagnose(s)).collect::<Vec<_>>())
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("seed worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+fn w(s: i64, e: i64) -> TimeWindow {
+    TimeWindow::new(Timestamp(s), Timestamp(e))
+}
+
+/// The diagnosis graph: two path-level rules under the root plus a
+/// router-level rule one step deeper, padded with inert rules so the rule
+/// list is knowledge-library-sized (the seed scans it linearly per step).
+fn stress_graph() -> DiagnosisGraph {
+    let mut g = DiagnosisGraph::new("hotpath-stress", "loss");
+    for i in 0..30 {
+        g.add_rule(DiagnosisRule::new(
+            format!("pad-sym-{i}"),
+            format!("pad-diag-{i}"),
+            TemporalRule::symmetric(5),
+            JoinLevel::Router,
+            1,
+        ));
+    }
+    g.add_rule(DiagnosisRule::new(
+        "loss",
+        "router-msg",
+        TemporalRule::hold_timer(180),
+        JoinLevel::RouterPath,
+        100,
+    ));
+    g.add_rule(DiagnosisRule::new(
+        "loss",
+        "link-cong",
+        TemporalRule::symmetric(60),
+        JoinLevel::LinkPath,
+        120,
+    ));
+    g.add_rule(DiagnosisRule::new(
+        "router-msg",
+        "reboot",
+        TemporalRule::symmetric(30),
+        JoinLevel::Router,
+        150,
+    ));
+    g
+}
+
+/// Loss symptoms between PE pairs, each with a co-temporal storm of
+/// router syslog and link-congestion candidates — clustered on *other*
+/// PEs, so almost every candidate passes the temporal join but fails the
+/// path-level spatial join (the seed then evaluates it twice, at the
+/// pre and post instants; the memo collapses repeats per location) —
+/// plus on-path messages at the endpoints and matching reboots one level
+/// deeper.
+fn stress_store(topo: &Topology) -> EventStore {
+    let pes: Vec<RouterId> = topo.provider_edges().collect();
+    let n_pes = pes.len();
+    let mut instances = Vec::new();
+    for s in 0..600usize {
+        let t = s as i64 * 500;
+        let ia = s % n_pes;
+        let ib = (s + n_pes / 2 + 1) % n_pes;
+        let (ingress, egress) = (pes[ia], pes[ib]);
+        instances.push(EventInstance::new(
+            "loss",
+            w(t, t + 120),
+            Location::IngressEgress { ingress, egress },
+        ));
+        let off: Vec<RouterId> = (0..n_pes)
+            .filter(|&k| k != ia && k != ib)
+            .map(|k| pes[k])
+            .collect();
+        // Syslog storm inside the hold-timer lookback, on off-path PEs.
+        for j in 0..40usize {
+            let r = off[j % off.len()];
+            let tj = t - 150 + j as i64;
+            instances.push(EventInstance::new(
+                "router-msg",
+                w(tj, tj + 2),
+                Location::Router(r),
+            ));
+        }
+        // On-path messages at the endpoints: real evidence.
+        for (j, &r) in [ingress, ingress, egress, egress].iter().enumerate() {
+            let tj = t - 60 + j as i64 * 10;
+            instances.push(EventInstance::new(
+                "router-msg",
+                w(tj, tj + 2),
+                Location::Router(r),
+            ));
+        }
+        // Congestion on access links of off-path PEs.
+        for j in 0..20usize {
+            let pe = off[j % off.len()];
+            let links = topo.links_at_router(pe);
+            let tj = t - 40 + j as i64;
+            instances.push(EventInstance::new(
+                "link-cong",
+                w(tj, tj + 30),
+                Location::LogicalLink(links[j % links.len()]),
+            ));
+        }
+        // Reboots joining the endpoint messages one level deeper.
+        for (j, &r) in [ingress, egress].iter().enumerate() {
+            let tj = t - 60 + j as i64 * 20;
+            instances.push(EventInstance::new(
+                "reboot",
+                w(tj, tj + 1),
+                Location::Router(r),
+            ));
+        }
+    }
+    let mut store = EventStore::new();
+    store.add(instances);
+    store
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (out.unwrap(), best)
+}
+
+#[derive(Serialize)]
+struct Report {
+    symptoms: usize,
+    seed_seq_s: f64,
+    new_seq_s: f64,
+    seed_par8_s: f64,
+    new_par8_s: f64,
+    speedup_seq: f64,
+    speedup_par8: f64,
+    labels_match: bool,
+}
+
+fn main() {
+    // Eight POPs: backbone paths long enough that a path-level join has
+    // real expansion cost.
+    let topo = generate(&TopoGenConfig {
+        pops: 8,
+        ..TopoGenConfig::small()
+    });
+    // OSPF weight churn: one change every 5000 s, cycling over links, so
+    // the 400 ks horizon spans ~80 routing epochs.
+    let n_links = topo.links.len();
+    let churn: Vec<WeightEvent> = (0..80i64)
+        .map(|k| WeightEvent {
+            time: Timestamp(k * 5_000),
+            link: LinkId::from(k as usize % n_links),
+            weight: Some(10 + (k % 7) as u32),
+        })
+        .collect();
+    let ospf = OspfState::new(&topo, churn);
+    let routing = RoutingState::new(&topo, ospf, BgpState::new(Vec::new(), Vec::new()));
+
+    let graph = stress_graph();
+    let store = stress_store(&topo);
+    let n = store.instances(graph.root).len();
+    assert!(n > 50, "workload produced only {n} symptoms");
+
+    // Fresh caches per configuration so each pays its own warm-up, as a
+    // real run would.
+    let reps = 5;
+    let (seed_seq_out, seed_seq_s) = best_of(reps, || {
+        let oracle = SeedOracle::new(&routing);
+        let sm = SpatialModel::new(&topo, &oracle);
+        let eng = SeedEngine {
+            graph: &graph,
+            store: &store,
+            spatial: &sm,
+            max_depth: 8,
+        };
+        eng.diagnose_all()
+    });
+    let (seed_par_out, seed_par8_s) = best_of(reps, || {
+        let oracle = SeedOracle::new(&routing);
+        let sm = SpatialModel::new(&topo, &oracle);
+        let eng = SeedEngine {
+            graph: &graph,
+            store: &store,
+            spatial: &sm,
+            max_depth: 8,
+        };
+        eng.diagnose_all_parallel(8)
+    });
+    let sm = SpatialModel::new(&topo, &routing);
+    let engine = Engine::new(&graph, &store, &sm);
+    let (new_seq_out, new_seq_s) = best_of(reps, || engine.diagnose_all());
+    let (new_par_out, new_par8_s) = best_of(reps, || engine.diagnose_all_parallel(8));
+
+    // Equivalence: same diagnoses in the same order, in every mode, down
+    // to the evidence tree structure.
+    let eq = |a: &[Diagnosis], b: &[SeedDiagnosis]| {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.label() == y.label()
+                    && x.evidence.len() == y.evidence.len()
+                    && x.evidence
+                        .iter()
+                        .zip(&y.evidence)
+                        .all(|(e, f)| e.event == f.event.as_str() && e.parent == f.parent)
+            })
+    };
+    let labels_match = new_seq_out == new_par_out
+        && eq(&new_seq_out, &seed_seq_out)
+        && eq(&new_seq_out, &seed_par_out);
+    assert!(labels_match, "engines disagree");
+
+    let report = Report {
+        symptoms: n,
+        seed_seq_s,
+        new_seq_s,
+        seed_par8_s,
+        new_par8_s,
+        speedup_seq: seed_seq_s / new_seq_s,
+        speedup_par8: seed_par8_s / new_par8_s,
+        labels_match,
+    };
+    println!(
+        "hot-path overhaul over {} path-join symptoms (best of {reps}):\n\
+         \x20 sequential: seed {:.3}s -> new {:.3}s ({:.2}x)\n\
+         \x20 8 threads:  seed {:.3}s -> new {:.3}s ({:.2}x)",
+        report.symptoms,
+        report.seed_seq_s,
+        report.new_seq_s,
+        report.speedup_seq,
+        report.seed_par8_s,
+        report.new_par8_s,
+        report.speedup_par8,
+    );
+    save_json("BENCH_rca_hotpath", &report);
+}

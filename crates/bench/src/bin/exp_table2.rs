@@ -48,8 +48,8 @@ fn main() {
             r.priority
         );
         rows.push(Row {
-            symptom: r.symptom.clone(),
-            diagnostic: r.diagnostic.clone(),
+            symptom: r.symptom.to_string(),
+            diagnostic: r.diagnostic.to_string(),
             temporal_symptom: ts,
             temporal_diagnostic: td,
             join_level: r.spatial.join_level.to_string(),

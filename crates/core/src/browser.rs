@@ -305,7 +305,7 @@ mod tests {
             Some(name) => {
                 let ev = crate::engine::Evidence {
                     rule: 0,
-                    event: name.to_string(),
+                    event: name.into(),
                     instance: EventInstance::new(
                         name,
                         TimeWindow::at(Timestamp(start)),

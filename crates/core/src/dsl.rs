@@ -269,8 +269,8 @@ impl Parser {
         }
         let missing = |f: &str, r: &str| GrcaError::parse(format!("rule {r:?} missing {f}"));
         Ok(DiagnosisRule {
-            symptom: symptom.clone(),
-            diagnostic,
+            symptom: symptom.as_str().into(),
+            diagnostic: diagnostic.into(),
             temporal: TemporalRule::new(
                 sym.ok_or_else(|| missing("symptom expansion", &symptom))?,
                 diag.ok_or_else(|| missing("diagnostic expansion", &symptom))?,

@@ -8,11 +8,18 @@
 //! matched evidence recursively becomes the symptom side of deeper rules.
 //! The leaf evidence with the maximum edge priority is called as the root
 //! cause; ties produce joint root causes.
+//!
+//! Hot-path design: event names are interned [`Symbol`]s, the traversal
+//! frontier borrows instances from the store (nothing is cloned until it
+//! becomes evidence), rules are pre-indexed by symptom name, and spatial
+//! joins are memoized per diagnosis keyed on the routing epoch.
 
-use crate::graph::DiagnosisGraph;
+use crate::graph::{DiagnosisGraph, DiagnosisRule};
 use grca_events::{EventInstance, EventStore};
-use grca_net_model::SpatialModel;
-use std::collections::BTreeSet;
+use grca_net_model::{JoinLevel, Location, SpatialModel};
+use grca_types::{Symbol, Timestamp};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Label used when no diagnostic evidence joined a symptom.
 pub const UNKNOWN: &str = "unknown";
@@ -23,7 +30,7 @@ pub struct Evidence {
     /// Index of the matched rule in the graph.
     pub rule: usize,
     /// The diagnostic event name (the candidate cause).
-    pub event: String,
+    pub event: Symbol,
     /// The matched diagnostic instance.
     pub instance: EventInstance,
     /// Edge priority of the rule that matched it.
@@ -64,6 +71,7 @@ impl Diagnosis {
     /// Whether any evidence of the given event name was matched
     /// (at any depth) — the feature extractor for Bayesian reasoning.
     pub fn has_evidence(&self, event: &str) -> bool {
+        let event = Symbol::new(event);
         self.evidence.iter().any(|e| e.event == event)
     }
 
@@ -88,6 +96,78 @@ pub struct Engine<'a> {
     /// Maximum graph depth explored (cycles are rejected at validation,
     /// this bounds pathological configurations).
     pub max_depth: usize,
+    /// Rule indices grouped by symptom-side event, in graph order — the
+    /// per-step replacement for scanning every rule.
+    rules_by_symptom: HashMap<Symbol, Vec<usize>>,
+}
+
+/// A fast, non-cryptographic hasher for the engine's per-diagnosis
+/// tables. The join memo and the dedup set are probed once or twice per
+/// candidate, so SipHash (the `HashMap` default, DoS-resistant) is
+/// measurable overhead on keys the engine builds itself from small
+/// fixed-shape ids. FxHash-style rotate-xor-multiply.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+
+/// Spatial-join memo for one diagnosis: within a routing epoch the join
+/// answer is a pure function of the level and the two locations, so
+/// repeated evaluations (shared sub-causes, several candidates at one
+/// location) become table hits instead of path computations.
+type JoinMemo = HashMap<(JoinLevel, Location, Location, u64), bool, FxBuild>;
+
+/// Work-stealing batch size: small enough that every worker can claim
+/// work (≈4 batches per worker when the load allows), large enough to
+/// amortize the atomic claim on big runs.
+fn batch_size(len: usize, threads: usize) -> usize {
+    (len / (4 * threads)).clamp(1, 32)
 }
 
 impl<'a> Engine<'a> {
@@ -96,47 +176,90 @@ impl<'a> Engine<'a> {
         store: &'a EventStore,
         spatial: &'a SpatialModel<'a>,
     ) -> Self {
+        let mut rules_by_symptom: HashMap<Symbol, Vec<usize>> = HashMap::new();
+        for (ri, rule) in graph.rules.iter().enumerate() {
+            rules_by_symptom.entry(rule.symptom).or_default().push(ri);
+        }
         Engine {
             graph,
             store,
             spatial,
             max_depth: 8,
+            rules_by_symptom,
         }
     }
 
     /// Diagnose every instance of the root symptom event in the store.
     pub fn diagnose_all(&self) -> Vec<Diagnosis> {
         self.store
-            .instances(&self.graph.root)
+            .instances(self.graph.root)
             .iter()
             .map(|s| self.diagnose(s))
             .collect()
     }
 
     /// [`Engine::diagnose_all`], fanned out over `threads` workers.
-    /// Diagnoses are independent per symptom (the route caches behind the
-    /// spatial model are internally synchronized), so the result is
-    /// identical to the sequential run, in the same order.
+    ///
+    /// Work-stealing over an atomic batch counter: symptom cost is highly
+    /// skewed (a symptom on a busy router explores far more candidates
+    /// than a quiet one), so static chunking leaves workers idle behind
+    /// the unlucky chunk. Each worker instead claims the next small batch
+    /// until the queue drains. Workers tag results with the symptom index
+    /// and the merge re-sorts, so the output is identical to the
+    /// sequential run, in the same order.
     pub fn diagnose_all_parallel(&self, threads: usize) -> Vec<Diagnosis> {
-        let symptoms = self.store.instances(&self.graph.root);
+        let symptoms = self.store.instances(self.graph.root);
         let threads = threads.max(1).min(symptoms.len().max(1));
         if threads <= 1 {
             return self.diagnose_all();
         }
-        let chunk = symptoms.len().div_ceil(threads);
-        let mut out: Vec<Vec<Diagnosis>> = Vec::new();
+        let batch = batch_size(symptoms.len(), threads);
+        let next = AtomicUsize::new(0);
+        let mut parts: Vec<Vec<(usize, Diagnosis)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = symptoms
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || part.iter().map(|s| self.diagnose(s)).collect::<Vec<_>>())
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let start = next.fetch_add(batch, Ordering::Relaxed);
+                            if start >= symptoms.len() {
+                                break;
+                            }
+                            let end = (start + batch).min(symptoms.len());
+                            for (off, s) in symptoms[start..end].iter().enumerate() {
+                                local.push((start + off, self.diagnose(s)));
+                            }
+                        }
+                        local
+                    })
                 })
                 .collect();
             for h in handles {
-                out.push(h.join().expect("diagnosis worker panicked"));
+                parts.push(h.join().expect("diagnosis worker panicked"));
             }
         });
-        out.into_iter().flatten().collect()
+        let mut flat: Vec<(usize, Diagnosis)> = parts.into_iter().flatten().collect();
+        flat.sort_unstable_by_key(|&(i, _)| i);
+        flat.into_iter().map(|(_, d)| d).collect()
+    }
+
+    fn joined_memo(
+        &self,
+        memo: &mut JoinMemo,
+        rule: &DiagnosisRule,
+        sym: &Location,
+        diag: &Location,
+        at: Timestamp,
+    ) -> bool {
+        let key = (rule.spatial.join_level, *sym, *diag, self.spatial.epoch(at));
+        if let Some(&joined) = memo.get(&key) {
+            return joined;
+        }
+        let joined = rule.spatial.joined(self.spatial, sym, diag, at);
+        memo.insert(key, joined);
+        joined
     }
 
     /// Diagnose one symptom instance.
@@ -144,17 +267,24 @@ impl<'a> Engine<'a> {
         let mut evidence: Vec<Evidence> = Vec::new();
         // Dedup key: (rule, diag window, diag location) — the same
         // instance can be reachable through several parents.
-        let mut seen: BTreeSet<(usize, i64, i64, grca_net_model::Location)> = BTreeSet::new();
-        // BFS frontier: (event name, instance, parent evidence, depth).
-        let mut frontier: Vec<(String, EventInstance, Option<usize>, usize)> =
-            vec![(symptom.name.clone(), symptom.clone(), None, 0)];
+        let mut seen: HashSet<(usize, i64, i64, Location), FxBuild> = HashSet::default();
+        let mut joins: JoinMemo = JoinMemo::default();
+        // Traversal frontier: (event name, instance, parent evidence,
+        // depth). Instances are borrowed from the store (or the symptom);
+        // nothing is cloned until it becomes evidence.
+        let mut frontier: Vec<(Symbol, &EventInstance, Option<usize>, usize)> =
+            vec![(symptom.name, symptom, None, 0)];
         while let Some((name, inst, parent, depth)) = frontier.pop() {
             if depth >= self.max_depth {
                 continue;
             }
-            for (ri, rule) in self.graph.rules_for(&name) {
+            let Some(rules) = self.rules_by_symptom.get(&name) else {
+                continue;
+            };
+            for &ri in rules {
+                let rule = &self.graph.rules[ri];
                 let slack = rule.temporal.slack() + grca_types::Duration::secs(1);
-                for cand in self.store.candidates(&rule.diagnostic, inst.window, slack) {
+                for cand in self.store.candidates(rule.diagnostic, inst.window, slack) {
                     if !rule.temporal.joined(inst.window, cand.window) {
                         continue;
                     }
@@ -167,13 +297,10 @@ impl<'a> Engine<'a> {
                     let pre = rule.temporal.symptom.expand(inst.window).start;
                     let post = inst.window.end;
                     let joined_pre =
-                        rule.spatial
-                            .joined(self.spatial, &inst.location, &cand.location, pre);
+                        self.joined_memo(&mut joins, rule, &inst.location, &cand.location, pre);
                     let joined_post = !joined_pre
                         && post != pre
-                        && rule
-                            .spatial
-                            .joined(self.spatial, &inst.location, &cand.location, post);
+                        && self.joined_memo(&mut joins, rule, &inst.location, &cand.location, post);
                     if !joined_pre && !joined_post {
                         continue;
                     }
@@ -184,13 +311,13 @@ impl<'a> Engine<'a> {
                     let idx = evidence.len();
                     evidence.push(Evidence {
                         rule: ri,
-                        event: rule.diagnostic.clone(),
+                        event: rule.diagnostic,
                         instance: cand.clone(),
                         priority: rule.priority,
                         depth: depth + 1,
                         parent,
                     });
-                    frontier.push((rule.diagnostic.clone(), cand.clone(), Some(idx), depth + 1));
+                    frontier.push((rule.diagnostic, cand, Some(idx), depth + 1));
                 }
             }
         }
@@ -499,6 +626,44 @@ mod tests {
         let seq = engine.diagnose_all();
         let par = engine.diagnose_all_parallel(4);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn work_stealing_batches_cover_every_worker() {
+        // Regression: batch sizing must never starve a worker — for every
+        // load in 1..=64 symptoms and 1..=8 threads there are at least as
+        // many batches to claim as (effective) workers spawned.
+        for len in 1usize..=64 {
+            for threads in 1usize..=8 {
+                let workers = threads.min(len);
+                let batch = super::batch_size(len, workers);
+                assert!(batch >= 1);
+                let batches = len.div_ceil(batch);
+                assert!(
+                    batches >= workers,
+                    "len={len} threads={threads}: {batches} batches for {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_more_threads_than_symptoms() {
+        let (topo, g) = setup();
+        let sess = &topo.sessions[0];
+        let flap = EventInstance::new(
+            "flap",
+            w(1000, 1100),
+            Location::RouterNeighborIp {
+                router: sess.pe,
+                neighbor: sess.neighbor_ip,
+            },
+        );
+        let store = store_with(&topo, vec![flap]);
+        let sm = SpatialModel::new(&topo, &NullOracle);
+        let engine = Engine::new(&g, &store, &sm);
+        assert_eq!(engine.diagnose_all_parallel(8), engine.diagnose_all());
+        assert!(engine.diagnose_all_parallel(0).len() == 1);
     }
 
     #[test]

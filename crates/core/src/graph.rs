@@ -9,16 +9,16 @@
 
 use crate::join::{SpatialRule, TemporalRule};
 use grca_net_model::JoinLevel;
-use grca_types::{GrcaError, Result};
+use grca_types::{GrcaError, Result, Symbol};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One edge of the diagnosis graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiagnosisRule {
     /// The symptom-side event name (the edge's tail).
-    pub symptom: String,
+    pub symptom: Symbol,
     /// The diagnostic event name (the edge's head — a potential cause).
-    pub diagnostic: String,
+    pub diagnostic: Symbol,
     pub temporal: TemporalRule,
     pub spatial: SpatialRule,
     /// Higher = stronger support that this diagnostic is the real root
@@ -28,8 +28,8 @@ pub struct DiagnosisRule {
 
 impl DiagnosisRule {
     pub fn new(
-        symptom: impl Into<String>,
-        diagnostic: impl Into<String>,
+        symptom: impl Into<Symbol>,
+        diagnostic: impl Into<Symbol>,
         temporal: TemporalRule,
         join_level: JoinLevel,
         priority: u32,
@@ -45,17 +45,23 @@ impl DiagnosisRule {
 }
 
 /// A complete application diagnosis graph.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiagnosisGraph {
     /// Graph name (the RCA application it configures).
     pub name: String,
     /// The symptom event under analysis.
-    pub root: String,
+    pub root: Symbol,
     pub rules: Vec<DiagnosisRule>,
 }
 
+impl Default for DiagnosisGraph {
+    fn default() -> Self {
+        DiagnosisGraph::new("", "")
+    }
+}
+
 impl DiagnosisGraph {
-    pub fn new(name: impl Into<String>, root: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<String>, root: impl Into<Symbol>) -> Self {
         DiagnosisGraph {
             name: name.into(),
             root: root.into(),
@@ -69,10 +75,11 @@ impl DiagnosisGraph {
     }
 
     /// Rules whose symptom side is `event` (outgoing edges of that node).
-    pub fn rules_for<'a>(
-        &'a self,
-        event: &'a str,
-    ) -> impl Iterator<Item = (usize, &'a DiagnosisRule)> {
+    pub fn rules_for(
+        &self,
+        event: impl Into<Symbol>,
+    ) -> impl Iterator<Item = (usize, &DiagnosisRule)> {
+        let event = event.into();
         self.rules
             .iter()
             .enumerate()
@@ -96,22 +103,22 @@ impl DiagnosisGraph {
     /// with depth along any path (the paper's assignment convention:
     /// deeper causes must win).
     pub fn validate(&self) -> Result<()> {
-        if self.root.is_empty() {
+        if self.root.as_str().is_empty() {
             return Err(GrcaError::config("diagnosis graph has no root"));
         }
         // Reachability.
-        let mut reach: BTreeSet<&str> = BTreeSet::new();
-        let mut stack = vec![self.root.as_str()];
+        let mut reach: BTreeSet<Symbol> = BTreeSet::new();
+        let mut stack = vec![self.root];
         while let Some(ev) = stack.pop() {
             if !reach.insert(ev) {
                 continue;
             }
             for (_, r) in self.rules_for(ev) {
-                stack.push(&r.diagnostic);
+                stack.push(r.diagnostic);
             }
         }
         for r in &self.rules {
-            if !reach.contains(r.symptom.as_str()) {
+            if !reach.contains(&r.symptom) {
                 return Err(GrcaError::config(format!(
                     "rule {:?} <- {:?} unreachable from root {:?}",
                     r.symptom, r.diagnostic, self.root
@@ -125,13 +132,9 @@ impl DiagnosisGraph {
             Grey,
             Black,
         }
-        let mut color: BTreeMap<&str, Color> = BTreeMap::new();
-        fn dfs<'a>(
-            g: &'a DiagnosisGraph,
-            ev: &'a str,
-            color: &mut BTreeMap<&'a str, Color>,
-        ) -> Result<()> {
-            match color.get(ev).copied().unwrap_or(Color::White) {
+        let mut color: BTreeMap<Symbol, Color> = BTreeMap::new();
+        fn dfs(g: &DiagnosisGraph, ev: Symbol, color: &mut BTreeMap<Symbol, Color>) -> Result<()> {
+            match color.get(&ev).copied().unwrap_or(Color::White) {
                 Color::Grey => {
                     return Err(GrcaError::config(format!("cycle through event {ev:?}")))
                 }
@@ -140,17 +143,17 @@ impl DiagnosisGraph {
             }
             color.insert(ev, Color::Grey);
             for (_, r) in g.rules_for(ev) {
-                dfs(g, &r.diagnostic, color)?;
+                dfs(g, r.diagnostic, color)?;
             }
             color.insert(ev, Color::Black);
             Ok(())
         }
-        dfs(self, &self.root, &mut color)?;
+        dfs(self, self.root, &mut color)?;
         // Priority monotonicity: a deeper edge should not have a lower
         // priority than the edge that led to it (warning-level in the
         // paper; we enforce it, it is what makes "deepest wins" sound).
         for r in &self.rules {
-            for (_, deeper) in self.rules_for(&r.diagnostic) {
+            for (_, deeper) in self.rules_for(r.diagnostic) {
                 if deeper.priority < r.priority {
                     return Err(GrcaError::config(format!(
                         "priority inversion: {:?}<-{:?} ({}) deeper than {:?}<-{:?} ({})",

@@ -284,13 +284,13 @@ mod tests {
             let mut changed = true;
             let mut keep: Vec<bool> = vec![false; all.len()];
             let mut events = std::collections::BTreeSet::new();
-            events.insert(root.to_string());
+            events.insert(grca_types::Symbol::new(root));
             while changed {
                 changed = false;
                 for (i, r) in all.iter().enumerate() {
                     if !keep[i] && events.contains(&r.symptom) {
                         keep[i] = true;
-                        events.insert(r.diagnostic.clone());
+                        events.insert(r.diagnostic);
                         changed = true;
                     }
                 }

@@ -23,7 +23,7 @@ fn naive_direct_matches(
         if rule.symptom != symptom.name {
             continue;
         }
-        for cand in store.instances(&rule.diagnostic) {
+        for cand in store.instances(rule.diagnostic) {
             if !rule.temporal.joined(symptom.window, cand.window) {
                 continue;
             }
@@ -117,5 +117,54 @@ proptest! {
 
         let want = naive_direct_matches(&graph, &store, &sm, &symptom);
         prop_assert_eq!(got, want);
+    }
+
+    /// Work-stealing must be invisible: any worker count yields the
+    /// sequential result, in the sequential order, for arbitrary symptom
+    /// loads (including loads smaller than the worker count).
+    #[test]
+    fn parallel_equals_sequential_for_all_thread_counts(
+        seed in 0u64..50,
+        instants in proptest::collection::vec((0i64..100_000, 0i64..200), 1..80),
+    ) {
+        let topo = generate(&TopoGenConfig { seed, ..TopoGenConfig::small() });
+        let sm = SpatialModel::new(&topo, &NullOracle);
+        let mut graph = DiagnosisGraph::new("par", "sym");
+        graph.add_rule(DiagnosisRule::new(
+            "sym",
+            "diag-a",
+            TemporalRule::hold_timer(180),
+            JoinLevel::Router,
+            100,
+        ));
+        graph.add_rule(DiagnosisRule::new(
+            "diag-a",
+            "diag-b",
+            TemporalRule::symmetric(30),
+            JoinLevel::Router,
+            150,
+        ));
+        let n_sess = topo.sessions.len();
+        let mut instances = Vec::new();
+        for (k, &(t, dur)) in instants.iter().enumerate() {
+            let sess = &topo.sessions[k % n_sess];
+            let w = TimeWindow::new(Timestamp(t), Timestamp(t + dur));
+            instances.push(match k % 3 {
+                0 => EventInstance::new(
+                    "sym",
+                    w,
+                    Location::RouterNeighborIp { router: sess.pe, neighbor: sess.neighbor_ip },
+                ),
+                1 => EventInstance::new("diag-a", w, Location::Router(sess.pe)),
+                _ => EventInstance::new("diag-b", w, Location::Router(sess.pe)),
+            });
+        }
+        let mut store = EventStore::new();
+        store.add(instances);
+        let engine = Engine::new(&graph, &store, &sm);
+        let seq = engine.diagnose_all();
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(engine.diagnose_all_parallel(threads), seq.clone());
+        }
     }
 }

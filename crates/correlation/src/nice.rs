@@ -192,15 +192,15 @@ mod tests {
         let n = 2000;
         let mut a = vec![0u8; n];
         let mut b = vec![0u8; n];
-        let mut i = rng.random_range(0..50);
+        let mut i = rng.random_range(0usize..50);
         while i < n {
             a[i..(i + 8).min(n)].fill(1); // 8-bin bursts
-            i += 40 + rng.random_range(0..20);
+            i += 40 + rng.random_range(0usize..20);
         }
-        let mut i = rng.random_range(0..50);
+        let mut i = rng.random_range(0usize..50);
         while i < n {
             b[i..(i + 8).min(n)].fill(1);
-            i += 40 + rng.random_range(0..20);
+            i += 40 + rng.random_range(0usize..20);
         }
         let t = CorrelationTester::default();
         let res = t

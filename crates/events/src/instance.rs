@@ -5,35 +5,46 @@
 //! groups instances by event name, sorted by start time, and answers
 //! "instances of event E whose window could overlap W" with a binary
 //! search — the inner loop of temporal joining.
+//!
+//! Hot-path design: names are interned [`Symbol`]s (4-byte `Copy` ids), so
+//! lookups hash an integer instead of a string, and cloning an instance
+//! copies no text — the optional info payload is a shared `Arc<str>`.
 
 use grca_net_model::Location;
-use grca_types::{Duration, TimeWindow, Timestamp};
-use std::collections::BTreeMap;
+use grca_types::{Duration, Symbol, TimeWindow, Timestamp};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// One occurrence of an event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventInstance {
     /// The event definition's name.
-    pub name: String,
+    pub name: Symbol,
     pub window: TimeWindow,
     pub location: Location,
-    /// Free-form additional info (for the Result Browser).
-    pub info: String,
+    /// Free-form additional info (for the Result Browser). Reference
+    /// counted so cloning an instance never copies the text.
+    pub info: Option<Arc<str>>,
 }
 
 impl EventInstance {
-    pub fn new(name: impl Into<String>, window: TimeWindow, location: Location) -> Self {
+    pub fn new(name: impl Into<Symbol>, window: TimeWindow, location: Location) -> Self {
         EventInstance {
             name: name.into(),
             window,
             location,
-            info: String::new(),
+            info: None,
         }
     }
 
     pub fn with_info(mut self, info: impl Into<String>) -> Self {
-        self.info = info.into();
+        self.info = Some(Arc::from(info.into()));
         self
+    }
+
+    /// The additional-info text (empty when none was attached).
+    pub fn info(&self) -> &str {
+        self.info.as_deref().unwrap_or("")
     }
 
     pub fn start(&self) -> Timestamp {
@@ -44,7 +55,7 @@ impl EventInstance {
 /// Per-event-name index of instances.
 #[derive(Debug, Default, Clone)]
 pub struct EventStore {
-    by_name: BTreeMap<String, NameIndex>,
+    by_name: HashMap<Symbol, NameIndex>,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -60,31 +71,41 @@ impl EventStore {
         EventStore::default()
     }
 
-    /// Add instances (any order); the store keeps them sorted.
+    /// Add instances (any order); the store keeps them sorted. Each index
+    /// touched by the batch is re-sorted exactly once, so ingesting N
+    /// instances costs O(N + Σ k log k) rather than the O(N·Σ k log k) of
+    /// sorting every index after every push.
     pub fn add(&mut self, instances: Vec<EventInstance>) {
+        let mut touched: HashSet<Symbol> = HashSet::new();
         for inst in instances {
-            let idx = self.by_name.entry(inst.name.clone()).or_default();
+            let idx = self.by_name.entry(inst.name).or_default();
             if inst.window.duration() > idx.max_dur {
                 idx.max_dur = inst.window.duration();
             }
+            touched.insert(inst.name);
             idx.instances.push(inst);
         }
-        for idx in self.by_name.values_mut() {
-            idx.instances.sort_by_key(|i| i.window.start);
+        for name in touched {
+            let idx = self.by_name.get_mut(&name).expect("touched index exists");
+            if !idx.instances.is_sorted_by_key(|i| i.window.start) {
+                idx.instances.sort_by_key(|i| i.window.start);
+            }
         }
     }
 
     /// All instances of one event, in start order.
-    pub fn instances(&self, name: &str) -> &[EventInstance] {
+    pub fn instances(&self, name: impl Into<Symbol>) -> &[EventInstance] {
         self.by_name
-            .get(name)
+            .get(&name.into())
             .map(|i| i.instances.as_slice())
             .unwrap_or(&[])
     }
 
-    /// Event names present.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.by_name.keys().map(String::as_str)
+    /// Event names present, in name order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> {
+        let mut names: Vec<Symbol> = self.by_name.keys().copied().collect();
+        names.sort();
+        names.into_iter().map(Symbol::as_str)
     }
 
     /// Total instance count.
@@ -95,8 +116,13 @@ impl EventStore {
     /// Instances of `name` whose raw window, after expansion by at most
     /// `slack` on either side, could overlap `w`. The caller still applies
     /// its precise temporal rule; this is the index-driven candidate cut.
-    pub fn candidates(&self, name: &str, w: TimeWindow, slack: Duration) -> &[EventInstance] {
-        let Some(idx) = self.by_name.get(name) else {
+    pub fn candidates(
+        &self,
+        name: impl Into<Symbol>,
+        w: TimeWindow,
+        slack: Duration,
+    ) -> &[EventInstance] {
+        let Some(idx) = self.by_name.get(&name.into()) else {
             return &[];
         };
         let lo_start = w.start - slack - idx.max_dur;
@@ -134,6 +160,33 @@ mod tests {
     }
 
     #[test]
+    fn incremental_adds_keep_indexes_sorted() {
+        // The batched sort must hold across multiple add() calls, including
+        // batches that only touch some of the names.
+        let mut st = EventStore::new();
+        st.add(vec![inst("a", 500, 510), inst("b", 30, 40)]);
+        st.add(vec![inst("a", 100, 110), inst("a", 900, 910)]);
+        st.add(vec![inst("b", 10, 15)]);
+        let starts: Vec<i64> = st.instances("a").iter().map(|i| i.start().0).collect();
+        assert_eq!(starts, vec![100, 500, 900]);
+        let starts: Vec<i64> = st.instances("b").iter().map(|i| i.start().0).collect();
+        assert_eq!(starts, vec![10, 30]);
+        assert_eq!(st.total(), 5);
+    }
+
+    #[test]
+    fn info_is_shared_not_copied() {
+        let i = inst("a", 0, 10).with_info("circuit-7");
+        assert_eq!(i.info(), "circuit-7");
+        let j = i.clone();
+        assert!(Arc::ptr_eq(
+            i.info.as_ref().unwrap(),
+            j.info.as_ref().unwrap()
+        ));
+        assert_eq!(inst("a", 0, 10).info(), "");
+    }
+
+    #[test]
     fn candidates_cut_respects_slack_and_duration() {
         let mut st = EventStore::new();
         st.add(vec![
@@ -154,6 +207,29 @@ mod tests {
         let c2 = st.candidates("a", w2, Duration::secs(50));
         assert_eq!(c2.len(), 1);
         assert_eq!(c2[0].start(), Timestamp(0));
+    }
+
+    #[test]
+    fn candidates_window_boundaries_are_exact() {
+        // Candidates at the exact edges of the cut: start == w.start -
+        // slack - max_dur is included; one second earlier is excluded.
+        // start == w.end + slack is included; one second later is excluded.
+        let mut st = EventStore::new();
+        let max_dur = 100;
+        st.add(vec![
+            inst("a", 0, max_dur), // establishes max_dur = 100
+            inst("a", 1000 - 50 - max_dur - 1, 1000 - 50 - max_dur - 1), // just below the low cut
+            inst("a", 1000 - 50 - max_dur, 1000 - 50 - max_dur), // exactly on the low cut
+            inst("a", 2000 + 50, 2000 + 50), // exactly on the high cut
+            inst("a", 2000 + 51, 2000 + 51), // just past the high cut
+        ]);
+        let w = TimeWindow::new(Timestamp(1000), Timestamp(2000));
+        let c = st.candidates("a", w, Duration::secs(50));
+        let starts: Vec<i64> = c.iter().map(|i| i.start().0).collect();
+        assert!(starts.contains(&(1000 - 50 - max_dur)), "{starts:?}");
+        assert!(!starts.contains(&(1000 - 50 - max_dur - 1)), "{starts:?}");
+        assert!(starts.contains(&(2000 + 50)), "{starts:?}");
+        assert!(!starts.contains(&(2000 + 51)), "{starts:?}");
     }
 
     #[test]

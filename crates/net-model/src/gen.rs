@@ -373,7 +373,7 @@ pub fn generate(cfg: &TopoGenConfig) -> Topology {
     while made < total_sessions && !open.is_empty() {
         cust_seq += 1;
         let cust = t.add_customer(format!("cust-{cust_seq:05}"));
-        let sites = 1 + rng.random_range(0..6).min(open.len() - 1);
+        let sites = 1 + rng.random_range(0usize..6).min(open.len() - 1);
         // Pick `sites` distinct PEs that still have session budget.
         let mut picked = Vec::new();
         for _ in 0..sites {

@@ -262,6 +262,17 @@ pub trait RouteOracle: Sync {
 
     /// Logical links on any OSPF shortest path between `a` and `b`.
     fn path_links(&self, a: RouterId, b: RouterId, at: Timestamp) -> Vec<LinkId>;
+
+    /// A fingerprint of the routing state at `at`: two instants with the
+    /// same epoch must receive identical answers from every other query.
+    /// Callers use this to memoize path-dependent joins per routing epoch
+    /// instead of per instant. The default (one constant epoch) is only
+    /// correct for time-invariant oracles; reconstructing oracles must
+    /// override it.
+    fn epoch(&self, at: Timestamp) -> u64 {
+        let _ = at;
+        0
+    }
 }
 
 /// An oracle with no routing knowledge — path-dependent conversions return
@@ -327,6 +338,11 @@ impl<'a> SpatialModel<'a> {
 
     pub fn topology(&self) -> &Topology {
         self.topo
+    }
+
+    /// The routing-state epoch at `at` (see [`RouteOracle::epoch`]).
+    pub fn epoch(&self, at: Timestamp) -> u64 {
+        self.oracle.epoch(at)
     }
 
     /// Whether two locations are spatially joined at `level` at time `at`.

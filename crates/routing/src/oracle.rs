@@ -4,31 +4,81 @@
 //! Path and egress queries are heavily repeated by the RCA engine (every
 //! spatial join of a path-located event re-asks for the path at the
 //! symptom's instant). Results depend only on the (OSPF epoch, BGP epoch)
-//! pair, so a small interior-mutability cache keyed on epochs makes
-//! repeated diagnosis cheap without compromising the "as of time T"
-//! semantics. The paper observes that CDN diagnosis time is dominated by
-//! interdomain and intradomain route computation (§III-B) — this cache is
-//! what keeps the amortized cost tolerable.
+//! pair, so an interior-mutability cache keyed on epochs makes repeated
+//! diagnosis cheap without compromising the "as of time T" semantics. The
+//! paper observes that CDN diagnosis time is dominated by interdomain and
+//! intradomain route computation (§III-B) — this cache is what keeps the
+//! amortized cost tolerable.
+//!
+//! The caches are *sharded*: parallel diagnosis hammers them from every
+//! worker, and a single `Mutex<HashMap>` serializes the whole engine on
+//! what is overwhelmingly a read workload. Each cache is split into
+//! [`SHARDS`] independent `RwLock<HashMap>`s selected by key hash, so
+//! readers of different (and usually even the same) keys proceed in
+//! parallel and writers only contend within one shard.
 
 use crate::bgp::BgpState;
 use crate::ospf::OspfState;
 use grca_net_model::{Ipv4, LinkId, Prefix, RouteOracle, RouterId, Topology};
 use grca_types::Timestamp;
+use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::hash::{BuildHasher, Hash, RandomState};
 
-/// Cache key/value for ECMP path queries: (src, dst, OSPF epoch).
-type PathCache = HashMap<(RouterId, RouterId, usize), (Vec<RouterId>, Vec<LinkId>)>;
-/// Cache for egress queries: (ingress, prefix, OSPF epoch, BGP epoch).
-type EgressCache = HashMap<(RouterId, Prefix, usize, usize), Option<RouterId>>;
+/// Shard count for the route caches. More than any plausible worker count;
+/// a power of two so the hash → shard mapping is a mask.
+const SHARDS: usize = 16;
+
+/// A hash map split into independently locked shards.
+struct ShardedCache<K, V> {
+    shards: [RwLock<HashMap<K, V>>; SHARDS],
+    hasher: RandomState,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    fn new() -> Self {
+        ShardedCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        &self.shards[self.hasher.hash_one(key) as usize & (SHARDS - 1)]
+    }
+
+    /// Fetch `key`, computing and caching it on a miss. The value is
+    /// computed outside any lock: a racing thread may compute the same
+    /// value twice, but readers are never blocked behind a path
+    /// computation.
+    fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        if let Some(hit) = shard.read().get(&key) {
+            return hit.clone();
+        }
+        let val = compute();
+        shard.write().entry(key).or_insert_with(|| val.clone());
+        val
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// Cache key for ECMP path queries: (src, dst, OSPF epoch).
+type PathKey = (RouterId, RouterId, usize);
+/// Cache key for egress queries: (ingress, prefix, OSPF epoch, BGP epoch).
+type EgressKey = (RouterId, Prefix, usize, usize);
 
 /// Reconstructed routing state over a fixed topology.
 pub struct RoutingState<'a> {
     topo: &'a Topology,
     pub ospf: OspfState,
     pub bgp: BgpState,
-    path_cache: Mutex<PathCache>,
-    egress_cache: Mutex<EgressCache>,
+    path_cache: ShardedCache<PathKey, (Vec<RouterId>, Vec<LinkId>)>,
+    egress_cache: ShardedCache<EgressKey, Option<RouterId>>,
 }
 
 impl<'a> RoutingState<'a> {
@@ -37,8 +87,8 @@ impl<'a> RoutingState<'a> {
             topo,
             ospf,
             bgp,
-            path_cache: Mutex::new(HashMap::new()),
-            egress_cache: Mutex::new(HashMap::new()),
+            path_cache: ShardedCache::new(),
+            egress_cache: ShardedCache::new(),
         }
     }
 
@@ -61,24 +111,16 @@ impl<'a> RoutingState<'a> {
 
     fn ecmp_cached(&self, a: RouterId, b: RouterId, at: Timestamp) -> (Vec<RouterId>, Vec<LinkId>) {
         let key = (a, b, self.ospf.epoch(at));
-        if let Some(hit) = self.path_cache.lock().unwrap().get(&key) {
-            return hit.clone();
-        }
-        let val = self.ospf.ecmp_union(a, b, at);
-        self.path_cache.lock().unwrap().insert(key, val.clone());
-        val
+        self.path_cache
+            .get_or_insert_with(key, || self.ospf.ecmp_union(a, b, at))
     }
 }
 
 impl RouteOracle for RoutingState<'_> {
     fn egress_for(&self, ingress: RouterId, dst: Prefix, at: Timestamp) -> Option<RouterId> {
         let key = (ingress, dst, self.ospf.epoch(at), self.bgp.epoch(at));
-        if let Some(&hit) = self.egress_cache.lock().unwrap().get(&key) {
-            return hit;
-        }
-        let val = self.bgp.best_egress(&self.ospf, ingress, dst, at);
-        self.egress_cache.lock().unwrap().insert(key, val);
-        val
+        self.egress_cache
+            .get_or_insert_with(key, || self.bgp.best_egress(&self.ospf, ingress, dst, at))
     }
 
     fn ingress_for(&self, src: Ipv4, _at: Timestamp) -> Option<RouterId> {
@@ -95,6 +137,12 @@ impl RouteOracle for RoutingState<'_> {
 
     fn path_links(&self, a: RouterId, b: RouterId, at: Timestamp) -> Vec<LinkId> {
         self.ecmp_cached(a, b, at).1
+    }
+
+    /// Routing epochs fully determine every answer above, so the packed
+    /// (OSPF, BGP) epoch pair is a valid memoization fingerprint.
+    fn epoch(&self, at: Timestamp) -> u64 {
+        ((self.ospf.epoch(at) as u64) << 32) | (self.bgp.epoch(at) as u64 & 0xffff_ffff)
     }
 }
 
@@ -170,6 +218,58 @@ mod tests {
         // The router-level path is non-empty and contains the attach router.
         let path = sm.expand(&loc, ts(0), JoinLevel::RouterPath);
         assert!(path.contains(&Location::Router(topo.cdn_node(node).attach_router)));
+    }
+
+    #[test]
+    fn sharded_cache_agrees_under_concurrency() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for k in 0u32..200 {
+                        assert_eq!(cache.get_or_insert_with(k, || k * 7), k * 7);
+                    }
+                });
+            }
+        });
+        // Every key cached exactly once despite racing writers.
+        assert_eq!(cache.len(), 200);
+        assert_eq!(cache.get_or_insert_with(3, || unreachable!()), 21);
+    }
+
+    #[test]
+    fn path_cache_populates_once_per_epoch() {
+        let topo = generate(&TopoGenConfig::small());
+        let rs = RoutingState::baseline(&topo);
+        let a = topo.router_by_name("nyc-per1").unwrap();
+        let b = topo.router_by_name("lax-per1").unwrap();
+        let first = rs.path_routers(a, b, ts(0));
+        let entries = rs.path_cache.len();
+        assert_eq!(entries, 1);
+        // Same epoch, different instant: cache hit, no new entry.
+        assert_eq!(rs.path_routers(a, b, ts(9999)), first);
+        assert_eq!(rs.path_cache.len(), entries);
+    }
+
+    #[test]
+    fn epoch_fingerprint_tracks_routing_changes() {
+        let topo = generate(&TopoGenConfig::small());
+        let a = topo.router_by_name("nyc-per1").unwrap();
+        let b = topo.router_by_name("lax-per1").unwrap();
+        let base = RoutingState::baseline(&topo);
+        assert_eq!(base.epoch(ts(0)), base.epoch(ts(100_000)));
+        let victim = base.path_links(a, b, ts(0))[0];
+        let ospf = OspfState::new(
+            &topo,
+            vec![WeightEvent {
+                time: ts(100),
+                link: victim,
+                weight: None,
+            }],
+        );
+        let rs = RoutingState::new(&topo, ospf, BgpState::new(vec![], vec![]));
+        assert_eq!(rs.epoch(ts(50)), rs.epoch(ts(99)));
+        assert_ne!(rs.epoch(ts(50)), rs.epoch(ts(150)));
     }
 
     #[test]

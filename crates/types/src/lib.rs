@@ -10,13 +10,17 @@
 //!   types defined here.
 //! * [`error`] — the crate-spanning error type.
 //! * [`seq`] — small typed index newtypes used by arena-style stores.
+//! * [`sym`] — interned event-name symbols; the engine's hot loops
+//!   compare and hash event names as 4-byte `Copy` ids.
 //!
 //! The crate is dependency-light by design: everything above it (network
 //! model, routing, collector, RCA core) agrees on these definitions.
 
 pub mod error;
 pub mod seq;
+pub mod sym;
 pub mod time;
 
 pub use error::{GrcaError, Result};
+pub use sym::{Symbol, SymbolTable};
 pub use time::{Duration, TimeWindow, TimeZone, Timestamp};

@@ -1,0 +1,232 @@
+//! Interned event-name symbols.
+//!
+//! Event names flow through every layer of the platform — instances,
+//! diagnosis rules, evidence — and the engine's inner loop compares and
+//! hashes them millions of times per run. [`Symbol`] replaces those
+//! `String` comparisons with a `Copy` 4-byte id: each distinct name is
+//! stored once in a process-global [`SymbolTable`] and every later
+//! interning of the same text returns the same id. Equality and hashing
+//! are integer operations; ordering and display resolve back to the text.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: 4 bytes, `Copy`, O(1) equality and hashing.
+///
+/// ```
+/// use grca_types::Symbol;
+/// let a = Symbol::from("bgp-flap");
+/// let b: Symbol = String::from("bgp-flap").into();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "bgp-flap");
+/// assert_eq!(a, "bgp-flap");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+/// The process-global intern table behind [`Symbol`].
+///
+/// Interned text is leaked (names are a small, bounded vocabulary — the
+/// event definitions of the diagnosis graphs in use), so resolution hands
+/// out `&'static str` without holding any lock beyond the lookup.
+#[derive(Default)]
+pub struct SymbolTable {
+    ids: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+impl SymbolTable {
+    fn global() -> &'static RwLock<SymbolTable> {
+        static TABLE: OnceLock<RwLock<SymbolTable>> = OnceLock::new();
+        TABLE.get_or_init(|| RwLock::new(SymbolTable::default()))
+    }
+
+    fn intern(text: &str) -> Symbol {
+        let table = Self::global();
+        // Fast path: already interned; shared lock only.
+        if let Some(&id) = table.read().expect("symbol table").ids.get(text) {
+            return Symbol(id);
+        }
+        let mut t = table.write().expect("symbol table");
+        if let Some(&id) = t.ids.get(text) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let id = u32::try_from(t.names.len()).expect("symbol table overflow");
+        t.names.push(leaked);
+        t.ids.insert(leaked, id);
+        Symbol(id)
+    }
+
+    fn resolve(sym: Symbol) -> &'static str {
+        Self::global().read().expect("symbol table").names[sym.0 as usize]
+    }
+
+    /// Number of distinct symbols interned so far (diagnostics).
+    pub fn len() -> usize {
+        Self::global().read().expect("symbol table").names.len()
+    }
+}
+
+impl Symbol {
+    /// Intern `text` (or fetch its existing id).
+    pub fn new(text: &str) -> Symbol {
+        SymbolTable::intern(text)
+    }
+
+    /// The interned text. O(1); the returned reference is `'static`.
+    pub fn as_str(self) -> &'static str {
+        SymbolTable::resolve(self)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<&Symbol> for Symbol {
+    fn from(s: &Symbol) -> Symbol {
+        *s
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> String {
+        s.as_str().to_owned()
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+/// Ordering is by text, not by id: interning order depends on execution
+/// order, and callers sorting names (labels, reports) need a stable,
+/// human-meaningful order.
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("sym-test-alpha");
+        let b = Symbol::from("sym-test-alpha");
+        let c: Symbol = String::from("sym-test-alpha").into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.as_str(), "sym-test-alpha");
+    }
+
+    #[test]
+    fn distinct_text_distinct_symbols() {
+        let a = Symbol::new("sym-test-x");
+        let b = Symbol::new("sym-test-y");
+        assert_ne!(a, b);
+        let set: HashSet<Symbol> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ordering_follows_text() {
+        let b = Symbol::new("sym-test-order-b");
+        let a = Symbol::new("sym-test-order-a"); // interned after `b`
+        assert!(a < b, "text order must beat interning order");
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+
+    #[test]
+    fn comparisons_with_strings() {
+        let s = Symbol::new("sym-test-cmp");
+        assert_eq!(s, "sym-test-cmp");
+        assert_eq!("sym-test-cmp", s);
+        assert_eq!(s, String::from("sym-test-cmp"));
+        assert!(s != "sym-test-other");
+        assert_eq!(format!("{s}"), "sym-test-cmp");
+        assert_eq!(format!("{s:?}"), "\"sym-test-cmp\"");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<Symbol> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| scope.spawn(|| Symbol::new("sym-test-concurrent")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

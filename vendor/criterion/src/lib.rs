@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `criterion_group!` / `criterion_main!`
+//! surface with a simple wall-clock measurement loop: warm-up, then a
+//! fixed measurement window, reporting mean ns/iter and throughput.
+//! `--test` (as passed by `cargo bench -- --test`) runs every benchmark
+//! exactly once for a smoke check, like real criterion.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Normal measurement run.
+    Measure,
+    /// `--test`: run each benchmark once, report nothing.
+    Smoke,
+}
+
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--test" => mode = Mode::Smoke,
+                // flags criterion accepts that take a value; skip it
+                "--warm-up-time" | "--measurement-time" | "--sample-size" | "--save-baseline"
+                | "--baseline" | "--output-format" | "--color" => i += 1,
+                // boolean flags cargo/criterion may pass; ignore
+                s if s.starts_with("--") => {}
+                // first free argument is the name filter
+                s if filter.is_none() => filter = Some(s.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+        Criterion {
+            mode,
+            filter,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(flt) = &self.filter {
+            if !id.contains(flt.as_str()) {
+                return;
+            }
+        }
+        match self.mode {
+            Mode::Smoke => {
+                let mut b = Bencher {
+                    mode: BencherMode::Once,
+                    iters: 0,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                println!("test {id} ... ok");
+            }
+            Mode::Measure => {
+                // Warm-up: discover a per-batch iteration count.
+                let mut b = Bencher {
+                    mode: BencherMode::Timed(self.warm_up),
+                    iters: 0,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                let mut b = Bencher {
+                    mode: BencherMode::Timed(self.measurement),
+                    iters: 0,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                let iters = b.iters.max(1);
+                let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+                let human = if ns >= 1_000_000.0 {
+                    format!("{:.3} ms", ns / 1_000_000.0)
+                } else if ns >= 1_000.0 {
+                    format!("{:.3} us", ns / 1_000.0)
+                } else {
+                    format!("{ns:.1} ns")
+                };
+                match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        let per_sec = n as f64 * 1e9 / ns;
+                        println!("{id:<50} {human}/iter  ({per_sec:.0} elem/s)");
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        let per_sec = n as f64 * 1e9 / ns;
+                        println!(
+                            "{id:<50} {human}/iter  ({:.1} MiB/s)",
+                            per_sec / (1 << 20) as f64
+                        );
+                    }
+                    None => println!("{id:<50} {human}/iter"),
+                }
+            }
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let t = self.throughput;
+        self.criterion.run_one(&full, t, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+enum BencherMode {
+    /// Run the routine exactly once (smoke mode).
+    Once,
+    /// Keep running batches until the window elapses.
+    Timed(Duration),
+}
+
+pub struct Bencher {
+    mode: BencherMode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BencherMode::Once => {
+                std::hint::black_box(routine());
+                self.iters = 1;
+            }
+            BencherMode::Timed(window) => {
+                let deadline = Instant::now() + window;
+                let mut batch: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    let took = start.elapsed();
+                    self.iters += batch;
+                    self.elapsed += took;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    // Grow batches so timer overhead stays negligible.
+                    if took < Duration::from_millis(1) && batch < (1 << 20) {
+                        batch *= 2;
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            BencherMode::Once => {
+                let input = setup();
+                std::hint::black_box(routine(input));
+                self.iters = 1;
+            }
+            BencherMode::Timed(window) => {
+                let deadline = Instant::now() + window;
+                loop {
+                    let input = setup();
+                    let start = Instant::now();
+                    std::hint::black_box(routine(input));
+                    self.elapsed += start.elapsed();
+                    self.iters += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            BencherMode::Once => {
+                let mut input = setup();
+                std::hint::black_box(routine(&mut input));
+                self.iters = 1;
+            }
+            BencherMode::Timed(window) => {
+                let deadline = Instant::now() + window;
+                loop {
+                    let mut input = setup();
+                    let start = Instant::now();
+                    std::hint::black_box(routine(&mut input));
+                    self.elapsed += start.elapsed();
+                    self.iters += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            mode: BencherMode::Timed(Duration::from_millis(20)),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert!(b.iters > 0);
+        assert_eq!(n, b.iters);
+    }
+}

@@ -1,0 +1,541 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the slice of the serde API surface the workspace actually
+//! uses, implemented over a simple owned tree ([`Content`]) instead of
+//! serde's streaming data model. `serde_derive` (vendored next door)
+//! generates `to_content`/`from_content` pairs; `serde_json` renders and
+//! parses the tree. The public trait shapes (`Serialize`,
+//! `Deserialize<'de>`, `Serializer`, `Deserializer<'de>`) match real
+//! serde closely enough that hand-written `#[serde(with = "...")]`
+//! modules compile unchanged.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned serialization tree: the entire data model of this stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error type used by tree decoding (`Deserialize::from_content`).
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Mirror of `serde::ser::Error` / `serde::de::Error`.
+pub trait Error: Sized {
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// Uninhabited error for serializers that cannot fail.
+#[derive(Debug)]
+pub enum Never {}
+
+impl fmt::Display for Never {
+    fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {}
+    }
+}
+
+impl Error for Never {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        panic!("infallible serializer reported: {msg}")
+    }
+}
+
+/// A sink that consumes one [`Content`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Serializer yielding the tree itself — used by derive-generated code to
+/// funnel `#[serde(with = "...")]` modules into the tree model.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Never;
+    fn serialize_content(self, content: Content) -> Result<Content, Never> {
+        Ok(content)
+    }
+}
+
+/// A source that produces one [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Deserializer over an owned tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = DeError;
+    fn deserialize_content(self) -> Result<Content, DeError> {
+        Ok(self.0)
+    }
+}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.to_content())
+    }
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        Self::from_content(&content).map_err(<D::Error as Error>::custom)
+    }
+}
+
+/// `serde::de::DeserializeOwned` equivalent.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod ser {
+    pub use crate::{Error, Serialize, Serializer};
+}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned, Deserializer, Error};
+}
+
+// ---- helpers used by derive-generated code -------------------------------
+
+/// Look up a struct field in a map tree, tolerating its absence only for
+/// types that accept `Null` (e.g. `Option`).
+pub fn field<T: for<'de> Deserialize<'de>>(
+    map: &[(Content, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match field_content(map, name) {
+        Some(c) => T::from_content(c).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => T::from_content(&Content::Null).map_err(|_| DeError::missing(name)),
+    }
+}
+
+/// Decode a value from a content tree with the lifetime fully erased;
+/// used by derive-generated code where `T` is inferred from context.
+pub fn decode<T: for<'de> Deserialize<'de>>(c: &Content) -> Result<T, DeError> {
+    T::from_content(c)
+}
+
+pub fn field_content<'a>(map: &'a [(Content, Content)], name: &str) -> Option<&'a Content> {
+    map.iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+        .map(|(_, v)| v)
+}
+
+fn unexpected<T>(expected: &str, got: &Content) -> Result<T, DeError> {
+    Err(DeError(format!("expected {expected}, got {}", got.kind())))
+}
+
+// ---- primitive impls -----------------------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    ref other => return unexpected("integer", other),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v.fract() == 0.0 && v >= 0.0 => v as u64,
+                    ref other => return unexpected("integer", other),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    ref other => unexpected("float", other),
+                }
+            }
+        }
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => unexpected("bool", other),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => unexpected("single-character string", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => unexpected("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            other => unexpected("null", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => unexpected("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_content(c)?;
+        items
+            .try_into()
+            .map_err(|_| DeError::msg(format!("expected array of length {N}")))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::msg("expected tuple sequence"))?;
+                let mut it = s.iter();
+                let out = ($(
+                    $t::from_content(it.next().ok_or_else(|| DeError::msg("tuple too short"))?)?,
+                )+);
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => unexpected("map", other),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => unexpected("map", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => unexpected("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        assert_eq!(i32::from_content(&42i32.to_content()).unwrap(), 42);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        let v = vec![(1u32, true), (2, false)];
+        assert_eq!(
+            Vec::<(u32, bool)>::from_content(&v.to_content()).unwrap(),
+            v
+        );
+        let m: BTreeMap<String, i64> = [("a".to_string(), 1i64)].into_iter().collect();
+        assert_eq!(
+            BTreeMap::<String, i64>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn option_null_tolerance() {
+        assert_eq!(Option::<u8>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u8>::from_content(&Content::U64(3)).unwrap(),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,481 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the vendored `serde`'s tree-model traits
+//! (`to_content` / `from_content`) for plain structs and enums. The parser
+//! walks the raw token stream (no `syn`/`quote` available offline) and
+//! supports the shapes this workspace uses: named/tuple/unit structs,
+//! enums with unit/tuple/struct variants, and the field attributes
+//! `#[serde(skip)]`, `#[serde(default)]` and `#[serde(with = "path")]`.
+//! Generic type parameters are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<NamedField>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<NamedField>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive stub: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skip any `#[...]` / `#![...]` attributes, returning parsed serde
+    /// field attributes found among them.
+    fn take_attrs(&mut self) -> FieldAttrs {
+        let mut out = FieldAttrs::default();
+        while self.at_punct('#') {
+            self.next();
+            if self.at_punct('!') {
+                self.next();
+            }
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_serde_attr(g.stream(), &mut out);
+                }
+                other => panic!("serde_derive stub: malformed attribute: {other:?}"),
+            }
+        }
+        out
+    }
+
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip a type (after `:`), stopping at a top-level `,` or the end.
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_attr(stream: TokenStream, out: &mut FieldAttrs) {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return, // not a serde attribute (doc comment etc.)
+    }
+    let Some(TokenTree::Group(g)) = it.next() else {
+        return;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(id) = &inner[i] {
+            match id.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => out.skip = true,
+                "default" => out.default = true,
+                "with" => {
+                    // with = "path"
+                    if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                        let s = lit.to_string();
+                        out.with = Some(s.trim_matches('"').to_string());
+                        i += 2;
+                    }
+                }
+                other => panic!("serde_derive stub: unsupported serde attribute `{other}`"),
+            }
+        }
+        i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = c.take_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident("field name");
+        assert!(
+            c.at_punct(':'),
+            "serde_derive stub: expected `:` after field"
+        );
+        c.next();
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+        fields.push(NamedField { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut n = 0;
+    while c.peek().is_some() {
+        let _ = c.take_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_type();
+        n += 1;
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _ = c.take_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.next();
+                VariantKind::Struct(f)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.at_punct('=') {
+            // explicit discriminant: skip the expression
+            c.next();
+            c.skip_type();
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut c = Cursor::new(input);
+    let _ = c.take_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if c.at_punct('<') {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => (
+                name.clone(),
+                Shape::TupleStruct(count_tuple_fields(g.stream())),
+            ),
+            _ => (name, Shape::UnitStruct),
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde_derive stub: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let value = match &f.attrs.with {
+                    Some(path) => format!(
+                        "match {path}::serialize(&self.{fname}, ::serde::ContentSerializer) \
+                         {{ Ok(__c) => __c, Err(__e) => match __e {{}} }}",
+                        fname = f.name
+                    ),
+                    None => format!("::serde::Serialize::to_content(&self.{})", f.name),
+                };
+                s.push_str(&format!(
+                    "__m.push((::serde::Content::Str(\"{n}\".to_string()), {value}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Content::Map(__m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\
+                         ::serde::Content::Str(\"{vn}\".to_string()), \
+                         ::serde::Serialize::to_content(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(\"{vn}\".to_string()), \
+                             ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str(\"{n}\".to_string()), \
+                                     ::serde::Serialize::to_content({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(\"{vn}\".to_string()), \
+                             ::serde::Content::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let n = &f.name;
+                let init = if f.attrs.skip {
+                    "::std::default::Default::default()".to_string()
+                } else if let Some(path) = &f.attrs.with {
+                    format!(
+                        "match ::serde::field_content(__m, \"{n}\") {{\n\
+                         Some(__v) => {path}::deserialize(::serde::ContentDeserializer(__v.clone()))?,\n\
+                         None => return Err(::serde::DeError::missing(\"{n}\")),\n}}"
+                    )
+                } else if f.attrs.default {
+                    format!(
+                        "match ::serde::field_content(__m, \"{n}\") {{\n\
+                         Some(__v) => ::serde::decode(__v).map_err(|e| \
+                         ::serde::DeError::msg(format!(\"field `{n}`: {{e}}\")))?,\n\
+                         None => ::std::default::Default::default(),\n}}"
+                    )
+                } else {
+                    format!("::serde::field(__m, \"{n}\")?")
+                };
+                inits.push_str(&format!("{n}: {init},\n"));
+            }
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!("Ok({name}(::serde::decode(__c)?))"),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::decode(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected sequence for {name}\"))?;\n\
+                 if __s.len() != {n} {{ return Err(::serde::DeError::msg(\
+                 \"wrong tuple length for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = __c; Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::decode(__v)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::decode(&__s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __s = __v.as_seq().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected sequence\"))?;\n\
+                             if __s.len() != {n} {{ return Err(::serde::DeError::msg(\
+                             \"wrong tuple length\")); }}\n\
+                             Ok({name}::{vn}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{n}: ::serde::field(__m, \"{n}\")?", n = f.name))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __m = __v.as_map().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected map\"))?;\n\
+                             Ok({name}::{vn} {{ {} }})\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::DeError::msg(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 let __k = __k.as_str().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected string variant key\"))?;\n\
+                 match __k {{\n{data_arms}\
+                 __other => Err(::serde::DeError::msg(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+                 __other => Err(::serde::DeError::msg(\
+                 format!(\"expected {name} variant, got {{:?}}\", __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
