@@ -129,6 +129,24 @@ pub fn run(topo: &Topology, db: &Database) -> Result<AppOutput> {
     )
 }
 
+/// [`run`], through both the sequential and the parallel engine paths
+/// (the evaluation harness's verdict-identity check).
+pub fn run_differential(
+    topo: &Topology,
+    db: &Database,
+    threads: usize,
+) -> Result<crate::context::DiffOutput> {
+    crate::context::run_app_differential(
+        topo,
+        db,
+        &NullOracle,
+        &event_definitions(),
+        diagnosis_graph(),
+        None,
+        threads,
+    )
+}
+
 // ---------------------------------------------------------------- Bayesian
 
 /// Virtual class names for the Fig. 8 configuration.

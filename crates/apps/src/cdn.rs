@@ -124,6 +124,25 @@ pub fn run(topo: &Topology, db: &Database) -> Result<AppOutput> {
     )
 }
 
+/// [`run`], through both the sequential and the parallel engine paths
+/// (the evaluation harness's verdict-identity check).
+pub fn run_differential(
+    topo: &Topology,
+    db: &Database,
+    threads: usize,
+) -> Result<crate::context::DiffOutput> {
+    let routing = build_routing(topo, db);
+    crate::context::run_app_differential(
+        topo,
+        db,
+        &routing,
+        &event_definitions(topo),
+        diagnosis_graph(),
+        Some(&routing),
+        threads,
+    )
+}
+
 /// The same application rooted at the throughput-drop symptom instead.
 pub fn run_throughput(topo: &Topology, db: &Database) -> Result<AppOutput> {
     let routing = build_routing(topo, db);

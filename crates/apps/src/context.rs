@@ -66,6 +66,47 @@ pub struct AppOutput {
     pub diagnoses: Vec<Diagnosis>,
 }
 
+/// The result of running one RCA application through both engine paths:
+/// the sequential diagnosis (canonical) plus the work-stealing parallel
+/// diagnosis of the same store. The evaluation harness asserts the two
+/// are verdict-identical on every golden scenario.
+pub struct DiffOutput {
+    /// The canonical (sequential) run.
+    pub output: AppOutput,
+    /// Diagnoses from [`Engine::diagnose_all_parallel`] over `threads`
+    /// workers, in the same symptom order as `output.diagnoses`.
+    pub parallel: Vec<Diagnosis>,
+}
+
+/// [`run_app`], but diagnosing through the sequential *and* the parallel
+/// engine path so callers can compare them.
+pub fn run_app_differential(
+    topo: &Topology,
+    db: &Database,
+    oracle: &dyn RouteOracle,
+    defs: &[EventDefinition],
+    graph: DiagnosisGraph,
+    routing_for_extraction: Option<&RoutingState>,
+    threads: usize,
+) -> Result<DiffOutput> {
+    graph.validate()?;
+    let cx = ExtractCx::new(topo, db, routing_for_extraction);
+    let store = extract_all(defs, &cx);
+    let spatial = SpatialModel::new(topo, oracle);
+    let (diagnoses, parallel) = {
+        let engine = Engine::new(&graph, &store, &spatial);
+        (engine.diagnose_all(), engine.diagnose_all_parallel(threads))
+    };
+    Ok(DiffOutput {
+        output: AppOutput {
+            graph,
+            store,
+            diagnoses,
+        },
+        parallel,
+    })
+}
+
 /// Extract events and diagnose every symptom with the given graph.
 pub fn run_app(
     topo: &Topology,

@@ -22,6 +22,9 @@ pub mod online;
 pub mod pim;
 pub mod report;
 
-pub use context::{build_routing, run_app, AppOutput};
+pub use context::{build_routing, run_app, run_app_differential, AppOutput, DiffOutput};
 pub use online::OnlineRca;
-pub use report::{category_breakdown, label_category, score, truth_category, Accuracy, Study};
+pub use report::{
+    category_breakdown, label_category, score, study_symptom, truth_category, Accuracy,
+    CategoryScore, Study,
+};

@@ -126,6 +126,25 @@ pub fn run(topo: &Topology, db: &Database) -> Result<AppOutput> {
     )
 }
 
+/// [`run`], through both the sequential and the parallel engine paths
+/// (the evaluation harness's verdict-identity check).
+pub fn run_differential(
+    topo: &Topology,
+    db: &Database,
+    threads: usize,
+) -> Result<crate::context::DiffOutput> {
+    let routing = build_routing(topo, db);
+    crate::context::run_app_differential(
+        topo,
+        db,
+        &routing,
+        &event_definitions(),
+        diagnosis_graph(),
+        Some(&routing),
+        threads,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

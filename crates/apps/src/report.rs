@@ -155,11 +155,74 @@ pub struct Accuracy {
     /// (truth category, diagnosed category) → count, for disagreement
     /// inspection.
     pub confusion: BTreeMap<(String, String), usize>,
+    /// The full confusion matrix over matched symptoms — *all*
+    /// (truth category, diagnosed category) pairs including agreements,
+    /// the basis for per-category precision/recall.
+    pub matrix: BTreeMap<(String, String), usize>,
+}
+
+/// Per-category retrieval quality derived from the confusion matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryScore {
+    pub category: String,
+    /// Matched symptoms whose truth AND diagnosis are this category.
+    pub tp: usize,
+    /// Diagnosed as this category but truth says otherwise.
+    pub fp: usize,
+    /// Truth says this category but diagnosed as something else.
+    pub fn_: usize,
+}
+
+impl CategoryScore {
+    pub fn precision(&self) -> f64 {
+        self.tp as f64 / (self.tp + self.fp).max(1) as f64
+    }
+    pub fn recall(&self) -> f64 {
+        self.tp as f64 / (self.tp + self.fn_).max(1) as f64
+    }
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
 }
 
 impl Accuracy {
     pub fn rate(&self) -> f64 {
         self.correct as f64 / self.matched.max(1) as f64
+    }
+
+    /// Per-category precision/recall derived from the full confusion
+    /// matrix, one row per category seen on either side, sorted by name.
+    pub fn per_category(&self) -> Vec<CategoryScore> {
+        let mut cats: std::collections::BTreeSet<&str> = Default::default();
+        for (truth, diag) in self.matrix.keys() {
+            cats.insert(truth);
+            cats.insert(diag);
+        }
+        cats.into_iter()
+            .map(|c| {
+                let mut s = CategoryScore {
+                    category: c.to_string(),
+                    tp: 0,
+                    fp: 0,
+                    fn_: 0,
+                };
+                for ((truth, diag), &n) in &self.matrix {
+                    match (truth == c, diag == c) {
+                        (true, true) => s.tp += n,
+                        (false, true) => s.fp += n,
+                        (true, false) => s.fn_ += n,
+                        (false, false) => {}
+                    }
+                }
+                s
+            })
+            .collect()
     }
 }
 
@@ -181,9 +244,10 @@ pub fn score(
         matched: 0,
         correct: 0,
         confusion: BTreeMap::new(),
+        matrix: BTreeMap::new(),
     };
     for d in diagnoses {
-        let key = d.symptom.location.display(topo);
+        let key = d.location_key(topo);
         let Some(cands) = by_key.get(key.as_str()) else {
             continue;
         };
@@ -201,6 +265,9 @@ pub fn score(
         acc.matched += 1;
         let want = truth_category(study, t.cause);
         let got = label_category(study, &d.label());
+        *acc.matrix
+            .entry((want.to_string(), got.to_string()))
+            .or_default() += 1;
         if want == got {
             acc.correct += 1;
         } else {

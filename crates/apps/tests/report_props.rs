@@ -1,0 +1,192 @@
+//! Property-based tests for the scoring/report layer: the truth-join
+//! invariants the evaluation harness (grca-eval) rests on.
+//!
+//! The fixture is one real end-to-end BGP-study run on the small topology
+//! (built once); properties then range over random *subsets* of its
+//! diagnoses, which preserves realism — every diagnosis is one the engine
+//! actually produced — while still exploring the combinatorics.
+
+use grca_apps::{bgp, report, Study};
+use grca_collector::Database;
+use grca_core::{Diagnosis, UNKNOWN};
+use grca_events::names;
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::Topology;
+use grca_simnet::{run_scenario, FaultRates, RootCause, ScenarioConfig, TruthRecord};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    topo: Topology,
+    diagnoses: Vec<Diagnosis>,
+    truth: Vec<TruthRecord>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(5, 7, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        let (db, _) = Database::ingest(&topo, &out.records);
+        let run = bgp::run(&topo, &db).expect("study app must validate");
+        Fixture {
+            topo,
+            diagnoses: run.diagnoses,
+            truth: out.truth,
+        }
+    })
+}
+
+/// A random subset of the fixture's diagnoses, by index mask.
+fn subset(mask: &[bool]) -> Vec<Diagnosis> {
+    let fx = fixture();
+    fx.diagnoses
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask.get(*i).copied().unwrap_or(false))
+        .map(|(_, d)| d.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Category-breakdown counts always sum to the number of diagnoses,
+    /// and the percentage column is a well-formed distribution.
+    #[test]
+    fn breakdown_rows_sum_to_total(mask in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let fx = fixture();
+        let ds = subset(&mask);
+        let rows = report::category_breakdown(Study::Bgp, &fx.topo, &ds);
+        let total: usize = rows.iter().map(|(_, n, _)| n).sum();
+        prop_assert_eq!(total, ds.len());
+        for (cat, n, pct) in &rows {
+            prop_assert!(*n > 0, "empty category row {cat}");
+            prop_assert!((0.0..=100.0).contains(pct), "{cat}: pct {pct}");
+        }
+        if !ds.is_empty() {
+            let pct_sum: f64 = rows.iter().map(|(_, _, p)| p).sum();
+            prop_assert!((pct_sum - 100.0).abs() < 1e-6, "pct sum {pct_sum}");
+        }
+    }
+
+    /// Scoring any subset of diagnoses yields a consistent Accuracy:
+    /// rate ∈ [0,1], matched ≤ diagnoses, correct ≤ matched, the full
+    /// matrix accounts for every matched symptom exactly once, and the
+    /// per-category rows are consistent with the matrix.
+    #[test]
+    fn score_is_internally_consistent(mask in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let fx = fixture();
+        let ds = subset(&mask);
+        let acc = report::score(Study::Bgp, &fx.topo, &ds, &fx.truth);
+
+        prop_assert!(acc.matched <= ds.len());
+        prop_assert!(acc.correct <= acc.matched);
+        prop_assert!((0.0..=1.0).contains(&acc.rate()), "rate {}", acc.rate());
+
+        let matrix_total: usize = acc.matrix.values().sum();
+        prop_assert_eq!(matrix_total, acc.matched);
+
+        let per = acc.per_category();
+        // Diagonal mass is exactly the correct count; each matched symptom
+        // contributes one truth-side row (tp+fn) and one diagnosed-side
+        // row (tp+fp).
+        let tp: usize = per.iter().map(|c| c.tp).sum();
+        prop_assert_eq!(tp, acc.correct);
+        let truth_side: usize = per.iter().map(|c| c.tp + c.fn_).sum();
+        prop_assert_eq!(truth_side, acc.matched);
+        let diag_side: usize = per.iter().map(|c| c.tp + c.fp).sum();
+        prop_assert_eq!(diag_side, acc.matched);
+        for c in &per {
+            prop_assert!((0.0..=1.0).contains(&c.precision()), "{}: p", c.category);
+            prop_assert!((0.0..=1.0).contains(&c.recall()), "{}: r", c.category);
+            prop_assert!((0.0..=1.0).contains(&c.f1()), "{}: f1", c.category);
+        }
+    }
+
+    /// Scoring is insensitive to diagnosis order (the join is per-symptom).
+    #[test]
+    fn score_is_order_insensitive(mask in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let fx = fixture();
+        let ds = subset(&mask);
+        let mut rev = ds.clone();
+        rev.reverse();
+        let a = report::score(Study::Bgp, &fx.topo, &ds, &fx.truth);
+        let b = report::score(Study::Bgp, &fx.topo, &rev, &fx.truth);
+        prop_assert_eq!(a.matched, b.matched);
+        prop_assert_eq!(a.correct, b.correct);
+        prop_assert_eq!(a.matrix, b.matrix);
+    }
+}
+
+/// Every diagnosis label a study application can emit — the event names in
+/// the Table I library plus the engine's `unknown` fallback.
+fn all_labels() -> Vec<&'static str> {
+    vec![
+        names::ROUTER_REBOOT,
+        names::CPU_HIGH_AVERAGE,
+        names::CPU_HIGH_SPIKE,
+        names::INTERFACE_DOWN,
+        names::INTERFACE_UP,
+        names::INTERFACE_FLAP,
+        names::LINE_PROTOCOL_DOWN,
+        names::LINE_PROTOCOL_UP,
+        names::LINE_PROTOCOL_FLAP,
+        names::MESH_REGULAR_RESTORATION,
+        names::MESH_FAST_RESTORATION,
+        names::SONET_RESTORATION,
+        names::LINK_CONGESTION_ALARM,
+        names::LINK_LOSS_ALARM,
+        names::OSPF_RECONVERGENCE,
+        names::ROUTER_COST_IN_OUT,
+        names::LINK_COST_OUT_DOWN,
+        names::LINK_COST_IN_UP,
+        names::BGP_EGRESS_CHANGE,
+        names::CUSTOMER_RESET_SESSION,
+        names::EBGP_HTE,
+        names::CDN_SERVER_ISSUE,
+        names::CDN_POLICY_CHANGE,
+        names::PIM_CONFIG_CHANGE,
+        names::UPLINK_PIM_ADJACENCY_CHANGE,
+        UNKNOWN,
+    ]
+}
+
+/// Truth-side and label-side category maps agree: for every study, every
+/// `RootCause` variant's truth category is reachable as some diagnosis
+/// label's category — otherwise that cause could *never* be scored correct
+/// and the study's recall for it would be structurally zero.
+#[test]
+fn every_truth_category_is_diagnosable() {
+    for study in [Study::Bgp, Study::Cdn, Study::Pim] {
+        let reachable: std::collections::BTreeSet<&'static str> = all_labels()
+            .into_iter()
+            .map(|l| report::label_category(study, l))
+            .collect();
+        for cause in RootCause::ALL {
+            let want = report::truth_category(study, cause);
+            assert!(
+                reachable.contains(want),
+                "{study:?}: truth category `{want}` (cause {cause:?}) is not \
+                 producible by any diagnosis label"
+            );
+        }
+    }
+}
+
+/// Joint labels (`a+b`) map by their first component, so joining evidence
+/// never changes the category of the primary cause.
+#[test]
+fn joint_labels_map_by_first_component() {
+    for study in [Study::Bgp, Study::Cdn, Study::Pim] {
+        for l in all_labels() {
+            let joint = format!("{l}+{}", names::OSPF_RECONVERGENCE);
+            assert_eq!(
+                report::label_category(study, &joint),
+                report::label_category(study, l),
+                "{study:?}: joint label {joint}"
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! EG — the golden accuracy gate.
+//!
+//! Default mode evaluates the whole golden scenario corpus (sequential vs
+//! parallel differential run + truth join per scenario) and writes the
+//! metrics to `results/EVAL_golden.json` — run this to (re)baseline after
+//! an intentional behaviour change.
+//!
+//! `--check` mode recomputes the metrics and compares them against the
+//! committed baseline with a one-percentage-point tolerance, exiting
+//! non-zero on any regression: accuracy or per-category precision/recall
+//! drops, truth-join decay, mix drift growth, corpus edits without a
+//! re-baseline, or sequential/parallel divergence. CI runs this on every
+//! change so a refactor cannot silently degrade diagnosis quality.
+
+use grca_bench::{results_dir, save_json};
+use grca_eval::{check_against_baseline, evaluate_corpus, EvalReport, DEFAULT_EPS_PT};
+
+const BASELINE: &str = "EVAL_golden";
+const THREADS: usize = 4;
+
+fn fresh_report() -> EvalReport {
+    let t0 = std::time::Instant::now();
+    let report = evaluate_corpus(THREADS);
+    println!(
+        "evaluated {} golden scenarios in {:.1}s",
+        report.scenarios.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    for s in &report.scenarios {
+        println!(
+            "  {:<24} [{}] mutation={:<24} symptoms={:<5} matched={:<5} accuracy={:.2}%",
+            s.name,
+            s.study,
+            s.mutation,
+            s.symptoms,
+            s.matched,
+            100.0 * s.accuracy
+        );
+    }
+    report
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let fresh = fresh_report();
+
+    if !check {
+        save_json(BASELINE, &fresh);
+        println!("baseline written; commit results/{BASELINE}.json to update the gate");
+        return;
+    }
+
+    let path = results_dir().join(format!("{BASELINE}.json"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read committed baseline {}: {e}", path.display());
+        eprintln!("run without --check to generate it");
+        std::process::exit(2);
+    });
+    let baseline: EvalReport = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!(
+            "baseline {} is not a valid EvalReport: {e:?}",
+            path.display()
+        );
+        std::process::exit(2);
+    });
+
+    let errors = check_against_baseline(&fresh, &baseline, DEFAULT_EPS_PT);
+    if errors.is_empty() {
+        println!(
+            "gate PASSED: all {} scenarios within {DEFAULT_EPS_PT}pt of baseline",
+            fresh.scenarios.len()
+        );
+        return;
+    }
+    eprintln!("gate FAILED with {} violation(s):", errors.len());
+    for e in &errors {
+        eprintln!("  {e}");
+    }
+    eprintln!("if the change is intentional, re-baseline: cargo run --release -p grca-bench --bin exp_eval_golden");
+    std::process::exit(1);
+}

@@ -1,0 +1,180 @@
+//! Time-normalization tests for the Data Collector (§II-B of the paper:
+//! "normalizes the data into a uniform presentation and resolution",
+//! including device-local timestamps onto one canonical UTC timeline).
+//!
+//! The adversarial cases the golden corpus leans on live here in unit
+//! form: feeds from devices in different time zones describing the same
+//! instant, DST-ambiguous local times, midnight/year rollovers, and
+//! out-of-order delivery.
+
+use grca_collector::Database;
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::Topology;
+use grca_telemetry::records::{RawRecord, SnmpMetric, SnmpSample, SyslogLine};
+use grca_telemetry::syslog::SyslogEvent;
+use grca_types::{TimeWindow, TimeZone, Timestamp};
+
+fn topo() -> Topology {
+    generate(&TopoGenConfig::default())
+}
+
+/// Two routers in different zones; panics if the generator ever stops
+/// spreading PoPs across zones (the tests need the disagreement).
+fn two_zone_routers(topo: &Topology) -> (usize, usize) {
+    let first = 0;
+    let tz0 = router_tz_at(topo, first);
+    let second = topo
+        .routers
+        .iter()
+        .enumerate()
+        .position(|(i, _)| router_tz_at(topo, i) != tz0)
+        .expect("topology must span at least two time zones");
+    (first, second)
+}
+
+/// Time zone of the router at positional index `i` in `topo.routers`.
+fn router_tz_at(topo: &Topology, i: usize) -> grca_types::TimeZone {
+    let id = topo.router_by_name(&topo.routers[i].name).unwrap();
+    topo.router_tz(id)
+}
+
+fn reboot_line(topo: &Topology, ridx: usize, utc: Timestamp) -> RawRecord {
+    let r = &topo.routers[ridx];
+    let local = router_tz_at(topo, ridx).to_local(utc);
+    RawRecord::Syslog(SyslogLine {
+        host: r.name.clone(),
+        line: SyslogEvent::Restart.format_line(local),
+    })
+}
+
+/// Syslog from devices in different zones, each stamping the same UTC
+/// instant in its own local clock, converge to one canonical timestamp.
+#[test]
+fn mixed_timezone_syslog_converges_to_one_instant() {
+    let topo = topo();
+    let (a, b) = two_zone_routers(&topo);
+    let utc = Timestamp::from_civil(2010, 6, 15, 12, 0, 0);
+
+    let recs = vec![reboot_line(&topo, a, utc), reboot_line(&topo, b, utc)];
+    // The two raw lines carry *different* wall-clock text...
+    let RawRecord::Syslog(la) = &recs[0] else {
+        panic!()
+    };
+    let RawRecord::Syslog(lb) = &recs[1] else {
+        panic!()
+    };
+    assert_ne!(
+        &la.line[..19],
+        &lb.line[..19],
+        "zones must disagree on paper"
+    );
+
+    // ...but normalize to the same instant on the canonical timeline.
+    let (db, stats) = Database::ingest(&topo, &recs);
+    assert_eq!(stats.total_dropped(), 0);
+    let rows = db.syslog.all();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].utc, utc);
+    assert_eq!(rows[1].utc, utc);
+}
+
+/// SNMP pollers stamp in US Eastern regardless of device zone; a sample
+/// and a syslog line describing the same instant land on the same
+/// canonical timestamp even when the device lives in another zone.
+#[test]
+fn snmp_and_syslog_align_across_feeds() {
+    let topo = topo();
+    let (_, b) = two_zone_routers(&topo);
+    let r = &topo.routers[b];
+    assert_ne!(router_tz_at(&topo, b), TimeZone::US_EASTERN);
+
+    let utc = Timestamp::from_civil(2010, 6, 15, 12, 0, 0);
+    let recs = vec![
+        reboot_line(&topo, b, utc),
+        RawRecord::Snmp(SnmpSample {
+            system: r.snmp_name(),
+            local_time: TimeZone::US_EASTERN.to_local(utc),
+            metric: SnmpMetric::CpuUtil5m,
+            if_index: None,
+            value: 12.0,
+        }),
+    ];
+    let (db, stats) = Database::ingest(&topo, &recs);
+    assert_eq!(stats.total_dropped(), 0);
+    assert_eq!(db.syslog.all()[0].utc, utc);
+    assert_eq!(db.snmp.all()[0].utc, utc);
+}
+
+/// The platform's zones are fixed offsets (DST-less): 2010-03-14 02:30
+/// local — a wall-clock instant that does not exist under US daylight
+/// saving — is a perfectly valid timestamp here and round-trips exactly.
+#[test]
+fn dst_gap_local_times_are_valid_fixed_offset_instants() {
+    for tz in [
+        TimeZone::US_EASTERN,
+        TimeZone::US_CENTRAL,
+        TimeZone::US_MOUNTAIN,
+        TimeZone::US_PACIFIC,
+    ] {
+        let local = Timestamp::from_civil(2010, 3, 14, 2, 30, 0);
+        let utc = tz.to_utc(local);
+        assert_eq!(tz.to_local(utc), local, "{tz:?} must round-trip");
+        assert_eq!((utc - local).as_secs(), -(tz.offset_secs as i64));
+    }
+}
+
+/// A device-local timestamp just before midnight on New Year's Eve lands
+/// in the next year once normalized (Eastern is UTC-5).
+#[test]
+fn midnight_and_year_boundary_roll_over() {
+    let topo = topo();
+    // Find an Eastern-zone router so the expected UTC is exact.
+    let e = topo
+        .routers
+        .iter()
+        .enumerate()
+        .position(|(i, _)| router_tz_at(&topo, i) == TimeZone::US_EASTERN)
+        .expect("generator places PoPs in Eastern");
+    let r = &topo.routers[e];
+    let recs = vec![RawRecord::Syslog(SyslogLine {
+        host: r.name.clone(),
+        line: SyslogEvent::Restart.format_line(Timestamp::from_civil(2009, 12, 31, 23, 30, 0)),
+    })];
+    let (db, stats) = Database::ingest(&topo, &recs);
+    assert_eq!(stats.total_dropped(), 0);
+    assert_eq!(
+        db.syslog.all()[0].utc,
+        Timestamp::from_civil(2010, 1, 1, 4, 30, 0)
+    );
+}
+
+/// Records arriving out of time order still produce a sorted canonical
+/// table, and range queries see every instant exactly once.
+#[test]
+fn out_of_order_arrival_sorts_on_finalize() {
+    let topo = topo();
+    let (a, _) = two_zone_routers(&topo);
+    let base = Timestamp::from_civil(2010, 6, 15, 0, 0, 0);
+    // Deliver minutes 9, 3, 7, 1, 5, 0, 8, 2, 6, 4 — thoroughly shuffled.
+    let order = [9i64, 3, 7, 1, 5, 0, 8, 2, 6, 4];
+    let recs: Vec<RawRecord> = order
+        .iter()
+        .map(|&m| reboot_line(&topo, a, base + grca_types::Duration::mins(m)))
+        .collect();
+    let (db, stats) = Database::ingest(&topo, &recs);
+    assert_eq!(stats.total_dropped(), 0);
+
+    let rows = db.syslog.all();
+    assert_eq!(rows.len(), order.len());
+    assert!(
+        rows.windows(2).all(|w| w[0].utc <= w[1].utc),
+        "table must be time-sorted after finalize"
+    );
+    // A range query over the middle of the timeline sees exactly the
+    // in-window instants.
+    let w = TimeWindow::new(
+        base + grca_types::Duration::mins(2),
+        base + grca_types::Duration::mins(6),
+    );
+    assert_eq!(db.syslog.range(w).len(), 5); // minutes 2..=6 inclusive
+}

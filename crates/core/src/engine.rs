@@ -75,6 +75,22 @@ impl Diagnosis {
         self.evidence.iter().any(|e| e.event == event)
     }
 
+    /// The canonical join key of the diagnosed symptom's location —
+    /// matches the `key` field of the simulator's truth records, so
+    /// evaluation harnesses can join diagnoses back to ground truth by
+    /// `(symptom kind, location key, time window)`.
+    pub fn location_key(&self, topo: &grca_net_model::Topology) -> String {
+        self.symptom.location.display(topo)
+    }
+
+    /// A compact verdict summary: `(root-cause label, symptom window)`.
+    /// Two diagnosis runs are *verdict-identical* when their verdict
+    /// sequences are equal — the invariant the evaluation harness asserts
+    /// between the sequential and parallel engine paths.
+    pub fn verdict(&self) -> (String, grca_types::TimeWindow) {
+        (self.label(), self.symptom.window)
+    }
+
     /// The chain of evidence from a winning cause back to the symptom.
     pub fn chain(&self, cause_idx: usize) -> Vec<&Evidence> {
         let mut out = Vec::new();

@@ -140,3 +140,34 @@ proptest! {
         prop_assert_eq!(g, back);
     }
 }
+
+/// Promoted proptest regression (`proptests.proptest-regressions`,
+/// `900c8ad5…`, shrunk to `opt = StartStart, x = 0, y = -252, s = 0,
+/// len = 0, grow = 1`).
+///
+/// A `StartStart` expansion of a zero-length window at t=0 with margins
+/// `(0, -252)` produces raw endpoints `[0, -252]` — *inverted*, because
+/// the negative after-margin pulls the end before the start. The original
+/// `expansion_monotone` property asserted `start <= end` unconditionally
+/// and failed here; the fix made `Expansion::expand` normalize through
+/// `TimeWindow::normalized` (endpoint swap), and the property now exempts
+/// raw-inverted inputs from the monotonicity clause. This named test pins
+/// the normalization itself so the case runs even without proptest's
+/// regression file.
+#[test]
+fn regression_startstart_negative_margin_inverts_raw_endpoints() {
+    let w = TimeWindow::new(Timestamp(0), Timestamp(0));
+    let e = Expansion::new(ExpandOption::StartStart, 0, -252).expand(w);
+    // Raw endpoints would be [0, -252]; normalization swaps them.
+    assert!(e.start <= e.end, "expansion must stay well-formed: {e:?}");
+    assert_eq!(e.start, Timestamp(-252));
+    assert_eq!(e.end, Timestamp(0));
+
+    // Growing both margins by 1 (the shrunk `grow`) keeps it well-formed
+    // too; monotonicity is not claimed across the normalization boundary.
+    let e2 = Expansion::new(ExpandOption::StartStart, 1, -251).expand(w);
+    assert!(
+        e2.start <= e2.end,
+        "grown expansion must stay well-formed: {e2:?}"
+    );
+}

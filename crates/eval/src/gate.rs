@@ -1,0 +1,322 @@
+//! The regression gate: tolerance-checked comparison of freshly computed
+//! golden metrics against the committed baseline.
+//!
+//! The gate is deliberately one-sided for the quality metrics: accuracy,
+//! precision and recall may *rise* freely (a genuine improvement simply
+//! calls for re-baselining), but a drop beyond the epsilon fails. Structural
+//! properties — scenario presence, differential parallel/sequential
+//! identity — are exact.
+
+use crate::oracle::{EvalReport, ScenarioMetrics};
+
+/// Default tolerance: one percentage point, expressed as a rate.
+pub const DEFAULT_EPS_PT: f64 = 1.0;
+
+/// One gate violation, attributed to a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateError {
+    pub scenario: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.scenario, self.message)
+    }
+}
+
+fn err(scenario: &str, message: String) -> GateError {
+    GateError {
+        scenario: scenario.to_string(),
+        message,
+    }
+}
+
+/// Gate a rate-valued metric (0..=1): fail when it drops more than
+/// `eps_pt` percentage points below the baseline.
+fn gate_rate(
+    errors: &mut Vec<GateError>,
+    scenario: &str,
+    what: &str,
+    fresh: f64,
+    base: f64,
+    eps_pt: f64,
+) {
+    let drop_pt = (base - fresh) * 100.0;
+    if drop_pt > eps_pt {
+        errors.push(err(
+            scenario,
+            format!("{what} regressed: {base:.4} -> {fresh:.4} (drop {drop_pt:.2}pt > {eps_pt}pt)"),
+        ));
+    }
+}
+
+fn gate_scenario(
+    errors: &mut Vec<GateError>,
+    fresh: &ScenarioMetrics,
+    base: &ScenarioMetrics,
+    eps_pt: f64,
+) {
+    let name = fresh.name.as_str();
+
+    if !fresh.parallel_identical {
+        errors.push(err(
+            name,
+            "sequential and parallel diagnosis diverged".to_string(),
+        ));
+    }
+
+    if fresh.seed != base.seed || fresh.mutation != base.mutation || fresh.study != base.study {
+        errors.push(err(
+            name,
+            format!(
+                "scenario identity changed (seed {} -> {}, study {} -> {}, mutation {} -> {}); \
+                 re-baseline explicitly instead of editing the corpus in place",
+                base.seed, fresh.seed, base.study, fresh.study, base.mutation, fresh.mutation
+            ),
+        ));
+        return; // remaining comparisons are meaningless across identities
+    }
+
+    gate_rate(
+        errors,
+        name,
+        "accuracy",
+        fresh.accuracy,
+        base.accuracy,
+        eps_pt,
+    );
+
+    // The truth join itself must not decay: matched symptoms may grow but a
+    // shrinking join means diagnoses stopped lining up with ground truth.
+    if base.matched > 0 {
+        let fresh_join = fresh.matched as f64 / fresh.symptoms.max(1) as f64;
+        let base_join = base.matched as f64 / base.symptoms.max(1) as f64;
+        gate_rate(
+            errors,
+            name,
+            "truth-join rate",
+            fresh_join,
+            base_join,
+            eps_pt,
+        );
+    }
+
+    // Per-category precision/recall, for categories the baseline supports
+    // well enough to be meaningful (tiny categories flap on single events).
+    const MIN_SUPPORT: usize = 5;
+    for b in &base.per_category {
+        if b.tp + b.fn_ < MIN_SUPPORT {
+            continue;
+        }
+        match fresh.per_category.iter().find(|c| c.category == b.category) {
+            None => errors.push(err(
+                name,
+                format!("category `{}` vanished from the report", b.category),
+            )),
+            Some(f) => {
+                gate_rate(
+                    errors,
+                    name,
+                    &format!("precision[{}]", b.category),
+                    f.precision,
+                    b.precision,
+                    eps_pt,
+                );
+                gate_rate(
+                    errors,
+                    name,
+                    &format!("recall[{}]", b.category),
+                    f.recall,
+                    b.recall,
+                    eps_pt,
+                );
+            }
+        }
+    }
+
+    // The diagnosed mix must not drift further from the injected mix than
+    // it did at baseline time (plus tolerance).
+    if fresh.mix_max_drift_pt > base.mix_max_drift_pt + eps_pt {
+        errors.push(err(
+            name,
+            format!(
+                "diagnosed/injected mix drift grew: {:.2}pt -> {:.2}pt",
+                base.mix_max_drift_pt, fresh.mix_max_drift_pt
+            ),
+        ));
+    }
+}
+
+/// Compare a fresh [`EvalReport`] against the committed baseline.
+///
+/// Returns every violation found (empty = gate passes). `eps_pt` is the
+/// tolerated drop in percentage points for rate-valued metrics; use
+/// [`DEFAULT_EPS_PT`] unless a caller has a reason not to.
+pub fn check_against_baseline(
+    fresh: &EvalReport,
+    baseline: &EvalReport,
+    eps_pt: f64,
+) -> Vec<GateError> {
+    let mut errors = Vec::new();
+
+    if fresh.version != baseline.version {
+        errors.push(err(
+            "-",
+            format!(
+                "baseline schema version {} != harness version {}; regenerate the baseline",
+                baseline.version, fresh.version
+            ),
+        ));
+        return errors;
+    }
+
+    for base in &baseline.scenarios {
+        match fresh.scenarios.iter().find(|s| s.name == base.name) {
+            None => errors.push(err(
+                &base.name,
+                "scenario missing from fresh run (removed from corpus?)".to_string(),
+            )),
+            Some(fresh_s) => gate_scenario(&mut errors, fresh_s, base, eps_pt),
+        }
+    }
+
+    for fresh_s in &fresh.scenarios {
+        if !baseline.scenarios.iter().any(|s| s.name == fresh_s.name) {
+            errors.push(err(
+                &fresh_s.name,
+                "scenario not in baseline; regenerate the golden file to admit it".to_string(),
+            ));
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CategoryMetrics;
+
+    fn scenario(name: &str, accuracy: f64) -> ScenarioMetrics {
+        ScenarioMetrics {
+            name: name.to_string(),
+            study: "bgp".to_string(),
+            seed: 1,
+            mutation: "none".to_string(),
+            records: 100,
+            ingest_dropped: 0,
+            symptoms: 50,
+            matched: 48,
+            accuracy,
+            truth_mix: vec![],
+            diagnosed_mix: vec![],
+            mix_max_drift_pt: 2.0,
+            per_category: vec![CategoryMetrics {
+                category: "cat".to_string(),
+                tp: 40,
+                fp: 2,
+                fn_: 3,
+                precision: 0.95,
+                recall: 0.93,
+                f1: 0.94,
+            }],
+            confusion: vec![],
+            parallel_identical: true,
+        }
+    }
+
+    fn report(scenarios: Vec<ScenarioMetrics>) -> EvalReport {
+        EvalReport {
+            version: 1,
+            scenarios,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![scenario("a", 0.9)]);
+        assert!(check_against_baseline(&r, &r, DEFAULT_EPS_PT).is_empty());
+    }
+
+    #[test]
+    fn improvement_passes_but_regression_fails() {
+        let base = report(vec![scenario("a", 0.90)]);
+        let better = report(vec![scenario("a", 0.95)]);
+        assert!(check_against_baseline(&better, &base, DEFAULT_EPS_PT).is_empty());
+
+        let worse = report(vec![scenario("a", 0.85)]);
+        let errs = check_against_baseline(&worse, &base, DEFAULT_EPS_PT);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].message.contains("accuracy"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn drop_within_epsilon_passes() {
+        let base = report(vec![scenario("a", 0.900)]);
+        let slightly = report(vec![scenario("a", 0.895)]);
+        assert!(check_against_baseline(&slightly, &base, DEFAULT_EPS_PT).is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_scenarios_are_flagged() {
+        let base = report(vec![scenario("a", 0.9), scenario("b", 0.9)]);
+        let fresh = report(vec![scenario("a", 0.9), scenario("c", 0.9)]);
+        let errs = check_against_baseline(&fresh, &base, DEFAULT_EPS_PT);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs
+            .iter()
+            .any(|e| e.scenario == "b" && e.message.contains("missing")));
+        assert!(errs
+            .iter()
+            .any(|e| e.scenario == "c" && e.message.contains("not in baseline")));
+    }
+
+    #[test]
+    fn parallel_divergence_fails() {
+        let base = report(vec![scenario("a", 0.9)]);
+        let mut bad = scenario("a", 0.9);
+        bad.parallel_identical = false;
+        let errs = check_against_baseline(&report(vec![bad]), &base, DEFAULT_EPS_PT);
+        assert!(
+            errs.iter().any(|e| e.message.contains("diverged")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn per_category_precision_regression_fails() {
+        let base = report(vec![scenario("a", 0.9)]);
+        let mut bad = scenario("a", 0.9);
+        bad.per_category[0].precision = 0.80;
+        let errs = check_against_baseline(&report(vec![bad]), &base, DEFAULT_EPS_PT);
+        assert!(
+            errs.iter().any(|e| e.message.contains("precision[cat]")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn identity_change_demands_explicit_rebaseline() {
+        let base = report(vec![scenario("a", 0.9)]);
+        let mut changed = scenario("a", 0.9);
+        changed.seed = 2;
+        let errs = check_against_baseline(&report(vec![changed]), &base, DEFAULT_EPS_PT);
+        assert!(
+            errs.iter().any(|e| e.message.contains("identity")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn version_mismatch_short_circuits() {
+        let base = EvalReport {
+            version: 0,
+            scenarios: vec![scenario("a", 0.9)],
+        };
+        let fresh = report(vec![scenario("a", 0.9)]);
+        let errs = check_against_baseline(&fresh, &base, DEFAULT_EPS_PT);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("version"));
+    }
+}

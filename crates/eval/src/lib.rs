@@ -1,0 +1,31 @@
+//! grca-eval — the golden-scenario evaluation harness.
+//!
+//! The paper's entire claim rests on accuracy tables produced by joining
+//! diagnoses back to operator-confirmed root causes (Tables IV, VI, VIII).
+//! The simulator's [`grca_simnet::TruthRecord`]s exist precisely for that
+//! join; this crate turns it into a *gate*: a versioned corpus of named,
+//! seed-pinned scenarios, a differential truth-join oracle, and committed
+//! golden metrics that CI compares against on every change — so a refactor
+//! cannot silently degrade diagnosis quality while `cargo test` stays
+//! green (the methodology RCAEval and Groot argue for in benchmark-driven
+//! RCA evaluation).
+//!
+//! * [`mod@corpus`] — the golden scenario registry: the three paper studies
+//!   plus adversarial telemetry variants;
+//! * [`mutate`] — deterministic raw-feed corruptions (clock skew,
+//!   duplicated/dropped feeds, divergent naming, timezone confusion);
+//! * [`oracle`] — the truth-join differential oracle: runs a scenario
+//!   through the platform via both engine paths, joins diagnoses to
+//!   ground truth, and computes the scenario's metrics;
+//! * [`gate`] — tolerance-checked comparison of fresh metrics against a
+//!   committed golden baseline.
+
+pub mod corpus;
+pub mod gate;
+pub mod mutate;
+pub mod oracle;
+
+pub use corpus::{corpus, GoldenScenario, TopoPreset};
+pub use gate::{check_against_baseline, GateError, DEFAULT_EPS_PT};
+pub use mutate::Mutation;
+pub use oracle::{evaluate, evaluate_corpus, CategoryMetrics, EvalReport, MixRow, ScenarioMetrics};

@@ -1,0 +1,198 @@
+//! Deterministic adversarial corruptions of a scenario's raw telemetry.
+//!
+//! Real feeds are never as clean as a simulator's output: collectors see
+//! duplicated deliveries, lost batches, devices renamed outside the
+//! inventory's conventions, clocks that drift, and pollers configured in
+//! the wrong time zone. Each [`Mutation`] applies one such corruption to
+//! the raw record stream *before* the Data Collector sees it, using only
+//! record positions and contents — no RNG — so a mutated scenario is
+//! exactly as reproducible as its clean parent.
+
+use grca_telemetry::records::RawRecord;
+use grca_telemetry::syslog::split_line;
+use grca_types::Duration;
+
+/// A deterministic raw-feed corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Deliver the feeds as simulated.
+    None,
+    /// Device clocks drift: every syslog line's device-local timestamp is
+    /// shifted by `secs` (the body is untouched). Small skews stay inside
+    /// the temporal-join margins; large ones break joins — the golden
+    /// metrics record how gracefully accuracy degrades.
+    ClockSkewSyslog { secs: i64 },
+    /// Every `stride`-th record is delivered twice (feed-level duplicate
+    /// delivery, e.g. a relay retransmitting on timeout).
+    DuplicateRecords { stride: usize },
+    /// Every `stride`-th record is lost in transit.
+    DropRecords { stride: usize },
+    /// Every `stride`-th syslog record arrives under a divergent naming
+    /// convention (`NYC-PER1.ISP.NET` instead of `nyc-per1`) that the
+    /// collector's inventory does not resolve; those records are dropped
+    /// on ingest, as in production when a feed changes conventions.
+    DivergentNaming { stride: usize },
+    /// Every `stride`-th SNMP sample was produced by a poller configured
+    /// one zone west of network time: its local timestamp reads one hour
+    /// earlier, so normalization lands it an hour off on the canonical
+    /// timeline.
+    TimezoneConfusedSnmp { stride: usize },
+}
+
+impl Mutation {
+    /// Short machine-readable tag for reports.
+    pub fn tag(&self) -> String {
+        match self {
+            Mutation::None => "none".into(),
+            Mutation::ClockSkewSyslog { secs } => format!("clock-skew-syslog:{secs}s"),
+            Mutation::DuplicateRecords { stride } => format!("duplicate-records:1/{stride}"),
+            Mutation::DropRecords { stride } => format!("drop-records:1/{stride}"),
+            Mutation::DivergentNaming { stride } => format!("divergent-naming:1/{stride}"),
+            Mutation::TimezoneConfusedSnmp { stride } => format!("tz-confused-snmp:1/{stride}"),
+        }
+    }
+
+    /// Apply the corruption to a record stream.
+    pub fn apply(&self, records: Vec<RawRecord>) -> Vec<RawRecord> {
+        match *self {
+            Mutation::None => records,
+            Mutation::ClockSkewSyslog { secs } => records
+                .into_iter()
+                .map(|r| match r {
+                    RawRecord::Syslog(mut l) => {
+                        if let Ok((t, body)) = split_line(&l.line) {
+                            l.line = format!("{} {body}", t + Duration::secs(secs));
+                        }
+                        RawRecord::Syslog(l)
+                    }
+                    other => other,
+                })
+                .collect(),
+            Mutation::DuplicateRecords { stride } => {
+                let stride = stride.max(1);
+                let mut out = Vec::with_capacity(records.len() + records.len() / stride);
+                for (i, r) in records.into_iter().enumerate() {
+                    if i % stride == 0 {
+                        out.push(r.clone());
+                    }
+                    out.push(r);
+                }
+                out
+            }
+            Mutation::DropRecords { stride } => {
+                let stride = stride.max(1);
+                records
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % stride != 0)
+                    .map(|(_, r)| r)
+                    .collect()
+            }
+            Mutation::DivergentNaming { stride } => {
+                let stride = stride.max(1);
+                let mut nth = 0usize;
+                records
+                    .into_iter()
+                    .map(|r| match r {
+                        RawRecord::Syslog(mut l) => {
+                            nth += 1;
+                            if nth.is_multiple_of(stride) {
+                                l.host = format!("{}.ISP.NET", l.host.to_uppercase());
+                            }
+                            RawRecord::Syslog(l)
+                        }
+                        other => other,
+                    })
+                    .collect()
+            }
+            Mutation::TimezoneConfusedSnmp { stride } => {
+                let stride = stride.max(1);
+                let mut nth = 0usize;
+                records
+                    .into_iter()
+                    .map(|r| match r {
+                        RawRecord::Snmp(mut s) => {
+                            nth += 1;
+                            if nth.is_multiple_of(stride) {
+                                // Central poller: local clock reads one
+                                // hour earlier than network (Eastern) time.
+                                s.local_time -= Duration::hours(1);
+                            }
+                            RawRecord::Snmp(s)
+                        }
+                        other => other,
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_telemetry::records::SyslogLine;
+
+    fn syslog(line: &str) -> RawRecord {
+        RawRecord::Syslog(SyslogLine {
+            host: "nyc-per1".into(),
+            line: line.into(),
+        })
+    }
+
+    #[test]
+    fn clock_skew_shifts_timestamp_only() {
+        let recs = vec![syslog(
+            "2010-01-01 00:00:10 %SYS-5-RESTART: System restarted",
+        )];
+        let out = Mutation::ClockSkewSyslog { secs: 45 }.apply(recs);
+        let RawRecord::Syslog(l) = &out[0] else {
+            panic!()
+        };
+        assert_eq!(
+            l.line,
+            "2010-01-01 00:00:55 %SYS-5-RESTART: System restarted"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_drop_change_counts_deterministically() {
+        let recs: Vec<RawRecord> = (0..10)
+            .map(|i| syslog(&format!("2010-01-01 00:00:{i:02} %SYS-5-RESTART: r")))
+            .collect();
+        assert_eq!(
+            Mutation::DuplicateRecords { stride: 3 }
+                .apply(recs.clone())
+                .len(),
+            14
+        );
+        assert_eq!(Mutation::DropRecords { stride: 5 }.apply(recs).len(), 8);
+    }
+
+    #[test]
+    fn divergent_naming_rewrites_host() {
+        let recs = vec![syslog("2010-01-01 00:00:10 %SYS-5-RESTART: r")];
+        let out = Mutation::DivergentNaming { stride: 1 }.apply(recs);
+        let RawRecord::Syslog(l) = &out[0] else {
+            panic!()
+        };
+        assert_eq!(l.host, "NYC-PER1.ISP.NET");
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let recs: Vec<RawRecord> = (0..50)
+            .map(|i| syslog(&format!("2010-01-01 00:01:{:02} %SYS-5-RESTART: r", i % 60)))
+            .collect();
+        for m in [
+            Mutation::None,
+            Mutation::ClockSkewSyslog { secs: 90 },
+            Mutation::DuplicateRecords { stride: 2 },
+            Mutation::DropRecords { stride: 4 },
+            Mutation::DivergentNaming { stride: 5 },
+            Mutation::TimezoneConfusedSnmp { stride: 2 },
+        ] {
+            assert_eq!(m.apply(recs.clone()), m.apply(recs.clone()), "{}", m.tag());
+        }
+    }
+}

@@ -145,3 +145,54 @@ proptest! {
         }
     }
 }
+
+/// Promoted proptest regression (`proptests.proptest-regressions`,
+/// `8c43fd3e…`, shrunk to `values = [84.17…, 0.0, 87.60…]`).
+///
+/// Three 5-minute CPU samples at t = 0 / 300 / 600 s: the first and third
+/// qualify (≥ 80%), the middle does not. The two qualifying samples are
+/// 600 s apart — *within* a naive "merge anything ≤ 2 × bin" gap — but the
+/// disqualifying sample between them means they are two separate maximal
+/// runs and must extract as **two** events, not one merged event. The
+/// original merge used a gap wide enough to jump the hole; the fix set
+/// `MERGE_GAP` to 330 s (one bin plus slack), which merges adjacent
+/// qualifying bins (300 s apart) but never bridges a disqualifying bin.
+#[test]
+fn regression_threshold_merge_must_not_bridge_disqualifying_sample() {
+    let topo = topo();
+    let router = topo.router_by_name("nyc-per1").unwrap();
+    let values = [84.17096651029743, 0.0, 87.60907424575326];
+    let recs: Vec<RawRecord> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            RawRecord::Snmp(SnmpSample {
+                system: topo.router(router).snmp_name(),
+                local_time: TimeZone::US_EASTERN.to_local(Timestamp::from_unix(300 * i as i64)),
+                metric: SnmpMetric::CpuUtil5m,
+                if_index: None,
+                value: v,
+            })
+        })
+        .collect();
+    let (db, _) = Database::ingest(&topo, &recs);
+    let cx = ExtractCx::new(&topo, &db, None);
+    let d = EventDefinition::new(
+        names::CPU_HIGH_AVERAGE,
+        LocationType::Router,
+        Retrieval::SnmpThreshold {
+            metric: SnmpMetric::CpuUtil5m,
+            min: 80.0,
+        },
+        "t",
+        "snmp",
+    );
+    let events = extract(&d, &cx);
+    assert_eq!(
+        events.len(),
+        2,
+        "disqualifying middle sample must split the run: {events:?}"
+    );
+    assert!(events[0].window.contains(Timestamp::from_unix(0)));
+    assert!(events[1].window.contains(Timestamp::from_unix(600)));
+}

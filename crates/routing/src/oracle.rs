@@ -13,7 +13,7 @@
 //! The caches are *sharded*: parallel diagnosis hammers them from every
 //! worker, and a single `Mutex<HashMap>` serializes the whole engine on
 //! what is overwhelmingly a read workload. Each cache is split into
-//! [`SHARDS`] independent `RwLock<HashMap>`s selected by key hash, so
+//! `SHARDS` independent `RwLock<HashMap>`s selected by key hash, so
 //! readers of different (and usually even the same) keys proceed in
 //! parallel and writers only contend within one shard.
 

@@ -56,6 +56,38 @@ pub enum RootCause {
     BackboneLinkFailure,
 }
 
+impl RootCause {
+    /// Every variant, for exhaustive property tests and category audits.
+    pub const ALL: [RootCause; 26] = [
+        RootCause::RouterReboot,
+        RootCause::CustomerReset,
+        RootCause::CpuHighAverage,
+        RootCause::CpuHighSpike,
+        RootCause::InterfaceFlap,
+        RootCause::LineProtocolFlap,
+        RootCause::EbgpHteUnknown,
+        RootCause::MeshRegularRestoration,
+        RootCause::MeshFastRestoration,
+        RootCause::SonetRestoration,
+        RootCause::LineCardCrash,
+        RootCause::ProvisioningBug,
+        RootCause::Unknown,
+        RootCause::CdnPolicyChange,
+        RootCause::EgressChange,
+        RootCause::LinkCongestion,
+        RootCause::LinkLoss,
+        RootCause::CdnServerIssue,
+        RootCause::ExternalDegradation,
+        RootCause::PimConfigChange,
+        RootCause::RouterCostInOut,
+        RootCause::LinkCostOut,
+        RootCause::LinkCostIn,
+        RootCause::OspfReconvergence,
+        RootCause::UplinkPimLoss,
+        RootCause::BackboneLinkFailure,
+    ];
+}
+
 impl fmt::Display for RootCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self:?}")
@@ -77,6 +109,18 @@ pub enum SymptomKind {
     E2eDelay,
     /// An in-network end-to-end throughput drop.
     E2eThroughput,
+}
+
+impl SymptomKind {
+    /// Every variant, for exhaustive property tests.
+    pub const ALL: [SymptomKind; 6] = [
+        SymptomKind::EbgpFlap,
+        SymptomKind::PimAdjChange,
+        SymptomKind::CdnDegradation,
+        SymptomKind::E2eLoss,
+        SymptomKind::E2eDelay,
+        SymptomKind::E2eThroughput,
+    ];
 }
 
 /// One labeled symptom occurrence.

@@ -1,0 +1,72 @@
+//! Byte-level determinism of the simulator: the contract the golden
+//! evaluation baseline (grca-eval) is built on. `scenario_is_deterministic`
+//! in the scenario module compares record *counts*; these tests pin the
+//! stronger property — same seed and config means the full record stream
+//! and its serialized form are identical, so any HashMap-iteration or
+//! other nondeterminism leak in the simulator fails loudly here instead of
+//! flaking the accuracy gate.
+
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig};
+
+/// A cheap stable hash (FNV-1a) over the serialized output, so failures
+/// print a readable fingerprint instead of a megabyte diff.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn same_seed_yields_byte_identical_output() {
+    let topo = generate(&TopoGenConfig::small());
+    let cfg = ScenarioConfig::new(5, 424242, FaultRates::bgp_study());
+
+    let a = run_scenario(&topo, &cfg);
+    let b = run_scenario(&topo, &cfg);
+
+    // Full structural equality of every record, in order — not just counts.
+    assert_eq!(a.records, b.records, "record streams diverge");
+    assert_eq!(a.truth, b.truth, "truth records diverge");
+    assert_eq!(a.faults, b.faults, "fault timelines diverge");
+
+    // And byte-identical serialized form (catches f64 formatting or map
+    // ordering differences that structural equality could mask).
+    let ja = serde_json::to_string(&a.records).unwrap();
+    let jb = serde_json::to_string(&b.records).unwrap();
+    assert_eq!(fnv1a(ja.as_bytes()), fnv1a(jb.as_bytes()));
+    assert_eq!(ja, jb);
+}
+
+#[test]
+fn different_seeds_yield_different_output() {
+    let topo = generate(&TopoGenConfig::small());
+    let rates = FaultRates::bgp_study();
+    let a = run_scenario(&topo, &ScenarioConfig::new(5, 1, rates.clone()));
+    let b = run_scenario(&topo, &ScenarioConfig::new(5, 2, rates));
+    assert_ne!(
+        a.records, b.records,
+        "distinct seeds must explore distinct telemetry"
+    );
+}
+
+/// Determinism holds across every study's fault mix, including the
+/// CDN/PIM paths that drive different emitters.
+#[test]
+fn all_study_mixes_are_deterministic() {
+    let topo = generate(&TopoGenConfig::small());
+    for (tag, rates) in [
+        ("bgp", FaultRates::bgp_study()),
+        ("cdn", FaultRates::cdn_study()),
+        ("pim", FaultRates::pim_study()),
+    ] {
+        let cfg = ScenarioConfig::new(3, 99, rates);
+        let a = run_scenario(&topo, &cfg);
+        let b = run_scenario(&topo, &cfg);
+        assert_eq!(a.records, b.records, "{tag}: records diverge");
+        assert_eq!(a.truth, b.truth, "{tag}: truth diverges");
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`correlation`] | `grca-correlation` | NICE correlation tester |
 //! | [`core`] | `grca-core` | joins, graphs, DSL, reasoning, browser |
 //! | [`apps`] | `grca-apps` | BGP / CDN / PIM applications |
+//! | [`eval`] | `grca-eval` | golden scenarios, truth-join oracle, gate |
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
@@ -25,6 +26,7 @@ pub use grca_apps as apps;
 pub use grca_collector as collector;
 pub use grca_core as core;
 pub use grca_correlation as correlation;
+pub use grca_eval as eval;
 pub use grca_events as events;
 pub use grca_net_model as net_model;
 pub use grca_routing as routing;
