@@ -13,7 +13,7 @@
 use crate::context::AppOutput;
 use grca_collector::{Database, IngestStats};
 use grca_core::{Diagnosis, DiagnosisGraph, Engine};
-use grca_events::{extract_all, EventDefinition, ExtractCx};
+use grca_events::{EventDefinition, ExtractCx, IncrementalExtractor};
 use grca_net_model::{RouteOracle, SpatialModel, Topology};
 use grca_telemetry::records::RawRecord;
 use grca_types::{Duration, Result, Timestamp};
@@ -22,7 +22,9 @@ use std::collections::BTreeSet;
 /// A streaming RCA application instance.
 pub struct OnlineRca<'a> {
     topo: &'a Topology,
-    defs: Vec<EventDefinition>,
+    /// Incremental extraction state: stateless definitions extract only
+    /// the rows appended since the previous cycle.
+    extractor: IncrementalExtractor,
     graph: DiagnosisGraph,
     /// Accumulated normalized data.
     db: Database,
@@ -52,7 +54,7 @@ impl<'a> OnlineRca<'a> {
             .unwrap_or(0);
         Ok(OnlineRca {
             topo,
-            defs,
+            extractor: IncrementalExtractor::new(defs),
             graph,
             db: Database::default(),
             stats: IngestStats::default(),
@@ -81,6 +83,12 @@ impl<'a> OnlineRca<'a> {
         &self.stats
     }
 
+    /// How many `advance` cycles extended the stateless event caches from
+    /// a delta slice rather than re-reading the whole database.
+    pub fn delta_passes(&self) -> usize {
+        self.extractor.delta_passes()
+    }
+
     /// Feed a batch of raw records and advance the clock to `now`.
     /// Returns diagnoses for every not-yet-emitted symptom whose window
     /// closed before the watermark `now - hold_back`.
@@ -97,11 +105,11 @@ impl<'a> OnlineRca<'a> {
     ) -> Vec<Diagnosis> {
         self.db.ingest_more(self.topo, records, &mut self.stats);
         let watermark = now - self.hold_back;
-        // Re-extract over the accumulated window. Extraction is a pure
-        // function of the database, so this stays consistent with batch
-        // mode; for long-lived processes, prune with `retain_after`.
+        // Extraction is a pure function of the database, so streaming
+        // stays consistent with batch mode; the incremental extractor
+        // re-reads only the newly appended rows for stateless events.
         let cx = ExtractCx::new(self.topo, &self.db, routing_for_extraction);
-        let store = extract_all(&self.defs, &cx);
+        let store = self.extractor.extract(&cx);
         let spatial = SpatialModel::new(self.topo, oracle);
         let engine = Engine::new(&self.graph, &store, &spatial);
         let mut out = Vec::new();
@@ -125,12 +133,12 @@ impl<'a> OnlineRca<'a> {
     /// Convert the accumulated state into a batch-style output (e.g. at
     /// shutdown, to persist the full day's analysis).
     pub fn into_output(
-        self,
+        mut self,
         oracle: &dyn RouteOracle,
         routing_for_extraction: Option<&grca_routing::RoutingState>,
     ) -> AppOutput {
         let cx = ExtractCx::new(self.topo, &self.db, routing_for_extraction);
-        let store = extract_all(&self.defs, &cx);
+        let store = self.extractor.extract(&cx);
         let spatial = SpatialModel::new(self.topo, oracle);
         let diagnoses = {
             let engine = Engine::new(&self.graph, &store, &spatial);
@@ -177,6 +185,12 @@ mod tests {
         let end = cfg.end() + online.hold_back() + Duration::hours(3);
         streamed.extend(online.advance(&[], end, &NullOracle, None));
 
+        // The scenario's records arrive in timestamp order, so after the
+        // first full pass every cycle should have taken the delta path.
+        assert!(
+            online.delta_passes() > 0,
+            "no cycle used incremental extraction"
+        );
         assert_eq!(streamed.len(), batch.diagnoses.len());
         // Same labels per symptom key.
         let key = |d: &Diagnosis| (d.symptom.location.display(&topo), d.symptom.window.start);

@@ -1,0 +1,165 @@
+//! E-ingest — end-to-end speedup of the ingestion & extraction overhaul.
+//!
+//! Benchmarks the current pipeline (parallel sharded ingest with memoized
+//! entity resolution, then single-pass multi-definition extraction over
+//! the time-indexed tables) against the pre-overhaul path (sequential
+//! ingest resolving every entity name from scratch, then one independent
+//! table scan per event definition). Both paths are live in the codebase
+//! — `Database::ingest_with(DirectResolver)` / `extract_all_baseline`
+//! reproduce the old behaviour — so the comparison is honest and the
+//! outputs are asserted identical: same database (row for row), same
+//! ingest statistics, same event store.
+//!
+//! The workload is a multi-day BGP-study scenario on the default
+//! (10-PoP) topology at the paper's screening scale: besides the full
+//! knowledge library and the BGP application definitions, one event
+//! definition is registered per syslog message type and per workflow
+//! activity type, the §IV-B blind-screening configuration (the paper had
+//! 2533 syslog message types and 831 workflow activity types; we use the
+//! same counts). This is exactly the regime the overhaul targets — with
+//! thousands of registered definitions the baseline rescans the syslog
+//! table thousands of times, while the single-pass extractor reads it
+//! once and dispatches each row by hashed mnemonic.
+//!
+//! Writes `results/BENCH_rca_ingest.json`. Pass `--smoke` for a small
+//! fast configuration (CI) that checks equivalence but not speedup.
+
+use grca_bench::save_json;
+use grca_collector::{Database, DirectResolver};
+use grca_events::{
+    bgp_app_events, extract_all, extract_all_baseline, knowledge_library, mnemonic_event,
+    workflow_event, ExtractCx,
+};
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_simnet::inject::workflow_activity;
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (out.unwrap(), best)
+}
+
+#[derive(Serialize)]
+struct Report {
+    records: usize,
+    rows: usize,
+    definitions: usize,
+    threads: usize,
+    seed_ingest_s: f64,
+    seed_extract_s: f64,
+    new_ingest_seq_s: f64,
+    new_ingest_par_s: f64,
+    new_extract_s: f64,
+    /// (seed ingest + extract) / (sequential cached ingest + single-pass).
+    speedup_seq: f64,
+    /// (seed ingest + extract) / (parallel ingest + single-pass).
+    speedup_par: f64,
+    outputs_identical: bool,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (days, reps) = if smoke { (1, 1) } else { (7, 5) };
+    let threads = 8;
+    // §IV-B screening vocabulary sizes (paper: 2533 syslog message types,
+    // 831 workflow activity types). The smoke configuration keeps the
+    // seed's small defaults.
+    let (syslog_types, workflow_types) = if smoke { (60, 40) } else { (2533, 831) };
+
+    let topo = generate(&TopoGenConfig::default());
+    let mut cfg = ScenarioConfig::new(days, 42, FaultRates::bgp_study());
+    cfg.noise_syslog_types = syslog_types;
+    cfg.noise_workflow_types = workflow_types;
+    let out = run_scenario(&topo, &cfg);
+    let records = &out.records;
+
+    let mut defs = knowledge_library();
+    defs.extend(bgp_app_events());
+    // The screening registry: one definition per message / activity type,
+    // the shape §IV-B's blind correlation screening feeds the extractor.
+    for k in 0..syslog_types {
+        defs.push(mnemonic_event(&format!("%NOISE-6-T{k:03}")));
+    }
+    for k in 0..workflow_types {
+        defs.push(workflow_event(&workflow_activity(k)));
+    }
+
+    // Pre-overhaul: sequential ingest, every entity name resolved from
+    // scratch on every record.
+    let ((seed_db, seed_stats), seed_ingest_s) = best_of(reps, || {
+        Database::ingest_with(&topo, records, &mut DirectResolver)
+    });
+    // Current sequential path (memoized resolution) and the parallel
+    // sharded path.
+    let ((seq_db, seq_stats), new_ingest_seq_s) =
+        best_of(reps, || Database::ingest(&topo, records));
+    let ((par_db, par_stats), new_ingest_par_s) =
+        best_of(reps, || Database::ingest_parallel(&topo, records, threads));
+
+    // Pre-overhaul extraction: one table scan per definition. Current:
+    // one pass per table across all definitions.
+    let cx = ExtractCx::new(&topo, &par_db, None);
+    let (slow_store, seed_extract_s) = best_of(reps, || extract_all_baseline(&defs, &cx));
+    let (fast_store, new_extract_s) = best_of(reps, || extract_all(&defs, &cx));
+
+    let outputs_identical = seed_db == seq_db
+        && seq_db == par_db
+        && seed_stats == seq_stats
+        && seq_stats == par_stats
+        && slow_store == fast_store;
+    assert!(outputs_identical, "overhauled pipeline changed the output");
+
+    let seed_total = seed_ingest_s + seed_extract_s;
+    let report = Report {
+        records: records.len(),
+        rows: par_db.total_rows(),
+        definitions: defs.len(),
+        threads,
+        seed_ingest_s,
+        seed_extract_s,
+        new_ingest_seq_s,
+        new_ingest_par_s,
+        new_extract_s,
+        speedup_seq: seed_total / (new_ingest_seq_s + new_extract_s),
+        speedup_par: seed_total / (new_ingest_par_s + new_extract_s),
+        outputs_identical,
+    };
+    println!(
+        "ingest+extract overhaul over {} records, {} rows, {} definitions (best of {reps}):\n\
+         \x20 ingest:  seed {:.3}s -> seq {:.3}s, {}-thread {:.3}s\n\
+         \x20 extract: seed {:.3}s -> single-pass {:.3}s\n\
+         \x20 end-to-end speedup: {:.2}x sequential, {:.2}x with {} threads",
+        report.records,
+        report.rows,
+        report.definitions,
+        report.seed_ingest_s,
+        report.new_ingest_seq_s,
+        threads,
+        report.new_ingest_par_s,
+        report.seed_extract_s,
+        report.new_extract_s,
+        report.speedup_seq,
+        report.speedup_par,
+        threads,
+    );
+    if !smoke {
+        assert!(
+            report.speedup_par >= 2.0,
+            "expected >= 2x end-to-end with {} threads, measured {:.2}x",
+            threads,
+            report.speedup_par
+        );
+        // Smoke runs check equivalence only; don't overwrite the recorded
+        // full-configuration numbers.
+        save_json("BENCH_rca_ingest", &report);
+    }
+}

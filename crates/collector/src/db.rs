@@ -6,7 +6,19 @@
 //! records referencing decommissioned gear or malformed lines; these are
 //! counted in [`IngestStats`] and skipped, which is the operationally
 //! honest behaviour.
+//!
+//! Normalization of one record is a pure function of `(topology, record)`,
+//! which buys two things:
+//!
+//! * **memoized entity resolution** — every name→id lookup goes through an
+//!   [`EntityResolver`] ([`CachedResolver`] by default; see [`crate::resolve`]);
+//! * **parallel sharded ingest** ([`Database::ingest_parallel`]) — records
+//!   are partitioned by (feed, entity) hash so each worker's resolver cache
+//!   sees a dense slice of the name space, workers normalize shards off a
+//!   work-stealing queue, and the merge re-assembles rows in original
+//!   record order, making the result bit-identical to sequential ingest.
 
+use crate::resolve::{CachedResolver, EntityResolver};
 use crate::rows::*;
 use crate::tables::Table;
 use grca_net_model::Topology;
@@ -14,9 +26,20 @@ use grca_telemetry::records::RawRecord;
 use grca_telemetry::syslog::{parse_syslog_message, split_line};
 use grca_types::TimeZone;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this batch size the sharding/merge overhead is not worth paying
+/// and [`Database::ingest_parallel`] falls back to sequential ingest.
+const PAR_MIN_RECORDS: usize = 2048;
+
+/// Shards per worker thread. More shards than threads keeps the
+/// work-stealing queue balanced when entity activity is skewed (one noisy
+/// router does not serialize the whole pool).
+const SHARDS_PER_THREAD: usize = 8;
 
 /// Ingestion statistics (per feed: accepted / dropped).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct IngestStats {
     pub accepted: BTreeMap<&'static str, usize>,
     pub dropped: BTreeMap<&'static str, usize>,
@@ -33,6 +56,18 @@ impl IngestStats {
         self.dropped.values().sum()
     }
 
+    /// Fold another worker's counts into this one (all counts are
+    /// additive, so merge order does not matter).
+    pub fn merge(&mut self, other: &IngestStats) {
+        for (feed, n) in &other.accepted {
+            *self.accepted.entry(feed).or_default() += n;
+        }
+        for (feed, n) in &other.dropped {
+            *self.dropped.entry(feed).or_default() += n;
+        }
+        self.syslog_unparsed += other.syslog_unparsed;
+    }
+
     /// One line per feed, for reports.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -44,8 +79,171 @@ impl IngestStats {
     }
 }
 
+/// One normalized row, tagged with its destination table. The unit of
+/// work handed from normalization workers back to the merge step.
+#[derive(Debug, Clone)]
+enum NormRow {
+    Syslog(SyslogRow),
+    Snmp(SnmpRow),
+    L1(L1Row),
+    Ospf(OspfRow),
+    Bgp(BgpRow),
+    Tacacs(TacacsRow),
+    Workflow(WorkflowRow),
+    Perf(PerfRow),
+    Cdn(CdnRow),
+    Server(ServerRow),
+}
+
+/// Normalize one raw record: resolve entity names through `res`, convert
+/// the source clock to UTC, and build the destination row. `None` means
+/// the record references unknown entities (or is malformed) and is
+/// dropped. Shared verbatim by the sequential and parallel ingest paths,
+/// so both produce identical rows by construction.
+fn normalize<R: EntityResolver>(
+    topo: &Topology,
+    res: &mut R,
+    rec: &RawRecord,
+    stats: &mut IngestStats,
+) -> Option<NormRow> {
+    match rec {
+        RawRecord::Syslog(line) => {
+            let router = res.router_by_name(topo, &line.host)?;
+            let (local, body) = split_line(&line.line).ok()?;
+            let utc = topo.router_tz(router).to_utc(local);
+            let event = match parse_syslog_message(body) {
+                Ok(ev) => Some(ev),
+                Err(_) => {
+                    stats.syslog_unparsed += 1;
+                    None
+                }
+            };
+            Some(NormRow::Syslog(SyslogRow {
+                utc,
+                router,
+                event,
+                raw: body.to_string(),
+            }))
+        }
+        RawRecord::Snmp(s) => {
+            let router = res.router_by_snmp_name(topo, &s.system)?;
+            let utc = TimeZone::US_EASTERN.to_utc(s.local_time);
+            let iface = match s.if_index {
+                Some(ix) => Some(res.iface_by_ifindex(topo, router, ix)?),
+                None => None,
+            };
+            Some(NormRow::Snmp(SnmpRow {
+                utc,
+                router,
+                metric: s.metric,
+                iface,
+                value: s.value,
+            }))
+        }
+        RawRecord::L1Log(l) => {
+            let device = res.l1dev_by_name(topo, &l.device)?;
+            let circuit = res.circuit_by_name(topo, &l.circuit)?;
+            let tz = topo.pop(topo.l1_device(device).pop).tz;
+            Some(NormRow::L1(L1Row {
+                utc: tz.to_utc(l.local_time),
+                device,
+                kind: l.kind,
+                circuit,
+            }))
+        }
+        RawRecord::OspfMon(o) => {
+            let link = res.link_by_slash30(topo, o.link_addr)?;
+            Some(NormRow::Ospf(OspfRow {
+                utc: o.utc,
+                link,
+                weight: o.weight,
+            }))
+        }
+        RawRecord::BgpMon(b) => {
+            let egress = res.router_by_name(topo, &b.egress_router)?;
+            Some(NormRow::Bgp(BgpRow {
+                utc: b.utc,
+                reflector: b.reflector.clone(),
+                prefix: b.prefix,
+                egress,
+                attrs: b.attrs,
+            }))
+        }
+        RawRecord::Tacacs(t) => {
+            let router = res.router_by_name(topo, &t.router)?;
+            Some(NormRow::Tacacs(TacacsRow {
+                utc: TimeZone::US_EASTERN.to_utc(t.local_time),
+                router,
+                user: t.user.clone(),
+                command: t.command.clone(),
+            }))
+        }
+        RawRecord::Workflow(w) => Some(NormRow::Workflow(WorkflowRow {
+            utc: TimeZone::US_EASTERN.to_utc(w.local_time),
+            entity: w.router.clone(),
+            router: res.router_by_name(topo, &w.router),
+            activity: w.activity.clone(),
+        })),
+        RawRecord::Perf(p) => {
+            let ingress = res.router_by_name(topo, &p.ingress_router)?;
+            let egress = res.router_by_name(topo, &p.egress_router)?;
+            Some(NormRow::Perf(PerfRow {
+                utc: p.utc,
+                ingress,
+                egress,
+                metric: p.metric,
+                value: p.value,
+            }))
+        }
+        RawRecord::CdnMon(c) => {
+            let node = res.cdn_node_by_name(topo, &c.node)?;
+            let client = res.client_site_for(topo, c.client_addr)?;
+            Some(NormRow::Cdn(CdnRow {
+                utc: c.utc,
+                node,
+                client,
+                rtt_ms: c.rtt_ms,
+                throughput_mbps: c.throughput_mbps,
+            }))
+        }
+        RawRecord::ServerLog(s) => {
+            let node = res.cdn_node_by_name(topo, &s.node)?;
+            let tz = topo.pop(topo.cdn_node(node).pop).tz;
+            Some(NormRow::Server(ServerRow {
+                utc: tz.to_utc(s.local_time),
+                node,
+                load: s.load,
+            }))
+        }
+    }
+}
+
+/// Which shard a record lands in: a hash of (feed, entity name), so all
+/// records of one entity hit one worker — its resolver cache then serves
+/// every repeat mention, and shard contents are disjoint name spaces.
+fn shard_of(rec: &RawRecord, shards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    rec.feed().hash(&mut h);
+    match rec {
+        RawRecord::Syslog(l) => l.host.hash(&mut h),
+        RawRecord::Snmp(s) => s.system.hash(&mut h),
+        RawRecord::L1Log(l) => l.device.hash(&mut h),
+        RawRecord::OspfMon(o) => o.link_addr.hash(&mut h),
+        RawRecord::BgpMon(b) => b.prefix.hash(&mut h),
+        RawRecord::Tacacs(t) => t.router.hash(&mut h),
+        RawRecord::Workflow(w) => w.router.hash(&mut h),
+        RawRecord::Perf(p) => p.ingress_router.hash(&mut h),
+        RawRecord::CdnMon(c) => c.node.hash(&mut h),
+        RawRecord::ServerLog(s) => s.node.hash(&mut h),
+    }
+    (h.finish() % shards as u64) as usize
+}
+
 /// The collector's normalized database.
-#[derive(Debug, Default, Clone)]
+///
+/// Equality compares row contents per table (indexes are derived state) —
+/// this is what the parallel-vs-sequential determinism tests assert on.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Database {
     pub syslog: Table<SyslogRow>,
     pub snmp: Table<SnmpRow>,
@@ -62,9 +260,102 @@ pub struct Database {
 impl Database {
     /// Ingest and normalize a batch of raw records against the topology.
     pub fn ingest(topo: &Topology, records: &[RawRecord]) -> (Database, IngestStats) {
+        Self::ingest_with(topo, records, &mut CachedResolver::new())
+    }
+
+    /// Sequential ingest through an explicit resolution strategy.
+    /// `DirectResolver` reproduces the uncached per-record behaviour
+    /// (benchmark baseline); `CachedResolver` is the production path.
+    pub fn ingest_with<R: EntityResolver>(
+        topo: &Topology,
+        records: &[RawRecord],
+        res: &mut R,
+    ) -> (Database, IngestStats) {
         let mut db = Database::default();
         let mut stats = IngestStats::default();
-        db.ingest_more(topo, records, &mut stats);
+        db.absorb(topo, records, res, &mut stats);
+        db.finalize();
+        (db, stats)
+    }
+
+    /// Parallel sharded ingest: partition records by (feed, entity) hash,
+    /// normalize shards on a work-stealing pool of `threads` workers (each
+    /// with a private resolver cache), then merge in original record
+    /// order. The result — rows, row order, and statistics — is identical
+    /// to [`Database::ingest`]: normalization is pure per record, the
+    /// merge re-places each row at its original index, and the final
+    /// stable sort is order-preserving for same-instant rows.
+    pub fn ingest_parallel(
+        topo: &Topology,
+        records: &[RawRecord],
+        threads: usize,
+    ) -> (Database, IngestStats) {
+        let threads = threads.max(1);
+        if threads == 1 || records.len() < PAR_MIN_RECORDS {
+            return Self::ingest(topo, records);
+        }
+
+        let n_shards = threads * SHARDS_PER_THREAD;
+        let mut shards: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for (i, rec) in records.iter().enumerate() {
+            shards[shard_of(rec, n_shards)].push(i as u32);
+        }
+
+        let next = AtomicUsize::new(0);
+        let shards = &shards;
+        type WorkerOut = (Vec<(u32, NormRow)>, IngestStats);
+        let results: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut res = CachedResolver::new();
+                        let mut stats = IngestStats::default();
+                        let mut out: Vec<(u32, NormRow)> = Vec::new();
+                        loop {
+                            let s = next.fetch_add(1, Ordering::Relaxed);
+                            if s >= n_shards {
+                                break;
+                            }
+                            for &i in &shards[s] {
+                                let rec = &records[i as usize];
+                                let feed = rec.feed();
+                                match normalize(topo, &mut res, rec, &mut stats) {
+                                    Some(row) => {
+                                        *stats.accepted.entry(feed).or_default() += 1;
+                                        out.push((i, row));
+                                    }
+                                    None => {
+                                        *stats.dropped.entry(feed).or_default() += 1;
+                                    }
+                                }
+                            }
+                        }
+                        (out, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ingest worker panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: place every accepted row back at its
+        // original record index, then push in index order.
+        let mut slots: Vec<Option<NormRow>> = Vec::new();
+        slots.resize_with(records.len(), || None);
+        let mut stats = IngestStats::default();
+        for (rows, worker_stats) in results {
+            stats.merge(&worker_stats);
+            for (i, row) in rows {
+                slots[i as usize] = Some(row);
+            }
+        }
+        let mut db = Database::default();
+        for row in slots.into_iter().flatten() {
+            db.push_norm(row);
+        }
+        db.finalize();
         (db, stats)
     }
 
@@ -72,175 +363,50 @@ impl Database {
     /// appended and the tables re-finalized, so the database stays
     /// queryable between batches.
     pub fn ingest_more(&mut self, topo: &Topology, records: &[RawRecord], stats: &mut IngestStats) {
-        for rec in records {
-            let feed = rec.feed();
-            if self.ingest_one(topo, rec, stats) {
-                *stats.accepted.entry(feed).or_default() += 1;
-            } else {
-                *stats.dropped.entry(feed).or_default() += 1;
-            }
-        }
+        self.absorb(topo, records, &mut CachedResolver::new(), stats);
         self.finalize();
     }
 
-    fn ingest_one(&mut self, topo: &Topology, rec: &RawRecord, stats: &mut IngestStats) -> bool {
-        match rec {
-            RawRecord::Syslog(line) => {
-                let Some(router) = topo.router_by_name(&line.host) else {
-                    return false;
-                };
-                let Ok((local, body)) = split_line(&line.line) else {
-                    return false;
-                };
-                let utc = topo.router_tz(router).to_utc(local);
-                let event = match parse_syslog_message(body) {
-                    Ok(ev) => Some(ev),
-                    Err(_) => {
-                        stats.syslog_unparsed += 1;
-                        None
-                    }
-                };
-                self.syslog.push(SyslogRow {
-                    utc,
-                    router,
-                    event,
-                    raw: body.to_string(),
-                });
-                true
-            }
-            RawRecord::Snmp(s) => {
-                let Some(router) = topo.router_by_snmp_name(&s.system) else {
-                    return false;
-                };
-                let utc = TimeZone::US_EASTERN.to_utc(s.local_time);
-                let iface = match s.if_index {
-                    Some(ix) => match topo.iface_by_ifindex(router, ix) {
-                        Some(i) => Some(i),
-                        None => return false,
-                    },
-                    None => None,
-                };
-                self.snmp.push(SnmpRow {
-                    utc,
-                    router,
-                    metric: s.metric,
-                    iface,
-                    value: s.value,
-                });
-                true
-            }
-            RawRecord::L1Log(l) => {
-                let Some(device) = topo.l1dev_by_name(&l.device) else {
-                    return false;
-                };
-                let Some(circuit) = topo.circuit_by_name(&l.circuit) else {
-                    return false;
-                };
-                let tz = topo.pop(topo.l1_device(device).pop).tz;
-                self.l1.push(L1Row {
-                    utc: tz.to_utc(l.local_time),
-                    device,
-                    kind: l.kind,
-                    circuit,
-                });
-                true
-            }
-            RawRecord::OspfMon(o) => {
-                let Some(link) = topo.link_by_slash30(o.link_addr) else {
-                    return false;
-                };
-                self.ospf.push(OspfRow {
-                    utc: o.utc,
-                    link,
-                    weight: o.weight,
-                });
-                true
-            }
-            RawRecord::BgpMon(b) => {
-                let Some(egress) = topo.router_by_name(&b.egress_router) else {
-                    return false;
-                };
-                self.bgp.push(BgpRow {
-                    utc: b.utc,
-                    reflector: b.reflector.clone(),
-                    prefix: b.prefix,
-                    egress,
-                    attrs: b.attrs,
-                });
-                true
-            }
-            RawRecord::Tacacs(t) => {
-                let Some(router) = topo.router_by_name(&t.router) else {
-                    return false;
-                };
-                self.tacacs.push(TacacsRow {
-                    utc: TimeZone::US_EASTERN.to_utc(t.local_time),
-                    router,
-                    user: t.user.clone(),
-                    command: t.command.clone(),
-                });
-                true
-            }
-            RawRecord::Workflow(w) => {
-                self.workflow.push(WorkflowRow {
-                    utc: TimeZone::US_EASTERN.to_utc(w.local_time),
-                    entity: w.router.clone(),
-                    router: topo.router_by_name(&w.router),
-                    activity: w.activity.clone(),
-                });
-                true
-            }
-            RawRecord::Perf(p) => {
-                let (Some(ingress), Some(egress)) = (
-                    topo.router_by_name(&p.ingress_router),
-                    topo.router_by_name(&p.egress_router),
-                ) else {
-                    return false;
-                };
-                self.perf.push(PerfRow {
-                    utc: p.utc,
-                    ingress,
-                    egress,
-                    metric: p.metric,
-                    value: p.value,
-                });
-                true
-            }
-            RawRecord::CdnMon(c) => {
-                let node = topo
-                    .cdn_nodes
-                    .iter()
-                    .position(|n| n.name == c.node)
-                    .map(grca_net_model::CdnNodeId::from);
-                let (Some(node), Some(client)) = (node, topo.ext_net_for(c.client_addr)) else {
-                    return false;
-                };
-                self.cdn.push(CdnRow {
-                    utc: c.utc,
-                    node,
-                    client,
-                    rtt_ms: c.rtt_ms,
-                    throughput_mbps: c.throughput_mbps,
-                });
-                true
-            }
-            RawRecord::ServerLog(s) => {
-                let Some(pos) = topo.cdn_nodes.iter().position(|n| n.name == s.node) else {
-                    return false;
-                };
-                let node = grca_net_model::CdnNodeId::from(pos);
-                let tz = topo.pop(topo.cdn_node(node).pop).tz;
-                self.server.push(ServerRow {
-                    utc: tz.to_utc(s.local_time),
-                    node,
-                    load: s.load,
-                });
-                true
+    /// Normalize `records` through `res` and append the surviving rows
+    /// (no finalize).
+    fn absorb<R: EntityResolver>(
+        &mut self,
+        topo: &Topology,
+        records: &[RawRecord],
+        res: &mut R,
+        stats: &mut IngestStats,
+    ) {
+        for rec in records {
+            let feed = rec.feed();
+            match normalize(topo, res, rec, stats) {
+                Some(row) => {
+                    *stats.accepted.entry(feed).or_default() += 1;
+                    self.push_norm(row);
+                }
+                None => {
+                    *stats.dropped.entry(feed).or_default() += 1;
+                }
             }
         }
     }
 
-    /// Sort every table (call once after ingestion).
+    fn push_norm(&mut self, row: NormRow) {
+        match row {
+            NormRow::Syslog(r) => self.syslog.push(r),
+            NormRow::Snmp(r) => self.snmp.push(r),
+            NormRow::L1(r) => self.l1.push(r),
+            NormRow::Ospf(r) => self.ospf.push(r),
+            NormRow::Bgp(r) => self.bgp.push(r),
+            NormRow::Tacacs(r) => self.tacacs.push(r),
+            NormRow::Workflow(r) => self.workflow.push(r),
+            NormRow::Perf(r) => self.perf.push(r),
+            NormRow::Cdn(r) => self.cdn.push(r),
+            NormRow::Server(r) => self.server.push(r),
+        }
+    }
+
+    /// Sort every table and rebuild its time/entity indexes (call once
+    /// after ingestion).
     pub fn finalize(&mut self) {
         self.syslog.finalize();
         self.snmp.finalize();
@@ -267,11 +433,29 @@ impl Database {
             + self.cdn.len()
             + self.server.len()
     }
+
+    /// Per-table row counts in a fixed order (diagnostics, watermark
+    /// growth checks in incremental extraction).
+    pub fn row_counts(&self) -> [usize; 10] {
+        [
+            self.syslog.len(),
+            self.snmp.len(),
+            self.l1.len(),
+            self.ospf.len(),
+            self.bgp.len(),
+            self.tacacs.len(),
+            self.workflow.len(),
+            self.perf.len(),
+            self.cdn.len(),
+            self.server.len(),
+        ]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resolve::DirectResolver;
     use grca_net_model::gen::{generate, TopoGenConfig};
     use grca_simnet::{run_scenario, FaultRates, ScenarioConfig};
     use grca_telemetry::records::{SnmpMetric, SnmpSample, SyslogLine};
@@ -387,5 +571,41 @@ mod tests {
         assert!(!db.ospf.is_empty());
         assert!(!db.bgp.is_empty());
         assert!(!db.tacacs.is_empty());
+    }
+
+    /// Cached and direct resolution produce the same database and stats
+    /// on a full scenario (resolution is pure, so memoizing it must be
+    /// invisible).
+    #[test]
+    fn cached_resolution_is_invisible() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(7, 4, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        let (db_direct, st_direct) =
+            Database::ingest_with(&topo, &out.records, &mut DirectResolver);
+        let (db_cached, st_cached) =
+            Database::ingest_with(&topo, &out.records, &mut CachedResolver::new());
+        assert_eq!(db_direct, db_cached);
+        assert_eq!(st_direct, st_cached);
+    }
+
+    /// Parallel sharded ingest is bit-identical to sequential ingest —
+    /// same rows, same row order, same per-feed statistics — including
+    /// with a thread count that does not divide the shard count.
+    #[test]
+    fn parallel_ingest_matches_sequential() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(11, 6, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        assert!(
+            out.records.len() >= PAR_MIN_RECORDS,
+            "scenario too small to exercise the parallel path"
+        );
+        let (db_seq, st_seq) = Database::ingest(&topo, &out.records);
+        for threads in [2, 3, 8] {
+            let (db_par, st_par) = Database::ingest_parallel(&topo, &out.records, threads);
+            assert_eq!(db_seq, db_par, "rows diverged at threads={threads}");
+            assert_eq!(st_seq, st_par, "stats diverged at threads={threads}");
+        }
     }
 }

@@ -6,14 +6,18 @@
 //! and identifiers takes place as data is ingested."
 //!
 //! * [`rows`] — the normalized schema (UTC times, canonical entity ids);
-//! * [`tables`] — time-sorted tables with binary-searched range queries;
-//! * [`db`] — the ingestion pipeline over all feeds, with per-feed
-//!   accept/drop statistics.
+//! * [`tables`] — time-indexed columnar tables: binary-searched range
+//!   queries plus a per-entity offset index;
+//! * [`resolve`] — entity-name resolution strategies (direct vs memoized);
+//! * [`db`] — the ingestion pipeline over all feeds (sequential and
+//!   parallel sharded), with per-feed accept/drop statistics.
 
 pub mod db;
+pub mod resolve;
 pub mod rows;
 pub mod tables;
 
 pub use db::{Database, IngestStats};
+pub use resolve::{CachedResolver, DirectResolver, EntityResolver};
 pub use rows::*;
-pub use tables::Table;
+pub use tables::{EntityRows, Table};

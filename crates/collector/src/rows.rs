@@ -10,18 +10,34 @@ use grca_net_model::{
 };
 use grca_telemetry::records::{L1EventKind, PerfMetric, SnmpMetric};
 use grca_telemetry::syslog::SyslogEvent;
-use grca_types::Timestamp;
+use grca_types::{Symbol, Timestamp};
 
-/// Every normalized row exposes its UTC instant (tables sort on it).
+/// Every normalized row exposes its UTC instant (tables sort on it) and
+/// the entity it belongs to (tables group on it — see
+/// [`crate::tables::Table::groups`]).
+///
+/// The entity is the key extraction naturally series-es the feed by: the
+/// sampled device/pair for telemetry feeds, the emitting element for
+/// logs. `Entity` ordering (via `Ord`) fixes the deterministic group
+/// order of per-entity extraction passes.
 pub trait Row {
+    /// Grouping key; `Ord` fixes deterministic group iteration order.
+    type Entity: Ord + Copy;
+
     fn time(&self) -> Timestamp;
+    fn entity(&self) -> Self::Entity;
 }
 
 macro_rules! impl_row {
-    ($t:ty) => {
+    ($t:ty, $entity:ty, |$row:ident| $key:expr) => {
         impl Row for $t {
+            type Entity = $entity;
             fn time(&self) -> Timestamp {
                 self.utc
+            }
+            fn entity(&self) -> $entity {
+                let $row = self;
+                $key
             }
         }
     };
@@ -38,7 +54,7 @@ pub struct SyslogRow {
     /// The message body (everything after the timestamp).
     pub raw: String,
 }
-impl_row!(SyslogRow);
+impl_row!(SyslogRow, RouterId, |r| r.router);
 
 impl SyslogRow {
     /// The message mnemonic (`"%LINK-3-UPDOWN"`), used as the series key in
@@ -57,7 +73,9 @@ pub struct SnmpRow {
     pub iface: Option<InterfaceId>,
     pub value: f64,
 }
-impl_row!(SnmpRow);
+impl_row!(SnmpRow, (RouterId, Option<InterfaceId>), |r| (
+    r.router, r.iface
+));
 
 /// One layer-1 device log entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,7 +85,7 @@ pub struct L1Row {
     pub kind: L1EventKind,
     pub circuit: PhysLinkId,
 }
-impl_row!(L1Row);
+impl_row!(L1Row, L1DeviceId, |r| r.device);
 
 /// One OSPF monitor observation, resolved to a logical link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,7 +94,7 @@ pub struct OspfRow {
     pub link: LinkId,
     pub weight: Option<u32>,
 }
-impl_row!(OspfRow);
+impl_row!(OspfRow, LinkId, |r| r.link);
 
 /// One BGP monitor update.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,7 +105,7 @@ pub struct BgpRow {
     pub egress: RouterId,
     pub attrs: Option<(u32, u32)>,
 }
-impl_row!(BgpRow);
+impl_row!(BgpRow, Prefix, |r| r.prefix);
 
 /// One TACACS command log entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,7 +115,7 @@ pub struct TacacsRow {
     pub user: String,
     pub command: String,
 }
-impl_row!(TacacsRow);
+impl_row!(TacacsRow, RouterId, |r| r.router);
 
 /// One workflow activity record. The entity may be a router or another
 /// managed system (e.g. a CDN node), so both forms are kept.
@@ -108,7 +126,7 @@ pub struct WorkflowRow {
     pub router: Option<RouterId>,
     pub activity: String,
 }
-impl_row!(WorkflowRow);
+impl_row!(WorkflowRow, Symbol, |r| Symbol::from(&r.entity));
 
 /// One end-to-end probe measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,7 +137,7 @@ pub struct PerfRow {
     pub metric: PerfMetric,
     pub value: f64,
 }
-impl_row!(PerfRow);
+impl_row!(PerfRow, (RouterId, RouterId), |r| (r.ingress, r.egress));
 
 /// One CDN monitor measurement, resolved to (node, client site).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,7 +148,7 @@ pub struct CdnRow {
     pub rtt_ms: f64,
     pub throughput_mbps: f64,
 }
-impl_row!(CdnRow);
+impl_row!(CdnRow, (CdnNodeId, ClientSiteId), |r| (r.node, r.client));
 
 /// One CDN server-farm load sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,4 +157,4 @@ pub struct ServerRow {
     pub node: CdnNodeId,
     pub load: f64,
 }
-impl_row!(ServerRow);
+impl_row!(ServerRow, CdnNodeId, |r| r.node);

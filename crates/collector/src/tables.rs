@@ -1,47 +1,92 @@
-//! Time-sorted in-memory tables with binary-searched range queries.
+//! Time-indexed columnar tables with binary-searched range queries.
 //!
 //! The paper's deployment lands normalized records in real-time database
-//! tables (§II-A); the access pattern the RCA engine needs is "all rows of
-//! feed F in time window W (optionally matching a predicate)". A sorted
-//! `Vec` plus `partition_point` gives that in O(log n + answer), which is
-//! what keeps per-symptom diagnosis fast (§III-A reports <5 s per event;
-//! E7 benchmarks ours).
+//! tables (§II-A); the access patterns the RCA engine needs are "all rows
+//! of feed F in time window W (optionally matching a predicate)" and "the
+//! rows of one entity, in time order". [`Table::finalize`] builds two
+//! indexes for these:
+//!
+//! * a **timestamp column** (`times`) mirroring the row store, so every
+//!   binary search probes a dense `Vec<Timestamp>` instead of striding
+//!   over full rows — O(log n + answer) range cuts with cache-friendly
+//!   probes;
+//! * a **per-entity offset index** (`groups`): for each distinct
+//!   [`Row::entity`], the offsets of its rows in time order. Extraction's
+//!   per-entity passes (threshold merging, baseline tracking) iterate
+//!   groups directly instead of re-bucketing the whole table, and the
+//!   `BTreeMap` keeps group order deterministic.
+//!
+//! [`Table::after`] is the watermark cut behind incremental extraction:
+//! "every row strictly after `t`" is one `partition_point` on the
+//! timestamp column.
 
 use crate::rows::Row;
 use grca_types::{TimeWindow, Timestamp};
+use std::collections::BTreeMap;
 
 /// A table of one row type, sorted by time after [`Table::finalize`].
 #[derive(Debug, Clone)]
 pub struct Table<R: Row> {
     rows: Vec<R>,
+    /// Columnar copy of each row's timestamp, aligned with `rows`.
+    times: Vec<Timestamp>,
+    /// Entity → offsets into `rows`, ascending (time order). Rebuilt by
+    /// [`Table::finalize`] after new pushes.
+    groups: BTreeMap<R::Entity, Vec<u32>>,
     sorted: bool,
+    /// Rows pushed since the last finalize (the groups index is stale).
+    dirty: bool,
 }
 
 impl<R: Row> Default for Table<R> {
     fn default() -> Self {
         Table {
             rows: Vec::new(),
+            times: Vec::new(),
+            groups: BTreeMap::new(),
             sorted: true,
+            dirty: false,
         }
+    }
+}
+
+/// Two tables are equal when they hold the same rows in the same order
+/// (the indexes are derived state).
+impl<R: Row + PartialEq> PartialEq for Table<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
     }
 }
 
 impl<R: Row> Table<R> {
     pub fn push(&mut self, row: R) {
-        if let Some(last) = self.rows.last() {
-            if row.time() < last.time() {
+        let t = row.time();
+        if let Some(&last) = self.times.last() {
+            if t < last {
                 self.sorted = false;
             }
         }
+        self.times.push(t);
         self.rows.push(row);
+        self.dirty = true;
     }
 
-    /// Sort by time (stable, so same-instant rows keep arrival order).
-    /// Must be called after ingestion, before querying.
+    /// Sort by time (stable, so same-instant rows keep arrival order) and
+    /// rebuild the timestamp column and per-entity offset index. Must be
+    /// called after ingestion, before querying.
     pub fn finalize(&mut self) {
         if !self.sorted {
             self.rows.sort_by_key(|r| r.time());
+            self.times.clear();
+            self.times.extend(self.rows.iter().map(|r| r.time()));
             self.sorted = true;
+        }
+        if self.dirty {
+            self.groups.clear();
+            for (i, row) in self.rows.iter().enumerate() {
+                self.groups.entry(row.entity()).or_default().push(i as u32);
+            }
+            self.dirty = false;
         }
     }
 
@@ -59,12 +104,36 @@ impl<R: Row> Table<R> {
         &self.rows
     }
 
+    /// The timestamp column, aligned with [`Table::all`].
+    pub fn times(&self) -> &[Timestamp] {
+        debug_assert!(self.sorted, "query before finalize()");
+        &self.times
+    }
+
     /// Rows with `start <= time <= end` (closed window).
     pub fn range(&self, w: TimeWindow) -> &[R] {
         debug_assert!(self.sorted, "query before finalize()");
-        let lo = self.rows.partition_point(|r| r.time() < w.start);
-        let hi = self.rows.partition_point(|r| r.time() <= w.end);
+        let lo = self.times.partition_point(|&t| t < w.start);
+        let hi = self.times.partition_point(|&t| t <= w.end);
         &self.rows[lo..hi]
+    }
+
+    /// Rows with `time >= t`.
+    pub fn since(&self, t: Timestamp) -> &[R] {
+        debug_assert!(self.sorted, "query before finalize()");
+        &self.rows[self.times.partition_point(|&u| u < t)..]
+    }
+
+    /// Rows with `time > t` — the watermark cut of incremental extraction.
+    pub fn after(&self, t: Timestamp) -> &[R] {
+        debug_assert!(self.sorted, "query before finalize()");
+        &self.rows[self.times.partition_point(|&u| u <= t)..]
+    }
+
+    /// The latest timestamp in the table.
+    pub fn last_time(&self) -> Option<Timestamp> {
+        debug_assert!(self.sorted, "query before finalize()");
+        self.times.last().copied()
     }
 
     /// Rows in the window matching a predicate.
@@ -78,8 +147,61 @@ impl<R: Row> Table<R> {
     /// First row at or after `t`.
     pub fn first_at_or_after(&self, t: Timestamp) -> Option<&R> {
         debug_assert!(self.sorted);
-        let i = self.rows.partition_point(|r| r.time() < t);
+        let i = self.times.partition_point(|&u| u < t);
         self.rows.get(i)
+    }
+
+    /// The distinct entities and their rows, in entity order; each
+    /// entity's rows come back in time order. Deterministic (`BTreeMap`),
+    /// so extraction passes that flush per group emit reproducibly.
+    pub fn groups(&self) -> impl Iterator<Item = (&R::Entity, EntityRows<'_, R>)> {
+        debug_assert!(!self.dirty, "group query before finalize()");
+        self.groups.iter().map(|(e, offs)| {
+            (
+                e,
+                EntityRows {
+                    rows: &self.rows,
+                    offsets: offs,
+                },
+            )
+        })
+    }
+
+    /// One entity's rows in time order (empty if unseen).
+    pub fn rows_of(&self, entity: &R::Entity) -> EntityRows<'_, R> {
+        debug_assert!(!self.dirty, "group query before finalize()");
+        EntityRows {
+            rows: &self.rows,
+            offsets: self.groups.get(entity).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Number of distinct entities.
+    pub fn entity_count(&self) -> usize {
+        debug_assert!(!self.dirty, "group query before finalize()");
+        self.groups.len()
+    }
+}
+
+/// Iterator handle over one entity's rows (offset-indexed view).
+#[derive(Debug, Clone, Copy)]
+pub struct EntityRows<'a, R> {
+    rows: &'a [R],
+    offsets: &'a [u32],
+}
+
+impl<'a, R> EntityRows<'a, R> {
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &'a R> {
+        let rows = self.rows;
+        self.offsets.iter().map(move |&i| &rows[i as usize])
     }
 }
 
@@ -90,8 +212,12 @@ mod tests {
     #[derive(Debug, Clone, PartialEq)]
     struct TR(Timestamp, u32);
     impl Row for TR {
+        type Entity = u32;
         fn time(&self) -> Timestamp {
             self.0
+        }
+        fn entity(&self) -> u32 {
+            self.1 % 2
         }
     }
 
@@ -151,5 +277,59 @@ mod tests {
         assert_eq!(t.first_at_or_after(ts(3)).unwrap().1, 4);
         assert_eq!(t.first_at_or_after(ts(4)).unwrap().1, 4);
         assert!(t.first_at_or_after(ts(7)).is_none());
+    }
+
+    #[test]
+    fn timestamp_column_tracks_rows_through_resort() {
+        let mut t = Table::default();
+        for s in [5, 1, 3] {
+            t.push(TR(ts(s), s as u32));
+        }
+        t.finalize();
+        assert_eq!(t.times(), &[ts(1), ts(3), ts(5)]);
+        // A second batch arriving out of order re-sorts both columns.
+        t.push(TR(ts(2), 2));
+        t.finalize();
+        assert_eq!(t.times(), &[ts(1), ts(2), ts(3), ts(5)]);
+        assert_eq!(t.last_time(), Some(ts(5)));
+        let aligned: Vec<Timestamp> = t.all().iter().map(|r| r.0).collect();
+        assert_eq!(t.times(), aligned.as_slice());
+    }
+
+    #[test]
+    fn since_and_after_cut_at_the_watermark() {
+        let mut t = Table::default();
+        for s in [1, 3, 3, 5] {
+            t.push(TR(ts(s), s as u32));
+        }
+        t.finalize();
+        assert_eq!(t.since(ts(3)).len(), 3);
+        assert_eq!(t.after(ts(3)).len(), 1);
+        assert_eq!(t.after(ts(5)).len(), 0);
+        assert_eq!(t.since(ts(0)).len(), 4);
+    }
+
+    #[test]
+    fn entity_groups_are_time_ordered_and_deterministic() {
+        let mut t = Table::default();
+        // Entity = value % 2: evens and odds interleaved, out of order.
+        for s in [5, 2, 9, 4, 1] {
+            t.push(TR(ts(s), s as u32));
+        }
+        t.finalize();
+        let groups: Vec<(u32, Vec<u32>)> = t
+            .groups()
+            .map(|(e, rows)| (*e, rows.iter().map(|r| r.1).collect()))
+            .collect();
+        assert_eq!(groups, vec![(0, vec![2, 4]), (1, vec![1, 5, 9])]);
+        assert_eq!(t.entity_count(), 2);
+        let odds: Vec<u32> = t.rows_of(&1).iter().map(|r| r.1).collect();
+        assert_eq!(odds, vec![1, 5, 9]);
+        assert!(t.rows_of(&7).is_empty());
+        // Incremental batches keep groups fresh after re-finalize.
+        t.push(TR(ts(3), 3));
+        t.finalize();
+        let odds: Vec<u32> = t.rows_of(&1).iter().map(|r| r.1).collect();
+        assert_eq!(odds, vec![1, 3, 5, 9]);
     }
 }

@@ -17,13 +17,13 @@ use grca_types::{Duration, TimeWindow, Timestamp};
 use std::collections::BTreeMap;
 
 /// Maximum gap between a down and its matching up to count as one flap.
-const MAX_FLAP_GAP: Duration = Duration::hours(2);
+pub(crate) const MAX_FLAP_GAP: Duration = Duration::hours(2);
 /// Gap merging consecutive anomalous samples into one event: one 5-minute
 /// sampling interval plus timestamp slack, so only strictly adjacent bins
 /// merge (a healthy bin in between splits the episode).
-const MERGE_GAP: Duration = Duration::secs(330);
+pub(crate) const MERGE_GAP: Duration = Duration::secs(330);
 /// Nominal duration of an OSPF reconvergence episode.
-const RECONV_DUR: Duration = Duration::secs(10);
+pub(crate) const RECONV_DUR: Duration = Duration::secs(10);
 
 /// Everything extraction needs.
 pub struct ExtractCx<'a> {
@@ -32,7 +32,7 @@ pub struct ExtractCx<'a> {
     /// Routing state reconstructed from the collected monitor feeds —
     /// required for `BgpEgressChange`, unused otherwise.
     pub routing: Option<&'a RoutingState<'a>>,
-    loopback_of: BTreeMap<Ipv4, RouterId>,
+    pub(crate) loopback_of: BTreeMap<Ipv4, RouterId>,
 }
 
 impl<'a> ExtractCx<'a> {
@@ -56,8 +56,13 @@ impl<'a> ExtractCx<'a> {
     }
 }
 
-/// Extract all instances for a set of definitions into a store.
-pub fn extract_all(defs: &[EventDefinition], cx: &ExtractCx) -> EventStore {
+/// Extract all instances for a set of definitions into a store, one
+/// independent table scan per definition.
+///
+/// This is the reference path: [`crate::singlepass::extract_all`] produces
+/// the same store in one pass per table and is what production callers
+/// use; the differential tests pin the two against each other.
+pub fn extract_all_baseline(defs: &[EventDefinition], cx: &ExtractCx) -> EventStore {
     let mut store = EventStore::new();
     for def in defs {
         store.add(extract(def, cx));
@@ -113,7 +118,9 @@ pub fn extract(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
                     TimeWindow::at(row.utc),
                     Location::PhysicalLink(row.circuit),
                 )
-                .with_info(cx.topo.phys_link(row.circuit).circuit.clone())
+                .with_info(
+                    grca_types::Symbol::from(&cx.topo.phys_link(row.circuit).circuit).as_arc(),
+                )
             })
             .collect(),
         Retrieval::OspfReconvergence => cx
@@ -150,7 +157,7 @@ pub fn extract(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
                     TimeWindow::at(row.utc),
                     Location::Router(row.router),
                 )
-                .with_info(row.command.clone())
+                .with_info(row.command.as_str())
             })
             .collect(),
         Retrieval::BgpEgressChange { ingresses } => egress_changes(def, cx, ingresses),
@@ -168,14 +175,7 @@ pub fn extract(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
             }
             let mut out = Vec::new();
             for (node, times) in by_node {
-                let node = grca_net_model::CdnNodeId::new(node);
-                let attach = cx.topo.cdn_node(node).attach_router;
-                for w in merge_times(&times, MERGE_GAP) {
-                    out.push(
-                        EventInstance::new(&def.name, w, Location::Router(attach))
-                            .with_info(cx.topo.cdn_node(node).name.clone()),
-                    );
-                }
+                server_node_events(def, cx, node, &times, &mut out);
             }
             out
         }
@@ -191,7 +191,7 @@ pub fn extract(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
                     TimeWindow::at(row.utc),
                     Location::Router(row.router),
                 )
-                .with_info(row.raw.clone())
+                .with_info(row.raw.as_str())
             })
             .collect(),
         Retrieval::WorkflowActivity { activity } => cx
@@ -217,7 +217,7 @@ pub fn extract(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
                 })?;
                 Some(
                     EventInstance::new(&def.name, TimeWindow::at(row.utc), loc)
-                        .with_info(row.activity.clone()),
+                        .with_info(grca_types::Symbol::from(&row.activity).as_arc()),
                 )
             })
             .collect(),
@@ -227,7 +227,10 @@ pub fn extract(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
 // ------------------------------------------------------------------ helpers
 
 /// Pair (time, is_up) transitions per key into down / up / flap instances.
-fn pair_transitions<K: Ord + Clone>(
+///
+/// Keys are `Copy` — they are entity ids or small id tuples — so emitting
+/// a window copies a few bytes instead of cloning per interval.
+pub(crate) fn pair_transitions<K: Ord + Copy>(
     events: Vec<(Timestamp, K, bool)>,
     sel: StateSel,
 ) -> Vec<(K, TimeWindow)> {
@@ -243,14 +246,14 @@ fn pair_transitions<K: Ord + Clone>(
                 out.extend(
                     seq.iter()
                         .filter(|(_, up)| !up)
-                        .map(|(t, _)| (k.clone(), TimeWindow::at(*t))),
+                        .map(|(t, _)| (k, TimeWindow::at(*t))),
                 );
             }
             StateSel::Up => {
                 out.extend(
                     seq.iter()
                         .filter(|(_, up)| *up)
-                        .map(|(t, _)| (k.clone(), TimeWindow::at(*t))),
+                        .map(|(t, _)| (k, TimeWindow::at(*t))),
                 );
             }
             StateSel::Flap => {
@@ -268,7 +271,7 @@ fn pair_transitions<K: Ord + Clone>(
                     let i = ups.partition_point(|u| u < t);
                     if let Some(&u) = ups.get(i) {
                         if u - *t <= MAX_FLAP_GAP {
-                            out.push((k.clone(), TimeWindow::new(*t, u)));
+                            out.push((k, TimeWindow::new(*t, u)));
                         }
                     }
                 }
@@ -415,24 +418,55 @@ fn snmp_threshold(
     }
     let mut out = Vec::new();
     for ((router, iface), times) in by_entity {
-        let loc = match iface {
-            Some(i) => Location::Interface(grca_net_model::InterfaceId::new(i)),
-            None => Location::Router(router),
-        };
-        for w in merge_times(&times, MERGE_GAP) {
-            // A 5-minute sample covers [t, t+300).
-            out.push(EventInstance::new(
-                &def.name,
-                TimeWindow::new(w.start, w.end + Duration::mins(5)),
-                loc,
-            ));
-        }
+        snmp_entity_events(def, router, iface, &times, &mut out);
     }
     out
 }
 
+/// Emit one SNMP entity's threshold episodes (shared by the per-def and
+/// single-pass extractors; `times` must be the entity's qualifying sample
+/// instants in time order).
+pub(crate) fn snmp_entity_events(
+    def: &EventDefinition,
+    router: RouterId,
+    iface: Option<u32>,
+    times: &[Timestamp],
+    out: &mut Vec<EventInstance>,
+) {
+    let loc = match iface {
+        Some(i) => Location::Interface(grca_net_model::InterfaceId::new(i)),
+        None => Location::Router(router),
+    };
+    for w in merge_times(times, MERGE_GAP) {
+        // A 5-minute sample covers [t, t+300).
+        out.push(EventInstance::new(
+            &def.name,
+            TimeWindow::new(w.start, w.end + Duration::mins(5)),
+            loc,
+        ));
+    }
+}
+
+/// Emit one CDN node's server-load episodes (shared by both extractors).
+pub(crate) fn server_node_events(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    node: u32,
+    times: &[Timestamp],
+    out: &mut Vec<EventInstance>,
+) {
+    let node = grca_net_model::CdnNodeId::new(node);
+    let attach = cx.topo.cdn_node(node).attach_router;
+    for w in merge_times(times, MERGE_GAP) {
+        out.push(
+            EventInstance::new(&def.name, w, Location::Router(attach))
+                .with_info(grca_types::Symbol::from(&cx.topo.cdn_node(node).name).as_arc()),
+        );
+    }
+}
+
 /// Merge sorted instants within `gap` into windows.
-fn merge_times(times: &[Timestamp], gap: Duration) -> Vec<TimeWindow> {
+pub(crate) fn merge_times(times: &[Timestamp], gap: Duration) -> Vec<TimeWindow> {
     let mut times = times.to_vec();
     times.sort();
     let mut out: Vec<TimeWindow> = Vec::new();
@@ -473,7 +507,6 @@ fn link_cost_transitions(
 /// Router-wide cost in/out: most of a router's links withdrawn (or
 /// restored) within a short window.
 fn router_cost_events(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
-    const WINDOW: Duration = Duration::secs(120);
     // Per router: (time, link, withdrawn?) for its links' transitions.
     let mut per_router: BTreeMap<RouterId, Vec<(Timestamp, LinkId, bool)>> = BTreeMap::new();
     let mut last: BTreeMap<LinkId, bool> = BTreeMap::new();
@@ -492,6 +525,17 @@ fn router_cost_events(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstanc
                 .push((row.utc, row.link, !alive_now));
         }
     }
+    router_cost_finish(def, cx, per_router)
+}
+
+/// Turn per-router link-transition sequences into router-wide cost in/out
+/// events (shared by the per-def and single-pass extractors).
+pub(crate) fn router_cost_finish(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    per_router: BTreeMap<RouterId, Vec<(Timestamp, LinkId, bool)>>,
+) -> Vec<EventInstance> {
+    const WINDOW: Duration = Duration::secs(120);
     let mut out = Vec::new();
     for (router, mut evs) in per_router {
         let degree = cx.topo.links_at_router(router).len();
@@ -525,7 +569,11 @@ fn router_cost_events(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstanc
                             TimeWindow::new(start, times[j - 1].0 + RECONV_DUR),
                             Location::Router(router),
                         )
-                        .with_info(if withdrawn { "cost out" } else { "cost in" }.to_string()),
+                        .with_info(if withdrawn {
+                            "cost out"
+                        } else {
+                            "cost in"
+                        }),
                     );
                     i = j;
                 } else {
@@ -560,7 +608,7 @@ fn command_events(def: &EventDefinition, cx: &ExtractCx, out_dir: bool) -> Vec<E
                 .and_then(|name| cx.topo.iface_by_name(row.router, name))
                 .map(Location::Interface)
                 .unwrap_or(Location::Router(row.router));
-            Some(EventInstance::new(&def.name, TimeWindow::at(row.utc), loc).with_info(c.clone()))
+            Some(EventInstance::new(&def.name, TimeWindow::at(row.utc), loc).with_info(c.as_str()))
         })
         .collect()
 }
@@ -582,6 +630,18 @@ fn egress_changes(
             update_times.entry(row.prefix).or_default().push(row.utc);
         }
     }
+    egress_finish(def, cx, routing, ingresses, update_times)
+}
+
+/// Replay deduplicated update instants against the emulated decision
+/// process and emit best-egress changes (shared by both extractors).
+pub(crate) fn egress_finish(
+    def: &EventDefinition,
+    cx: &ExtractCx,
+    routing: &grca_routing::RoutingState,
+    ingresses: &[RouterId],
+    update_times: BTreeMap<grca_net_model::Prefix, Vec<Timestamp>>,
+) -> Vec<EventInstance> {
     let mut out = Vec::new();
     for (prefix, times) in update_times {
         for t in times {
@@ -670,29 +730,42 @@ fn perf_anomalies(
         }
     }
     let mut out = Vec::new();
-    for ((ingress, egress), mut pts) in series {
-        pts.sort_by_key(|(t, _)| *t);
-        let mut baseline = TrailingBaseline::new(50, 4);
-        let anomalous: Vec<Timestamp> = pts
-            .iter()
-            .filter_map(|(t, v)| {
-                let med = baseline.observe(*v)?;
-                let hit = match sense {
-                    AnomalySense::Increase => *v > 2.0 * med + 0.2,
-                    AnomalySense::Drop => *v < 0.5 * med,
-                };
-                hit.then_some(*t)
-            })
-            .collect();
-        for w in merge_times(&anomalous, MERGE_GAP) {
-            out.push(EventInstance::new(
-                &def.name,
-                TimeWindow::new(w.start, w.end + Duration::mins(5)),
-                Location::IngressEgress { ingress, egress },
-            ));
-        }
+    for ((ingress, egress), pts) in series {
+        perf_pair_events(def, ingress, egress, pts, sense, &mut out);
     }
     out
+}
+
+/// Emit one probe pair's anomaly episodes against its trailing-median
+/// baseline (shared by both extractors).
+pub(crate) fn perf_pair_events(
+    def: &EventDefinition,
+    ingress: RouterId,
+    egress: RouterId,
+    mut pts: Vec<(Timestamp, f64)>,
+    sense: AnomalySense,
+    out: &mut Vec<EventInstance>,
+) {
+    pts.sort_by_key(|(t, _)| *t);
+    let mut baseline = TrailingBaseline::new(50, 4);
+    let anomalous: Vec<Timestamp> = pts
+        .iter()
+        .filter_map(|(t, v)| {
+            let med = baseline.observe(*v)?;
+            let hit = match sense {
+                AnomalySense::Increase => *v > 2.0 * med + 0.2,
+                AnomalySense::Drop => *v < 0.5 * med,
+            };
+            hit.then_some(*t)
+        })
+        .collect();
+    for w in merge_times(&anomalous, MERGE_GAP) {
+        out.push(EventInstance::new(
+            &def.name,
+            TimeWindow::new(w.start, w.end + Duration::mins(5)),
+            Location::IngressEgress { ingress, egress },
+        ));
+    }
 }
 
 /// CDN RTT / throughput anomalies relative to the per-pair median.
@@ -713,34 +786,49 @@ fn cdn_anomalies(
         ));
     }
     let mut out = Vec::new();
-    for ((node, client), mut pts) in series {
-        pts.sort_by_key(|(t, _, _)| *t);
-        let mut rtt_base = TrailingBaseline::new(50, 4);
-        let mut tput_base = TrailingBaseline::new(50, 4);
-        let anomalous: Vec<Timestamp> = pts
-            .iter()
-            .filter_map(|(t, rtt, tput)| {
-                let med_rtt = rtt_base.observe(*rtt);
-                let med_tput = tput_base.observe(*tput);
-                let hit = match (rtt_factor, tput_factor) {
-                    (Some(f), _) => med_rtt.map(|m| *rtt > f * m),
-                    (None, Some(f)) => med_tput.map(|m| *tput < m / f),
-                    (None, None) => Some(false),
-                }?;
-                hit.then_some(*t)
-            })
-            .collect();
-        let loc = Location::ServerClient {
-            node: grca_net_model::CdnNodeId::new(node),
-            client: grca_net_model::ClientSiteId::new(client),
-        };
-        for w in merge_times(&anomalous, MERGE_GAP) {
-            out.push(EventInstance::new(
-                &def.name,
-                TimeWindow::new(w.start, w.end + Duration::mins(5)),
-                loc,
-            ));
-        }
+    for ((node, client), pts) in series {
+        cdn_pair_events(def, node, client, pts, rtt_factor, tput_factor, &mut out);
     }
     out
+}
+
+/// Emit one (CDN node, client site) pair's RTT/throughput anomaly
+/// episodes against its trailing-median baselines (shared by both
+/// extractors).
+pub(crate) fn cdn_pair_events(
+    def: &EventDefinition,
+    node: u32,
+    client: u32,
+    mut pts: Vec<(Timestamp, f64, f64)>,
+    rtt_factor: Option<f64>,
+    tput_factor: Option<f64>,
+    out: &mut Vec<EventInstance>,
+) {
+    pts.sort_by_key(|(t, _, _)| *t);
+    let mut rtt_base = TrailingBaseline::new(50, 4);
+    let mut tput_base = TrailingBaseline::new(50, 4);
+    let anomalous: Vec<Timestamp> = pts
+        .iter()
+        .filter_map(|(t, rtt, tput)| {
+            let med_rtt = rtt_base.observe(*rtt);
+            let med_tput = tput_base.observe(*tput);
+            let hit = match (rtt_factor, tput_factor) {
+                (Some(f), _) => med_rtt.map(|m| *rtt > f * m),
+                (None, Some(f)) => med_tput.map(|m| *tput < m / f),
+                (None, None) => Some(false),
+            }?;
+            hit.then_some(*t)
+        })
+        .collect();
+    let loc = Location::ServerClient {
+        node: grca_net_model::CdnNodeId::new(node),
+        client: grca_net_model::ClientSiteId::new(client),
+    };
+    for w in merge_times(&anomalous, MERGE_GAP) {
+        out.push(EventInstance::new(
+            &def.name,
+            TimeWindow::new(w.start, w.end + Duration::mins(5)),
+            loc,
+        ));
+    }
 }

@@ -37,8 +37,13 @@ impl EventInstance {
         }
     }
 
-    pub fn with_info(mut self, info: impl Into<String>) -> Self {
-        self.info = Some(Arc::from(info.into()));
+    /// Attach additional info. Accepts `&str`/`String` (allocates once)
+    /// or a shared `Arc<str>` — extraction passes [`Symbol::as_arc`]
+    /// (via [`grca_types::Symbol`]) for bounded-vocabulary text so the
+    /// same circuit name or activity attached to thousands of instances
+    /// is one allocation process-wide.
+    pub fn with_info(mut self, info: impl Into<Arc<str>>) -> Self {
+        self.info = Some(info.into());
         self
     }
 
@@ -53,12 +58,16 @@ impl EventInstance {
 }
 
 /// Per-event-name index of instances.
-#[derive(Debug, Default, Clone)]
+///
+/// Equality compares the indexed instances per name (including their
+/// order) — what the single-pass-vs-baseline and incremental-vs-batch
+/// extraction equivalence tests assert on.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct EventStore {
     by_name: HashMap<Symbol, NameIndex>,
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 struct NameIndex {
     /// Sorted by `window.start`.
     instances: Vec<EventInstance>,

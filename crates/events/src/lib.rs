@@ -8,21 +8,31 @@
 //!
 //! * [`def`] — definitions and typed retrieval processes;
 //! * [`extract`](crate::extract()) / [`mod@extract`] — the retrieval interpreters (parsing, thresholds,
-//!   route-derived events, anomaly detection);
+//!   route-derived events, anomaly detection), one table scan per
+//!   definition — the reference semantics;
+//! * [`singlepass`] — the production extractor: every definition
+//!   registered up front, one pass per table ([`extract_all`]);
+//! * [`delta`] — incremental extraction over a growing database
+//!   ([`IncrementalExtractor`]);
 //! * [`instance`] — instances and the indexed [`EventStore`];
 //! * [`library`] — the Knowledge Library: Table I's 24 common events plus
 //!   the application-specific constructors of Tables III, V and VII.
 
 pub mod def;
+pub mod delta;
 pub mod dsl;
 pub mod extract;
 pub mod instance;
 pub mod library;
+pub mod singlepass;
 
 pub use def::{AnomalySense, EventDefinition, PimScope, Retrieval, StateSel};
+pub use delta::IncrementalExtractor;
 pub use dsl::{parse_events, render_event, render_events};
-pub use extract::{extract, extract_all, ExtractCx};
+pub use extract::{extract, extract_all_baseline, ExtractCx};
 pub use instance::{EventInstance, EventStore};
 pub use library::{
-    bgp_app_events, cdn_app_events, knowledge_library, names, pim_app_events, workflow_event,
+    bgp_app_events, cdn_app_events, knowledge_library, mnemonic_event, names, pim_app_events,
+    workflow_event,
 };
+pub use singlepass::{extract_all, is_stateless};

@@ -342,6 +342,20 @@ pub fn pim_app_events() -> Vec<EventDefinition> {
     ]
 }
 
+/// A generic syslog message-type event: one per mnemonic surfaced by the
+/// §IV-B blind screening (the paper registered 2533 of these).
+pub fn mnemonic_event(mnemonic: &str) -> EventDefinition {
+    EventDefinition::new(
+        format!("syslog:{mnemonic}"),
+        LocationType::Router,
+        Retrieval::SyslogMnemonic {
+            mnemonic: mnemonic.to_string(),
+        },
+        format!("syslog message {mnemonic} observed"),
+        "syslog",
+    )
+}
+
 /// A generic workflow-activity event (used by discovery screening).
 pub fn workflow_event(activity: &str) -> EventDefinition {
     EventDefinition::new(

@@ -207,6 +207,16 @@ pub struct ScenarioConfig {
     /// 40 s makes hold-timer expiries rare; raising it toward the 180 s
     /// hold timer makes them the dominant flap mechanism.
     pub iface_outage_mean_secs: f64,
+    /// Maximum per-record delivery delay. Live feeds do not arrive in
+    /// perfect timestamp order — batching, transfer lag and queueing skew
+    /// delivery — so each record's *arrival* position is its emission
+    /// instant plus a uniform delay in `[0, arrival_jitter)`. `ZERO`
+    /// (the default) keeps the historical perfectly-ordered delivery, so
+    /// existing seeded scenarios are byte-identical. The collector must
+    /// produce the same database either way (its tables sort on the
+    /// record's own clock, not arrival order) — the ingest property tests
+    /// exercise exactly that.
+    pub arrival_jitter: Duration,
 }
 
 impl ScenarioConfig {
@@ -228,6 +238,7 @@ impl ScenarioConfig {
             noise_syslog_types: 60,
             noise_workflow_types: 40,
             iface_outage_mean_secs: 40.0,
+            arrival_jitter: Duration::ZERO,
         }
     }
 

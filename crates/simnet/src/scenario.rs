@@ -97,9 +97,23 @@ pub fn run_scenario(topo: &Topology, cfg: &ScenarioConfig) -> SimOutput {
     emit_background(&mut sim);
 
     // Deliver records in (approximate) chronological order, as live feeds
-    // would; each record still carries its source-local clock.
-    let mut records = sim.records;
-    records.sort_by_cached_key(|r| approx_utc(topo, r));
+    // would; each record still carries its source-local clock. A nonzero
+    // `arrival_jitter` delays each record's delivery position by a uniform
+    // amount, modelling feed batching/transfer lag (out-of-order arrival).
+    let records = std::mem::take(&mut sim.records);
+    let jitter = cfg.arrival_jitter.as_secs();
+    let mut keyed: Vec<(grca_types::Timestamp, RawRecord)> = records
+        .into_iter()
+        .map(|r| {
+            let mut k = approx_utc(topo, &r);
+            if jitter > 0 {
+                k += grca_types::Duration::secs(sim.uniform(0.0, jitter as f64) as i64);
+            }
+            (k, r)
+        })
+        .collect();
+    keyed.sort_by_key(|(k, _)| *k);
+    let records: Vec<RawRecord> = keyed.into_iter().map(|(_, r)| r).collect();
 
     SimOutput {
         records,
@@ -284,6 +298,37 @@ mod tests {
         assert_eq!(a.records.len(), b.records.len());
         assert_eq!(a.truth, b.truth);
         assert_eq!(a.faults, b.faults);
+    }
+
+    /// Arrival jitter reorders delivery but invents or loses nothing: the
+    /// record multiset and the ground truth are unchanged, and some
+    /// adjacent pair really is out of timestamp order.
+    #[test]
+    fn arrival_jitter_permutes_without_loss() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(3, 77, FaultRates::bgp_study());
+        let ordered = run_scenario(&topo, &cfg);
+        let mut jittered_cfg = cfg.clone();
+        jittered_cfg.arrival_jitter = grca_types::Duration::mins(10);
+        let jittered = run_scenario(&topo, &jittered_cfg);
+        assert_eq!(ordered.truth, jittered.truth);
+        assert_eq!(ordered.records.len(), jittered.records.len());
+        let key = |r: &RawRecord| format!("{r:?}");
+        let mut a: Vec<String> = ordered.records.iter().map(key).collect();
+        let mut b: Vec<String> = jittered.records.iter().map(key).collect();
+        assert_ne!(a, b, "10-minute jitter should reorder delivery");
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "jitter must only permute records");
+        let times: Vec<_> = jittered
+            .records
+            .iter()
+            .map(|r| approx_utc(&topo, r))
+            .collect();
+        assert!(
+            times.windows(2).any(|w| w[0] > w[1]),
+            "jittered delivery should contain out-of-order timestamps"
+        );
     }
 
     #[test]

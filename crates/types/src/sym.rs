@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// An interned string: 4 bytes, `Copy`, O(1) equality and hashing.
 ///
@@ -78,6 +78,23 @@ impl Symbol {
     /// The interned text. O(1); the returned reference is `'static`.
     pub fn as_str(self) -> &'static str {
         SymbolTable::resolve(self)
+    }
+
+    /// The interned text as a shared `Arc<str>`.
+    ///
+    /// The `Arc` for each symbol is allocated once per process and cloned
+    /// on every later call, so attaching the same bounded-vocabulary text
+    /// (circuit names, workflow activities, …) to many event instances
+    /// copies a pointer instead of the string — this is how extraction
+    /// threads the interner through `EventInstance::with_info`.
+    pub fn as_arc(self) -> Arc<str> {
+        static ARCS: OnceLock<RwLock<HashMap<u32, Arc<str>>>> = OnceLock::new();
+        let arcs = ARCS.get_or_init(|| RwLock::new(HashMap::new()));
+        if let Some(hit) = arcs.read().expect("symbol arc table").get(&self.0) {
+            return Arc::clone(hit);
+        }
+        let mut t = arcs.write().expect("symbol arc table");
+        Arc::clone(t.entry(self.0).or_insert_with(|| Arc::from(self.as_str())))
     }
 }
 
@@ -215,6 +232,17 @@ mod tests {
         assert!(s != "sym-test-other");
         assert_eq!(format!("{s}"), "sym-test-cmp");
         assert_eq!(format!("{s:?}"), "\"sym-test-cmp\"");
+    }
+
+    #[test]
+    fn as_arc_is_shared_per_symbol() {
+        let s = Symbol::new("sym-test-arc");
+        let a = s.as_arc();
+        let b = s.as_arc();
+        assert!(Arc::ptr_eq(&a, &b), "one allocation per symbol");
+        assert_eq!(&*a, "sym-test-arc");
+        let other = Symbol::new("sym-test-arc-other").as_arc();
+        assert!(!Arc::ptr_eq(&a, &other));
     }
 
     #[test]
