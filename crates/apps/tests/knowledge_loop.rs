@@ -72,8 +72,8 @@ fn discovery_then_codification_explains_the_bug() {
         max_shifts: 300,
         ..Default::default()
     };
-    let hits = screen(&tester, &symptom_series(&grid, &cpu_related), &candidates);
-    let found = significant(&hits)
+    let screening = screen(&tester, &symptom_series(&grid, &cpu_related), &candidates);
+    let found = significant(&screening.hits)
         .iter()
         .any(|h| h.name == format!("workflow:{ACTIVITY}"));
     assert!(found, "screening must surface the provisioning series");

@@ -29,6 +29,18 @@ fn bench_nice(c: &mut Criterion) {
     g.bench_function("nice_test_90d_5min", |b| {
         b.iter(|| black_box(tester.test(&sym, &diag)))
     });
+    // The pre-overhaul dense reference at the same scale, for tracking
+    // the sparse-path advantage.
+    g.bench_function("nice_test_dense_90d_5min", |b| {
+        b.iter(|| black_box(tester.test_dense(&sym, &diag)))
+    });
+    // A sparse pair (≈1% density) — the screening common case, where the
+    // all-shifts pair bucketing does the work of 2000 dense dots.
+    let sparse_sym = series(n, 97, 0);
+    let sparse_diag = series(n, 101, 3);
+    g.bench_function("nice_test_sparse_pair_90d", |b| {
+        b.iter(|| black_box(tester.test(&sparse_sym, &sparse_diag)))
+    });
 
     // A bounded-shift tester trades null-sample count for speed.
     let fast = CorrelationTester {

@@ -11,7 +11,7 @@
 use grca_apps::bgp;
 use grca_bench::save_json;
 use grca_core::browser::location_routers;
-use grca_core::discovery::{candidate_series, screen, significant, symptom_series, SeriesGrid};
+use grca_core::discovery::{screen_parallel, symptom_series, CandidateCache, SeriesGrid};
 use grca_correlation::CorrelationTester;
 use grca_events::names as ev;
 use grca_net_model::gen::TopoGenConfig;
@@ -23,6 +23,8 @@ use std::collections::BTreeSet;
 #[derive(Serialize)]
 struct Result {
     candidates: usize,
+    testable: usize,
+    skipped: usize,
     cpu_related_flaps: usize,
     all_flaps: usize,
     significant_filtered: usize,
@@ -74,7 +76,8 @@ fn main() {
         .flat_map(|d| location_routers(&d.symptom.location))
         .collect();
     let grid = SeriesGrid::new(fx.cfg.start, fx.cfg.end(), Duration::mins(5));
-    let candidates = candidate_series(&fx.db, &grid, Some(&routers));
+    let cache = CandidateCache::new(&fx.db);
+    let candidates = cache.get(&grid, Some(&routers));
     println!(
         "screening against {} candidate series (paper: 3361)",
         candidates.len()
@@ -82,13 +85,15 @@ fn main() {
 
     let tester = CorrelationTester::default();
     let filtered_series = symptom_series(&grid, &cpu_related);
-    let hits = screen(&tester, &filtered_series, &candidates);
-    let sig = significant(&hits);
+    let screening = screen_parallel(&tester, &filtered_series, &candidates, 8);
+    let sig = screening.significant();
+    // "0 hits" and "0 testable series" are different findings; say which.
+    println!("screening outcome: {}", screening.summary());
     println!(
         "\nsignificant series for the CPU-related subset: {} (paper: ~80 of 3361)",
         sig.len()
     );
-    for h in hits.iter().take(10) {
+    for h in screening.hits.iter().take(10) {
         println!(
             "  {:<48} score {:>7.2} {}",
             h.name,
@@ -100,7 +105,7 @@ fn main() {
             }
         );
     }
-    let prov_f = hits.iter().find(|h| h.name == PROVISIONING);
+    let prov_f = screening.hits.iter().find(|h| h.name == PROVISIONING);
 
     // The control: the full flap series buries the signal.
     let unfiltered_series = symptom_series(&grid, &all);
@@ -135,6 +140,8 @@ fn main() {
         "exp_fig7_mining",
         &Result {
             candidates: candidates.len(),
+            testable: screening.hits.len(),
+            skipped: screening.skipped.len(),
             cpu_related_flaps: cpu_related.len(),
             all_flaps: all.len(),
             significant_filtered: sig.len(),
@@ -142,7 +149,8 @@ fn main() {
             provisioning_significant_filtered: okf,
             provisioning_score_unfiltered: su,
             provisioning_significant_unfiltered: oku,
-            top_filtered: hits
+            top_filtered: screening
+                .hits
                 .iter()
                 .take(10)
                 .map(|h| (h.name.clone(), h.result.score))

@@ -181,8 +181,9 @@ type JoinMemo = HashMap<(JoinLevel, Location, Location, u64), bool, FxBuild>;
 
 /// Work-stealing batch size: small enough that every worker can claim
 /// work (≈4 batches per worker when the load allows), large enough to
-/// amortize the atomic claim on big runs.
-fn batch_size(len: usize, threads: usize) -> usize {
+/// amortize the atomic claim on big runs. Shared with the screening pool
+/// in [`crate::discovery`].
+pub(crate) fn batch_size(len: usize, threads: usize) -> usize {
     (len / (4 * threads)).clamp(1, 32)
 }
 

@@ -33,7 +33,10 @@ pub use bayes::{
 pub use browser::{
     drill_down, render_diagnosis, render_trend, Breakdown, DrillDown, ResultBrowser,
 };
-pub use discovery::{candidate_series, screen, significant, ScreenHit, SeriesGrid};
+pub use discovery::{
+    candidate_series, screen, screen_baseline, screen_parallel, significant, CandidateCache,
+    ScreenHit, Screening, SeriesGrid,
+};
 pub use dsl::{parse_graph, render_graph};
 pub use engine::{Diagnosis, Engine, Evidence, UNKNOWN};
 pub use graph::{DiagnosisGraph, DiagnosisRule};

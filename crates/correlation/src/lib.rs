@@ -10,6 +10,8 @@
 
 pub mod nice;
 pub mod series;
+pub mod sparse;
 
 pub use nice::{CorrelationResult, CorrelationTester};
 pub use series::{pearson, EventSeries};
+pub use sparse::SparseBinary;

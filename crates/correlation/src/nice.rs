@@ -9,8 +9,29 @@
 //! of shifted correlation scores reflects how much correlation "comes for
 //! free" from burstiness. The observed (unshifted) correlation is
 //! significant only if it stands far outside that spread.
+//!
+//! Two implementations share the exact same semantics (same binarization,
+//! smoothing, guard band and shift subsampling):
+//!
+//! * [`CorrelationTester::test`] — the sparse fast path. Both series are
+//!   binary after preprocessing, so each series' mean and variance are
+//!   *shift-invariant* and per-shift work reduces to an integer cross
+//!   term, computed either for all shifts at once in `O(nnz_a × nnz_b)`
+//!   (see [`crate::sparse`]) or per shift against a bitmask in
+//!   `O(nnz_a)` when the supports are dense enough that pair bucketing
+//!   would cost more than the shift loop it replaces.
+//! * [`CorrelationTester::test_dense`] — the pre-overhaul reference:
+//!   rebuilds the shifted vector and recomputes Pearson from scratch for
+//!   every shift, `O(shifts × n)`. Kept live for differential tests and
+//!   honest benchmarking (`exp_perf_mining`).
+//!
+//! Scores agree to floating-point noise (the sparse path sums exact
+//! integer cross terms; the dense path accumulates centered products),
+//! and significance verdicts are identical — pinned by the property
+//! tests in `tests/differential.rs`.
 
 use crate::series::{pearson, EventSeries};
+use crate::sparse::{cross_all_shifts, cross_at, SparseBinary};
 
 /// Configuration for the circular-permutation test.
 ///
@@ -73,11 +94,89 @@ pub struct CorrelationResult {
 }
 
 impl CorrelationTester {
+    /// The shifts whose correlations form the null distribution: every
+    /// circular shift outside the ±`guard_bins` band, evenly subsampled
+    /// down to **at most** `max_shifts`. (The pre-overhaul rounding —
+    /// `len / max_shifts` truncated — could emit up to ~2× `max_shifts`
+    /// samples whenever `guarded_len < 2 × max_shifts`; rounding the step
+    /// up caps the count exactly.)
+    fn shift_plan(&self, n: usize) -> Vec<usize> {
+        let candidates: Vec<usize> = (1..n)
+            .filter(|&s| s > self.guard_bins && n - s > self.guard_bins)
+            .collect();
+        if candidates.is_empty() {
+            return candidates;
+        }
+        let step = candidates.len().div_ceil(self.max_shifts).max(1);
+        candidates.into_iter().step_by(step).collect()
+    }
+
     /// Test whether `symptom` and `diagnostic` co-occur more than their
     /// autocorrelation structure explains. Returns `None` when either
     /// series is constant (no events, or events in every bin) — no test is
     /// possible then.
+    ///
+    /// This is the sparse fast path; [`CorrelationTester::test_dense`] is
+    /// the equivalent dense reference.
     pub fn test(
+        &self,
+        symptom: &EventSeries,
+        diagnostic: &EventSeries,
+    ) -> Option<CorrelationResult> {
+        assert_eq!(symptom.len(), diagnostic.len(), "series must share binning");
+        let n = symptom.len();
+        if n < 8 {
+            return None;
+        }
+        let a = SparseBinary::from_series(symptom);
+        let b = SparseBinary::from_series(diagnostic).smeared(self.smooth_bins);
+        let (na, nb) = (a.nnz(), b.nnz());
+        // Constant after preprocessing (zero variance): untestable, the
+        // condition under which dense Pearson returns `None`.
+        if na == 0 || na == n || nb == 0 || nb == n {
+            return None;
+        }
+        let shifts = self.shift_plan(n);
+        if shifts.len() < 8 {
+            return None;
+        }
+
+        // Circular shifts permute a series, so means and variances are
+        // shift-invariant: precompute the moments once and reduce every
+        // shift to its integer cross term.
+        let nf = n as f64;
+        let (naf, nbf) = (na as f64, nb as f64);
+        let base = naf * nbf / nf; // n·mean(a)·mean(b)
+        let va = naf - naf * naf / nf; // Σ(aᵢ−mean(a))²
+        let vb = nbf - nbf * nbf / nf;
+        let denom = va.sqrt() * vb.sqrt();
+        let r_of = |cross: u32| (f64::from(cross) - base) / denom;
+
+        // Pair bucketing computes all n cross terms in O(nnz_a × nnz_b);
+        // per-shift probing costs O(shifts × nnz_a). Bucket only while it
+        // is no more work than the dense shift loop it replaces, so
+        // dense-ish series never regress.
+        let (r, null) = if (na as u64) * (nb as u64) <= (shifts.len() as u64) * (n as u64) {
+            let cross = cross_all_shifts(&a, &b);
+            let null: Vec<f64> = shifts.iter().map(|&s| r_of(cross[s])).collect();
+            (r_of(cross[0]), null)
+        } else {
+            let mask = b.mask();
+            let null: Vec<f64> = shifts
+                .iter()
+                .map(|&s| r_of(cross_at(&a, &mask, s)))
+                .collect();
+            (r_of(cross_at(&a, &mask, 0)), null)
+        };
+        Some(self.summarize(r, null))
+    }
+
+    /// The pre-overhaul dense implementation: rebuild the shifted vector
+    /// and recompute Pearson from scratch for every evaluated shift,
+    /// `O(shifts × n)` per pair. Semantically identical to
+    /// [`CorrelationTester::test`] (scores agree to float noise, verdicts
+    /// exactly); kept live as the differential/benchmark baseline.
+    pub fn test_dense(
         &self,
         symptom: &EventSeries,
         diagnostic: &EventSeries,
@@ -90,18 +189,10 @@ impl CorrelationTester {
             return None;
         }
         let r = pearson(&a.counts, &b.counts)?;
-
-        // Null distribution over circular shifts outside the guard zone.
-        let candidate_shifts: Vec<usize> = (1..n)
-            .filter(|&s| s > self.guard_bins && n - s > self.guard_bins)
-            .collect();
-        if candidate_shifts.is_empty() {
-            return None;
-        }
-        let step = (candidate_shifts.len() / self.max_shifts).max(1);
-        let mut null = Vec::new();
+        let shifts = self.shift_plan(n);
+        let mut null = Vec::with_capacity(shifts.len());
         let mut shifted = vec![0.0; n];
-        for &s in candidate_shifts.iter().step_by(step) {
+        for &s in &shifts {
             for (i, slot) in shifted.iter_mut().enumerate() {
                 *slot = b.counts[(i + s) % n];
             }
@@ -112,18 +203,23 @@ impl CorrelationTester {
         if null.len() < 8 {
             return None;
         }
+        Some(self.summarize(r, null))
+    }
+
+    /// Fold the observed correlation and the null samples into a result.
+    fn summarize(&self, r: f64, null: Vec<f64>) -> CorrelationResult {
         let m = null.iter().sum::<f64>() / null.len() as f64;
         let var = null.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / null.len() as f64;
         let std = var.sqrt().max(1e-9);
         let score = (r - m) / std;
-        Some(CorrelationResult {
+        CorrelationResult {
             r,
             null_mean: m,
             null_std: std,
             score,
             significant: score > self.score_threshold,
             shifts: null.len(),
-        })
+        }
     }
 }
 
@@ -226,6 +322,58 @@ mod tests {
         let t = CorrelationTester::default();
         let a = series_from_bits(&[1, 0, 1, 0]);
         assert!(t.test(&a, &a).is_none());
+    }
+
+    #[test]
+    fn subsampling_never_exceeds_max_shifts() {
+        // Regression: with `guarded_len < 2 × max_shifts` the truncated
+        // step `(len / max_shifts).max(1)` rounded down to 1 and emitted
+        // every shift — up to ~2× the configured cap. The step now rounds
+        // up, so the cap holds exactly.
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [150usize, 199, 280, 399] {
+            let bits = random_sparse(&mut rng, n, 0.2);
+            let s = series_from_bits(&bits);
+            let t = CorrelationTester {
+                max_shifts: 100,
+                ..Default::default()
+            };
+            let res = t.test(&s, &s).unwrap();
+            assert!(
+                res.shifts <= 100,
+                "n={n}: {} null samples exceed max_shifts=100",
+                res.shifts
+            );
+            // The dense reference shares the plan.
+            assert_eq!(res.shifts, t.test_dense(&s, &s).unwrap().shifts);
+        }
+        // Below the cap nothing is subsampled: all guarded shifts run.
+        let bits = random_sparse(&mut rng, 50, 0.3);
+        let s = series_from_bits(&bits);
+        let t = CorrelationTester::default();
+        assert_eq!(t.test(&s, &s).unwrap().shifts, 45); // 49 shifts − 2·guard(2)
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 1500;
+        let a = series_from_bits(&random_sparse(&mut rng, n, 0.02));
+        let b = series_from_bits(&random_sparse(&mut rng, n, 0.4));
+        let t = CorrelationTester::default();
+        for (x, y) in [(&a, &b), (&a, &a), (&b, &b), (&b, &a)] {
+            let s = t.test(x, y).unwrap();
+            let d = t.test_dense(x, y).unwrap();
+            assert!(
+                (s.score - d.score).abs() < 1e-9,
+                "{} vs {}",
+                s.score,
+                d.score
+            );
+            assert!((s.r - d.r).abs() < 1e-12);
+            assert_eq!(s.significant, d.significant);
+            assert_eq!(s.shifts, d.shifts);
+        }
     }
 
     #[test]

@@ -95,6 +95,17 @@ impl EventSeries {
         self.counts.iter().sum()
     }
 
+    /// Sorted indices of the bins with a positive count — the support of
+    /// [`EventSeries::to_binary`], as consumed by the sparse tester path.
+    pub fn nonzero_bins(&self) -> Vec<u32> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
     /// Box-max smoothing: bin i becomes the max over `[i-k, i+k]`.
     pub fn smoothed(&self, k: usize) -> EventSeries {
         let n = self.counts.len();
@@ -175,6 +186,16 @@ mod tests {
         assert_eq!(b.counts[3], 1.0);
         let sm = b.smoothed(1);
         assert_eq!(sm.counts, vec![0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn nonzero_bins_is_the_binary_support() {
+        let s = EventSeries::from_instants(ts(0), Duration::secs(1), 6, vec![ts(1), ts(1), ts(4)]);
+        assert_eq!(s.nonzero_bins(), vec![1, 4]);
+        assert_eq!(
+            EventSeries::zeros(ts(0), Duration::secs(1), 4).nonzero_bins(),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

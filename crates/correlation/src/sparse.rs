@@ -1,0 +1,198 @@
+//! Sparse binary series and all-shifts circular cross-correlation.
+//!
+//! The NICE test (see [`crate::nice`]) binarizes both series, so a series
+//! is fully described by its *support* — the sorted indices of its 1-bins.
+//! Two properties make the circular-permutation null cheap on this
+//! representation:
+//!
+//! * **Shift-invariant moments.** A circular shift permutes a series, so
+//!   its mean and variance never change. Pearson at shift `s` reduces to
+//!   the cross term `Σ aᵢ·b₍ᵢ₊ₛ₎ mod n` plugged into fixed moments.
+//! * **All shifts in one pass.** For binary series the cross term at
+//!   shift `s` counts the pairs `(i ∈ supp a, j ∈ supp b)` with
+//!   `(j − i) mod n = s`. One pass over the `nnz_a × nnz_b` index pairs,
+//!   bucketing each difference, yields the cross terms for *every* shift
+//!   at once — replacing `shifts` dense dot products of length `n`.
+//!
+//! When the support is large (`nnz_a × nnz_b` exceeds the per-shift work
+//! it would replace) the tester probes shifts individually against a
+//! bitmask instead; both strategies count the same integers, so they are
+//! bit-identical (integer counts are exact in `f64` far beyond any
+//! realistic series length).
+
+use crate::series::EventSeries;
+
+/// The support of a binarized series: sorted indices of the bins whose
+/// count is positive, plus the total bin count `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseBinary {
+    n: usize,
+    idx: Vec<u32>,
+}
+
+impl SparseBinary {
+    /// Binarize `series` sparsely (the support of
+    /// [`EventSeries::to_binary`]).
+    pub fn from_series(series: &EventSeries) -> Self {
+        SparseBinary {
+            n: series.len(),
+            idx: series.nonzero_bins(),
+        }
+    }
+
+    /// Number of bins in the underlying grid.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the grid has no bins at all.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of 1-bins.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// The sorted 1-bin indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.idx
+    }
+
+    /// Box-max smoothing of a binary series: every 1-bin smears to
+    /// `[i−k, i+k]`, clamped to the grid edges (matching
+    /// [`EventSeries::smoothed`], which does not wrap).
+    pub fn smeared(&self, k: usize) -> SparseBinary {
+        if k == 0 || self.idx.is_empty() {
+            return self.clone();
+        }
+        let mut idx = Vec::with_capacity(self.idx.len().saturating_mul(2 * k + 1).min(self.n));
+        let mut next = 0u32; // first index not yet emitted
+        for &i in &self.idx {
+            let lo = (i as usize).saturating_sub(k) as u32;
+            let hi = ((i as usize) + k).min(self.n - 1) as u32;
+            for j in lo.max(next)..=hi {
+                idx.push(j);
+            }
+            next = next.max(hi + 1);
+        }
+        SparseBinary { n: self.n, idx }
+    }
+
+    /// Dense bitmask of the support, for per-shift probing.
+    pub fn mask(&self) -> Vec<u64> {
+        let mut mask = vec![0u64; self.n.div_ceil(64)];
+        for &i in &self.idx {
+            mask[(i as usize) >> 6] |= 1u64 << (i & 63);
+        }
+        mask
+    }
+
+    /// Materialize back to a dense 0/1 series (testing aid).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        for &i in &self.idx {
+            out[i as usize] = 1.0;
+        }
+        out
+    }
+}
+
+/// Cross terms `cross[s] = Σᵢ aᵢ · b₍ᵢ₊ₛ₎ mod n` for **all** `n` shifts in
+/// one `O(nnz_a × nnz_b)` pass: the pair `(i, j)` aligns when
+/// `s = (j − i) mod n`.
+pub fn cross_all_shifts(a: &SparseBinary, b: &SparseBinary) -> Vec<u32> {
+    assert_eq!(a.n, b.n, "series length mismatch");
+    let n = a.n;
+    let mut cross = vec![0u32; n];
+    for &i in &a.idx {
+        let off = n - i as usize;
+        for &j in &b.idx {
+            let s = j as usize + off;
+            let s = if s >= n { s - n } else { s };
+            cross[s] += 1;
+        }
+    }
+    cross
+}
+
+/// The cross term at a single shift, probing `b`'s bitmask: counts the
+/// `i ∈ supp a` with `b[(i + s) mod n] = 1` in `O(nnz_a)`.
+pub fn cross_at(a: &SparseBinary, b_mask: &[u64], s: usize) -> u32 {
+    let n = a.n;
+    let mut count = 0u32;
+    for &i in &a.idx {
+        let j = i as usize + s;
+        let j = if j >= n { j - n } else { j };
+        if b_mask[j >> 6] >> (j & 63) & 1 == 1 {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_types::{Duration, Timestamp};
+
+    fn series(counts: Vec<f64>) -> EventSeries {
+        EventSeries {
+            start: Timestamp(0),
+            bin: Duration::secs(60),
+            counts,
+        }
+    }
+
+    #[test]
+    fn support_roundtrip() {
+        let s = series(vec![0.0, 2.0, 0.0, 1.0, 0.0]);
+        let sp = SparseBinary::from_series(&s);
+        assert_eq!(sp.len(), 5);
+        assert_eq!(sp.nnz(), 2);
+        assert_eq!(sp.indices(), &[1, 3]);
+        assert_eq!(sp.to_dense(), s.to_binary().counts);
+    }
+
+    #[test]
+    fn smeared_matches_dense_smoothing() {
+        // Overlapping smears, edge clamping, k past both edges.
+        for (bits, k) in [
+            (vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0], 1usize),
+            (vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0], 2),
+            (vec![0.0, 1.0, 1.0, 0.0], 3),
+            (vec![0.0, 0.0, 0.0], 2),
+            (vec![1.0; 5], 1),
+        ] {
+            let s = series(bits);
+            let dense = s.to_binary().smoothed(k).counts;
+            let sparse = SparseBinary::from_series(&s).smeared(k).to_dense();
+            assert_eq!(sparse, dense, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cross_terms_match_dense_dot_products() {
+        let a = series(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        let b = series(vec![0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+        let (sa, sb) = (SparseBinary::from_series(&a), SparseBinary::from_series(&b));
+        let all = cross_all_shifts(&sa, &sb);
+        let mask = sb.mask();
+        let n = a.len();
+        for (s, &bucketed) in all.iter().enumerate() {
+            let dense: f64 = (0..n).map(|i| a.counts[i] * b.counts[(i + s) % n]).sum();
+            assert_eq!(f64::from(bucketed), dense, "shift {s}");
+            assert_eq!(f64::from(cross_at(&sa, &mask, s)), dense, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn empty_support_is_all_zero() {
+        let a = series(vec![0.0; 6]);
+        let b = series(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let (sa, sb) = (SparseBinary::from_series(&a), SparseBinary::from_series(&b));
+        assert_eq!(cross_all_shifts(&sa, &sb), vec![0; 6]);
+        assert_eq!(cross_at(&sb, &sa.mask(), 3), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Differential property tests: the sparse fast path
+//! (`CorrelationTester::test`) must agree with the dense reference
+//! (`test_dense`) — same Some/None outcome, same significance verdict,
+//! scores equal to floating-point noise — over random sparse, dense,
+//! bursty, constant and short series, across tester configurations.
+
+use grca_correlation::{CorrelationTester, EventSeries};
+use grca_types::{Duration, Timestamp};
+use proptest::prelude::*;
+
+fn series(bits: &[u8]) -> EventSeries {
+    EventSeries {
+        start: Timestamp(0),
+        bin: Duration::secs(60),
+        counts: bits.iter().map(|&b| f64::from(b)).collect(),
+    }
+}
+
+/// Assert the two paths agree on one pair under one configuration.
+fn assert_agree(
+    t: &CorrelationTester,
+    a: &EventSeries,
+    b: &EventSeries,
+) -> Result<(), TestCaseError> {
+    let sparse = t.test(a, b);
+    let dense = t.test_dense(a, b);
+    match (&sparse, &dense) {
+        (None, None) => {}
+        (Some(s), Some(d)) => {
+            // The paths agree on r and the null moments to ~1e-12; the
+            // score divides by null_std, so allow that same noise after
+            // amplification (degenerate nulls bottom out at the 1e-9
+            // floor and blow tiny float noise up proportionally), plus a
+            // relative term for large scores.
+            let tol = (1e-12 / d.null_std).max(1e-9 * s.score.abs().max(1.0));
+            prop_assert!(
+                (s.score - d.score).abs() <= tol,
+                "score {} vs {} (null_std {})",
+                s.score,
+                d.score,
+                d.null_std
+            );
+            prop_assert!((s.r - d.r).abs() <= 1e-12, "r {} vs {}", s.r, d.r);
+            prop_assert!((s.null_mean - d.null_mean).abs() <= 1e-12);
+            prop_assert!((s.null_std - d.null_std).abs() <= 1e-12);
+            prop_assert_eq!(s.significant, d.significant);
+            prop_assert_eq!(s.shifts, d.shifts);
+        }
+        _ => prop_assert!(false, "sparse={sparse:?} dense={dense:?}"),
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Thresholded random series sweep density from ~1/8 to ~7/8, so both
+    /// the pair-bucketing and the bitmask-probing strategies are hit.
+    #[test]
+    fn random_density_sweep(
+        a_raw in proptest::collection::vec(0u8..8, 0..600),
+        b_raw in proptest::collection::vec(0u8..8, 0..600),
+        a_thresh in 1u8..8,
+        b_thresh in 1u8..8,
+        smooth in 0usize..4,
+        guard in 0usize..5,
+        max_shifts in 8usize..256,
+    ) {
+        let n = a_raw.len().min(b_raw.len());
+        let a: Vec<u8> = a_raw[..n].iter().map(|&x| u8::from(x >= a_thresh)).collect();
+        let b: Vec<u8> = b_raw[..n].iter().map(|&x| u8::from(x >= b_thresh)).collect();
+        let t = CorrelationTester {
+            guard_bins: guard,
+            smooth_bins: smooth,
+            max_shifts,
+            ..Default::default()
+        };
+        assert_agree(&t, &series(&a), &series(&b))?;
+    }
+
+    /// Bursty series (runs of 1s separated by gaps) — the autocorrelated
+    /// regime NICE is built for, and the worst case for naive nulls.
+    #[test]
+    fn bursty_series(
+        bursts in proptest::collection::vec((0usize..40, 1usize..12), 0..20),
+        phase in 0usize..50,
+        n in 16usize..400,
+        smooth in 0usize..3,
+    ) {
+        let mut bits = vec![0u8; n];
+        let mut pos = phase % n;
+        for &(gap, len) in &bursts {
+            pos += gap;
+            if pos >= n {
+                break;
+            }
+            let end = (pos + len).min(n);
+            bits[pos..end].fill(1);
+            pos = end;
+        }
+        let t = CorrelationTester {
+            smooth_bins: smooth,
+            ..Default::default()
+        };
+        let s = series(&bits);
+        assert_agree(&t, &s, &s)?;
+        // Against an offset copy of itself (circularly rotated).
+        let rot: Vec<u8> = (0..n).map(|i| bits[(i + n / 3) % n]).collect();
+        assert_agree(&t, &s, &series(&rot))?;
+    }
+
+    /// Constant and near-constant series: both paths must refuse (or
+    /// accept) identically.
+    #[test]
+    fn constant_and_near_constant(
+        n in 0usize..128,
+        fill in 0u8..2,
+        one_bit in 0usize..128,
+    ) {
+        let flat = vec![fill; n];
+        let mut nearly = flat.clone();
+        if n > 0 {
+            nearly[one_bit % n] = 1 - fill;
+        }
+        let mixed: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+        let t = CorrelationTester::default();
+        for x in [&flat, &nearly, &mixed] {
+            for y in [&flat, &nearly, &mixed] {
+                assert_agree(&t, &series(x), &series(y))?;
+            }
+        }
+    }
+
+    /// Short series (below and around the 8-bin minimum).
+    #[test]
+    fn short_series(
+        a in proptest::collection::vec(0u8..2, 0..16),
+        b in proptest::collection::vec(0u8..2, 0..16),
+    ) {
+        let n = a.len().min(b.len());
+        let t = CorrelationTester::default();
+        assert_agree(&t, &series(&a[..n]), &series(&b[..n]))?;
+    }
+}

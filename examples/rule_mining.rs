@@ -19,7 +19,7 @@
 
 use grca::apps::bgp;
 use grca::collector::Database;
-use grca::core::discovery::{candidate_series, screen, significant, symptom_series, SeriesGrid};
+use grca::core::discovery::{screen_parallel, symptom_series, CandidateCache, SeriesGrid};
 use grca::core::ResultBrowser;
 use grca::correlation::CorrelationTester;
 use grca::events::names as ev;
@@ -62,14 +62,18 @@ fn main() {
         .flat_map(|d| grca::core::browser::location_routers(&d.symptom.location))
         .collect();
     let grid = SeriesGrid::new(cfg.start, cfg.end(), Duration::mins(5));
-    let candidates = candidate_series(&db, &grid, Some(&routers));
+    // The cache makes the prefilter → re-screen loop cheap: every later
+    // screening over the same (grid, routers) reuses these series.
+    let cache = CandidateCache::new(&db);
+    let candidates = cache.get(&grid, Some(&routers));
     println!("screening against {} candidate series", candidates.len());
 
     let tester = CorrelationTester::default();
     let filtered = symptom_series(&grid, &cpu_related);
-    let hits = screen(&tester, &filtered, &candidates);
+    let screening = screen_parallel(&tester, &filtered, &candidates, 8);
+    println!("screening outcome: {}", screening.summary());
     println!("\ntop candidates for the CPU-related subset:");
-    for h in hits.iter().take(8) {
+    for h in screening.hits.iter().take(8) {
         println!(
             "  {:<45} score {:>6.2} {}",
             h.name,
@@ -81,7 +85,7 @@ fn main() {
             }
         );
     }
-    let sig = significant(&hits);
+    let sig = screening.significant();
     let found = sig
         .iter()
         .any(|h| h.name == "workflow:provision-customer-port");
