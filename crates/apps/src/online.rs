@@ -2,22 +2,46 @@
 //!
 //! The batch pipeline diagnoses a closed historical window. [`OnlineRca`]
 //! turns the same configuration into a streaming tool: raw records arrive
-//! in batches (micro-batches from live feeds), and a diagnosis is emitted
-//! for each symptom as soon as its *evidence horizon* has passed — the
-//! watermark `now - hold_back`, where `hold_back` is the largest temporal
-//! slack any rule in the graph can bridge (e.g. the reboot banner landing
-//! minutes after the flaps it explains). Each symptom is emitted exactly
-//! once; results are identical to a batch run over the same records,
-//! which the tests assert.
+//! in per-cycle micro-batches from live feeds, and a diagnosis is emitted
+//! for each symptom once its *evidence horizon* has passed — the symptom's
+//! window end plus `hold_back`: the largest temporal slack any rule in the
+//! graph can bridge (e.g. the reboot banner landing minutes after the
+//! flaps it explains) plus extraction's materialization latency (a flap
+//! diagnostic exists only once its up transition arrives; an episode's end
+//! settles only after a healthy gap).
+//!
+//! Real feeds stall and die, so the horizon alone is not enough: a
+//! [`FeedRegistry`] tracks every relevant feed's delivery watermark, and a
+//! symptom is diagnosed only once every feed its rules could draw
+//! evidence from has either advanced past the horizon or is live enough
+//! that its silence is vouched for. A feed that stays behind past a
+//! bounded `wait_budget` stops blocking: the symptom is emitted in
+//! **degraded mode** ([`EmissionMode::Degraded`]), naming the missing
+//! feeds and carrying a confidence downgrade. If the missing feeds catch
+//! up within `amend_window`, the symptom is re-diagnosed on the full
+//! evidence and a superseding amendment is emitted (`amends = true`,
+//! same key) — so under eventual delivery the folded stream converges to
+//! the batch verdicts, and under permanent feed loss every affected
+//! verdict is explicitly flagged rather than silently wrong.
+//!
+//! State is bounded for arbitrarily long runs: symptoms older than the
+//! *skip floor* (`now - hold_back - amend_window`) are never diagnosed or
+//! amended again, so the emitted-key table, the pending-amendment table,
+//! the stateless extraction cache, and the quarantine journal are all
+//! pruned against that same floor each cycle.
 
 use crate::context::AppOutput;
-use grca_collector::{Database, IngestStats};
-use grca_core::{Diagnosis, DiagnosisGraph, Engine};
+use grca_collector::{Database, FeedRegistry, IngestStats};
+use grca_core::{DiagnosisGraph, Emission, Engine};
 use grca_events::{EventDefinition, ExtractCx, IncrementalExtractor};
 use grca_net_model::{RouteOracle, SpatialModel, Topology};
 use grca_telemetry::records::RawRecord;
-use grca_types::{Duration, Result, Timestamp};
-use std::collections::BTreeSet;
+use grca_types::{Duration, Result, Symbol, Timestamp};
+use std::collections::BTreeMap;
+
+/// Quarantined records kept for operator drill-down; older entries are
+/// dropped each cycle (counts in [`IngestStats`] are never pruned).
+const QUARANTINE_KEEP: usize = 10_000;
 
 /// A streaming RCA application instance.
 pub struct OnlineRca<'a> {
@@ -29,17 +53,36 @@ pub struct OnlineRca<'a> {
     /// Accumulated normalized data.
     db: Database,
     stats: IngestStats,
+    /// Per-feed cadence expectations and delivery watermarks.
+    registry: FeedRegistry,
+    /// Feeds the graph's event definitions read — the set whose
+    /// watermarks gate emission.
+    relevant_feeds: Vec<&'static str>,
     /// How long to wait past a symptom before diagnosing it, so that all
     /// evidence any rule could join has arrived.
     hold_back: Duration,
-    /// Symptoms already emitted: (location key, start unix).
-    emitted: BTreeSet<(String, i64)>,
+    /// How long past the horizon a symptom waits for lagging feeds before
+    /// emitting degraded.
+    wait_budget: Duration,
+    /// How long after the horizon a degraded verdict can still be amended
+    /// (and, equally, how long emitted keys are remembered).
+    amend_window: Duration,
+    /// Symptoms already emitted: key → window-end unix (for pruning).
+    emitted: BTreeMap<(String, i64), i64>,
+    /// Degraded emissions awaiting recovery: key → window-end unix.
+    pending_amend: BTreeMap<(String, i64), i64>,
 }
 
 impl<'a> OnlineRca<'a> {
     /// Build from an application's configuration. The hold-back is derived
-    /// from the graph: the largest rule slack plus a margin for flap
-    /// pairing (a symptom's own window must have closed too).
+    /// from the graph: the largest rule slack, plus extraction's
+    /// *materialization latency* — a flap diagnostic only exists once its
+    /// up transition arrives (up to [`grca_events::MAX_FLAP_GAP`] after
+    /// the down), and a threshold/anomaly episode's end is only settled
+    /// once a healthy gap ([`grca_events::MERGE_GAP`]) has passed — plus a
+    /// safety margin. With watermarks past `end + hold_back`, every
+    /// instance any rule could join is fully materialized and no later
+    /// record can change the verdict, so streaming labels equal batch.
     pub fn new(
         topo: &'a Topology,
         defs: Vec<EventDefinition>,
@@ -52,14 +95,34 @@ impl<'a> OnlineRca<'a> {
             .map(|r| r.temporal.slack().as_secs())
             .max()
             .unwrap_or(0);
+        let settle = grca_events::MAX_FLAP_GAP
+            .as_secs()
+            .max(grca_events::MERGE_GAP.as_secs());
+        let hold_back = Duration::secs(max_slack + settle + 120);
+        // Feeds any event named in the graph could draw evidence from.
+        let mut names: Vec<Symbol> = vec![graph.root];
+        for r in &graph.rules {
+            names.push(r.symptom);
+            names.push(r.diagnostic);
+        }
+        let feeds: std::collections::BTreeSet<&'static str> = defs
+            .iter()
+            .filter(|d| names.contains(&Symbol::new(d.name.as_str())))
+            .map(|d| d.feed())
+            .collect();
         Ok(OnlineRca {
             topo,
             extractor: IncrementalExtractor::new(defs),
             graph,
             db: Database::default(),
             stats: IngestStats::default(),
-            hold_back: Duration::secs(max_slack + 120),
-            emitted: BTreeSet::new(),
+            registry: FeedRegistry::new(),
+            relevant_feeds: feeds.into_iter().collect(),
+            hold_back,
+            wait_budget: Duration::secs(hold_back.as_secs() * 2),
+            amend_window: Duration::secs(hold_back.as_secs() * 6 + Duration::hours(8).as_secs()),
+            emitted: BTreeMap::new(),
+            pending_amend: BTreeMap::new(),
         })
     }
 
@@ -70,8 +133,37 @@ impl<'a> OnlineRca<'a> {
         self
     }
 
+    /// Override how long a symptom waits for lagging feeds past its
+    /// horizon before emitting degraded.
+    pub fn with_wait_budget(mut self, wait_budget: Duration) -> Self {
+        self.wait_budget = wait_budget;
+        self
+    }
+
+    /// Override the amendment window (also the retention horizon for
+    /// emitted-key state — larger windows keep more state).
+    pub fn with_amend_window(mut self, amend_window: Duration) -> Self {
+        self.amend_window = amend_window;
+        self
+    }
+
+    /// Tighten (or loosen) one feed's cadence expectation — how much
+    /// silence is plausible before the feed stops vouching for its gaps.
+    pub fn with_feed_cadence(mut self, feed: &'static str, cadence: Duration) -> Self {
+        self.registry.set_cadence(feed, cadence);
+        self
+    }
+
     pub fn hold_back(&self) -> Duration {
         self.hold_back
+    }
+
+    pub fn wait_budget(&self) -> Duration {
+        self.wait_budget
+    }
+
+    pub fn amend_window(&self) -> Duration {
+        self.amend_window
     }
 
     /// The accumulated database (for drill-down alongside live results).
@@ -83,15 +175,70 @@ impl<'a> OnlineRca<'a> {
         &self.stats
     }
 
+    /// Per-feed health (cadence, watermark, state ladder).
+    pub fn registry(&self) -> &FeedRegistry {
+        &self.registry
+    }
+
+    /// The feeds whose watermarks gate emission for this graph.
+    pub fn relevant_feeds(&self) -> &[&'static str] {
+        &self.relevant_feeds
+    }
+
     /// How many `advance` cycles extended the stateless event caches from
     /// a delta slice rather than re-reading the whole database.
     pub fn delta_passes(&self) -> usize {
         self.extractor.delta_passes()
     }
 
+    /// Bounded-state observability: entries currently held across the
+    /// emitted-key table, the pending-amendment table, the stateless
+    /// extraction cache, and the quarantine journal. Long chaos runs
+    /// assert this plateaus.
+    pub fn state_size(&self) -> usize {
+        self.emitted.len()
+            + self.pending_amend.len()
+            + self.extractor.cached_instances()
+            + self.db.quarantine.len()
+    }
+
+    /// Relevant feeds still short of `horizon` at clock `now`. A live
+    /// feed's silence is vouched for (it never gates once the clock
+    /// reaches the horizon); a stalled/dead feed counts only what it
+    /// actually delivered. A feed never seen at all is treated as not
+    /// provisioned rather than missing — without per-source heartbeats
+    /// the two are indistinguishable, so a feed killed before its first
+    /// delivery will not gate (documented limitation; the chaos corpus
+    /// kills feeds mid-run).
+    fn missing_feeds(&self, horizon: Timestamp, now: Timestamp) -> Vec<&'static str> {
+        self.relevant_feeds
+            .iter()
+            .copied()
+            .filter(|f| match self.registry.effective_watermark(f, now) {
+                Some(w) => w < horizon,
+                None => false,
+            })
+            .collect()
+    }
+
+    /// Ingest a batch without diagnosing. Studies whose extraction reads
+    /// routing state rebuilt from the database (CDN, PIM) ingest first,
+    /// rebuild routing from [`OnlineRca::database`], then call
+    /// [`OnlineRca::advance`] with no records — so the routing snapshot
+    /// used for extraction and spatial joins includes the cycle's own
+    /// deliveries, matching what a batch run over the same data would see.
+    pub fn ingest(&mut self, records: &[RawRecord]) {
+        self.db.ingest_more(self.topo, records, &mut self.stats);
+        self.registry.observe_db(&self.db);
+    }
+
     /// Feed a batch of raw records and advance the clock to `now`.
-    /// Returns diagnoses for every not-yet-emitted symptom whose window
-    /// closed before the watermark `now - hold_back`.
+    ///
+    /// Returns the cycle's emissions: full diagnoses for symptoms whose
+    /// relevant feeds all passed the evidence horizon, degraded diagnoses
+    /// for symptoms whose wait budget expired with feeds still behind,
+    /// and amendments for previously degraded symptoms whose missing
+    /// feeds have since recovered.
     ///
     /// `oracle` supplies routing state for spatial joins; pass a freshly
     /// rebuilt [`crate::build_routing`] state (or `NullOracle` for
@@ -102,9 +249,9 @@ impl<'a> OnlineRca<'a> {
         now: Timestamp,
         oracle: &dyn RouteOracle,
         routing_for_extraction: Option<&grca_routing::RoutingState>,
-    ) -> Vec<Diagnosis> {
+    ) -> Vec<Emission> {
         self.db.ingest_more(self.topo, records, &mut self.stats);
-        let watermark = now - self.hold_back;
+        self.registry.observe_db(&self.db);
         // Extraction is a pure function of the database, so streaming
         // stays consistent with batch mode; the incremental extractor
         // re-reads only the newly appended rows for stateless events.
@@ -112,21 +259,60 @@ impl<'a> OnlineRca<'a> {
         let store = self.extractor.extract(&cx);
         let spatial = SpatialModel::new(self.topo, oracle);
         let engine = Engine::new(&self.graph, &store, &spatial);
+
+        // Below this, symptoms are never diagnosed or amended again; the
+        // same predicate prunes every piece of per-symptom state, so
+        // pruning can never re-open an emission.
+        let floor = now - self.hold_back - self.amend_window;
+
         let mut out = Vec::new();
         for symptom in store.instances(self.graph.root) {
-            if symptom.window.end > watermark {
+            if symptom.window.end.unix() <= floor.unix() {
+                continue; // beyond the skip floor: settled forever
+            }
+            let horizon = symptom.window.end + self.hold_back;
+            if now < horizon {
                 continue; // evidence horizon not reached yet
             }
             let key = (
                 symptom.location.display(self.topo),
                 symptom.window.start.unix(),
             );
-            if self.emitted.contains(&key) {
+            if self.emitted.contains_key(&key) {
+                // Already out — re-diagnose once if it went out degraded
+                // and every missing feed has since caught up.
+                if self.pending_amend.contains_key(&key)
+                    && self.missing_feeds(horizon, now).is_empty()
+                {
+                    self.pending_amend.remove(&key);
+                    out.push(Emission::full(engine.diagnose(symptom)).amending());
+                }
                 continue;
             }
-            self.emitted.insert(key);
-            out.push(engine.diagnose(symptom));
+            let missing = self.missing_feeds(horizon, now);
+            if missing.is_empty() {
+                self.emitted.insert(key, symptom.window.end.unix());
+                out.push(Emission::full(engine.diagnose(symptom)));
+            } else if now >= horizon + self.wait_budget {
+                self.emitted.insert(key.clone(), symptom.window.end.unix());
+                self.pending_amend.insert(key, symptom.window.end.unix());
+                out.push(Emission::degraded(engine.diagnose(symptom), missing));
+            }
+            // else: feeds behind but budget remains — hold for a later
+            // cycle (the symptom stays un-emitted).
         }
+
+        // Prune every state table against the shared floor. The extractor
+        // keeps an extra margin below it: stateless *diagnostic* instances
+        // slightly older than a still-open symptom can be evidence for it
+        // (rule slack ≤ hold_back, plus symptom windows spanning up to the
+        // 2 h flap-pairing gap).
+        let floor_unix = floor.unix();
+        self.emitted.retain(|_, end| *end > floor_unix);
+        self.pending_amend.retain(|_, end| *end > floor_unix);
+        self.extractor
+            .prune_before(floor - self.hold_back - Duration::hours(2));
+        self.db.trim_quarantine(QUARANTINE_KEEP);
         out
     }
 
@@ -156,9 +342,26 @@ impl<'a> OnlineRca<'a> {
 mod tests {
     use super::*;
     use crate::bgp;
+    use grca_core::{Diagnosis, EmissionMode};
     use grca_net_model::gen::{generate, TopoGenConfig};
     use grca_net_model::NullOracle;
     use grca_simnet::{run_scenario, FaultRates, ScenarioConfig};
+
+    /// Drain the tail of a stream: advance the clock in sub-allowance
+    /// steps so quiet-but-live feeds keep vouching for their silence
+    /// while the last horizons close.
+    fn drain(
+        online: &mut OnlineRca,
+        from: Timestamp,
+        until: Timestamp,
+        streamed: &mut Vec<Emission>,
+    ) {
+        let mut t = from;
+        while t < until {
+            t += Duration::mins(10);
+            streamed.extend(online.advance(&[], t, &NullOracle, None));
+        }
+    }
 
     #[test]
     fn streaming_matches_batch() {
@@ -170,20 +373,33 @@ mod tests {
         let (db, _) = Database::ingest(&topo, &out.records);
         let batch = bgp::run(&topo, &db).unwrap();
 
-        // Stream the same records in 2-hour arrival batches (records are
-        // unsorted, like real feeds; split deterministically by index).
-        let mut online =
-            OnlineRca::new(&topo, bgp::event_definitions(), bgp::diagnosis_graph()).unwrap();
-        let chunk = (out.records.len() / 36).max(1);
-        let mut streamed: Vec<Diagnosis> = Vec::new();
+        // Stream the same records in 2-hour arrival batches: each cycle
+        // delivers the records emitted before its clock instant, as live
+        // feeds would. The drain tail is quiet for hold_back + 30 min
+        // (~2.6 h) — longer than syslog's default staleness allowance — so
+        // widen the cadence to keep the silence vouched for: a live
+        // production feed would keep delivering records instead.
+        let mut online = OnlineRca::new(&topo, bgp::event_definitions(), bgp::diagnosis_graph())
+            .unwrap()
+            .with_feed_cadence("syslog", Duration::hours(1));
+        let mut streamed: Vec<Emission> = Vec::new();
         let mut now = cfg.start;
-        for batch_records in out.records.chunks(chunk) {
+        let mut idx = 0;
+        while now < cfg.end() {
             now += Duration::hours(2);
-            streamed.extend(online.advance(batch_records, now, &NullOracle, None));
+            let mut hi = idx;
+            while hi < out.records.len()
+                && grca_simnet::scenario::approx_utc(&topo, &out.records[hi]) < now
+            {
+                hi += 1;
+            }
+            streamed.extend(online.advance(&out.records[idx..hi], now, &NullOracle, None));
+            idx = hi;
         }
-        // Final flush: everything has arrived, move the clock past the end.
-        let end = cfg.end() + online.hold_back() + Duration::hours(3);
-        streamed.extend(online.advance(&[], end, &NullOracle, None));
+        // Final flush: no new data, but the clock keeps polling past the
+        // end so the last horizons close while the feeds are still live.
+        let end = cfg.end() + online.hold_back() + Duration::mins(30);
+        drain(&mut online, now, end, &mut streamed);
 
         // The scenario's records arrive in timestamp order, so after the
         // first full pass every cycle should have taken the delta path.
@@ -191,10 +407,20 @@ mod tests {
             online.delta_passes() > 0,
             "no cycle used incremental extraction"
         );
+        // Healthy feeds: everything emits exactly once, full, unamended.
+        assert!(
+            streamed
+                .iter()
+                .all(|e| e.mode == EmissionMode::Full && !e.amends),
+            "clean streaming must never degrade"
+        );
         assert_eq!(streamed.len(), batch.diagnoses.len());
         // Same labels per symptom key.
         let key = |d: &Diagnosis| (d.symptom.location.display(&topo), d.symptom.window.start);
-        let mut a: Vec<_> = streamed.iter().map(|d| (key(d), d.label())).collect();
+        let mut a: Vec<_> = streamed
+            .iter()
+            .map(|e| (key(&e.diagnosis), e.diagnosis.label()))
+            .collect();
         let mut b: Vec<_> = batch
             .diagnoses
             .iter()
@@ -214,17 +440,22 @@ mod tests {
             OnlineRca::new(&topo, bgp::event_definitions(), bgp::diagnosis_graph()).unwrap();
         let mut seen = std::collections::BTreeSet::new();
         let end = cfg.end() + Duration::hours(2);
-        // Feed everything, then advance the clock repeatedly.
+        // Feed everything, then advance the clock repeatedly. Data is
+        // complete from the first cycle (watermarks sit at the scenario
+        // end), so every emission must be full and unique.
         let mut first = true;
         let mut t = cfg.start;
         while t < end {
             let recs = if first { out.records.as_slice() } else { &[] };
             first = false;
-            for d in online.advance(recs, t, &NullOracle, None) {
+            for e in online.advance(recs, t, &NullOracle, None) {
+                assert_eq!(e.mode, EmissionMode::Full);
+                assert!(!e.amends);
+                let d = &e.diagnosis;
                 let k = (d.symptom.location.display(&topo), d.symptom.window.start);
                 assert!(seen.insert(k), "duplicate emission");
             }
-            t += Duration::hours(6);
+            t += Duration::hours(1);
         }
     }
 
@@ -242,5 +473,22 @@ mod tests {
             .max()
             .unwrap();
         assert!(online.hold_back().as_secs() >= max_slack);
+        // The defaults bound the wait and keep a generous amend window.
+        assert_eq!(
+            online.wait_budget().as_secs(),
+            online.hold_back().as_secs() * 2
+        );
+        assert!(online.amend_window() > online.wait_budget());
+    }
+
+    #[test]
+    fn relevant_feeds_derived_from_graph() {
+        let topo = generate(&TopoGenConfig::small());
+        let online =
+            OnlineRca::new(&topo, bgp::event_definitions(), bgp::diagnosis_graph()).unwrap();
+        // The BGP study reads syslog (flaps, reboots, resets) and snmp
+        // (CPU thresholds) at minimum.
+        assert!(online.relevant_feeds().contains(&"syslog"));
+        assert!(online.relevant_feeds().contains(&"snmp"));
     }
 }

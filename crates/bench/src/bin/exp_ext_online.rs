@@ -29,8 +29,12 @@ fn main() {
     let (db, _) = Database::ingest(&fx.topo, &fx.out.records);
     let batch = bgp::run(&fx.topo, &db).expect("valid app");
 
-    let mut online =
-        OnlineRca::new(&fx.topo, bgp::event_definitions(), bgp::diagnosis_graph()).unwrap();
+    // The post-scenario drain is quiet for hold_back + 30 min — longer than
+    // syslog's default staleness allowance — so widen the cadence to keep
+    // the silence vouched for; a live production feed would keep delivering.
+    let mut online = OnlineRca::new(&fx.topo, bgp::event_definitions(), bgp::diagnosis_graph())
+        .unwrap()
+        .with_feed_cadence("syslog", Duration::hours(1));
     let hold_back = online.hold_back();
     println!("derived hold-back: {hold_back}");
 
@@ -51,7 +55,12 @@ fn main() {
         }
         let recs = &fx.out.records[idx..hi];
         idx = hi;
-        for d in online.advance(recs, now, &NullOracle, None) {
+        for e in online.advance(recs, now, &NullOracle, None) {
+            assert!(
+                e.mode == grca_core::EmissionMode::Full,
+                "healthy feeds must emit full"
+            );
+            let d = e.diagnosis;
             let latency = now - d.symptom.window.end;
             if latency > max_latency {
                 max_latency = latency;
@@ -59,8 +68,18 @@ fn main() {
             streamed.push(d);
         }
     }
-    let end = fx.cfg.end() + hold_back + Duration::hours(2);
-    streamed.extend(online.advance(&[], end, &NullOracle, None));
+    // Drain the tail in sub-allowance steps so quiet-but-live feeds keep
+    // vouching for their silence while the last horizons close.
+    let end = fx.cfg.end() + hold_back + Duration::mins(30);
+    while now < end {
+        now += Duration::mins(10);
+        streamed.extend(
+            online
+                .advance(&[], now, &NullOracle, None)
+                .into_iter()
+                .map(|e| e.diagnosis),
+        );
+    }
 
     let key = |d: &grca_core::Diagnosis| {
         (

@@ -24,7 +24,7 @@ use crate::tables::Table;
 use grca_net_model::Topology;
 use grca_telemetry::records::RawRecord;
 use grca_telemetry::syslog::{parse_syslog_message, split_line};
-use grca_types::TimeZone;
+use grca_types::{TimeZone, Timestamp};
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,11 +38,19 @@ const PAR_MIN_RECORDS: usize = 2048;
 /// router does not serialize the whole pool).
 const SHARDS_PER_THREAD: usize = 8;
 
-/// Ingestion statistics (per feed: accepted / dropped).
+/// Ingestion statistics. Every input record is accounted for exactly once:
+/// `accepted + quarantined + deduplicated == records offered` — nothing is
+/// silently dropped anywhere in the pipeline.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct IngestStats {
     pub accepted: BTreeMap<&'static str, usize>,
-    pub dropped: BTreeMap<&'static str, usize>,
+    /// Records rejected by normalization (unknown entity, malformed line,
+    /// implausible value). The record itself lands in
+    /// [`Database::quarantine`] with a structured reason.
+    pub quarantined: BTreeMap<&'static str, usize>,
+    /// Exact re-deliveries of an already-ingested record (transport
+    /// retries, chaos duplication), skipped by the content-hash dedup.
+    pub deduplicated: BTreeMap<&'static str, usize>,
     /// Syslog rows whose body did not match the known message catalog
     /// (kept as raw rows — they still feed exploration and screening).
     pub syslog_unparsed: usize,
@@ -52,8 +60,21 @@ impl IngestStats {
     pub fn total_accepted(&self) -> usize {
         self.accepted.values().sum()
     }
+    pub fn total_quarantined(&self) -> usize {
+        self.quarantined.values().sum()
+    }
+    pub fn total_deduplicated(&self) -> usize {
+        self.deduplicated.values().sum()
+    }
+    /// Compatibility alias from when rejected records were dropped rather
+    /// than quarantined.
     pub fn total_dropped(&self) -> usize {
-        self.dropped.values().sum()
+        self.total_quarantined()
+    }
+    /// Records offered to ingestion, reconstructed from the accounting
+    /// invariant.
+    pub fn total_input(&self) -> usize {
+        self.total_accepted() + self.total_quarantined() + self.total_deduplicated()
     }
 
     /// Fold another worker's counts into this one (all counts are
@@ -62,8 +83,11 @@ impl IngestStats {
         for (feed, n) in &other.accepted {
             *self.accepted.entry(feed).or_default() += n;
         }
-        for (feed, n) in &other.dropped {
-            *self.dropped.entry(feed).or_default() += n;
+        for (feed, n) in &other.quarantined {
+            *self.quarantined.entry(feed).or_default() += n;
+        }
+        for (feed, n) in &other.deduplicated {
+            *self.deduplicated.entry(feed).or_default() += n;
         }
         self.syslog_unparsed += other.syslog_unparsed;
     }
@@ -71,12 +95,45 @@ impl IngestStats {
     /// One line per feed, for reports.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (feed, n) in &self.accepted {
-            let d = self.dropped.get(feed).copied().unwrap_or(0);
-            out.push_str(&format!("{feed:>10}: {n} accepted, {d} dropped\n"));
+        let mut feeds: Vec<&'static str> = self
+            .accepted
+            .keys()
+            .chain(self.quarantined.keys())
+            .chain(self.deduplicated.keys())
+            .copied()
+            .collect();
+        feeds.sort_unstable();
+        feeds.dedup();
+        for feed in feeds {
+            let n = self.accepted.get(feed).copied().unwrap_or(0);
+            let q = self.quarantined.get(feed).copied().unwrap_or(0);
+            let d = self.deduplicated.get(feed).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "{feed:>10}: {n} accepted, {q} quarantined, {d} deduplicated\n"
+            ));
         }
         out
     }
+}
+
+/// Why a record was quarantined instead of ingested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// A name/address that does not resolve against the topology
+    /// (decommissioned gear, divergent naming, corrupted identifier).
+    UnknownEntity { kind: &'static str, name: String },
+    /// The raw line/record could not be decoded at all.
+    Malformed { error: String },
+    /// Decoded, but the value cannot be real (NaN/infinite measurements).
+    Implausible { what: &'static str, detail: String },
+}
+
+/// One quarantined input record: kept (never silently dropped) so feed
+/// problems stay diagnosable from inside the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    pub feed: &'static str,
+    pub reason: QuarantineReason,
 }
 
 /// One normalized row, tagged with its destination table. The unit of
@@ -96,20 +153,74 @@ enum NormRow {
 }
 
 /// Normalize one raw record: resolve entity names through `res`, convert
-/// the source clock to UTC, and build the destination row. `None` means
-/// the record references unknown entities (or is malformed) and is
-/// dropped. Shared verbatim by the sequential and parallel ingest paths,
-/// so both produce identical rows by construction.
+/// the source clock to UTC, and build the destination row. `Err` carries
+/// the structured reason the record must be quarantined. Shared verbatim
+/// by the sequential and parallel ingest paths, so both produce identical
+/// rows by construction.
 fn normalize<R: EntityResolver>(
     topo: &Topology,
     res: &mut R,
     rec: &RawRecord,
     stats: &mut IngestStats,
-) -> Option<NormRow> {
+) -> Result<NormRow, QuarantineReason> {
+    let row = normalize_inner(topo, res, rec, stats)?;
+    // Clock plausibility: a record whose normalized instant falls outside
+    // [1990, 2100) is a corrupted timestamp, not a measurement. Without
+    // this guard one garbled year digit would catapult the feed's
+    // watermark centuries ahead and wedge online gating forever.
+    let utc = match &row {
+        NormRow::Syslog(r) => r.utc,
+        NormRow::Snmp(r) => r.utc,
+        NormRow::L1(r) => r.utc,
+        NormRow::Ospf(r) => r.utc,
+        NormRow::Bgp(r) => r.utc,
+        NormRow::Tacacs(r) => r.utc,
+        NormRow::Workflow(r) => r.utc,
+        NormRow::Perf(r) => r.utc,
+        NormRow::Cdn(r) => r.utc,
+        NormRow::Server(r) => r.utc,
+    };
+    const PLAUSIBLE_UNIX: std::ops::Range<i64> = 631_152_000..4_102_444_800;
+    if !PLAUSIBLE_UNIX.contains(&utc.unix()) {
+        return Err(QuarantineReason::Implausible {
+            what: "record clock",
+            detail: format!("normalized instant {utc} outside 1990..2100"),
+        });
+    }
+    Ok(row)
+}
+
+fn normalize_inner<R: EntityResolver>(
+    topo: &Topology,
+    res: &mut R,
+    rec: &RawRecord,
+    stats: &mut IngestStats,
+) -> Result<NormRow, QuarantineReason> {
+    fn unknown(kind: &'static str, name: &str) -> QuarantineReason {
+        QuarantineReason::UnknownEntity {
+            kind,
+            name: name.to_string(),
+        }
+    }
+    fn finite(what: &'static str, v: f64) -> Result<f64, QuarantineReason> {
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(QuarantineReason::Implausible {
+                what,
+                detail: format!("{v}"),
+            })
+        }
+    }
     match rec {
         RawRecord::Syslog(line) => {
-            let router = res.router_by_name(topo, &line.host)?;
-            let (local, body) = split_line(&line.line).ok()?;
+            let router = res
+                .router_by_name(topo, &line.host)
+                .ok_or_else(|| unknown("router", &line.host))?;
+            let (local, body) =
+                split_line(&line.line).map_err(|e| QuarantineReason::Malformed {
+                    error: e.to_string(),
+                })?;
             let utc = topo.router_tz(router).to_utc(local);
             let event = match parse_syslog_message(body) {
                 Ok(ev) => Some(ev),
@@ -118,7 +229,7 @@ fn normalize<R: EntityResolver>(
                     None
                 }
             };
-            Some(NormRow::Syslog(SyslogRow {
+            Ok(NormRow::Syslog(SyslogRow {
                 utc,
                 router,
                 event,
@@ -126,25 +237,34 @@ fn normalize<R: EntityResolver>(
             }))
         }
         RawRecord::Snmp(s) => {
-            let router = res.router_by_snmp_name(topo, &s.system)?;
+            let router = res
+                .router_by_snmp_name(topo, &s.system)
+                .ok_or_else(|| unknown("snmp system", &s.system))?;
             let utc = TimeZone::US_EASTERN.to_utc(s.local_time);
             let iface = match s.if_index {
-                Some(ix) => Some(res.iface_by_ifindex(topo, router, ix)?),
+                Some(ix) => Some(
+                    res.iface_by_ifindex(topo, router, ix)
+                        .ok_or_else(|| unknown("ifIndex", &format!("{}#{ix}", s.system)))?,
+                ),
                 None => None,
             };
-            Some(NormRow::Snmp(SnmpRow {
+            Ok(NormRow::Snmp(SnmpRow {
                 utc,
                 router,
                 metric: s.metric,
                 iface,
-                value: s.value,
+                value: finite("snmp sample", s.value)?,
             }))
         }
         RawRecord::L1Log(l) => {
-            let device = res.l1dev_by_name(topo, &l.device)?;
-            let circuit = res.circuit_by_name(topo, &l.circuit)?;
+            let device = res
+                .l1dev_by_name(topo, &l.device)
+                .ok_or_else(|| unknown("l1 device", &l.device))?;
+            let circuit = res
+                .circuit_by_name(topo, &l.circuit)
+                .ok_or_else(|| unknown("circuit", &l.circuit))?;
             let tz = topo.pop(topo.l1_device(device).pop).tz;
-            Some(NormRow::L1(L1Row {
+            Ok(NormRow::L1(L1Row {
                 utc: tz.to_utc(l.local_time),
                 device,
                 kind: l.kind,
@@ -152,16 +272,20 @@ fn normalize<R: EntityResolver>(
             }))
         }
         RawRecord::OspfMon(o) => {
-            let link = res.link_by_slash30(topo, o.link_addr)?;
-            Some(NormRow::Ospf(OspfRow {
+            let link = res
+                .link_by_slash30(topo, o.link_addr)
+                .ok_or_else(|| unknown("link /30", &o.link_addr.to_string()))?;
+            Ok(NormRow::Ospf(OspfRow {
                 utc: o.utc,
                 link,
                 weight: o.weight,
             }))
         }
         RawRecord::BgpMon(b) => {
-            let egress = res.router_by_name(topo, &b.egress_router)?;
-            Some(NormRow::Bgp(BgpRow {
+            let egress = res
+                .router_by_name(topo, &b.egress_router)
+                .ok_or_else(|| unknown("router", &b.egress_router))?;
+            Ok(NormRow::Bgp(BgpRow {
                 utc: b.utc,
                 reflector: b.reflector.clone(),
                 prefix: b.prefix,
@@ -170,52 +294,146 @@ fn normalize<R: EntityResolver>(
             }))
         }
         RawRecord::Tacacs(t) => {
-            let router = res.router_by_name(topo, &t.router)?;
-            Some(NormRow::Tacacs(TacacsRow {
+            let router = res
+                .router_by_name(topo, &t.router)
+                .ok_or_else(|| unknown("router", &t.router))?;
+            Ok(NormRow::Tacacs(TacacsRow {
                 utc: TimeZone::US_EASTERN.to_utc(t.local_time),
                 router,
                 user: t.user.clone(),
                 command: t.command.clone(),
             }))
         }
-        RawRecord::Workflow(w) => Some(NormRow::Workflow(WorkflowRow {
-            utc: TimeZone::US_EASTERN.to_utc(w.local_time),
-            entity: w.router.clone(),
-            router: res.router_by_name(topo, &w.router),
-            activity: w.activity.clone(),
-        })),
+        RawRecord::Workflow(w) => {
+            if w.activity.is_empty() {
+                return Err(QuarantineReason::Malformed {
+                    error: "empty workflow activity".to_string(),
+                });
+            }
+            Ok(NormRow::Workflow(WorkflowRow {
+                utc: TimeZone::US_EASTERN.to_utc(w.local_time),
+                entity: w.router.clone(),
+                router: res.router_by_name(topo, &w.router),
+                activity: w.activity.clone(),
+            }))
+        }
         RawRecord::Perf(p) => {
-            let ingress = res.router_by_name(topo, &p.ingress_router)?;
-            let egress = res.router_by_name(topo, &p.egress_router)?;
-            Some(NormRow::Perf(PerfRow {
+            let ingress = res
+                .router_by_name(topo, &p.ingress_router)
+                .ok_or_else(|| unknown("router", &p.ingress_router))?;
+            let egress = res
+                .router_by_name(topo, &p.egress_router)
+                .ok_or_else(|| unknown("router", &p.egress_router))?;
+            Ok(NormRow::Perf(PerfRow {
                 utc: p.utc,
                 ingress,
                 egress,
                 metric: p.metric,
-                value: p.value,
+                value: finite("perf probe", p.value)?,
             }))
         }
         RawRecord::CdnMon(c) => {
-            let node = res.cdn_node_by_name(topo, &c.node)?;
-            let client = res.client_site_for(topo, c.client_addr)?;
-            Some(NormRow::Cdn(CdnRow {
+            let node = res
+                .cdn_node_by_name(topo, &c.node)
+                .ok_or_else(|| unknown("cdn node", &c.node))?;
+            let client = res
+                .client_site_for(topo, c.client_addr)
+                .ok_or_else(|| unknown("client site", &c.client_addr.to_string()))?;
+            Ok(NormRow::Cdn(CdnRow {
                 utc: c.utc,
                 node,
                 client,
-                rtt_ms: c.rtt_ms,
-                throughput_mbps: c.throughput_mbps,
+                rtt_ms: finite("cdn rtt", c.rtt_ms)?,
+                throughput_mbps: finite("cdn throughput", c.throughput_mbps)?,
             }))
         }
         RawRecord::ServerLog(s) => {
-            let node = res.cdn_node_by_name(topo, &s.node)?;
+            let node = res
+                .cdn_node_by_name(topo, &s.node)
+                .ok_or_else(|| unknown("cdn node", &s.node))?;
             let tz = topo.pop(topo.cdn_node(node).pop).tz;
-            Some(NormRow::Server(ServerRow {
+            Ok(NormRow::Server(ServerRow {
                 utc: tz.to_utc(s.local_time),
                 node,
-                load: s.load,
+                load: finite("server load", s.load)?,
             }))
         }
     }
+}
+
+/// 128-bit content fingerprint of a raw record, keyed on every field —
+/// the identity the transport-level dedup uses. Two passes of the (fixed
+/// key, hence deterministic) `DefaultHasher` with distinct seeds make
+/// accidental collisions across millions of records implausible.
+pub fn record_fingerprint(rec: &RawRecord) -> u128 {
+    fn half(rec: &RawRecord, seed: u64) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        seed.hash(&mut h);
+        rec.feed().hash(&mut h);
+        match rec {
+            RawRecord::Syslog(l) => {
+                l.host.hash(&mut h);
+                l.line.hash(&mut h);
+            }
+            RawRecord::Snmp(s) => {
+                s.system.hash(&mut h);
+                s.local_time.hash(&mut h);
+                (s.metric as u8).hash(&mut h);
+                s.if_index.hash(&mut h);
+                s.value.to_bits().hash(&mut h);
+            }
+            RawRecord::L1Log(l) => {
+                l.device.hash(&mut h);
+                l.local_time.hash(&mut h);
+                (l.kind as u8).hash(&mut h);
+                l.circuit.hash(&mut h);
+            }
+            RawRecord::OspfMon(o) => {
+                o.utc.hash(&mut h);
+                o.link_addr.hash(&mut h);
+                o.weight.hash(&mut h);
+            }
+            RawRecord::BgpMon(b) => {
+                b.utc.hash(&mut h);
+                b.reflector.hash(&mut h);
+                b.prefix.hash(&mut h);
+                b.egress_router.hash(&mut h);
+                b.attrs.hash(&mut h);
+            }
+            RawRecord::Tacacs(t) => {
+                t.local_time.hash(&mut h);
+                t.router.hash(&mut h);
+                t.user.hash(&mut h);
+                t.command.hash(&mut h);
+            }
+            RawRecord::Workflow(w) => {
+                w.local_time.hash(&mut h);
+                w.router.hash(&mut h);
+                w.activity.hash(&mut h);
+            }
+            RawRecord::Perf(p) => {
+                p.utc.hash(&mut h);
+                p.ingress_router.hash(&mut h);
+                p.egress_router.hash(&mut h);
+                (p.metric as u8).hash(&mut h);
+                p.value.to_bits().hash(&mut h);
+            }
+            RawRecord::CdnMon(c) => {
+                c.utc.hash(&mut h);
+                c.node.hash(&mut h);
+                c.client_addr.hash(&mut h);
+                c.rtt_ms.to_bits().hash(&mut h);
+                c.throughput_mbps.to_bits().hash(&mut h);
+            }
+            RawRecord::ServerLog(s) => {
+                s.local_time.hash(&mut h);
+                s.node.hash(&mut h);
+                s.load.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+    ((half(rec, 0x9e37_79b9_7f4a_7c15) as u128) << 64) | half(rec, 0x2545_f491_4f6c_dd1d) as u128
 }
 
 /// Which shard a record lands in: a hash of (feed, entity name), so all
@@ -255,7 +473,28 @@ pub struct Database {
     pub perf: Table<PerfRow>,
     pub cdn: Table<CdnRow>,
     pub server: Table<ServerRow>,
+    /// Records normalization rejected, with structured reasons — never
+    /// silently dropped (the operational visibility §II-A calls for).
+    pub quarantine: Vec<Quarantined>,
+    /// Fingerprints of every record ever offered (including quarantined
+    /// ones), for transport-level dedup that persists across incremental
+    /// batches.
+    seen: std::collections::HashSet<u128>,
 }
+
+/// Feed names in [`Database::row_counts`] table order.
+pub const FEEDS: [&str; 10] = [
+    "syslog",
+    "snmp",
+    "l1log",
+    "ospfmon",
+    "bgpmon",
+    "tacacs",
+    "workflow",
+    "perf",
+    "cdnmon",
+    "serverlog",
+];
 
 impl Database {
     /// Ingest and normalize a batch of raw records against the topology.
@@ -303,14 +542,21 @@ impl Database {
 
         let next = AtomicUsize::new(0);
         let shards = &shards;
-        type WorkerOut = (Vec<(u32, NormRow)>, IngestStats);
+        type Slot = (u32, u128, Result<NormRow, QuarantineReason>);
+        type WorkerOut = (Vec<Slot>, IngestStats);
         let results: Vec<WorkerOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut res = CachedResolver::new();
                         let mut stats = IngestStats::default();
-                        let mut out: Vec<(u32, NormRow)> = Vec::new();
+                        let mut out: Vec<Slot> = Vec::new();
+                        // Exact duplicates share a fingerprint, hence a
+                        // shard: a worker-local seen-set catches every
+                        // duplicate pair, and shard indices are ascending,
+                        // so the survivor is the first arrival — exactly
+                        // as in sequential ingest.
+                        let mut seen = std::collections::HashSet::new();
                         loop {
                             let s = next.fetch_add(1, Ordering::Relaxed);
                             if s >= n_shards {
@@ -319,13 +565,19 @@ impl Database {
                             for &i in &shards[s] {
                                 let rec = &records[i as usize];
                                 let feed = rec.feed();
+                                let fp = record_fingerprint(rec);
+                                if !seen.insert(fp) {
+                                    *stats.deduplicated.entry(feed).or_default() += 1;
+                                    continue;
+                                }
                                 match normalize(topo, &mut res, rec, &mut stats) {
-                                    Some(row) => {
+                                    Ok(row) => {
                                         *stats.accepted.entry(feed).or_default() += 1;
-                                        out.push((i, row));
+                                        out.push((i, fp, Ok(row)));
                                     }
-                                    None => {
-                                        *stats.dropped.entry(feed).or_default() += 1;
+                                    Err(reason) => {
+                                        *stats.quarantined.entry(feed).or_default() += 1;
+                                        out.push((i, fp, Err(reason)));
                                     }
                                 }
                             }
@@ -340,20 +592,26 @@ impl Database {
                 .collect()
         });
 
-        // Deterministic merge: place every accepted row back at its
-        // original record index, then push in index order.
-        let mut slots: Vec<Option<NormRow>> = Vec::new();
+        // Deterministic merge: place every surviving record back at its
+        // original index, then push rows / quarantine entries in index
+        // order — identical to what sequential ingest would have built.
+        let mut slots: Vec<Option<(u128, Result<NormRow, Quarantined>)>> = Vec::new();
         slots.resize_with(records.len(), || None);
         let mut stats = IngestStats::default();
-        for (rows, worker_stats) in results {
+        for (outs, worker_stats) in results {
             stats.merge(&worker_stats);
-            for (i, row) in rows {
-                slots[i as usize] = Some(row);
+            for (i, fp, row) in outs {
+                let feed = records[i as usize].feed();
+                slots[i as usize] = Some((fp, row.map_err(|reason| Quarantined { feed, reason })));
             }
         }
         let mut db = Database::default();
-        for row in slots.into_iter().flatten() {
-            db.push_norm(row);
+        for (fp, slot) in slots.into_iter().flatten() {
+            db.seen.insert(fp);
+            match slot {
+                Ok(row) => db.push_norm(row),
+                Err(q) => db.quarantine.push(q),
+            }
         }
         db.finalize();
         (db, stats)
@@ -368,7 +626,10 @@ impl Database {
     }
 
     /// Normalize `records` through `res` and append the surviving rows
-    /// (no finalize).
+    /// (no finalize). Every record is accounted for exactly once: exact
+    /// re-deliveries are skipped via the persistent fingerprint set
+    /// (`deduplicated`), rejects land in the quarantine (`quarantined`),
+    /// and the rest are appended (`accepted`).
     fn absorb<R: EntityResolver>(
         &mut self,
         topo: &Topology,
@@ -378,13 +639,18 @@ impl Database {
     ) {
         for rec in records {
             let feed = rec.feed();
+            if !self.seen.insert(record_fingerprint(rec)) {
+                *stats.deduplicated.entry(feed).or_default() += 1;
+                continue;
+            }
             match normalize(topo, res, rec, stats) {
-                Some(row) => {
+                Ok(row) => {
                     *stats.accepted.entry(feed).or_default() += 1;
                     self.push_norm(row);
                 }
-                None => {
-                    *stats.dropped.entry(feed).or_default() += 1;
+                Err(reason) => {
+                    *stats.quarantined.entry(feed).or_default() += 1;
+                    self.quarantine.push(Quarantined { feed, reason });
                 }
             }
         }
@@ -432,6 +698,34 @@ impl Database {
             + self.perf.len()
             + self.cdn.len()
             + self.server.len()
+    }
+
+    /// Per-feed high watermarks — the latest normalized UTC instant each
+    /// feed has delivered — in [`FEEDS`] order. The raw signal behind the
+    /// per-feed health model ([`crate::health::FeedRegistry`]).
+    pub fn feed_watermarks(&self) -> [(&'static str, Option<Timestamp>); 10] {
+        [
+            (FEEDS[0], self.syslog.last_time()),
+            (FEEDS[1], self.snmp.last_time()),
+            (FEEDS[2], self.l1.last_time()),
+            (FEEDS[3], self.ospf.last_time()),
+            (FEEDS[4], self.bgp.last_time()),
+            (FEEDS[5], self.tacacs.last_time()),
+            (FEEDS[6], self.workflow.last_time()),
+            (FEEDS[7], self.perf.last_time()),
+            (FEEDS[8], self.cdn.last_time()),
+            (FEEDS[9], self.server.last_time()),
+        ]
+    }
+
+    /// Drop the oldest quarantine entries beyond `keep` (long-running
+    /// online mode: counts stay in [`IngestStats`]; only the retained
+    /// drill-down detail is bounded).
+    pub fn trim_quarantine(&mut self, keep: usize) {
+        if self.quarantine.len() > keep {
+            let excess = self.quarantine.len() - keep;
+            self.quarantine.drain(..excess);
+        }
     }
 
     /// Per-table row counts in a fixed order (diagnostics, watermark
@@ -497,6 +791,94 @@ mod tests {
         let row = &db.snmp.all()[0];
         assert_eq!(row.utc, Timestamp::from_civil(2010, 1, 1, 12, 0, 0));
         assert_eq!(topo.router(row.router).name, "lax-per1");
+    }
+
+    #[test]
+    fn rejects_land_in_quarantine_with_reasons() {
+        let topo = generate(&TopoGenConfig::small());
+        let recs = vec![
+            RawRecord::Syslog(SyslogLine {
+                host: "ghost-router".into(),
+                line: "2010-01-01 04:00:00 %SYS-5-RESTART: System restarted".into(),
+            }),
+            RawRecord::Syslog(SyslogLine {
+                host: "nyc-per1".into(),
+                line: "trunc".into(), // malformed: no timestamp
+            }),
+            RawRecord::Snmp(SnmpSample {
+                system: "NYC-PER1.ISP.NET".into(),
+                local_time: Timestamp(0),
+                metric: SnmpMetric::CpuUtil5m,
+                if_index: None,
+                value: f64::NAN, // implausible measurement
+            }),
+        ];
+        let (db, stats) = Database::ingest(&topo, &recs);
+        assert_eq!(db.total_rows(), 0);
+        assert_eq!(stats.total_quarantined(), 3);
+        assert_eq!(stats.total_input(), 3);
+        assert_eq!(db.quarantine.len(), 3);
+        assert!(matches!(
+            db.quarantine[0].reason,
+            QuarantineReason::UnknownEntity { kind: "router", .. }
+        ));
+        assert!(matches!(
+            db.quarantine[1].reason,
+            QuarantineReason::Malformed { .. }
+        ));
+        assert!(matches!(
+            db.quarantine[2].reason,
+            QuarantineReason::Implausible { .. }
+        ));
+    }
+
+    /// Exact re-deliveries are skipped and counted, including across
+    /// incremental batches (transport retries replaying an earlier batch).
+    #[test]
+    fn duplicates_dedup_across_incremental_batches() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(2, 3, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        let (batch_db, batch_stats) = Database::ingest(&topo, &out.records);
+
+        let mut db = Database::default();
+        let mut stats = IngestStats::default();
+        let half = out.records.len() / 2;
+        db.ingest_more(&topo, &out.records[..half], &mut stats);
+        // Replay the first half in full, then deliver the rest.
+        db.ingest_more(&topo, &out.records[..half], &mut stats);
+        db.ingest_more(&topo, &out.records[half..], &mut stats);
+        assert_eq!(db, batch_db, "replayed batch must be invisible");
+        assert_eq!(stats.total_deduplicated(), half);
+        assert_eq!(stats.accepted, batch_stats.accepted);
+        assert_eq!(stats.total_input(), out.records.len() + half);
+    }
+
+    /// Every record offered is accounted exactly once:
+    /// accepted + quarantined + deduplicated == input.
+    #[test]
+    fn accounting_invariant_with_mixed_garbage() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(2, 3, FaultRates::bgp_study());
+        let mut records = run_scenario(&topo, &cfg).records;
+        let n_clean = records.len();
+        // Duplicate every 7th record and add garbage.
+        for i in (0..n_clean).step_by(7) {
+            let dup = records[i].clone();
+            records.push(dup);
+        }
+        records.push(RawRecord::Syslog(SyslogLine {
+            host: "ghost".into(),
+            line: "junk".into(),
+        }));
+        let (db, stats) = Database::ingest(&topo, &records);
+        assert_eq!(stats.total_input(), records.len());
+        assert_eq!(
+            stats.total_accepted() + stats.total_quarantined() + stats.total_deduplicated(),
+            records.len()
+        );
+        assert_eq!(db.quarantine.len(), stats.total_quarantined());
+        assert_eq!(stats.total_deduplicated(), n_clean.div_ceil(7));
     }
 
     #[test]

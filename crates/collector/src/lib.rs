@@ -13,11 +13,13 @@
 //!   parallel sharded), with per-feed accept/drop statistics.
 
 pub mod db;
+pub mod health;
 pub mod resolve;
 pub mod rows;
 pub mod tables;
 
-pub use db::{Database, IngestStats};
+pub use db::{record_fingerprint, Database, IngestStats, QuarantineReason, Quarantined, FEEDS};
+pub use health::{FeedHealth, FeedRegistry, FeedState};
 pub use resolve::{CachedResolver, DirectResolver, EntityResolver};
 pub use rows::*;
 pub use tables::{EntityRows, Table};

@@ -26,10 +26,28 @@ pub trait Row {
 
     fn time(&self) -> Timestamp;
     fn entity(&self) -> Self::Entity;
+
+    /// Content hash breaking ties between same-instant rows, so a table's
+    /// final order is canonical — a pure function of its row *set*, not of
+    /// delivery order. Chaos-reordered feeds then converge to the exact
+    /// batch database. `0` (the default) keeps arrival order for ties.
+    fn tiebreak(&self) -> u64 {
+        0
+    }
+}
+
+/// Deterministic content hash over row fields. `DefaultHasher::new()` uses
+/// fixed keys, so the value — and with it canonical table order — is
+/// stable across runs and processes.
+fn content_hash(f: impl FnOnce(&mut std::collections::hash_map::DefaultHasher)) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    f(&mut h);
+    h.finish()
 }
 
 macro_rules! impl_row {
-    ($t:ty, $entity:ty, |$row:ident| $key:expr) => {
+    ($t:ty, $entity:ty, |$row:ident| $key:expr, |$hrow:ident, $h:ident| $hash:expr) => {
         impl Row for $t {
             type Entity = $entity;
             fn time(&self) -> Timestamp {
@@ -38,6 +56,11 @@ macro_rules! impl_row {
             fn entity(&self) -> $entity {
                 let $row = self;
                 $key
+            }
+            fn tiebreak(&self) -> u64 {
+                use std::hash::Hash;
+                let $hrow = self;
+                content_hash(|$h| $hash)
             }
         }
     };
@@ -54,7 +77,10 @@ pub struct SyslogRow {
     /// The message body (everything after the timestamp).
     pub raw: String,
 }
-impl_row!(SyslogRow, RouterId, |r| r.router);
+impl_row!(SyslogRow, RouterId, |r| r.router, |r, h| {
+    r.router.hash(h);
+    r.raw.hash(h);
+});
 
 impl SyslogRow {
     /// The message mnemonic (`"%LINK-3-UPDOWN"`), used as the series key in
@@ -73,9 +99,17 @@ pub struct SnmpRow {
     pub iface: Option<InterfaceId>,
     pub value: f64,
 }
-impl_row!(SnmpRow, (RouterId, Option<InterfaceId>), |r| (
-    r.router, r.iface
-));
+impl_row!(
+    SnmpRow,
+    (RouterId, Option<InterfaceId>),
+    |r| (r.router, r.iface),
+    |r, h| {
+        r.router.hash(h);
+        (r.metric as u8).hash(h);
+        r.iface.hash(h);
+        r.value.to_bits().hash(h);
+    }
+);
 
 /// One layer-1 device log entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,7 +119,11 @@ pub struct L1Row {
     pub kind: L1EventKind,
     pub circuit: PhysLinkId,
 }
-impl_row!(L1Row, L1DeviceId, |r| r.device);
+impl_row!(L1Row, L1DeviceId, |r| r.device, |r, h| {
+    r.device.hash(h);
+    (r.kind as u8).hash(h);
+    r.circuit.hash(h);
+});
 
 /// One OSPF monitor observation, resolved to a logical link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,7 +132,10 @@ pub struct OspfRow {
     pub link: LinkId,
     pub weight: Option<u32>,
 }
-impl_row!(OspfRow, LinkId, |r| r.link);
+impl_row!(OspfRow, LinkId, |r| r.link, |r, h| {
+    r.link.hash(h);
+    r.weight.hash(h);
+});
 
 /// One BGP monitor update.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,7 +146,12 @@ pub struct BgpRow {
     pub egress: RouterId,
     pub attrs: Option<(u32, u32)>,
 }
-impl_row!(BgpRow, Prefix, |r| r.prefix);
+impl_row!(BgpRow, Prefix, |r| r.prefix, |r, h| {
+    r.reflector.hash(h);
+    r.prefix.hash(h);
+    r.egress.hash(h);
+    r.attrs.hash(h);
+});
 
 /// One TACACS command log entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,7 +161,11 @@ pub struct TacacsRow {
     pub user: String,
     pub command: String,
 }
-impl_row!(TacacsRow, RouterId, |r| r.router);
+impl_row!(TacacsRow, RouterId, |r| r.router, |r, h| {
+    r.router.hash(h);
+    r.user.hash(h);
+    r.command.hash(h);
+});
 
 /// One workflow activity record. The entity may be a router or another
 /// managed system (e.g. a CDN node), so both forms are kept.
@@ -126,7 +176,11 @@ pub struct WorkflowRow {
     pub router: Option<RouterId>,
     pub activity: String,
 }
-impl_row!(WorkflowRow, Symbol, |r| Symbol::from(&r.entity));
+impl_row!(WorkflowRow, Symbol, |r| Symbol::from(&r.entity), |r, h| {
+    r.entity.hash(h);
+    r.router.hash(h);
+    r.activity.hash(h);
+});
 
 /// One end-to-end probe measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,7 +191,17 @@ pub struct PerfRow {
     pub metric: PerfMetric,
     pub value: f64,
 }
-impl_row!(PerfRow, (RouterId, RouterId), |r| (r.ingress, r.egress));
+impl_row!(
+    PerfRow,
+    (RouterId, RouterId),
+    |r| (r.ingress, r.egress),
+    |r, h| {
+        r.ingress.hash(h);
+        r.egress.hash(h);
+        (r.metric as u8).hash(h);
+        r.value.to_bits().hash(h);
+    }
+);
 
 /// One CDN monitor measurement, resolved to (node, client site).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,7 +212,17 @@ pub struct CdnRow {
     pub rtt_ms: f64,
     pub throughput_mbps: f64,
 }
-impl_row!(CdnRow, (CdnNodeId, ClientSiteId), |r| (r.node, r.client));
+impl_row!(
+    CdnRow,
+    (CdnNodeId, ClientSiteId),
+    |r| (r.node, r.client),
+    |r, h| {
+        r.node.hash(h);
+        r.client.hash(h);
+        r.rtt_ms.to_bits().hash(h);
+        r.throughput_mbps.to_bits().hash(h);
+    }
+);
 
 /// One CDN server-farm load sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,4 +231,7 @@ pub struct ServerRow {
     pub node: CdnNodeId,
     pub load: f64,
 }
-impl_row!(ServerRow, CdnNodeId, |r| r.node);
+impl_row!(ServerRow, CdnNodeId, |r| r.node, |r, h| {
+    r.node.hash(h);
+    r.load.to_bits().hash(h);
+});

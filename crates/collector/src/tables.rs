@@ -36,6 +36,9 @@ pub struct Table<R: Row> {
     sorted: bool,
     /// Rows pushed since the last finalize (the groups index is stale).
     dirty: bool,
+    /// Sort key of the last pushed row, to detect out-of-order pushes
+    /// (including same-instant rows out of canonical tiebreak order).
+    last_key: Option<(Timestamp, u64)>,
 }
 
 impl<R: Row> Default for Table<R> {
@@ -46,6 +49,7 @@ impl<R: Row> Default for Table<R> {
             groups: BTreeMap::new(),
             sorted: true,
             dirty: false,
+            last_key: None,
         }
     }
 }
@@ -60,26 +64,32 @@ impl<R: Row + PartialEq> PartialEq for Table<R> {
 
 impl<R: Row> Table<R> {
     pub fn push(&mut self, row: R) {
-        let t = row.time();
-        if let Some(&last) = self.times.last() {
-            if t < last {
+        let key = (row.time(), row.tiebreak());
+        if let Some(last) = self.last_key {
+            if key < last {
                 self.sorted = false;
             }
         }
-        self.times.push(t);
+        self.last_key = Some(key);
+        self.times.push(key.0);
         self.rows.push(row);
         self.dirty = true;
     }
 
-    /// Sort by time (stable, so same-instant rows keep arrival order) and
-    /// rebuild the timestamp column and per-entity offset index. Must be
-    /// called after ingestion, before querying.
+    /// Sort by `(time, tiebreak)` and rebuild the timestamp column and
+    /// per-entity offset index. Must be called after ingestion, before
+    /// querying. The tiebreak makes the final order *canonical*: a pure
+    /// function of the row set, independent of delivery order — so a
+    /// database rebuilt from chaos-reordered feeds is byte-identical to the
+    /// batch one. (Rows with the default tiebreak of 0 keep arrival order:
+    /// the sort is stable.)
     pub fn finalize(&mut self) {
         if !self.sorted {
-            self.rows.sort_by_key(|r| r.time());
+            self.rows.sort_by_cached_key(|r| (r.time(), r.tiebreak()));
             self.times.clear();
             self.times.extend(self.rows.iter().map(|r| r.time()));
             self.sorted = true;
+            self.last_key = self.rows.last().map(|r| (r.time(), r.tiebreak()));
         }
         if self.dirty {
             self.groups.clear();
@@ -265,6 +275,41 @@ mod tests {
         t.finalize();
         let got: Vec<u32> = t.all().iter().map(|r| r.1).collect();
         assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    /// Rows overriding [`Row::tiebreak`] land in canonical `(time,
+    /// tiebreak)` order regardless of arrival order.
+    #[derive(Debug, Clone, PartialEq)]
+    struct CR(Timestamp, u32);
+    impl Row for CR {
+        type Entity = u32;
+        fn time(&self) -> Timestamp {
+            self.0
+        }
+        fn entity(&self) -> u32 {
+            0
+        }
+        fn tiebreak(&self) -> u64 {
+            self.1 as u64
+        }
+    }
+
+    #[test]
+    fn same_instant_rows_sort_canonically_with_tiebreak() {
+        let mut a = Table::default();
+        let mut b = Table::default();
+        let rows = [CR(ts(5), 2), CR(ts(1), 9), CR(ts(5), 1), CR(ts(5), 7)];
+        for r in rows.iter() {
+            a.push(r.clone());
+        }
+        for r in rows.iter().rev() {
+            b.push(r.clone());
+        }
+        a.finalize();
+        b.finalize();
+        assert_eq!(a, b, "delivery order must not leak into table order");
+        let got: Vec<u32> = a.all().iter().map(|r| r.1).collect();
+        assert_eq!(got, vec![9, 1, 2, 7]);
     }
 
     #[test]

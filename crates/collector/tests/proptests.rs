@@ -18,7 +18,7 @@ proptest! {
     /// For any router and instant, a syslog line written in that router's
     /// device-local clock ingests back to the exact UTC instant.
     #[test]
-    fn syslog_utc_inversion(router_idx in 0usize..16, unix in 0i64..4_000_000_000i64) {
+    fn syslog_utc_inversion(router_idx in 0usize..16, unix in 631_200_000i64..4_000_000_000i64) {
         let topo = topo();
         let r = RouterId::from(router_idx % topo.routers.len());
         let name = topo.router(r).name.clone();
@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn snmp_utc_and_ifindex_inversion(
         router_idx in 0usize..16,
-        unix in 0i64..4_000_000_000i64,
+        unix in 631_200_000i64..4_000_000_000i64,
         value in 0.0f64..100.0,
     ) {
         let topo = topo();
@@ -114,6 +114,32 @@ proptest! {
     }
 }
 
+/// Deterministic per-index corruption covering every decoder's failure
+/// modes: truncated/garbled syslog, ghost entities, non-finite samples,
+/// empty workflow activity.
+fn corrupt(rec: &mut RawRecord, i: usize) {
+    match rec {
+        RawRecord::Syslog(s) => match i % 3 {
+            0 => {
+                let mut cut = s.line.len() / 2;
+                while !s.line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                s.line.truncate(cut);
+            }
+            1 => s.host = format!("ghost{i}"),
+            _ => s.line = format!("garbage #{i}"),
+        },
+        RawRecord::Snmp(s) => s.value = f64::NAN,
+        RawRecord::Perf(p) => p.value = f64::INFINITY,
+        RawRecord::CdnMon(c) => c.rtt_ms = f64::NAN,
+        RawRecord::ServerLog(s) => s.load = -f64::NAN,
+        RawRecord::Workflow(w) => w.activity.clear(),
+        RawRecord::Tacacs(t) => t.router = format!("ghost{i}"),
+        _ => {}
+    }
+}
+
 proptest! {
     // Whole-scenario cases are expensive; a handful of seeds is plenty to
     // shake out ordering bugs in the sharded merge.
@@ -139,5 +165,81 @@ proptest! {
         let (db_par, st_par) = Database::ingest_parallel(&topo, &out.records, threads);
         prop_assert!(db_seq == db_par, "databases diverged (seed={seed}, threads={threads})");
         prop_assert_eq!(st_seq, st_par);
+    }
+
+    /// Fuzz the whole ingest pipeline: batches with duplicated and
+    /// corrupted records never panic, and the statistics account for every
+    /// input record exactly once —
+    /// `accepted + quarantined + deduplicated == input`.
+    #[test]
+    fn mutated_batches_account_exactly(
+        seed in 0u64..1_000,
+        dup_period in 2usize..9,
+        corrupt_period in 2usize..9,
+        threads in 1usize..5,
+    ) {
+        let topo = topo();
+        let cfg = ScenarioConfig::new(1, seed, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        let mut records = Vec::new();
+        for (i, rec) in out.records.iter().enumerate() {
+            let mut rec = rec.clone();
+            if i % corrupt_period == 0 {
+                corrupt(&mut rec, i);
+            }
+            records.push(rec.clone());
+            if i % dup_period == 0 {
+                records.push(rec);
+            }
+        }
+        let (db, stats) = Database::ingest_parallel(&topo, &records, threads);
+        prop_assert_eq!(stats.total_input(), records.len());
+        prop_assert_eq!(
+            stats.total_accepted() + stats.total_quarantined() + stats.total_deduplicated(),
+            records.len()
+        );
+        prop_assert_eq!(db.quarantine.len(), stats.total_quarantined());
+        // Sequential ingest of the same mutated batch agrees exactly.
+        let (db_seq, st_seq) = Database::ingest(&topo, &records);
+        prop_assert!(db == db_seq, "mutated-batch databases diverged (seed={seed})");
+        prop_assert_eq!(stats, st_seq);
+    }
+
+    /// A chaotic delivery — every `dup_period`-th record delivered twice,
+    /// the whole stream reordered by a stride permutation — ingests to a
+    /// database byte-identical to a clean sequential ingest of the
+    /// original stream: canonical table ordering plus content-hash dedup
+    /// make ingestion delivery-order independent.
+    #[test]
+    fn chaotic_delivery_matches_clean_ingest(
+        seed in 0u64..1_000,
+        dup_period in 2usize..9,
+        stride in 2usize..17,
+        threads in 1usize..5,
+    ) {
+        let topo = topo();
+        let cfg = ScenarioConfig::new(1, seed, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        let mut records = Vec::new();
+        for (i, rec) in out.records.iter().enumerate() {
+            records.push(rec.clone());
+            if i % dup_period == 0 {
+                records.push(rec.clone());
+            }
+        }
+        let mut delivery = Vec::with_capacity(records.len());
+        for off in 0..stride {
+            delivery.extend(records.iter().skip(off).step_by(stride).cloned());
+        }
+        let dup_count = delivery.len() - out.records.len();
+        let (db_chaotic, st) = Database::ingest_parallel(&topo, &delivery, threads);
+        let (db_clean, st_clean) = Database::ingest(&topo, &out.records);
+        prop_assert!(
+            db_chaotic == db_clean,
+            "chaotic delivery diverged from clean ingest (seed={seed}, stride={stride})"
+        );
+        prop_assert_eq!(st.total_accepted(), st_clean.total_accepted());
+        prop_assert_eq!(st.total_deduplicated(), dup_count);
+        prop_assert_eq!(st.total_quarantined(), st_clean.total_quarantined());
     }
 }

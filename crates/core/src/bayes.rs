@@ -162,6 +162,32 @@ impl BayesModel {
     pub fn best(&self, observations: &[(String, bool)]) -> Option<String> {
         self.classify(observations).first().map(|c| c.name.clone())
     }
+
+    /// Classification under partial observability (degraded mode).
+    ///
+    /// Observations are three-valued: `Some(true)` the feature was seen,
+    /// `Some(false)` its feed delivered and the feature was *absent* (the
+    /// `if_absent` ratio applies — absence is evidence), `None` the
+    /// feature was **unobservable** because its feed is missing. An
+    /// unobservable feature contributes nothing (ratio 1): without the
+    /// feed, absence of evidence is not evidence of absence, so neither
+    /// `if_present` nor `if_absent` may fire.
+    pub fn classify_partial(&self, observations: &[(String, Option<bool>)]) -> Vec<ClassScore> {
+        let visible: Vec<(String, bool)> = observations
+            .iter()
+            .filter_map(|(f, v)| v.map(|p| (f.clone(), p)))
+            .collect();
+        self.classify(&visible)
+    }
+}
+
+/// Log-confidence penalty for a degraded diagnosis: each missing feed
+/// could have carried evidence the verdict never saw, worth up to a
+/// Medium likelihood ratio, so confidence drops by `ln(100)` per missing
+/// feed. Full-mode emissions carry penalty `0.0`; more missing feeds ⇒
+/// strictly lower confidence.
+pub fn degraded_log_confidence(missing_feeds: usize) -> f64 {
+    -(missing_feeds as f64) * Fuzzy::Medium.log_ratio()
 }
 
 /// A labeled training example: the class (e.g. from rule-based reasoning
@@ -406,6 +432,44 @@ mod tests {
         assert_eq!(snap_to_fuzzy(1e9), Fuzzy::High);
         assert_eq!(snap_to_fuzzy(1e-9), Fuzzy::InvHigh);
         assert_eq!(snap_to_fuzzy(0.45), Fuzzy::InvLow);
+    }
+
+    #[test]
+    fn unobservable_differs_from_absent() {
+        // cpu-high-issue *requires* cpu-high-spike: absent counts against
+        // (InvMedium), unobservable must not.
+        let m = fig8_model();
+        let absent = m.classify(&obs(&[("cpu-high-spike", false)]));
+        let unobservable = m.classify_partial(&[("cpu-high-spike".to_string(), None)]);
+        let score = |v: &[ClassScore]| {
+            v.iter()
+                .find(|c| c.name == "cpu-high-issue")
+                .unwrap()
+                .log_score
+        };
+        assert!(score(&unobservable) > score(&absent));
+        // Unobservable is exactly "no observation at all".
+        let none = m.classify(&[]);
+        assert_eq!(unobservable, none);
+        // And Some(v) behaves exactly like the two-valued classifier.
+        let partial = m.classify_partial(&[
+            ("cpu-high-spike".to_string(), Some(true)),
+            ("interface-flap".to_string(), None),
+            ("ebgp-hold-timer-expired".to_string(), Some(false)),
+        ]);
+        let two_valued = m.classify(&obs(&[
+            ("cpu-high-spike", true),
+            ("ebgp-hold-timer-expired", false),
+        ]));
+        assert_eq!(partial, two_valued);
+    }
+
+    #[test]
+    fn degraded_confidence_decreases_per_missing_feed() {
+        assert_eq!(degraded_log_confidence(0), 0.0);
+        assert!(degraded_log_confidence(1) < 0.0);
+        assert!(degraded_log_confidence(2) < degraded_log_confidence(1));
+        assert!((degraded_log_confidence(1) + 100.0f64.ln()).abs() < 1e-12);
     }
 
     #[test]

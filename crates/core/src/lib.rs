@@ -26,9 +26,11 @@ pub mod engine;
 pub mod graph;
 pub mod join;
 pub mod library;
+pub mod stream;
 
 pub use bayes::{
-    snap_to_fuzzy, train, BayesModel, ClassScore, ClassSpec, FeatureRatio, Fuzzy, TrainingExample,
+    degraded_log_confidence, snap_to_fuzzy, train, BayesModel, ClassScore, ClassSpec, FeatureRatio,
+    Fuzzy, TrainingExample,
 };
 pub use browser::{
     drill_down, render_diagnosis, render_trend, Breakdown, DrillDown, ResultBrowser,
@@ -42,3 +44,4 @@ pub use engine::{Diagnosis, Engine, Evidence, UNKNOWN};
 pub use graph::{DiagnosisGraph, DiagnosisRule};
 pub use join::{ExpandOption, Expansion, SpatialRule, TemporalRule};
 pub use library::knowledge_rules;
+pub use stream::{fold_stream, Emission, EmissionMode};

@@ -1,0 +1,181 @@
+//! Emission stream types for the online RCA path.
+//!
+//! A batch run diagnoses once over complete data; the online path emits a
+//! *stream* of [`Emission`]s whose completeness varies with feed health.
+//! Every emission records what the engine knew at emit time:
+//!
+//! * [`EmissionMode::Full`] — every feed the symptom's rules could draw
+//!   evidence from had advanced past the evidence horizon; this verdict
+//!   is final and equals what a batch run would say.
+//! * [`EmissionMode::Degraded`] — the bounded wait expired with feeds
+//!   still behind; the verdict ran on partial evidence and names the
+//!   feeds whose data may be missing, with its confidence downgraded per
+//!   missing feed ([`crate::bayes::degraded_log_confidence`]).
+//!
+//! When a degraded symptom's missing feeds later deliver, the online path
+//! re-diagnoses and emits a superseding **amendment** (`amends = true`,
+//! same symptom key) carrying the full verdict — consumers keep the latest
+//! emission per key.
+
+use crate::engine::Diagnosis;
+use grca_types::Symbol;
+
+/// How complete the evidence behind an emission was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmissionMode {
+    /// All relevant feeds had passed the evidence horizon; final verdict.
+    Full,
+    /// Wait budget exhausted; diagnosed on partial evidence. `missing`
+    /// names the feeds still behind the horizon, in
+    /// `grca_collector::FEEDS` order.
+    Degraded { missing: Vec<&'static str> },
+}
+
+impl EmissionMode {
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, EmissionMode::Degraded { .. })
+    }
+
+    /// The feeds whose data may be missing (empty in full mode).
+    pub fn missing_feeds(&self) -> &[&'static str] {
+        match self {
+            EmissionMode::Full => &[],
+            EmissionMode::Degraded { missing } => missing,
+        }
+    }
+}
+
+/// One diagnosis emitted by the online path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emission {
+    pub diagnosis: Diagnosis,
+    pub mode: EmissionMode,
+    /// True when this supersedes an earlier degraded emission of the same
+    /// symptom (its missing feeds have since delivered).
+    pub amends: bool,
+    /// Log-confidence adjustment for the verdict: `0.0` for full mode,
+    /// [`crate::bayes::degraded_log_confidence`] of the missing-feed count
+    /// otherwise.
+    pub log_confidence: f64,
+}
+
+impl Emission {
+    /// Wrap a complete-evidence diagnosis.
+    pub fn full(diagnosis: Diagnosis) -> Self {
+        Emission {
+            diagnosis,
+            mode: EmissionMode::Full,
+            amends: false,
+            log_confidence: 0.0,
+        }
+    }
+
+    /// Wrap a partial-evidence diagnosis, naming the feeds still behind.
+    pub fn degraded(diagnosis: Diagnosis, missing: Vec<&'static str>) -> Self {
+        let log_confidence = crate::bayes::degraded_log_confidence(missing.len());
+        Emission {
+            diagnosis,
+            mode: EmissionMode::Degraded { missing },
+            amends: false,
+            log_confidence,
+        }
+    }
+
+    /// Mark this emission as superseding an earlier one for the same
+    /// symptom.
+    pub fn amending(mut self) -> Self {
+        self.amends = true;
+        self
+    }
+
+    /// The symptom identity `(name, location, window start)` — stable
+    /// across a degraded emission and its later amendment, so consumers
+    /// can keep the latest per key.
+    pub fn key(&self) -> (Symbol, String, i64) {
+        (
+            self.diagnosis.symptom.name,
+            format!("{:?}", self.diagnosis.symptom.location),
+            self.diagnosis.symptom.window.start.unix(),
+        )
+    }
+
+    /// One-line operator rendering: label, window, and degradation state.
+    pub fn render(&self) -> String {
+        let (label, window) = self.diagnosis.verdict();
+        let amend = if self.amends { " [amends]" } else { "" };
+        match &self.mode {
+            EmissionMode::Full => format!("{label} @ {window:?}{amend}"),
+            EmissionMode::Degraded { missing } => format!(
+                "{label} @ {window:?}{amend} [degraded: missing {}; logConf {:.1}]",
+                missing.join(","),
+                self.log_confidence
+            ),
+        }
+    }
+}
+
+/// Fold an emission stream to the latest verdict per symptom: amendments
+/// replace the degraded emission they supersede, everything else appends.
+/// The result is order-stable by first appearance of each symptom key —
+/// the stream-side counterpart of a batch diagnosis list.
+pub fn fold_stream(emissions: &[Emission]) -> Vec<Emission> {
+    let mut out: Vec<Emission> = Vec::new();
+    for e in emissions {
+        match out.iter_mut().find(|p| p.key() == e.key()) {
+            Some(prev) => *prev = e.clone(),
+            None => out.push(e.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_events::EventInstance;
+    use grca_net_model::{Location, RouterId};
+    use grca_types::{TimeWindow, Timestamp};
+
+    fn diag(name: &str, start: i64) -> Diagnosis {
+        Diagnosis {
+            symptom: EventInstance::new(
+                name,
+                TimeWindow::new(Timestamp(start), Timestamp(start + 60)),
+                Location::Router(RouterId::new(0)),
+            ),
+            evidence: Vec::new(),
+            root_causes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn degraded_emissions_carry_missing_feeds_and_lower_confidence() {
+        let full = Emission::full(diag("s", 100));
+        assert_eq!(full.mode, EmissionMode::Full);
+        assert!(!full.mode.is_degraded());
+        assert_eq!(full.log_confidence, 0.0);
+
+        let deg = Emission::degraded(diag("s", 100), vec!["snmp", "perf"]);
+        assert!(deg.mode.is_degraded());
+        assert_eq!(deg.mode.missing_feeds(), ["snmp", "perf"]);
+        assert!(deg.log_confidence < full.log_confidence);
+        assert_eq!(deg.key(), full.key());
+        assert!(deg.render().contains("degraded"));
+        assert!(deg.render().contains("snmp"));
+    }
+
+    #[test]
+    fn fold_keeps_latest_per_symptom_in_first_appearance_order() {
+        let stream = vec![
+            Emission::degraded(diag("a", 0), vec!["snmp"]),
+            Emission::full(diag("b", 50)),
+            Emission::full(diag("a", 0)).amending(),
+        ];
+        let folded = fold_stream(&stream);
+        assert_eq!(folded.len(), 2);
+        assert_eq!(folded[0].key(), stream[0].key());
+        assert_eq!(folded[0].mode, EmissionMode::Full);
+        assert!(folded[0].amends);
+        assert_eq!(folded[1].key(), stream[1].key());
+    }
+}

@@ -18,13 +18,22 @@
 //!   through the platform via both engine paths, joins diagnoses to
 //!   ground truth, and computes the scenario's metrics;
 //! * [`gate`] — tolerance-checked comparison of fresh metrics against a
-//!   committed golden baseline.
+//!   committed golden baseline;
+//! * [`chaos`] — the same corpus replayed through the *online* path under
+//!   chaos-injected feed transports, with convergence and
+//!   graceful-degradation invariants.
 
+pub mod chaos;
 pub mod corpus;
 pub mod gate;
 pub mod mutate;
 pub mod oracle;
 
+pub use chaos::{
+    check_convergence, check_degradation, eventual_ops, evidence_feed, lossy_ops, run_chaos,
+    ChaosRun, ChaosRunOpts, ConvergenceVerdict, DegradationVerdict, EmissionRecord, FinalVerdict,
+    CHAOS_SEEDS, DEGRADED_LABEL_TOLERANCE,
+};
 pub use corpus::{corpus, GoldenScenario, TopoPreset};
 pub use gate::{check_against_baseline, GateError, DEFAULT_EPS_PT};
 pub use mutate::Mutation;

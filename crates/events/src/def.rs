@@ -123,6 +123,42 @@ pub enum Retrieval {
     SyslogMnemonic { mnemonic: String },
 }
 
+impl Retrieval {
+    /// The collector feed this retrieval draws its evidence from (one of
+    /// [`grca_collector::FEEDS`], keyed off the typed retrieval rather
+    /// than the free-text `data_source` column). This is the basis of
+    /// per-feed watermark gating in the online path: a symptom is held
+    /// until every feed its rules could read has caught up past the
+    /// evidence horizon.
+    pub fn feed(&self) -> &'static str {
+        match self {
+            Retrieval::InterfaceState(_)
+            | Retrieval::LineProtoState(_)
+            | Retrieval::RouterReboot
+            | Retrieval::CpuSpike { .. }
+            | Retrieval::EbgpFlap
+            | Retrieval::EbgpHoldTimerExpired
+            | Retrieval::CustomerResetSession
+            | Retrieval::PimAdjacencyChange(_)
+            | Retrieval::SyslogMnemonic { .. } => "syslog",
+            Retrieval::SnmpThreshold { .. } => "snmp",
+            Retrieval::L1Restoration(_) => "l1log",
+            Retrieval::OspfReconvergence
+            | Retrieval::LinkCostOutDown
+            | Retrieval::LinkCostInUp
+            | Retrieval::RouterCostInOut => "ospfmon",
+            Retrieval::CommandCostOut | Retrieval::CommandCostIn | Retrieval::PimConfigCommand => {
+                "tacacs"
+            }
+            Retrieval::BgpEgressChange { .. } => "bgpmon",
+            Retrieval::PerfAnomaly { .. } => "perf",
+            Retrieval::CdnRttIncrease { .. } | Retrieval::CdnThroughputDrop { .. } => "cdnmon",
+            Retrieval::CdnServerIssue { .. } => "serverlog",
+            Retrieval::WorkflowActivity { .. } => "workflow",
+        }
+    }
+}
+
 /// A complete event definition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventDefinition {
@@ -135,6 +171,11 @@ pub struct EventDefinition {
 }
 
 impl EventDefinition {
+    /// The collector feed this definition reads — see [`Retrieval::feed`].
+    pub fn feed(&self) -> &'static str {
+        self.retrieval.feed()
+    }
+
     pub fn new(
         name: impl Into<String>,
         location_type: LocationType,
@@ -171,5 +212,25 @@ mod tests {
         assert_eq!(d.name, "link-congestion-alarm");
         assert_eq!(d.location_type, LocationType::Interface);
         assert_eq!(d.data_source, "snmp");
+        assert_eq!(d.feed(), "snmp");
+    }
+
+    /// Every definition in every shipped library maps to a collector feed.
+    #[test]
+    fn every_library_definition_has_a_known_feed() {
+        let mut defs = crate::library::knowledge_library();
+        defs.extend(crate::library::bgp_app_events());
+        defs.extend(crate::library::cdn_app_events(vec![RouterId::new(0)]));
+        defs.extend(crate::library::pim_app_events());
+        defs.push(crate::library::mnemonic_event("%SYS-3-CPUHOG"));
+        defs.push(crate::library::workflow_event("os-upgrade"));
+        for def in &defs {
+            assert!(
+                grca_collector::FEEDS.contains(&def.feed()),
+                "{} maps to unknown feed {}",
+                def.name,
+                def.feed()
+            );
+        }
     }
 }

@@ -136,6 +136,26 @@ impl IncrementalExtractor {
         self.delta_passes
     }
 
+    /// Instances currently held in the stateless cache — the extractor's
+    /// dominant state. Long online runs assert this plateaus once the
+    /// online path starts pruning.
+    pub fn cached_instances(&self) -> usize {
+        self.cache.iter().map(Vec::len).sum()
+    }
+
+    /// Drop cached stateless instances whose window ends strictly before
+    /// `cutoff`. Without pruning the cache grows for the life of the run;
+    /// the online path calls this with its skip floor (symptoms older than
+    /// it are never diagnosed again), so extraction output stays correct
+    /// for every window the caller still cares about. Applies to future
+    /// full passes too: a full re-extract rebuilds the cache from the
+    /// whole database, so the caller re-prunes after each cycle.
+    pub fn prune_before(&mut self, cutoff: Timestamp) {
+        for cached in &mut self.cache {
+            cached.retain(|inst| inst.window.end >= cutoff);
+        }
+    }
+
     /// Extract the whole library against `cx.db`, equal to batch
     /// [`crate::singlepass::extract_all`] over the same database.
     pub fn extract(&mut self, cx: &ExtractCx) -> EventStore {

@@ -17,11 +17,18 @@ use grca_types::{Duration, TimeWindow, Timestamp};
 use std::collections::BTreeMap;
 
 /// Maximum gap between a down and its matching up to count as one flap.
-pub(crate) const MAX_FLAP_GAP: Duration = Duration::hours(2);
+///
+/// Public because it bounds extraction's *materialization latency*: a flap
+/// instance only exists once its up transition arrives, up to this long
+/// after the down. The online path's hold-back must cover it — evidence
+/// emitted before then can silently change a verdict afterwards.
+pub const MAX_FLAP_GAP: Duration = Duration::hours(2);
 /// Gap merging consecutive anomalous samples into one event: one 5-minute
 /// sampling interval plus timestamp slack, so only strictly adjacent bins
-/// merge (a healthy bin in between splits the episode).
-pub(crate) const MERGE_GAP: Duration = Duration::secs(330);
+/// merge (a healthy bin in between splits the episode). Public for the
+/// same reason as [`MAX_FLAP_GAP`]: an episode's end is settled only once
+/// data this far past it has arrived.
+pub const MERGE_GAP: Duration = Duration::secs(330);
 /// Nominal duration of an OSPF reconvergence episode.
 pub(crate) const RECONV_DUR: Duration = Duration::secs(10);
 

@@ -29,7 +29,7 @@ pub mod singlepass;
 pub use def::{AnomalySense, EventDefinition, PimScope, Retrieval, StateSel};
 pub use delta::IncrementalExtractor;
 pub use dsl::{parse_events, render_event, render_events};
-pub use extract::{extract, extract_all_baseline, ExtractCx};
+pub use extract::{extract, extract_all_baseline, ExtractCx, MAX_FLAP_GAP, MERGE_GAP};
 pub use instance::{EventInstance, EventStore};
 pub use library::{
     bgp_app_events, cdn_app_events, knowledge_library, mnemonic_event, names, pim_app_events,

@@ -14,6 +14,10 @@ fn topo() -> Topology {
     generate(&TopoGenConfig::small())
 }
 
+/// Test epoch inside the collector's clock-plausibility window (records
+/// stamped near unix 0 would be quarantined as implausible).
+const BASE: i64 = 1_600_000_000;
+
 /// Build raw syslog lines for a sequence of (time, up) transitions on one
 /// interface of one router.
 fn transition_records(topo: &Topology, seq: &[(i64, bool)]) -> Vec<RawRecord> {
@@ -54,6 +58,7 @@ proptest! {
     /// count never exceeds min(#downs paired within the gap).
     #[test]
     fn pairing_invariants(seq in proptest::collection::vec((0i64..200_000, any::<bool>()), 0..40)) {
+        let seq: Vec<(i64, bool)> = seq.into_iter().map(|(t, u)| (BASE + t, u)).collect();
         let topo = topo();
         let recs = transition_records(&topo, &seq);
         let (db, _) = Database::ingest(&topo, &recs);
@@ -103,7 +108,7 @@ proptest! {
                 RawRecord::Snmp(SnmpSample {
                     system: topo.router(router).snmp_name(),
                     local_time: TimeZone::US_EASTERN
-                        .to_local(Timestamp::from_unix(300 * i as i64)),
+                        .to_local(Timestamp::from_unix(BASE + 300 * i as i64)),
                     metric: SnmpMetric::CpuUtil5m,
                     if_index: None,
                     value: v,
@@ -136,7 +141,7 @@ proptest! {
         // Every qualifying sample instant is inside some event window.
         for (i, &v) in values.iter().enumerate() {
             if v >= 80.0 {
-                let t = Timestamp::from_unix(300 * i as i64);
+                let t = Timestamp::from_unix(BASE + 300 * i as i64);
                 prop_assert!(
                     events.iter().any(|e| e.window.contains(t)),
                     "sample {} uncovered", i
@@ -168,7 +173,8 @@ fn regression_threshold_merge_must_not_bridge_disqualifying_sample() {
         .map(|(i, &v)| {
             RawRecord::Snmp(SnmpSample {
                 system: topo.router(router).snmp_name(),
-                local_time: TimeZone::US_EASTERN.to_local(Timestamp::from_unix(300 * i as i64)),
+                local_time: TimeZone::US_EASTERN
+                    .to_local(Timestamp::from_unix(BASE + 300 * i as i64)),
                 metric: SnmpMetric::CpuUtil5m,
                 if_index: None,
                 value: v,
@@ -193,6 +199,6 @@ fn regression_threshold_merge_must_not_bridge_disqualifying_sample() {
         2,
         "disqualifying middle sample must split the run: {events:?}"
     );
-    assert!(events[0].window.contains(Timestamp::from_unix(0)));
-    assert!(events[1].window.contains(Timestamp::from_unix(600)));
+    assert!(events[0].window.contains(Timestamp::from_unix(BASE)));
+    assert!(events[1].window.contains(Timestamp::from_unix(BASE + 600)));
 }

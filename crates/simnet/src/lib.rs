@@ -15,6 +15,7 @@
 //! diagnoses and to compare recovered breakdowns against Tables IV, VI and
 //! VIII of the paper.
 
+pub mod chaos;
 pub mod config;
 pub mod inject;
 pub mod inject_net;
@@ -22,6 +23,7 @@ pub mod scenario;
 pub mod sim;
 pub mod truth;
 
+pub use chaos::{ChaosOp, FeedChaos, MicroBatches};
 pub use config::{BackgroundConfig, FaultRates, ScenarioConfig};
 pub use scenario::{run_scenario, SimOutput};
 pub use sim::Sim;

@@ -67,4 +67,36 @@ proptest! {
         let _ = parse_syslog_message(&s);
         let _ = split_line(&s);
     }
+
+    /// Mutations of well-formed lines — truncation, character
+    /// substitution, garbage insertion — never panic; every outcome is a
+    /// clean parse or a structured error the collector can quarantine.
+    #[test]
+    fn mutated_lines_never_panic(
+        unix in 631_200_000i64..4_000_000_000i64,
+        which in 0u8..4,
+        mode in 0u8..3,
+        pos in 0usize..80,
+        byte in 0u8..=255,
+    ) {
+        let t = Timestamp::from_unix(unix);
+        let ev = match which {
+            0 => SyslogEvent::CpuHog { pct: 97 },
+            1 => SyslogEvent::LinkUpDown { iface: "Serial1/2/0".into(), up: false },
+            2 => SyslogEvent::BgpHoldTimerExpired { neighbor: Ipv4(0x0a00_0001) },
+            _ => SyslogEvent::Restart,
+        };
+        let line = ev.format_line(t);
+        let mut chars: Vec<char> = line.chars().collect();
+        let n = chars.len();
+        match mode {
+            0 => chars.truncate(pos % (n + 1)),
+            1 => chars[pos % n] = char::from(byte),
+            _ => chars.insert(pos % (n + 1), char::from(byte)),
+        }
+        let s: String = chars.into_iter().collect();
+        if let Ok((_, body)) = split_line(&s) {
+            let _ = parse_syslog_message(body);
+        }
+    }
 }
