@@ -16,8 +16,8 @@
 //! evidence from has either advanced past the horizon or is live enough
 //! that its silence is vouched for. A feed that stays behind past a
 //! bounded `wait_budget` stops blocking: the symptom is emitted in
-//! **degraded mode** ([`EmissionMode::Degraded`]), naming the missing
-//! feeds and carrying a confidence downgrade. If the missing feeds catch
+//! **degraded mode** ([`grca_core::EmissionMode::Degraded`]), naming the
+//! missing feeds and carrying a confidence downgrade. If the missing feeds catch
 //! up within `amend_window`, the symptom is re-diagnosed on the full
 //! evidence and a superseding amendment is emitted (`amends = true`,
 //! same key) — so under eventual delivery the folded stream converges to
@@ -31,7 +31,7 @@
 //! pruned against that same floor each cycle.
 
 use crate::context::AppOutput;
-use grca_collector::{Database, FeedRegistry, IngestStats};
+use grca_collector::{Database, FeedRegistry, IngestStats, StorageConfig};
 use grca_core::{DiagnosisGraph, Emission, Engine};
 use grca_events::{EventDefinition, ExtractCx, IncrementalExtractor};
 use grca_net_model::{RouteOracle, SpatialModel, Topology};
@@ -71,6 +71,11 @@ pub struct OnlineRca<'a> {
     emitted: BTreeMap<(String, i64), i64>,
     /// Degraded emissions awaiting recovery: key → window-end unix.
     pending_amend: BTreeMap<(String, i64), i64>,
+    /// If set, rows older than the skip floor minus this margin are
+    /// dropped from the database each cycle (see
+    /// [`OnlineRca::with_db_retention`]). `None` keeps everything — the
+    /// batch-identical default.
+    db_retention: Option<Duration>,
 }
 
 impl<'a> OnlineRca<'a> {
@@ -123,7 +128,30 @@ impl<'a> OnlineRca<'a> {
             amend_window: Duration::secs(hold_back.as_secs() * 6 + Duration::hours(8).as_secs()),
             emitted: BTreeMap::new(),
             pending_amend: BTreeMap::new(),
+            db_retention: None,
         })
+    }
+
+    /// Switch the accumulated database to the segmented columnar backend
+    /// (sealed immutable segments, compact encoding, LRU decode cache).
+    /// Must be called before the first ingest — it replaces the empty
+    /// database.
+    pub fn with_storage(mut self, cfg: &StorageConfig) -> Self {
+        debug_assert!(self.db.row_counts().iter().all(|&n| n == 0));
+        self.db = Database::with_storage(cfg);
+        self
+    }
+
+    /// Enable database retention: each cycle, rows older than the skip
+    /// floor minus the extractor's evidence margin minus `margin` are
+    /// dropped. Rows that old can no longer contribute to any future
+    /// diagnosis or amendment (the skip floor settles those symptoms
+    /// forever), so verdicts are unchanged; what is lost is only
+    /// drill-down into ancient history. Off by default — batch-identical
+    /// retention of everything.
+    pub fn with_db_retention(mut self, margin: Duration) -> Self {
+        self.db_retention = Some(margin);
+        self
     }
 
     /// Override the derived hold-back (trade diagnosis latency against
@@ -313,6 +341,13 @@ impl<'a> OnlineRca<'a> {
         self.extractor
             .prune_before(floor - self.hold_back - Duration::hours(2));
         self.db.trim_quarantine(QUARANTINE_KEEP);
+        if let Some(margin) = self.db_retention {
+            // Same horizon the extractor cache uses, minus a caller-chosen
+            // drill-down margin: nothing at or past the retention floor can
+            // influence a verdict that is still open.
+            self.db
+                .retain_before(floor - self.hold_back - Duration::hours(2) - margin);
+        }
         out
     }
 
@@ -429,6 +464,65 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    /// The segmented backend with retention enabled must emit the same
+    /// verdict stream as the flat backend keeping everything: retention
+    /// only drops rows past the settled floor, never live evidence.
+    #[test]
+    fn segmented_storage_with_retention_streams_identically() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(3, 12, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+
+        let stream = |mut online: OnlineRca| -> Vec<(String, i64, String)> {
+            let mut streamed: Vec<Emission> = Vec::new();
+            let mut now = cfg.start;
+            let mut idx = 0;
+            while now < cfg.end() {
+                now += Duration::hours(2);
+                let mut hi = idx;
+                while hi < out.records.len()
+                    && grca_simnet::scenario::approx_utc(&topo, &out.records[hi]) < now
+                {
+                    hi += 1;
+                }
+                streamed.extend(online.advance(&out.records[idx..hi], now, &NullOracle, None));
+                idx = hi;
+            }
+            let end = cfg.end() + online.hold_back() + Duration::mins(30);
+            drain(&mut online, now, end, &mut streamed);
+            let mut keys: Vec<_> = streamed
+                .iter()
+                .map(|e| {
+                    (
+                        e.diagnosis.symptom.location.display(&topo),
+                        e.diagnosis.symptom.window.start.unix(),
+                        e.diagnosis.label().to_string(),
+                    )
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+
+        let mk = || {
+            OnlineRca::new(&topo, bgp::event_definitions(), bgp::diagnosis_graph())
+                .unwrap()
+                .with_feed_cadence("syslog", Duration::hours(1))
+        };
+        let flat = stream(mk());
+        let seg_cfg = grca_collector::StorageConfig {
+            segment_rows: 256,
+            cache_segments: 2,
+            ..Default::default()
+        };
+        let seg = stream(
+            mk().with_storage(&seg_cfg)
+                .with_db_retention(Duration::hours(1)),
+        );
+        assert_eq!(flat, seg);
+        assert!(!flat.is_empty(), "scenario produced no emissions");
     }
 
     #[test]

@@ -106,6 +106,47 @@ fn bench_hotpath(c: &mut Criterion) {
         });
     }
 
+    // finalize: merge a sorted batch into an already-finalized table —
+    // the per-cycle ingest cost the suffix-merge finalize targets. Two
+    // arrival patterns: append-only (new batch entirely after the prefix)
+    // and overlapping (late rows interleave with the sorted prefix).
+    {
+        use grca_collector::{FlatTable, PerfRow};
+        use grca_net_model::RouterId as Rid;
+        let mk_row = |t: i64| PerfRow {
+            utc: Timestamp(t),
+            ingress: Rid::new(0),
+            egress: Rid::new(1),
+            metric: grca_telemetry::records::PerfMetric::LossPct,
+            value: 0.5,
+        };
+        let base: Vec<_> = (0..100_000i64).map(|k| mk_row(k * 10)).collect();
+        for (name, batch_at) in [
+            ("finalize_append", 1_000_000i64),
+            ("finalize_overlap", 995_000),
+        ] {
+            let batch: Vec<_> = (0..1_000i64).map(|k| mk_row(batch_at + k * 10)).collect();
+            let mut proto = FlatTable::default();
+            for r in &base {
+                proto.push(r.clone());
+            }
+            proto.finalize();
+            group.bench_function(name, |b| {
+                b.iter_batched(
+                    || proto.clone(),
+                    |mut t| {
+                        for r in &batch {
+                            t.push(r.clone());
+                        }
+                        t.finalize();
+                        black_box(t.len())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+
     // oracle cache-hit: the sharded read path on a warm cache.
     {
         let rs = RoutingState::baseline(&topo);

@@ -1,0 +1,303 @@
+//! E15 — long-horizon storage replay: ingest simulated weeks of telemetry
+//! into the collector under both storage backends and compare sustained
+//! ingest throughput, query latency, and memory growth.
+//!
+//! The flat `Vec` backend keeps every decoded row resident, so its memory
+//! grows linearly with the horizon. The segmented backend seals immutable
+//! columnar segments off the ingest path, keeps only a small LRU of
+//! decoded segments hot, and drops whole segments past a retention floor —
+//! so its footprint plateaus while queries stay answerable over the
+//! retained window (zone maps prune the rest).
+//!
+//! Each backend runs in a **child process** (`--child <backend> <scale>`)
+//! so `VmHWM` — the kernel's peak-RSS high-water mark — is clean per
+//! backend; the parent re-execs itself, parses each child's JSON report,
+//! and writes the combined `BENCH_rca_storage.json`.
+//!
+//! Modes: `--smoke` (small scale, 3 days — CI bench-smoke), `--plateau`
+//! (segmented child inline, asserts the footprint plateaus — CI test job),
+//! default (default + large scale, simulated weeks — experiments job).
+
+use grca_bench::mem::{vm_hwm_kb, vm_rss_kb};
+use grca_bench::results_dir;
+use grca_collector::{Database, IngestStats, StorageConfig, StorageStats};
+use grca_net_model::gen::{generate, TopoGenConfig};
+
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig};
+use grca_types::{Duration, TimeWindow};
+use serde::{Deserialize, Serialize};
+
+/// Rows retained behind the ingest watermark in segmented mode.
+const KEEP_WINDOW: Duration = Duration::days(3);
+
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct DaySample {
+    day: u32,
+    rows_total: usize,
+    rows_retained: usize,
+    approx_mb: f64,
+    rss_mb: f64,
+}
+
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct BackendRun {
+    backend: String,
+    scale: String,
+    days: u32,
+    records: usize,
+    accepted_rows: usize,
+    ingest_secs: f64,
+    records_per_sec: f64,
+    /// Mean latency of a 1-hour `range` query over the retained window.
+    query_between_us: f64,
+    /// Mean latency of an `after(watermark - 1h)` suffix query.
+    query_after_us: f64,
+    /// Per-day footprint trajectory — the plateau (or the linear growth).
+    samples: Vec<DaySample>,
+    peak_rss_mb: f64,
+    end_rss_mb: f64,
+    /// Segmented-only counters (zeros for the flat backend).
+    storage: StorageStats,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scales: Vec<ScaleReport>,
+}
+
+#[derive(Serialize)]
+struct ScaleReport {
+    scale: String,
+    flat: BackendRun,
+    segmented: BackendRun,
+    /// Segmented ingest throughput relative to flat (1.0 = parity; the
+    /// acceptance bar is ≥ 0.8).
+    throughput_ratio: f64,
+    /// Flat peak RSS over segmented peak RSS — the memory win.
+    peak_rss_ratio: f64,
+}
+
+fn scale_params(scale: &str) -> (TopoGenConfig, u32, StorageConfig) {
+    // The small scales shrink segments so sealing, the decode cache, and
+    // retention are all exercised on a few thousand rows per table.
+    let small_segs = StorageConfig {
+        segment_rows: 256,
+        cache_segments: 4,
+        ..Default::default()
+    };
+    match scale {
+        "smoke" => (TopoGenConfig::small(), 3, small_segs.clone()),
+        // Long enough past KEEP_WINDOW for retention to reach steady state
+        // on the small topology — the footprint must be flat by mid-run.
+        "plateau" => (TopoGenConfig::small(), 8, small_segs),
+        "default" => (TopoGenConfig::default(), 14, StorageConfig::default()),
+        "large" => (TopoGenConfig::paper_scale(), 7, StorageConfig::default()),
+        other => panic!("unknown scale {other:?}"),
+    }
+}
+
+/// Replay `days` of telemetry in day-sized chunks, as a live deployment
+/// would see them. Each chunk is simulated independently (shifted
+/// `cfg.start`, per-chunk seed) so the generator's state never spans the
+/// horizon; both backends replay the identical record stream.
+fn run_child(backend: &str, scale: &str) -> BackendRun {
+    let (topo_cfg, days, storage_cfg) = scale_params(scale);
+    let topo = generate(&topo_cfg);
+    let base = ScenarioConfig::new(1, 0, FaultRates::bgp_study()).start;
+
+    let mut db = match backend {
+        "flat" => Database::default(),
+        "segmented" => Database::with_storage(&storage_cfg),
+        other => panic!("unknown backend {other:?}"),
+    };
+    let mut stats = IngestStats::default();
+    let mut records = 0usize;
+    let mut ingest_secs = 0.0f64;
+    let mut samples = Vec::new();
+    let mut rows_total = 0usize;
+
+    for day in 0..days {
+        let mut cfg = ScenarioConfig::new(1, 7_000 + day as u64, FaultRates::bgp_study());
+        cfg.start = base + Duration::days(day as i64);
+        if topo.routers.len() > 200 {
+            cfg.background.snmp_baseline_bin = Duration::hours(6);
+            cfg.background.perf_baseline_bin = Duration::hours(6);
+            cfg.background.cdn_baseline_bin = Duration::hours(6);
+        }
+        let out = run_scenario(&topo, &cfg);
+        records += out.records.len();
+
+        let t0 = std::time::Instant::now();
+        db.ingest_more(&topo, &out.records, &mut stats);
+        ingest_secs += t0.elapsed().as_secs_f64();
+        rows_total += out.records.len();
+
+        if backend == "segmented" {
+            db.retain_before(cfg.end() - KEEP_WINDOW);
+        }
+        samples.push(DaySample {
+            day,
+            rows_total,
+            rows_retained: db.row_counts().iter().sum(),
+            approx_mb: db.approx_bytes() as f64 / (1024.0 * 1024.0),
+            rss_mb: vm_rss_kb().unwrap_or(0) as f64 / 1024.0,
+        });
+    }
+
+    // Query latency over the retained window: 1-hour `range` windows
+    // stepped across the last KEEP_WINDOW, and `after` suffix reads at the
+    // watermark — the shapes the online path issues every cycle.
+    let end = base + Duration::days(days as i64);
+    let lo = end - KEEP_WINDOW;
+    let steps: i64 = 200;
+    let t0 = std::time::Instant::now();
+    let mut touched = 0usize;
+    for i in 0..steps {
+        let s = lo + Duration::secs(i * (KEEP_WINDOW.as_secs() - 3600) / steps);
+        let w = TimeWindow::new(s, s + Duration::hours(1));
+        touched += db.syslog.range(w).len() + db.snmp.range(w).len() + db.perf.range(w).len();
+    }
+    let query_between_us = t0.elapsed().as_secs_f64() * 1e6 / steps as f64;
+    let t1 = std::time::Instant::now();
+    for i in 0..steps {
+        let s = end - Duration::hours(1) - Duration::secs(i);
+        touched += db.syslog.after(s).len() + db.snmp.after(s).len() + db.perf.after(s).len();
+    }
+    let query_after_us = t1.elapsed().as_secs_f64() * 1e6 / steps as f64;
+    assert!(touched > 0, "queries touched no rows");
+
+    BackendRun {
+        backend: backend.to_string(),
+        scale: scale.to_string(),
+        days,
+        records,
+        accepted_rows: stats.total_accepted(),
+        ingest_secs,
+        records_per_sec: records as f64 / ingest_secs.max(1e-9),
+        query_between_us,
+        query_after_us,
+        samples,
+        peak_rss_mb: vm_hwm_kb().unwrap_or(0) as f64 / 1024.0,
+        end_rss_mb: vm_rss_kb().unwrap_or(0) as f64 / 1024.0,
+        storage: db.storage_stats().unwrap_or_default(),
+    }
+}
+
+/// Assert the segmented footprint plateaus: over the second half of the
+/// run (once the retention window is full) the database's own accounting
+/// must stay flat and end-of-run RSS must not keep climbing.
+fn assert_plateau(run: &BackendRun) {
+    let half = run.samples.len() / 2;
+    let tail = &run.samples[half..];
+    let lo = tail.iter().map(|s| s.approx_mb).fold(f64::MAX, f64::min);
+    let hi = tail.iter().map(|s| s.approx_mb).fold(0.0, f64::max);
+    assert!(
+        hi <= lo * 1.25 + 1.0,
+        "segmented approx_bytes still growing: {lo:.1} MB -> {hi:.1} MB over second half"
+    );
+    let mid_rss = run.samples[half].rss_mb;
+    let end_rss = run.samples.last().unwrap().rss_mb;
+    assert!(
+        end_rss <= mid_rss * 1.15 + 8.0,
+        "segmented RSS still growing: {mid_rss:.1} MB at midpoint -> {end_rss:.1} MB at end"
+    );
+    println!("plateau ok: approx {lo:.1}..{hi:.1} MB, rss {mid_rss:.1} -> {end_rss:.1} MB");
+}
+
+fn spawn_child(backend: &str, scale: &str) -> BackendRun {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args(["--child", backend, scale])
+        .output()
+        .expect("spawn child");
+    assert!(
+        out.status.success(),
+        "child {backend}/{scale} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT "))
+        .expect("child emitted no RESULT line");
+    serde_json::from_str(line).expect("parse child result")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--child") => {
+            let run = run_child(&args[1], &args[2]);
+            println!("RESULT {}", serde_json::to_string(&run).unwrap());
+            return;
+        }
+        Some("--plateau") => {
+            // Inline (no subprocess): CI's test job asserts the memory
+            // plateau on a short run without touching results/.
+            let run = run_child("segmented", "plateau");
+            assert_plateau(&run);
+            return;
+        }
+        _ => {}
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scales: &[&str] = if smoke {
+        &["smoke"]
+    } else {
+        &["default", "large"]
+    };
+
+    let mut report = Report { scales: Vec::new() };
+    println!(
+        "{:>9} {:>10} {:>9} {:>11} {:>11} {:>10} {:>10} {:>9}",
+        "scale", "backend", "records", "ingest r/s", "between µs", "after µs", "peak MB", "end MB"
+    );
+    for scale in scales {
+        let flat = spawn_child("flat", scale);
+        let segmented = spawn_child("segmented", scale);
+        for run in [&flat, &segmented] {
+            println!(
+                "{:>9} {:>10} {:>9} {:>11.0} {:>11.1} {:>10.1} {:>10.1} {:>9.1}",
+                run.scale,
+                run.backend,
+                run.records,
+                run.records_per_sec,
+                run.query_between_us,
+                run.query_after_us,
+                run.peak_rss_mb,
+                run.end_rss_mb
+            );
+        }
+        println!(
+            "          segmented: {} sealed segs, {} scanned, {} pruned by time, {} cache hits / {} decodes",
+            segmented.storage.sealed_segments,
+            segmented.storage.segments_scanned,
+            segmented.storage.pruned_by_time,
+            segmented.storage.cache_hits,
+            segmented.storage.decodes
+        );
+        if !smoke {
+            assert_plateau(&segmented);
+        }
+        report.scales.push(ScaleReport {
+            scale: scale.to_string(),
+            throughput_ratio: segmented.records_per_sec / flat.records_per_sec.max(1e-9),
+            peak_rss_ratio: flat.peak_rss_mb / segmented.peak_rss_mb.max(1e-9),
+            flat,
+            segmented,
+        });
+    }
+    for s in &report.scales {
+        println!(
+            "{}: segmented throughput {:.2}x flat, flat peak RSS {:.2}x segmented",
+            s.scale, s.throughput_ratio, s.peak_rss_ratio
+        );
+    }
+    let path = results_dir().join("BENCH_rca_storage.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_rca_storage.json");
+    println!("\n[saved {}]", path.display());
+}

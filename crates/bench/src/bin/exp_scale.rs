@@ -1,10 +1,12 @@
 //! E11b — platform scaling: the same 10-day BGP study at three topology
 //! scales, reporting collector volume/throughput, end-to-end diagnosis
-//! time (sequential vs parallel), and accuracy. The point: per-symptom
-//! cost and accuracy are flat in network size — the paper's deployment
-//! grew to 600+ PEs on the same platform.
+//! time (sequential vs parallel), accuracy, and the memory cost of each
+//! phase (allocation traffic plus resident-set growth). The point:
+//! per-symptom cost and accuracy are flat in network size — the paper's
+//! deployment grew to 600+ PEs on the same platform.
 
 use grca_apps::{bgp, report, Study};
+use grca_bench::mem::{alloc_snapshot, vm_hwm_kb, vm_rss_kb, CountingAlloc};
 use grca_bench::{fixture, save_json};
 use grca_collector::Database;
 use grca_core::Engine;
@@ -13,6 +15,15 @@ use grca_net_model::gen::TopoGenConfig;
 use grca_net_model::{NullOracle, SpatialModel};
 use grca_simnet::FaultRates;
 use serde::Serialize;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[derive(Serialize)]
+struct Phase {
+    allocs: u64,
+    alloc_mb: f64,
+}
 
 #[derive(Serialize)]
 struct Point {
@@ -27,12 +38,26 @@ struct Point {
     diagnose_secs_par4: f64,
     us_per_symptom: f64,
     accuracy: f64,
+    simulate: Phase,
+    ingest: Phase,
+    extract: Phase,
+    diagnose: Phase,
+    rss_mb: f64,
+    peak_rss_mb: f64,
+}
+
+/// Allocation traffic between two [`alloc_snapshot`] readings.
+fn phase(before: (u64, u64), after: (u64, u64)) -> Phase {
+    Phase {
+        allocs: after.0 - before.0,
+        alloc_mb: (after.1 - before.1) as f64 / (1024.0 * 1024.0),
+    }
 }
 
 fn main() {
     let mut points = Vec::new();
     println!(
-        "{:>8} {:>8} {:>9} {:>9} {:>10} {:>7} {:>10} {:>10} {:>9} {:>9}",
+        "{:>8} {:>8} {:>9} {:>9} {:>10} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9}",
         "scale",
         "routers",
         "sessions",
@@ -42,23 +67,28 @@ fn main() {
         "diag seq",
         "diag par4",
         "µs/sym",
-        "accuracy"
+        "accuracy",
+        "rss MB"
     );
     for (name, cfg) in [
         ("small", TopoGenConfig::small()),
         ("default", TopoGenConfig::default()),
         ("paper", TopoGenConfig::paper_scale()),
     ] {
+        let a0 = alloc_snapshot();
         let fx = fixture(&cfg, 10, 2024, FaultRates::bgp_study());
+        let a_sim = alloc_snapshot();
         // Re-ingest to time the collector in isolation.
         let t0 = std::time::Instant::now();
         let (db, _) = Database::ingest(&fx.topo, &fx.out.records);
         let ingest = t0.elapsed().as_secs_f64();
+        let a_ing = alloc_snapshot();
 
         let defs = bgp::event_definitions();
         let graph = bgp::diagnosis_graph();
         let cx = ExtractCx::new(&fx.topo, &db, None);
         let store = extract_all(&defs, &cx);
+        let a_ext = alloc_snapshot();
         let sm = SpatialModel::new(&fx.topo, &NullOracle);
         let engine = Engine::new(&graph, &store, &sm);
 
@@ -69,6 +99,7 @@ fn main() {
         let par = engine.diagnose_all_parallel(4);
         let diag_par = t2.elapsed().as_secs_f64();
         assert_eq!(seq, par, "parallel must equal sequential");
+        let a_diag = alloc_snapshot();
 
         let acc = report::score(Study::Bgp, &fx.topo, &seq, &fx.out.truth);
         let p = Point {
@@ -83,9 +114,15 @@ fn main() {
             diagnose_secs_par4: diag_par,
             us_per_symptom: diag_seq * 1e6 / seq.len().max(1) as f64,
             accuracy: acc.rate(),
+            simulate: phase(a0, a_sim),
+            ingest: phase(a_sim, a_ing),
+            extract: phase(a_ing, a_ext),
+            diagnose: phase(a_ext, a_diag),
+            rss_mb: vm_rss_kb().unwrap_or(0) as f64 / 1024.0,
+            peak_rss_mb: vm_hwm_kb().unwrap_or(0) as f64 / 1024.0,
         };
         println!(
-            "{:>8} {:>8} {:>9} {:>9} {:>10.0} {:>7} {:>9.2}s {:>9.2}s {:>9.1} {:>8.1}%",
+            "{:>8} {:>8} {:>9} {:>9} {:>10.0} {:>7} {:>9.2}s {:>9.2}s {:>9.1} {:>8.1}% {:>9.1}",
             p.scale,
             p.routers,
             p.sessions,
@@ -95,7 +132,8 @@ fn main() {
             p.diagnose_secs_seq,
             p.diagnose_secs_par4,
             p.us_per_symptom,
-            100.0 * p.accuracy
+            100.0 * p.accuracy,
+            p.rss_mb
         );
         points.push(p);
     }

@@ -119,6 +119,73 @@ pub fn render_compare(title: &str, rows: &[CompareRow]) -> String {
     out
 }
 
+/// Process-level memory observability for the experiment binaries:
+/// resident-set sampling from `/proc/self/status` and a counting global
+/// allocator for per-phase allocation accounting.
+pub mod mem {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn status_kb(field: &str) -> Option<u64> {
+        let s = std::fs::read_to_string("/proc/self/status").ok()?;
+        s.lines().find_map(|line| {
+            let rest = line.strip_prefix(field)?.strip_prefix(':')?;
+            rest.trim().strip_suffix("kB")?.trim().parse().ok()
+        })
+    }
+
+    /// Current resident set size in kB (`None` off Linux).
+    pub fn vm_rss_kb() -> Option<u64> {
+        status_kb("VmRSS")
+    }
+
+    /// Peak (high-water-mark) resident set size in kB since process start.
+    pub fn vm_hwm_kb() -> Option<u64> {
+        status_kb("VmHWM")
+    }
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// A counting wrapper around the system allocator. Install it with
+    /// `#[global_allocator]` in an experiment binary, then diff
+    /// [`alloc_snapshot`] around a phase to attribute allocation traffic.
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates verbatim to `System`; the counters are relaxed
+    // atomics and never influence the returned pointers.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(
+                new_size.saturating_sub(layout.size()) as u64,
+                Ordering::Relaxed,
+            );
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Cumulative `(allocation count, allocated bytes)` since process
+    /// start. Only meaningful when [`CountingAlloc`] is the global
+    /// allocator; returns zeros otherwise.
+    pub fn alloc_snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            ALLOC_BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Directory for machine-readable experiment outputs.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("GRCA_RESULTS_DIR")

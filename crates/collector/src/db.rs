@@ -20,6 +20,7 @@
 
 use crate::resolve::{CachedResolver, EntityResolver};
 use crate::rows::*;
+use crate::storage::{StorageConfig, StorageStats};
 use crate::tables::Table;
 use grca_net_model::Topology;
 use grca_telemetry::records::RawRecord;
@@ -51,6 +52,10 @@ pub struct IngestStats {
     /// Exact re-deliveries of an already-ingested record (transport
     /// retries, chaos duplication), skipped by the content-hash dedup.
     pub deduplicated: BTreeMap<&'static str, usize>,
+    /// Records whose normalized instant falls before the database's
+    /// retention floor ([`Database::retain_before`]): already-aged-out
+    /// history re-delivered by a slow transport. Counted, never stored.
+    pub expired: BTreeMap<&'static str, usize>,
     /// Syslog rows whose body did not match the known message catalog
     /// (kept as raw rows — they still feed exploration and screening).
     pub syslog_unparsed: usize,
@@ -66,6 +71,9 @@ impl IngestStats {
     pub fn total_deduplicated(&self) -> usize {
         self.deduplicated.values().sum()
     }
+    pub fn total_expired(&self) -> usize {
+        self.expired.values().sum()
+    }
     /// Compatibility alias from when rejected records were dropped rather
     /// than quarantined.
     pub fn total_dropped(&self) -> usize {
@@ -74,7 +82,10 @@ impl IngestStats {
     /// Records offered to ingestion, reconstructed from the accounting
     /// invariant.
     pub fn total_input(&self) -> usize {
-        self.total_accepted() + self.total_quarantined() + self.total_deduplicated()
+        self.total_accepted()
+            + self.total_quarantined()
+            + self.total_deduplicated()
+            + self.total_expired()
     }
 
     /// Fold another worker's counts into this one (all counts are
@@ -89,6 +100,9 @@ impl IngestStats {
         for (feed, n) in &other.deduplicated {
             *self.deduplicated.entry(feed).or_default() += n;
         }
+        for (feed, n) in &other.expired {
+            *self.expired.entry(feed).or_default() += n;
+        }
         self.syslog_unparsed += other.syslog_unparsed;
     }
 
@@ -100,6 +114,7 @@ impl IngestStats {
             .keys()
             .chain(self.quarantined.keys())
             .chain(self.deduplicated.keys())
+            .chain(self.expired.keys())
             .copied()
             .collect();
         feeds.sort_unstable();
@@ -108,8 +123,9 @@ impl IngestStats {
             let n = self.accepted.get(feed).copied().unwrap_or(0);
             let q = self.quarantined.get(feed).copied().unwrap_or(0);
             let d = self.deduplicated.get(feed).copied().unwrap_or(0);
+            let e = self.expired.get(feed).copied().unwrap_or(0);
             out.push_str(&format!(
-                "{feed:>10}: {n} accepted, {q} quarantined, {d} deduplicated\n"
+                "{feed:>10}: {n} accepted, {q} quarantined, {d} deduplicated, {e} expired\n"
             ));
         }
         out
@@ -152,6 +168,24 @@ enum NormRow {
     Server(ServerRow),
 }
 
+impl NormRow {
+    /// The row's normalized UTC instant (the table sort key).
+    fn utc(&self) -> Timestamp {
+        match self {
+            NormRow::Syslog(r) => r.utc,
+            NormRow::Snmp(r) => r.utc,
+            NormRow::L1(r) => r.utc,
+            NormRow::Ospf(r) => r.utc,
+            NormRow::Bgp(r) => r.utc,
+            NormRow::Tacacs(r) => r.utc,
+            NormRow::Workflow(r) => r.utc,
+            NormRow::Perf(r) => r.utc,
+            NormRow::Cdn(r) => r.utc,
+            NormRow::Server(r) => r.utc,
+        }
+    }
+}
+
 /// Normalize one raw record: resolve entity names through `res`, convert
 /// the source clock to UTC, and build the destination row. `Err` carries
 /// the structured reason the record must be quarantined. Shared verbatim
@@ -168,18 +202,7 @@ fn normalize<R: EntityResolver>(
     // [1990, 2100) is a corrupted timestamp, not a measurement. Without
     // this guard one garbled year digit would catapult the feed's
     // watermark centuries ahead and wedge online gating forever.
-    let utc = match &row {
-        NormRow::Syslog(r) => r.utc,
-        NormRow::Snmp(r) => r.utc,
-        NormRow::L1(r) => r.utc,
-        NormRow::Ospf(r) => r.utc,
-        NormRow::Bgp(r) => r.utc,
-        NormRow::Tacacs(r) => r.utc,
-        NormRow::Workflow(r) => r.utc,
-        NormRow::Perf(r) => r.utc,
-        NormRow::Cdn(r) => r.utc,
-        NormRow::Server(r) => r.utc,
-    };
+    let utc = row.utc();
     const PLAUSIBLE_UNIX: std::ops::Range<i64> = 631_152_000..4_102_444_800;
     if !PLAUSIBLE_UNIX.contains(&utc.unix()) {
         return Err(QuarantineReason::Implausible {
@@ -476,10 +499,19 @@ pub struct Database {
     /// Records normalization rejected, with structured reasons — never
     /// silently dropped (the operational visibility §II-A calls for).
     pub quarantine: Vec<Quarantined>,
-    /// Fingerprints of every record ever offered (including quarantined
-    /// ones), for transport-level dedup that persists across incremental
-    /// batches.
-    seen: std::collections::HashSet<u128>,
+    /// Fingerprint → normalized instant of every record ever offered,
+    /// for transport-level dedup that persists across incremental batches.
+    /// Quarantined records map to `Timestamp(i64::MAX)` (they never age
+    /// out); accepted/expired ones carry their row instant so
+    /// [`Database::retain_before`] can drop fingerprints along with the
+    /// history they belong to.
+    seen: std::collections::HashMap<u128, Timestamp>,
+    /// Rows before this instant have been aged out of the tables; late
+    /// re-deliveries of pre-floor history are counted as `expired` and
+    /// never re-ingested (which is what keeps the fingerprint aging of
+    /// `seen` sound even when the segmented backend retains a partial
+    /// segment past the floor).
+    retention_floor: Option<Timestamp>,
 }
 
 /// Feed names in [`Database::row_counts`] table order.
@@ -497,6 +529,28 @@ pub const FEEDS: [&str; 10] = [
 ];
 
 impl Database {
+    /// An empty database whose tables use the segmented columnar backend
+    /// ([`crate::storage::SegmentedTable`]) instead of the flat `Vec`
+    /// baseline. Query-identical to the default; memory-bounded when the
+    /// caller also applies [`Database::retain_before`].
+    pub fn with_storage(cfg: &StorageConfig) -> Database {
+        Database {
+            syslog: Table::segmented(cfg.clone()),
+            snmp: Table::segmented(cfg.clone()),
+            l1: Table::segmented(cfg.clone()),
+            ospf: Table::segmented(cfg.clone()),
+            bgp: Table::segmented(cfg.clone()),
+            tacacs: Table::segmented(cfg.clone()),
+            workflow: Table::segmented(cfg.clone()),
+            perf: Table::segmented(cfg.clone()),
+            cdn: Table::segmented(cfg.clone()),
+            server: Table::segmented(cfg.clone()),
+            quarantine: Vec::new(),
+            seen: std::collections::HashMap::new(),
+            retention_floor: None,
+        }
+    }
+
     /// Ingest and normalize a batch of raw records against the topology.
     pub fn ingest(topo: &Topology, records: &[RawRecord]) -> (Database, IngestStats) {
         Self::ingest_with(topo, records, &mut CachedResolver::new())
@@ -607,10 +661,15 @@ impl Database {
         }
         let mut db = Database::default();
         for (fp, slot) in slots.into_iter().flatten() {
-            db.seen.insert(fp);
             match slot {
-                Ok(row) => db.push_norm(row),
-                Err(q) => db.quarantine.push(q),
+                Ok(row) => {
+                    db.seen.insert(fp, row.utc());
+                    db.push_norm(row);
+                }
+                Err(q) => {
+                    db.seen.insert(fp, Timestamp(i64::MAX));
+                    db.quarantine.push(q);
+                }
             }
         }
         db.finalize();
@@ -627,9 +686,10 @@ impl Database {
 
     /// Normalize `records` through `res` and append the surviving rows
     /// (no finalize). Every record is accounted for exactly once: exact
-    /// re-deliveries are skipped via the persistent fingerprint set
+    /// re-deliveries are skipped via the persistent fingerprint map
     /// (`deduplicated`), rejects land in the quarantine (`quarantined`),
-    /// and the rest are appended (`accepted`).
+    /// rows older than the retention floor are counted but not stored
+    /// (`expired`), and the rest are appended (`accepted`).
     fn absorb<R: EntityResolver>(
         &mut self,
         topo: &Topology,
@@ -639,16 +699,24 @@ impl Database {
     ) {
         for rec in records {
             let feed = rec.feed();
-            if !self.seen.insert(record_fingerprint(rec)) {
+            let fp = record_fingerprint(rec);
+            if self.seen.contains_key(&fp) {
                 *stats.deduplicated.entry(feed).or_default() += 1;
                 continue;
             }
             match normalize(topo, res, rec, stats) {
                 Ok(row) => {
+                    let utc = row.utc();
+                    self.seen.insert(fp, utc);
+                    if self.retention_floor.is_some_and(|floor| utc < floor) {
+                        *stats.expired.entry(feed).or_default() += 1;
+                        continue;
+                    }
                     *stats.accepted.entry(feed).or_default() += 1;
                     self.push_norm(row);
                 }
                 Err(reason) => {
+                    self.seen.insert(fp, Timestamp(i64::MAX));
                     *stats.quarantined.entry(feed).or_default() += 1;
                     self.quarantine.push(Quarantined { feed, reason });
                 }
@@ -728,6 +796,74 @@ impl Database {
         }
     }
 
+    /// Age out all rows strictly before `floor`: drop them from every
+    /// table (whole sealed segments only on the segmented backend), drop
+    /// the fingerprints of the dropped history, and raise the retention
+    /// floor so late re-deliveries of pre-floor records are expired on
+    /// arrival instead of re-ingested. Returns rows dropped.
+    ///
+    /// Note this breaks the "tables only ever grow" identity incremental
+    /// extraction checks — its watermark test fails and it soundly falls
+    /// back to a full pass on cycles where segments were dropped.
+    pub fn retain_before(&mut self, floor: Timestamp) -> usize {
+        let dropped = self.syslog.retain_before(floor)
+            + self.snmp.retain_before(floor)
+            + self.l1.retain_before(floor)
+            + self.ospf.retain_before(floor)
+            + self.bgp.retain_before(floor)
+            + self.tacacs.retain_before(floor)
+            + self.workflow.retain_before(floor)
+            + self.perf.retain_before(floor)
+            + self.cdn.retain_before(floor)
+            + self.server.retain_before(floor);
+        self.seen.retain(|_, t| *t >= floor);
+        self.retention_floor = Some(match self.retention_floor {
+            Some(f) => f.max(floor),
+            None => floor,
+        });
+        dropped
+    }
+
+    /// Estimated resident bytes across all tables (rows, indexes, encoded
+    /// blobs and decode caches) plus the fingerprint map.
+    pub fn approx_bytes(&self) -> usize {
+        self.syslog.approx_bytes()
+            + self.snmp.approx_bytes()
+            + self.l1.approx_bytes()
+            + self.ospf.approx_bytes()
+            + self.bgp.approx_bytes()
+            + self.tacacs.approx_bytes()
+            + self.workflow.approx_bytes()
+            + self.perf.approx_bytes()
+            + self.cdn.approx_bytes()
+            + self.server.approx_bytes()
+            + self.seen.len() * (std::mem::size_of::<(u128, Timestamp)>() + 8)
+    }
+
+    /// Storage counters merged across all tables — `Some` only when the
+    /// database uses the segmented backend.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        let per_table = [
+            self.syslog.seg_stats(),
+            self.snmp.seg_stats(),
+            self.l1.seg_stats(),
+            self.ospf.seg_stats(),
+            self.bgp.seg_stats(),
+            self.tacacs.seg_stats(),
+            self.workflow.seg_stats(),
+            self.perf.seg_stats(),
+            self.cdn.seg_stats(),
+            self.server.seg_stats(),
+        ];
+        let mut out = StorageStats::default();
+        let mut any = false;
+        for s in per_table.into_iter().flatten() {
+            out.merge(&s);
+            any = true;
+        }
+        any.then_some(out)
+    }
+
     /// Per-table row counts in a fixed order (diagnostics, watermark
     /// growth checks in incremental extraction).
     pub fn row_counts(&self) -> [usize; 10] {
@@ -768,7 +904,8 @@ mod tests {
         });
         let (db, stats) = Database::ingest(&topo, &[rec]);
         assert_eq!(stats.total_accepted(), 1);
-        let row = &db.syslog.all()[0];
+        let rows = db.syslog.all();
+        let row = &rows[0];
         assert_eq!(
             row.utc,
             tz.to_utc(Timestamp::from_civil(2010, 1, 1, 4, 0, 0))
@@ -788,7 +925,8 @@ mod tests {
             value: 42.0,
         });
         let (db, _) = Database::ingest(&topo, &[rec]);
-        let row = &db.snmp.all()[0];
+        let rows = db.snmp.all();
+        let row = &rows[0];
         assert_eq!(row.utc, Timestamp::from_civil(2010, 1, 1, 12, 0, 0));
         assert_eq!(topo.router(row.router).name, "lax-per1");
     }
@@ -911,7 +1049,8 @@ mod tests {
         });
         let (db, stats) = Database::ingest(&topo, &[rec]);
         assert_eq!(stats.syslog_unparsed, 1);
-        let row = &db.syslog.all()[0];
+        let rows = db.syslog.all();
+        let row = &rows[0];
         assert!(row.event.is_none());
         assert_eq!(row.mnemonic(), "%NOISE-6-T001");
     }

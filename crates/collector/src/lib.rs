@@ -6,8 +6,13 @@
 //! and identifiers takes place as data is ingested."
 //!
 //! * [`rows`] — the normalized schema (UTC times, canonical entity ids);
-//! * [`tables`] — time-indexed columnar tables: binary-searched range
-//!   queries plus a per-entity offset index;
+//! * [`tables`] — time-indexed tables: binary-searched range queries plus
+//!   a per-entity offset index, behind a pluggable storage facade;
+//! * [`segment`] — the columnar codec for sealed segments (delta-encoded
+//!   timestamps, interned strings, zone maps);
+//! * [`storage`] — the storage backends: the flat `Vec` baseline and the
+//!   memory-bounded segmented columnar store (LRU decode cache, optional
+//!   on-disk spill, segment-granular retention);
 //! * [`resolve`] — entity-name resolution strategies (direct vs memoized);
 //! * [`db`] — the ingestion pipeline over all feeds (sequential and
 //!   parallel sharded), with per-feed accept/drop statistics.
@@ -16,10 +21,14 @@ pub mod db;
 pub mod health;
 pub mod resolve;
 pub mod rows;
+pub mod segment;
+pub mod storage;
 pub mod tables;
 
 pub use db::{record_fingerprint, Database, IngestStats, QuarantineReason, Quarantined, FEEDS};
 pub use health::{FeedHealth, FeedRegistry, FeedState};
 pub use resolve::{CachedResolver, DirectResolver, EntityResolver};
 pub use rows::*;
-pub use tables::{EntityRows, Table};
+pub use segment::{decode_segment, encode_segment, DecodedSeg, SegmentMeta, StoredRow};
+pub use storage::{SegmentedTable, StorageConfig, StorageStats, TableStorage};
+pub use tables::{EntityRows, FlatTable, RowSet, Table};

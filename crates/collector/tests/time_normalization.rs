@@ -164,7 +164,7 @@ fn out_of_order_arrival_sorts_on_finalize() {
     let (db, stats) = Database::ingest(&topo, &recs);
     assert_eq!(stats.total_dropped(), 0);
 
-    let rows = db.syslog.all();
+    let rows = db.syslog.all().to_vec();
     assert_eq!(rows.len(), order.len());
     assert!(
         rows.windows(2).all(|w| w[0].utc <= w[1].utc),

@@ -237,7 +237,7 @@ pub fn drill_down(topo: &Topology, db: &Database, d: &Diagnosis, margin: Duratio
         d.symptom.window.end + margin,
     );
     let mut out = DrillDown::default();
-    for row in db.syslog.range(w) {
+    for row in db.syslog.range(w).iter() {
         if routers.contains(&row.router) {
             out.syslog.push(format!(
                 "{} {} {}",
@@ -247,7 +247,7 @@ pub fn drill_down(topo: &Topology, db: &Database, d: &Diagnosis, margin: Duratio
             ));
         }
     }
-    for row in db.snmp.range(w) {
+    for row in db.snmp.range(w).iter() {
         if routers.contains(&row.router) {
             out.snmp.push(format!(
                 "{} {} {:?}={:.1}",
@@ -258,13 +258,13 @@ pub fn drill_down(topo: &Topology, db: &Database, d: &Diagnosis, margin: Duratio
             ));
         }
     }
-    for row in db.workflow.range(w) {
+    for row in db.workflow.range(w).iter() {
         if row.router.map(|r| routers.contains(&r)).unwrap_or(false) {
             out.workflow
                 .push(format!("{} {} {}", row.utc, row.entity, row.activity));
         }
     }
-    for row in db.tacacs.range(w) {
+    for row in db.tacacs.range(w).iter() {
         if routers.contains(&row.router) {
             out.tacacs.push(format!(
                 "{} {} [{}] {}",

@@ -85,7 +85,7 @@ pub fn candidate_series(
         (Some(_), None) => false,
     };
     let mut by_name: BTreeMap<String, Vec<Timestamp>> = BTreeMap::new();
-    for row in db.workflow.all() {
+    for row in db.workflow.all().iter() {
         if keep(row.router) {
             by_name
                 .entry(format!("workflow:{}", row.activity))
@@ -93,7 +93,7 @@ pub fn candidate_series(
                 .push(row.utc);
         }
     }
-    for row in db.syslog.all() {
+    for row in db.syslog.all().iter() {
         if keep(Some(row.router)) {
             by_name
                 .entry(format!("syslog:{}", row.mnemonic()))

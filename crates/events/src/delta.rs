@@ -28,7 +28,7 @@ use crate::def::EventDefinition;
 use crate::extract::ExtractCx;
 use crate::instance::{EventInstance, EventStore};
 use crate::singlepass::{is_stateless, run, Cut};
-use grca_collector::{Database, Row, Table};
+use grca_collector::{Database, StoredRow, Table};
 use grca_types::Timestamp;
 
 /// Per-table ingestion watermarks: row counts plus last timestamps, in
@@ -62,7 +62,7 @@ impl Marks {
     /// watermarks? (If not, late rows landed inside the marked range and
     /// a delta pass would miss them.)
     fn extended_by(&self, db: &Database) -> bool {
-        fn after_len<R: Row>(t: &Table<R>, w: Option<Timestamp>) -> usize {
+        fn after_len<R: StoredRow>(t: &Table<R>, w: Option<Timestamp>) -> usize {
             match w {
                 Some(w) => t.after(w).len(),
                 None => t.len(),

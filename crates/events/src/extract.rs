@@ -175,7 +175,7 @@ pub fn extract(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
         }
         Retrieval::CdnServerIssue { min_load } => {
             let mut by_node: BTreeMap<u32, Vec<Timestamp>> = BTreeMap::new();
-            for row in cx.db.server.all() {
+            for row in cx.db.server.all().iter() {
                 if row.load >= *min_load {
                     by_node.entry(row.node.0).or_default().push(row.utc);
                 }
@@ -296,7 +296,7 @@ fn iface_state(
     proto: bool,
 ) -> Vec<EventInstance> {
     let mut transitions = Vec::new();
-    for row in cx.db.syslog.all() {
+    for row in cx.db.syslog.all().iter() {
         let (iface, up) = match (&row.event, proto) {
             (Some(SyslogEvent::LinkUpDown { iface, up }), false) => (iface, *up),
             (Some(SyslogEvent::LineProtoUpDown { iface, up }), true) => (iface, *up),
@@ -360,7 +360,7 @@ fn syslog_neighbor(
 /// eBGP session flaps: ADJCHANGE down paired with the next up.
 fn ebgp_flaps(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
     let mut transitions = Vec::new();
-    for row in cx.db.syslog.all() {
+    for row in cx.db.syslog.all().iter() {
         if let Some(SyslogEvent::BgpAdjChange { neighbor, up }) = &row.event {
             transitions.push((row.utc, (row.router, *neighbor), *up));
         }
@@ -380,7 +380,7 @@ fn ebgp_flaps(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstance> {
 /// PIM adjacency changes, filtered by neighbor kind.
 fn pim_changes(def: &EventDefinition, cx: &ExtractCx, scope: PimScope) -> Vec<EventInstance> {
     let mut transitions = Vec::new();
-    for row in cx.db.syslog.all() {
+    for row in cx.db.syslog.all().iter() {
         if let Some(SyslogEvent::PimNbrChange { neighbor, up, .. }) = &row.event {
             let is_uplink = cx
                 .loopback_of
@@ -415,7 +415,7 @@ fn snmp_threshold(
     min: f64,
 ) -> Vec<EventInstance> {
     let mut by_entity: BTreeMap<(RouterId, Option<u32>), Vec<Timestamp>> = BTreeMap::new();
-    for row in cx.db.snmp.all() {
+    for row in cx.db.snmp.all().iter() {
         if row.metric == metric && row.value >= min {
             by_entity
                 .entry((row.router, row.iface.map(|i| i.0)))
@@ -494,7 +494,7 @@ fn link_cost_transitions(
 ) -> Vec<EventInstance> {
     let mut last: BTreeMap<LinkId, bool> = BTreeMap::new(); // true = alive
     let mut out = Vec::new();
-    for row in cx.db.ospf.all() {
+    for row in cx.db.ospf.all().iter() {
         let alive_now = row.weight.is_some();
         let was_alive = *last.get(&row.link).unwrap_or(&true);
         let is_cost_out = was_alive && !alive_now;
@@ -517,7 +517,7 @@ fn router_cost_events(def: &EventDefinition, cx: &ExtractCx) -> Vec<EventInstanc
     // Per router: (time, link, withdrawn?) for its links' transitions.
     let mut per_router: BTreeMap<RouterId, Vec<(Timestamp, LinkId, bool)>> = BTreeMap::new();
     let mut last: BTreeMap<LinkId, bool> = BTreeMap::new();
-    for row in cx.db.ospf.all() {
+    for row in cx.db.ospf.all().iter() {
         let alive_now = row.weight.is_some();
         let was_alive = *last.get(&row.link).unwrap_or(&true);
         last.insert(row.link, alive_now);
@@ -632,7 +632,7 @@ fn egress_changes(
     // Deduplicate reflector copies of the same update.
     let mut seen = std::collections::BTreeSet::new();
     let mut update_times: BTreeMap<grca_net_model::Prefix, Vec<Timestamp>> = BTreeMap::new();
-    for row in cx.db.bgp.all() {
+    for row in cx.db.bgp.all().iter() {
         if seen.insert((row.utc, row.prefix, row.egress, row.attrs)) {
             update_times.entry(row.prefix).or_default().push(row.utc);
         }
@@ -728,7 +728,7 @@ fn perf_anomalies(
     sense: AnomalySense,
 ) -> Vec<EventInstance> {
     let mut series: BTreeMap<(RouterId, RouterId), Vec<(Timestamp, f64)>> = BTreeMap::new();
-    for row in cx.db.perf.all() {
+    for row in cx.db.perf.all().iter() {
         if row.metric == metric {
             series
                 .entry((row.ingress, row.egress))
@@ -785,7 +785,7 @@ fn cdn_anomalies(
     // (instant, rtt, throughput) samples per (node, client) pair.
     type PairSamples = Vec<(Timestamp, f64, f64)>;
     let mut series: BTreeMap<(u32, u32), PairSamples> = BTreeMap::new();
-    for row in cx.db.cdn.all() {
+    for row in cx.db.cdn.all().iter() {
         series.entry((row.node.0, row.client.0)).or_default().push((
             row.utc,
             row.rtt_ms,
@@ -794,7 +794,7 @@ fn cdn_anomalies(
     }
     let mut out = Vec::new();
     for ((node, client), pts) in series {
-        cdn_pair_events(def, node, client, pts, rtt_factor, tput_factor, &mut out);
+        cdn_pair_events(def, node, client, &pts, rtt_factor, tput_factor, &mut out);
     }
     out
 }
@@ -806,12 +806,25 @@ pub(crate) fn cdn_pair_events(
     def: &EventDefinition,
     node: u32,
     client: u32,
-    mut pts: Vec<(Timestamp, f64, f64)>,
+    pts: &[(Timestamp, f64, f64)],
     rtt_factor: Option<f64>,
     tput_factor: Option<f64>,
     out: &mut Vec<EventInstance>,
 ) {
-    pts.sort_by_key(|(t, _, _)| *t);
+    // Samples arrive in canonical table order, so the sort is normally a
+    // no-op; only re-sort (into a local copy) if a caller hands unsorted
+    // points, keeping the hot path allocation-free.
+    let sorted;
+    let pts: &[(Timestamp, f64, f64)] = if pts.windows(2).all(|w| w[0].0 <= w[1].0) {
+        pts
+    } else {
+        sorted = {
+            let mut v = pts.to_vec();
+            v.sort_by_key(|(t, _, _)| *t);
+            v
+        };
+        &sorted
+    };
     let mut rtt_base = TrailingBaseline::new(50, 4);
     let mut tput_base = TrailingBaseline::new(50, 4);
     let anomalous: Vec<Timestamp> = pts

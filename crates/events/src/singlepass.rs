@@ -24,7 +24,7 @@ use crate::extract::{
     server_node_events, snmp_entity_events, ExtractCx, RECONV_DUR,
 };
 use crate::instance::{EventInstance, EventStore};
-use grca_collector::{Row, Table};
+use grca_collector::{RowSet, StoredRow, Table};
 use grca_net_model::{InterfaceId, Ipv4, LinkId, Location, Prefix, RouterId, RouterRole};
 use grca_telemetry::records::{PerfMetric, SnmpMetric};
 use grca_telemetry::syslog::SyslogEvent;
@@ -56,7 +56,7 @@ pub(crate) const T_CDN: usize = 8;
 pub(crate) const T_SERVER: usize = 9;
 
 /// The rows of `t` selected by `cut` (binary-searched, not scanned).
-fn sliced<'a, R: Row>(t: &'a Table<R>, cut: Cut, ix: usize) -> &'a [R] {
+fn sliced<'a, R: StoredRow>(t: &'a Table<R>, cut: Cut, ix: usize) -> RowSet<'a, R> {
     match cut {
         Cut::Full => t.all(),
         Cut::After(marks) => match marks[ix] {
@@ -184,7 +184,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         syslog.push((i, *def, acc));
     }
     if !syslog.is_empty() || !mnemonics.is_empty() {
-        for row in sliced(&cx.db.syslog, cut, T_SYSLOG) {
+        for row in sliced(&cx.db.syslog, cut, T_SYSLOG).iter() {
             // Mnemonic matchers see every line, parsed or not; one hash
             // lookup replaces a sweep over every registered message type.
             if !mnemonics.is_empty() {
@@ -323,7 +323,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         }
     }
     if !snmp.is_empty() {
-        for row in sliced(&cx.db.snmp, cut, T_SNMP) {
+        for row in sliced(&cx.db.snmp, cut, T_SNMP).iter() {
             for (_, _, metric, min, by_entity) in snmp.iter_mut() {
                 if row.metric == *metric && row.value >= *min {
                     by_entity
@@ -354,7 +354,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         })
         .collect();
     if !l1.is_empty() {
-        for row in sliced(&cx.db.l1, cut, T_L1) {
+        for row in sliced(&cx.db.l1, cut, T_L1).iter() {
             for (slot, def, kind) in &l1 {
                 if row.kind == *kind {
                     outs[*slot].push(
@@ -391,7 +391,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         // One shared alive-state trajectory: every cost matcher would
         // build the identical map, so track it once.
         let mut last: BTreeMap<LinkId, bool> = BTreeMap::new();
-        for row in sliced(&cx.db.ospf, cut, T_OSPF) {
+        for row in sliced(&cx.db.ospf, cut, T_OSPF).iter() {
             let alive_now = row.weight.is_some();
             let was_alive = *last.get(&row.link).unwrap_or(&true);
             for (slot, def, acc) in ospf.iter_mut() {
@@ -466,7 +466,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         }
     }
     if !bgp.is_empty() {
-        for row in sliced(&cx.db.bgp, cut, T_BGP) {
+        for row in sliced(&cx.db.bgp, cut, T_BGP).iter() {
             for acc in bgp.iter_mut() {
                 if acc
                     .seen
@@ -503,7 +503,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         tacacs.push((i, *def, acc));
     }
     if !tacacs.is_empty() {
-        for row in sliced(&cx.db.tacacs, cut, T_TACACS) {
+        for row in sliced(&cx.db.tacacs, cut, T_TACACS).iter() {
             let c = &row.command;
             for (slot, def, acc) in &tacacs {
                 match acc {
@@ -556,7 +556,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         }
     }
     if !wf.is_empty() {
-        for row in sliced(&cx.db.workflow, cut, T_WORKFLOW) {
+        for row in sliced(&cx.db.workflow, cut, T_WORKFLOW).iter() {
             let Some(hits) = wf.get(row.activity.as_str()) else {
                 continue;
             };
@@ -599,7 +599,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         }
     }
     if !perf.is_empty() {
-        for row in sliced(&cx.db.perf, cut, T_PERF) {
+        for row in sliced(&cx.db.perf, cut, T_PERF).iter() {
             for (_, _, metric, _, series) in perf.iter_mut() {
                 if row.metric == *metric {
                     series
@@ -632,7 +632,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         // Every CDN matcher consumes the full unfiltered series, so build
         // it once and share.
         let mut series: CdnSeries = BTreeMap::new();
-        for row in sliced(&cx.db.cdn, cut, T_CDN) {
+        for row in sliced(&cx.db.cdn, cut, T_CDN).iter() {
             series.entry((row.node.0, row.client.0)).or_default().push((
                 row.utc,
                 row.rtt_ms,
@@ -645,7 +645,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
                     def,
                     node,
                     client,
-                    pts.clone(),
+                    pts,
                     rtt_factor,
                     tput_factor,
                     &mut outs[slot],
@@ -662,7 +662,7 @@ pub(crate) fn run(defs: &[&EventDefinition], cx: &ExtractCx, cut: Cut) -> Vec<Ve
         }
     }
     if !server.is_empty() {
-        for row in sliced(&cx.db.server, cut, T_SERVER) {
+        for row in sliced(&cx.db.server, cut, T_SERVER).iter() {
             for (_, _, min_load, by_node) in server.iter_mut() {
                 if row.load >= *min_load {
                     by_node.entry(row.node.0).or_default().push(row.utc);
