@@ -313,18 +313,18 @@ impl<'a> OnlineRca<'a> {
                     && self.missing_feeds(horizon, now).is_empty()
                 {
                     self.pending_amend.remove(&key);
-                    out.push(Emission::full(engine.diagnose(symptom)).amending());
+                    out.push(Emission::full(engine.diagnose(symptom)).amending().at(now));
                 }
                 continue;
             }
             let missing = self.missing_feeds(horizon, now);
             if missing.is_empty() {
                 self.emitted.insert(key, symptom.window.end.unix());
-                out.push(Emission::full(engine.diagnose(symptom)));
+                out.push(Emission::full(engine.diagnose(symptom)).at(now));
             } else if now >= horizon + self.wait_budget {
                 self.emitted.insert(key.clone(), symptom.window.end.unix());
                 self.pending_amend.insert(key, symptom.window.end.unix());
-                out.push(Emission::degraded(engine.diagnose(symptom), missing));
+                out.push(Emission::degraded(engine.diagnose(symptom), missing).at(now));
             }
             // else: feeds behind but budget remains — hold for a later
             // cycle (the symptom stays un-emitted).
@@ -449,6 +449,12 @@ mod tests {
                 .all(|e| e.mode == EmissionMode::Full && !e.amends),
             "clean streaming must never degrade"
         );
+        // Every emission carries the stream clock it was emitted at, and
+        // never one before its symptom's evidence horizon closed.
+        for e in &streamed {
+            assert!(e.emitted_at > grca_types::Timestamp::MIN, "unstamped");
+            assert!(e.emitted_at >= e.diagnosis.symptom.window.end + online.hold_back());
+        }
         assert_eq!(streamed.len(), batch.diagnoses.len());
         // Same labels per symptom key.
         let key = |d: &Diagnosis| (d.symptom.location.display(&topo), d.symptom.window.start);

@@ -1,0 +1,307 @@
+//! E16 — tier-1 streaming soak: the online RCA path driven for simulated
+//! days over a [`TierConfig`] preset topology, with a manifest-scheduled
+//! fault storm as ground truth. Reports sustained records/sec through the
+//! online advance loop, end-to-end detection latency (injection instant →
+//! emitted verdict, p50/p95/p99), verdict accuracy against the injected
+//! schedule, and the memory footprint trajectory (per-day RSS + retained
+//! rows + allocation traffic) under the segmented storage backend.
+//!
+//! Each preset runs in a **child process** (`--child <preset>`) so `VmHWM`
+//! is a clean per-preset peak; the parent re-execs itself, parses each
+//! child's `RESULT` line, validates the combined report against the
+//! committed `results/BENCH_rca_stream.schema.json` contract, and writes
+//! `BENCH_rca_stream.json`.
+//!
+//! Modes: `--smoke` (smoke preset + online≡batch identity assert — CI
+//! bench-smoke), default (default preset, simulated week, RSS-plateau
+//! assert — CI experiments job), `--full` (default + tier1 presets).
+//!
+//! Supersedes the seed-era `exp_scale` (E11b), which re-ran the *batch*
+//! study at three sizes; the soak measures the deployment shape the paper
+//! actually describes — a long-lived streaming service.
+
+use grca_bench::mem::{alloc_snapshot, vm_hwm_kb, vm_rss_kb, CountingAlloc};
+use grca_bench::{results_dir, schema};
+use grca_eval::{run_soak, SoakRunOpts};
+use grca_net_model::TierConfig;
+use serde::{Deserialize, Serialize};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The committed metric contract for `BENCH_rca_stream.json`.
+const SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/BENCH_rca_stream.schema.json"
+));
+
+/// End-of-day footprint sample (the last simulated day is the drain tail).
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct DaySample {
+    day: u32,
+    records: usize,
+    /// Rows retained in the online database at end of day.
+    db_rows: usize,
+    /// Peak online bounded-state size seen during the day.
+    state_size: usize,
+    rss_mb: f64,
+}
+
+/// Detection-latency summary (the full per-injection samples stay in the
+/// child; the report keeps the distribution).
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct LatencySummary {
+    matched: usize,
+    missed: usize,
+    spurious: usize,
+    amendments: usize,
+    p50_secs: i64,
+    p95_secs: i64,
+    p99_secs: i64,
+    mean_secs: f64,
+    max_secs: i64,
+}
+
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct PresetRun {
+    preset: String,
+    days: u32,
+    pops: usize,
+    routers: usize,
+    interfaces: usize,
+    sessions: usize,
+    subscribers: u64,
+    records: usize,
+    cycles: usize,
+    injections: usize,
+    faults: usize,
+    truth_flaps: usize,
+    emissions: usize,
+    amendments: usize,
+    finals: usize,
+    accuracy_matched: usize,
+    accuracy_correct: usize,
+    accuracy_rate: f64,
+    latency: LatencySummary,
+    /// Sustained throughput of the online advance loop.
+    records_per_sec: f64,
+    advance_secs: f64,
+    samples: Vec<DaySample>,
+    peak_rss_mb: f64,
+    end_rss_mb: f64,
+    allocs: u64,
+    alloc_mb: f64,
+    /// Folded online labels == batch labels (smoke preset only).
+    batch_identical: Option<bool>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    presets: Vec<PresetRun>,
+}
+
+fn run_child(preset: &str) -> PresetRun {
+    let tier = TierConfig::by_name(preset).unwrap_or_else(|| panic!("unknown preset {preset:?}"));
+    let opts = SoakRunOpts {
+        // The identity check costs a second (flat, unbounded) database, so
+        // it runs only at smoke scale, where it doubles as the online≡batch
+        // gate; larger presets keep the child's footprint purely the
+        // streaming path's.
+        batch_check: tier.name == "smoke",
+        ..Default::default()
+    };
+    let alloc0 = alloc_snapshot();
+    let mut samples: Vec<DaySample> = Vec::new();
+    let out = run_soak(&tier, &opts, |c| {
+        if samples.last().map(|s| s.day) != Some(c.day) {
+            samples.push(DaySample {
+                day: c.day,
+                records: 0,
+                db_rows: 0,
+                state_size: 0,
+                rss_mb: 0.0,
+            });
+        }
+        let s = samples.last_mut().expect("pushed above");
+        s.records += c.records;
+        s.db_rows = c.db_rows;
+        s.state_size = s.state_size.max(c.state_size);
+        s.rss_mb = vm_rss_kb().unwrap_or(0) as f64 / 1024.0;
+    });
+    let alloc1 = alloc_snapshot();
+
+    PresetRun {
+        preset: out.preset,
+        days: out.days,
+        pops: out.pops,
+        routers: out.routers,
+        interfaces: out.interfaces,
+        sessions: out.sessions,
+        subscribers: out.subscribers,
+        records: out.records,
+        cycles: out.cycles,
+        injections: out.injections,
+        faults: out.faults,
+        truth_flaps: out.truth_flaps,
+        emissions: out.emissions,
+        amendments: out.amendments,
+        finals: out.finals,
+        accuracy_matched: out.accuracy_matched,
+        accuracy_correct: out.accuracy_correct,
+        accuracy_rate: out.accuracy_rate,
+        latency: LatencySummary {
+            matched: out.latency.matched,
+            missed: out.latency.missed,
+            spurious: out.latency.spurious,
+            amendments: out.latency.amendments,
+            p50_secs: out.latency.p50_secs,
+            p95_secs: out.latency.p95_secs,
+            p99_secs: out.latency.p99_secs,
+            mean_secs: out.latency.mean_secs,
+            max_secs: out.latency.max_secs,
+        },
+        records_per_sec: out.records as f64 / out.advance_secs.max(1e-9),
+        advance_secs: out.advance_secs,
+        samples,
+        peak_rss_mb: vm_hwm_kb().unwrap_or(0) as f64 / 1024.0,
+        end_rss_mb: vm_rss_kb().unwrap_or(0) as f64 / 1024.0,
+        allocs: alloc1.0 - alloc0.0,
+        alloc_mb: (alloc1.1 - alloc0.1) as f64 / (1024.0 * 1024.0),
+        batch_identical: out.batch_identical,
+    }
+}
+
+/// Assert the online path's footprint plateaus over the soak (E15's shape,
+/// measured on the streaming pipeline): retained rows and RSS must be flat
+/// across the second half of the horizon — db retention and bounded online
+/// state are doing their job.
+fn assert_plateau(run: &PresetRun) {
+    // Ingest days only — the drain day delivers nothing.
+    let days: Vec<&DaySample> = run.samples.iter().filter(|s| s.day < run.days).collect();
+    assert!(days.len() >= 4, "plateau needs a multi-day horizon");
+    let tail = &days[days.len() / 2..];
+    let lo = tail.iter().map(|s| s.db_rows).min().unwrap();
+    let hi = tail.iter().map(|s| s.db_rows).max().unwrap();
+    assert!(
+        hi as f64 <= lo as f64 * 1.25 + 1000.0,
+        "retained rows still growing: {lo} -> {hi} over second half"
+    );
+    let mid_rss = days[days.len() / 2].rss_mb;
+    let end_rss = run.samples.last().unwrap().rss_mb;
+    assert!(
+        end_rss <= mid_rss * 1.15 + 8.0,
+        "RSS still growing: {mid_rss:.1} MB at midpoint -> {end_rss:.1} MB at end"
+    );
+    println!("plateau ok: rows {lo}..{hi}, rss {mid_rss:.1} -> {end_rss:.1} MB");
+}
+
+fn spawn_child(preset: &str) -> PresetRun {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args(["--child", preset])
+        .output()
+        .expect("spawn child");
+    assert!(
+        out.status.success(),
+        "child {preset} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT "))
+        .expect("child emitted no RESULT line");
+    serde_json::from_str(line).expect("parse child result")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--child") {
+        let run = run_child(&args[1]);
+        println!("RESULT {}", serde_json::to_string(&run).unwrap());
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let full = args.iter().any(|a| a == "--full");
+    let presets: &[&str] = if smoke {
+        &["smoke"]
+    } else if full {
+        &["default", "tier1"]
+    } else {
+        &["default"]
+    };
+
+    let mut report = Report {
+        presets: Vec::new(),
+    };
+    println!(
+        "{:>8} {:>5} {:>8} {:>9} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "preset",
+        "days",
+        "routers",
+        "sessions",
+        "records",
+        "stream r/s",
+        "p50 s",
+        "p95 s",
+        "p99 s",
+        "acc %",
+        "peak MB"
+    );
+    for preset in presets {
+        let run = spawn_child(preset);
+        println!(
+            "{:>8} {:>5} {:>8} {:>9} {:>9} {:>11.0} {:>8} {:>8} {:>8} {:>8.1} {:>8.1}",
+            run.preset,
+            run.days,
+            run.routers,
+            run.sessions,
+            run.records,
+            run.records_per_sec,
+            run.latency.p50_secs,
+            run.latency.p95_secs,
+            run.latency.p99_secs,
+            run.accuracy_rate * 100.0,
+            run.peak_rss_mb
+        );
+        println!(
+            "          {} injections -> {} detected / {} missed / {} spurious, {} amendments; {:.1}M subscribers",
+            run.injections,
+            run.latency.matched,
+            run.latency.missed,
+            run.latency.spurious,
+            run.latency.amendments,
+            run.subscribers as f64 / 1e6
+        );
+        if run.preset == "smoke" {
+            assert_eq!(
+                run.batch_identical,
+                Some(true),
+                "folded online stream must be label-identical to batch"
+            );
+            println!("          online ≡ batch: folded labels identical");
+        } else {
+            assert_plateau(&run);
+        }
+        assert!(
+            run.latency.matched > 0,
+            "soak detected none of the {} injections",
+            run.injections
+        );
+        report.presets.push(run);
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    if let Err(errors) = schema::validate(&json, SCHEMA) {
+        for e in &errors {
+            eprintln!("schema violation: {e}");
+        }
+        panic!(
+            "BENCH_rca_stream.json violates results/BENCH_rca_stream.schema.json ({} errors)",
+            errors.len()
+        );
+    }
+    let path = results_dir().join("BENCH_rca_stream.json");
+    std::fs::write(&path, json).expect("write BENCH_rca_stream.json");
+    println!("\n[saved {}]", path.display());
+}

@@ -186,6 +186,283 @@ pub mod mem {
     }
 }
 
+/// Results-schema contract checking: a committed `*.schema.json` file
+/// lists the metric paths a benchmark's JSON output must contain, and the
+/// producing binary validates its own output against it before writing.
+/// Renaming or dropping a metric then fails the run loudly instead of
+/// silently shipping a result file downstream dashboards can't read.
+///
+/// The vendored `serde_json` exposes no dynamic `Value`, so this module
+/// carries a minimal JSON reader of its own — enough to walk objects and
+/// arrays along dotted paths like `presets[].latency.p95_secs` (a `[]`
+/// suffix descends into every element of an array).
+pub mod schema {
+    /// A parsed JSON document (just enough structure to walk paths).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+    }
+
+    struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            self.ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".to_string()),
+            }
+        }
+
+        fn literal(&mut self, text: &str, v: Json) -> Result<Json, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "invalid \\u escape".to_string())?;
+                                self.pos += 4;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => return Err(format!("bad escape {:?}", other as char)),
+                        }
+                    }
+                    Some(_) => {
+                        // Copy the raw UTF-8 run up to the next quote/escape.
+                        let start = self.pos;
+                        while let Some(b) = self.peek() {
+                            if b == b'"' || b == b'\\' {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.pos])
+                                .map_err(|_| "invalid utf-8 in string".to_string())?,
+                        );
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                self.ws();
+                self.expect(b':')?;
+                let val = self.value()?;
+                fields.push((key, val));
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut r = Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = r.value()?;
+        r.ws();
+        if r.pos != r.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", r.pos));
+        }
+        Ok(v)
+    }
+
+    /// Check one dotted path. A segment's `[]` suffix requires the field to
+    /// be a *non-empty* array and descends into every element (an empty
+    /// array would vacuously hide a renamed metric).
+    pub fn check_path(doc: &Json, path: &str) -> Result<(), String> {
+        fn walk(v: &Json, segments: &[&str], path: &str) -> Result<(), String> {
+            let Some((seg, rest)) = segments.split_first() else {
+                return Ok(());
+            };
+            let (key, each) = match seg.strip_suffix("[]") {
+                Some(k) => (k, true),
+                None => (*seg, false),
+            };
+            let field = v
+                .get(key)
+                .ok_or_else(|| format!("{path}: missing field {key:?}"))?;
+            if !each {
+                return walk(field, rest, path);
+            }
+            match field {
+                Json::Arr(items) if items.is_empty() => {
+                    Err(format!("{path}: array {key:?} is empty"))
+                }
+                Json::Arr(items) => items.iter().try_for_each(|item| walk(item, rest, path)),
+                _ => Err(format!("{path}: field {key:?} is not an array")),
+            }
+        }
+        let segments: Vec<&str> = path.split('.').collect();
+        walk(doc, &segments, path)
+    }
+
+    /// Validate a result document against a schema file of the form
+    /// `{"required": ["path", ...]}`. Returns every violation, not just
+    /// the first.
+    pub fn validate(doc_text: &str, schema_text: &str) -> Result<(), Vec<String>> {
+        let schema = parse(schema_text).map_err(|e| vec![format!("schema: {e}")])?;
+        let Some(Json::Arr(required)) = schema.get("required") else {
+            return Err(vec!["schema: missing \"required\" array".to_string()]);
+        };
+        let doc = parse(doc_text).map_err(|e| vec![format!("result: {e}")])?;
+        let errors: Vec<String> = required
+            .iter()
+            .filter_map(|p| match p {
+                Json::Str(path) => check_path(&doc, path).err(),
+                other => Some(format!("schema: non-string path {other:?}")),
+            })
+            .collect();
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
 /// Directory for machine-readable experiment outputs.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("GRCA_RESULTS_DIR")
@@ -240,6 +517,58 @@ mod tests {
         assert!(rows[3].paper_pct.is_none()); // D extra
         let txt = render_compare("t", &rows);
         assert!(txt.contains("55.00%"));
+    }
+
+    #[test]
+    fn schema_parses_and_walks_paths() {
+        let doc = r#"{"presets": [
+            {"preset": "smoke", "latency": {"p50_secs": 3600, "p95_secs": 7200.5},
+             "samples": [{"rss_mb": 10.0}, {"rss_mb": 11.5}],
+             "note": "a \"quoted\" A string"}
+        ], "empty": [], "flag": true, "nothing": null}"#;
+        let v = schema::parse(doc).unwrap();
+        assert!(schema::check_path(&v, "presets[].latency.p50_secs").is_ok());
+        assert!(schema::check_path(&v, "presets[].samples[].rss_mb").is_ok());
+        assert!(schema::check_path(&v, "flag").is_ok());
+        // Renamed metric: fails loudly.
+        let err = schema::check_path(&v, "presets[].latency.p99_secs").unwrap_err();
+        assert!(err.contains("p99_secs"), "{err}");
+        // Empty arrays can't vouch for their element schema.
+        assert!(schema::check_path(&v, "empty[].x").is_err());
+        // Non-array with [] suffix.
+        assert!(schema::check_path(&v, "flag[].x").is_err());
+    }
+
+    #[test]
+    fn schema_validate_reports_every_violation() {
+        let doc = r#"{"a": 1, "b": {"c": 2}}"#;
+        let good = r#"{"required": ["a", "b.c"]}"#;
+        assert!(schema::validate(doc, good).is_ok());
+        let bad = r#"{"required": ["a", "b.missing", "gone"]}"#;
+        let errs = schema::validate(doc, bad).unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert!(schema::validate("not json", good).is_err());
+        assert!(schema::validate(doc, r#"{"require": []}"#).is_err());
+    }
+
+    #[test]
+    fn schema_parser_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            r#"{"a": }"#,
+            r#"{"a": 1,}x"#,
+            r#"[1, 2"#,
+            r#""unterminated"#,
+            r#"{"a": 1} trailing"#,
+        ] {
+            assert!(schema::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Numbers, nesting, escapes round-trip structurally.
+        let v = schema::parse(r#"[-1.5e3, [[]], {"k": "\n\t\\"}]"#).unwrap();
+        match v {
+            schema::Json::Arr(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
     }
 
     #[test]

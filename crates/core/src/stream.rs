@@ -18,7 +18,8 @@
 //! emission per key.
 
 use crate::engine::Diagnosis;
-use grca_types::Symbol;
+use grca_types::{Symbol, Timestamp};
+use std::collections::HashMap;
 
 /// How complete the evidence behind an emission was.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +58,12 @@ pub struct Emission {
     /// [`crate::bayes::degraded_log_confidence`] of the missing-feed count
     /// otherwise.
     pub log_confidence: f64,
+    /// The stream clock at which the online path emitted this verdict
+    /// (stamped via [`Emission::at`]). End-to-end detection latency is
+    /// `emitted_at` minus the fault's injection instant; amendments carry
+    /// their own later stamp so superseding never rewrites detection time.
+    /// [`Timestamp::MIN`] when unstamped (batch-style construction).
+    pub emitted_at: Timestamp,
 }
 
 impl Emission {
@@ -67,6 +74,7 @@ impl Emission {
             mode: EmissionMode::Full,
             amends: false,
             log_confidence: 0.0,
+            emitted_at: Timestamp::MIN,
         }
     }
 
@@ -78,6 +86,7 @@ impl Emission {
             mode: EmissionMode::Degraded { missing },
             amends: false,
             log_confidence,
+            emitted_at: Timestamp::MIN,
         }
     }
 
@@ -85,6 +94,12 @@ impl Emission {
     /// symptom.
     pub fn amending(mut self) -> Self {
         self.amends = true;
+        self
+    }
+
+    /// Stamp the emission with the stream clock at emit time.
+    pub fn at(mut self, now: Timestamp) -> Self {
+        self.emitted_at = now;
         self
     }
 
@@ -118,12 +133,20 @@ impl Emission {
 /// replace the degraded emission they supersede, everything else appends.
 /// The result is order-stable by first appearance of each symptom key —
 /// the stream-side counterpart of a batch diagnosis list.
+///
+/// Indexed by symptom key, so folding a multi-day soak stream stays linear
+/// in stream length (the old scan-per-emission was quadratic and dominated
+/// long-horizon runs).
 pub fn fold_stream(emissions: &[Emission]) -> Vec<Emission> {
-    let mut out: Vec<Emission> = Vec::new();
+    let mut out: Vec<Emission> = Vec::with_capacity(emissions.len());
+    let mut index: HashMap<(Symbol, String, i64), usize> = HashMap::with_capacity(emissions.len());
     for e in emissions {
-        match out.iter_mut().find(|p| p.key() == e.key()) {
-            Some(prev) => *prev = e.clone(),
-            None => out.push(e.clone()),
+        match index.entry(e.key()) {
+            std::collections::hash_map::Entry::Occupied(slot) => out[*slot.get()] = e.clone(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(out.len());
+                out.push(e.clone());
+            }
         }
     }
     out
@@ -177,5 +200,38 @@ mod tests {
         assert_eq!(folded[0].mode, EmissionMode::Full);
         assert!(folded[0].amends);
         assert_eq!(folded[1].key(), stream[1].key());
+    }
+
+    #[test]
+    fn emit_stamp_survives_fold_and_amendments_carry_their_own() {
+        let first = Emission::degraded(diag("a", 0), vec!["snmp"]).at(Timestamp(500));
+        let amend = Emission::full(diag("a", 0)).amending().at(Timestamp(900));
+        assert_eq!(first.emitted_at, Timestamp(500));
+        assert_eq!(Emission::full(diag("x", 0)).emitted_at, Timestamp::MIN);
+
+        let folded = fold_stream(&[first, amend]);
+        assert_eq!(folded.len(), 1);
+        // The fold keeps the superseding verdict — and its later stamp; the
+        // original detection instant lives on the first emission only.
+        assert_eq!(folded[0].emitted_at, Timestamp(900));
+    }
+
+    #[test]
+    fn fold_is_order_stable_at_scale() {
+        // Interleave 1000 keys, each emitted twice; the fold must keep
+        // first-appearance order and the superseding copy.
+        let mut stream = Vec::new();
+        for round in 0..2i64 {
+            for k in 0..1000i64 {
+                let e = Emission::full(diag(&format!("s{k}"), k)).at(Timestamp(round));
+                stream.push(if round == 1 { e.amending() } else { e });
+            }
+        }
+        let folded = fold_stream(&stream);
+        assert_eq!(folded.len(), 1000);
+        for (k, e) in folded.iter().enumerate() {
+            assert_eq!(e.diagnosis.symptom.window.start.0, k as i64);
+            assert!(e.amends, "kept the earlier copy for key {k}");
+        }
     }
 }

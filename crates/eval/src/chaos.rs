@@ -198,7 +198,7 @@ pub struct ChaosRun {
     pub hold_back_secs: i64,
 }
 
-fn online_for<'a>(study: Study, topo: &'a Topology) -> OnlineRca<'a> {
+pub(crate) fn online_for<'a>(study: Study, topo: &'a Topology) -> OnlineRca<'a> {
     match study {
         Study::Bgp => OnlineRca::new(topo, bgp::event_definitions(), bgp::diagnosis_graph()),
         Study::Cdn => OnlineRca::new(topo, cdn::event_definitions(topo), cdn::diagnosis_graph()),
@@ -207,7 +207,7 @@ fn online_for<'a>(study: Study, topo: &'a Topology) -> OnlineRca<'a> {
     .expect("study graph must validate")
 }
 
-fn advance_study<'a>(
+pub(crate) fn advance_study<'a>(
     online: &mut OnlineRca<'a>,
     study: Study,
     records: &[RawRecord],

@@ -1,0 +1,365 @@
+//! End-to-end detection latency against an injection schedule.
+//!
+//! A soak run knows exactly when each fault hit the network (the
+//! [`grca_simnet::SoakManifest`] instant, preserved verbatim in
+//! [`grca_simnet::FaultInstance::time`]) and when each verdict left the
+//! online path ([`grca_core::Emission::emitted_at`]). [`measure`] joins the
+//! two through the per-symptom ground truth and reports, per *injection*:
+//!
+//! * **detection latency** — first emission for any symptom the injection
+//!   caused, minus the injection instant. Amendments and degraded→full
+//!   upgrades *supersede* the verdict but never restart the clock, so an
+//!   injection is counted exactly once no matter how many times its
+//!   verdict is re-emitted;
+//! * **amendment count** — how many superseding emissions were attributed
+//!   to the injection's symptoms;
+//! * **degraded-first** — whether the earliest verdict went out degraded.
+//!
+//! The truth join mirrors [`grca_apps::score`]: a verdict's symptom key
+//! must match the truth record's location key, with the truth onset inside
+//! the symptom window ± `slack`, closest onset winning.
+
+use grca_net_model::Topology;
+use grca_simnet::{FaultInstance, TruthRecord};
+use grca_types::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One emission flattened to what latency measurement needs — location key,
+/// symptom window, label, and the stamped emission instant — so streams can
+/// be captured while the topology is still in scope and measured later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictEvent {
+    /// Symptom location key, matching [`TruthRecord::key`].
+    pub location: String,
+    pub start_unix: i64,
+    pub end_unix: i64,
+    pub label: String,
+    /// The online clock when the verdict was emitted
+    /// ([`grca_core::Emission::emitted_at`]).
+    pub emitted_unix: i64,
+    pub degraded: bool,
+    pub amends: bool,
+}
+
+impl VerdictEvent {
+    pub fn from_emission(topo: &Topology, e: &grca_core::Emission) -> VerdictEvent {
+        VerdictEvent {
+            location: e.diagnosis.symptom.location.display(topo),
+            start_unix: e.diagnosis.symptom.window.start.unix(),
+            end_unix: e.diagnosis.symptom.window.end.unix(),
+            label: e.diagnosis.label(),
+            emitted_unix: e.emitted_at.unix(),
+            degraded: e.mode.is_degraded(),
+            amends: e.amends,
+        }
+    }
+
+    /// The symptom identity: all emissions with one key describe one
+    /// symptom, later ones superseding earlier ones.
+    pub fn key(&self) -> (String, i64) {
+        (self.location.clone(), self.start_unix)
+    }
+}
+
+/// Per-injection latency measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySample {
+    /// [`FaultInstance::id`] of the injection.
+    pub fault: usize,
+    /// First verdict emission minus the injection instant.
+    pub detect_secs: i64,
+    /// Distinct symptom keys attributed to this injection.
+    pub symptoms: usize,
+    /// Superseding emissions across those symptoms (never latency-counted).
+    pub amendments: usize,
+    /// The earliest verdict went out degraded (later upgraded or not).
+    pub degraded_first: bool,
+    /// Label of the earliest-detected symptom's *final* verdict.
+    pub final_label: String,
+}
+
+/// Detection-latency report over one soak run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Injections with at least one detected symptom (each exactly once).
+    pub matched: usize,
+    /// Injections whose symptoms produced no verdict at all.
+    pub missed: usize,
+    /// Verdicts joining no truth record (false alarms or mis-keyed).
+    pub spurious: usize,
+    /// Total amendments attributed across matched injections.
+    pub amendments: usize,
+    pub p50_secs: i64,
+    pub p95_secs: i64,
+    pub p99_secs: i64,
+    pub mean_secs: f64,
+    pub min_secs: i64,
+    pub max_secs: i64,
+    pub samples: Vec<LatencySample>,
+}
+
+/// Nearest-rank percentile over an ascending slice.
+fn percentile(sorted: &[i64], q: f64) -> i64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Join the emission stream to the injection schedule and measure
+/// detection latency per injection. `truth` should already be filtered to
+/// the studied symptom kind; `slack` is the truth-join window margin
+/// (10 minutes matches [`grca_apps::score`]).
+pub fn measure(
+    truth: &[TruthRecord],
+    faults: &[FaultInstance],
+    events: &[VerdictEvent],
+    slack: Duration,
+) -> LatencyReport {
+    let fault_time: BTreeMap<usize, i64> = faults.iter().map(|f| (f.id, f.time.unix())).collect();
+    let mut truth_by_key: BTreeMap<&str, Vec<&TruthRecord>> = BTreeMap::new();
+    for t in truth {
+        truth_by_key.entry(t.key.as_str()).or_default().push(t);
+    }
+
+    // Group the stream by symptom key, preserving stream order within each
+    // group: the first entry is the detection, the rest supersede it.
+    let mut order: Vec<(String, i64)> = Vec::new();
+    let mut groups: BTreeMap<(String, i64), Vec<&VerdictEvent>> = BTreeMap::new();
+    for e in events {
+        let g = groups.entry(e.key()).or_default();
+        if g.is_empty() {
+            order.push(e.key());
+        }
+        g.push(e);
+    }
+
+    struct Det {
+        first_emitted: i64,
+        symptoms: usize,
+        amendments: usize,
+        degraded_first: bool,
+        final_label: String,
+    }
+    let mut per_fault: BTreeMap<usize, Det> = BTreeMap::new();
+    let mut spurious = 0usize;
+    for key in &order {
+        let g = &groups[key];
+        let first = g[0];
+        let last = g[g.len() - 1];
+        let cands = truth_by_key.get(key.0.as_str());
+        let joined = cands.and_then(|c| {
+            c.iter()
+                .filter(|t| {
+                    let u = t.time.unix();
+                    u >= first.start_unix - slack.as_secs() && u <= first.end_unix + slack.as_secs()
+                })
+                .min_by_key(|t| (t.time.unix() - first.start_unix).abs())
+        });
+        let Some(t) = joined else {
+            spurious += 1;
+            continue;
+        };
+        let amendments = g.iter().filter(|e| e.amends).count();
+        per_fault
+            .entry(t.fault)
+            .and_modify(|d| {
+                d.symptoms += 1;
+                d.amendments += amendments;
+                if first.emitted_unix < d.first_emitted {
+                    d.first_emitted = first.emitted_unix;
+                    d.degraded_first = first.degraded;
+                    d.final_label = last.label.clone();
+                }
+            })
+            .or_insert_with(|| Det {
+                first_emitted: first.emitted_unix,
+                symptoms: 1,
+                amendments,
+                degraded_first: first.degraded,
+                final_label: last.label.clone(),
+            });
+    }
+
+    let samples: Vec<LatencySample> = per_fault
+        .iter()
+        .filter_map(|(&fault, d)| {
+            let at = *fault_time.get(&fault)?;
+            Some(LatencySample {
+                fault,
+                detect_secs: d.first_emitted - at,
+                symptoms: d.symptoms,
+                amendments: d.amendments,
+                degraded_first: d.degraded_first,
+                final_label: d.final_label.clone(),
+            })
+        })
+        .collect();
+
+    let caused: BTreeSet<usize> = truth.iter().map(|t| t.fault).collect();
+    let detected: BTreeSet<usize> = samples.iter().map(|s| s.fault).collect();
+    let missed = caused.difference(&detected).count();
+
+    let mut lats: Vec<i64> = samples.iter().map(|s| s.detect_secs).collect();
+    lats.sort_unstable();
+    let mean = if lats.is_empty() {
+        0.0
+    } else {
+        lats.iter().sum::<i64>() as f64 / lats.len() as f64
+    };
+    LatencyReport {
+        matched: samples.len(),
+        missed,
+        spurious,
+        amendments: samples.iter().map(|s| s.amendments).sum(),
+        p50_secs: percentile(&lats, 0.50),
+        p95_secs: percentile(&lats, 0.95),
+        p99_secs: percentile(&lats, 0.99),
+        mean_secs: mean,
+        min_secs: lats.first().copied().unwrap_or(0),
+        max_secs: lats.last().copied().unwrap_or(0),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grca_simnet::{RootCause, SymptomKind};
+    use grca_types::Timestamp;
+
+    fn fault(id: usize, at: i64) -> FaultInstance {
+        FaultInstance {
+            id,
+            kind: RootCause::InterfaceFlap,
+            time: Timestamp::from_unix(at),
+            what: format!("fault-{id}"),
+        }
+    }
+
+    fn truth(key: &str, at: i64, fault: usize) -> TruthRecord {
+        TruthRecord {
+            symptom: SymptomKind::EbgpFlap,
+            time: Timestamp::from_unix(at),
+            key: key.to_string(),
+            cause: RootCause::InterfaceFlap,
+            fault,
+        }
+    }
+
+    fn event(key: &str, start: i64, emitted: i64, degraded: bool, amends: bool) -> VerdictEvent {
+        VerdictEvent {
+            location: key.to_string(),
+            start_unix: start,
+            end_unix: start + 180,
+            label: "interface-flap".to_string(),
+            emitted_unix: emitted,
+            degraded,
+            amends,
+        }
+    }
+
+    const SLACK: Duration = Duration::mins(10);
+
+    #[test]
+    fn pinned_schedule_yields_exact_latencies() {
+        let faults = vec![
+            fault(0, 1_000_000),
+            fault(1, 1_004_000),
+            fault(2, 1_010_000),
+        ];
+        let truth = vec![
+            truth("nyc-per1:10.0.0.1", 1_000_060, 0),
+            truth("chi-per2:10.0.0.9", 1_004_030, 1),
+            truth("lax-per3:10.0.0.7", 1_010_020, 2), // never detected
+        ];
+        let events = vec![
+            // Fault 0: degraded first at +7200, upgraded at +14400.
+            event("nyc-per1:10.0.0.1", 1_000_000, 1_007_200, true, false),
+            event("chi-per2:10.0.0.9", 1_004_000, 1_012_000, false, false),
+            event("nyc-per1:10.0.0.1", 1_000_000, 1_014_400, false, true),
+            // No truth anywhere near this key: spurious.
+            event("sea-per4:10.9.9.9", 1_000_000, 1_009_000, false, false),
+        ];
+        let r = measure(&truth, &faults, &events, SLACK);
+        assert_eq!(r.matched, 2);
+        assert_eq!(r.missed, 1);
+        assert_eq!(r.spurious, 1);
+        assert_eq!(r.amendments, 1);
+        // Exact values: 1_007_200 - 1_000_000 and 1_012_000 - 1_004_000.
+        assert_eq!(r.samples[0].detect_secs, 7_200);
+        assert_eq!(r.samples[1].detect_secs, 8_000);
+        assert!(r.samples[0].degraded_first);
+        assert!(!r.samples[1].degraded_first);
+        assert_eq!(r.p50_secs, 7_200);
+        assert_eq!(r.p95_secs, 8_000);
+        assert_eq!(r.p99_secs, 8_000);
+        assert_eq!(r.min_secs, 7_200);
+        assert_eq!(r.max_secs, 8_000);
+        assert!((r.mean_secs - 7_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superseding_amendments_never_double_count() {
+        let faults = vec![fault(0, 2_000_000)];
+        let truth = vec![truth("nyc-per1:10.0.0.1", 2_000_050, 0)];
+        // Full verdict, then two superseding amendments much later — the
+        // detection clock stops at the first emission.
+        let events = vec![
+            event("nyc-per1:10.0.0.1", 2_000_000, 2_003_600, false, false),
+            event("nyc-per1:10.0.0.1", 2_000_000, 2_010_800, false, true),
+            event("nyc-per1:10.0.0.1", 2_000_000, 2_018_000, false, true),
+        ];
+        let r = measure(&truth, &faults, &events, SLACK);
+        assert_eq!(r.matched, 1, "one injection, one sample");
+        assert_eq!(r.samples.len(), 1);
+        assert_eq!(r.samples[0].detect_secs, 3_600, "first emission counts");
+        assert_eq!(r.samples[0].amendments, 2);
+        assert_eq!(r.missed, 0);
+        assert_eq!(r.spurious, 0);
+    }
+
+    #[test]
+    fn amendments_and_degradation_attributed_to_their_own_injection() {
+        let faults = vec![fault(3, 5_000_000), fault(7, 5_100_000)];
+        let truth = vec![
+            // Fault 3 flaps two sessions; fault 7 flaps one.
+            truth("nyc-per1:10.0.0.1", 5_000_040, 3),
+            truth("nyc-per1:10.0.0.2", 5_000_045, 3),
+            truth("chi-per2:10.0.0.9", 5_100_030, 7),
+        ];
+        let events = vec![
+            event("nyc-per1:10.0.0.2", 5_000_000, 5_003_600, false, false),
+            event("nyc-per1:10.0.0.1", 5_000_000, 5_007_200, false, false),
+            event("nyc-per1:10.0.0.1", 5_000_000, 5_010_000, false, true),
+            event("chi-per2:10.0.0.9", 5_100_000, 5_104_000, true, false),
+        ];
+        let r = measure(&truth, &faults, &events, SLACK);
+        assert_eq!(r.matched, 2);
+        let s3 = r.samples.iter().find(|s| s.fault == 3).unwrap();
+        let s7 = r.samples.iter().find(|s| s.fault == 7).unwrap();
+        // Fault 3: two symptoms, earliest detection wins, its amendment
+        // stays attributed to it — not to fault 7.
+        assert_eq!(s3.symptoms, 2);
+        assert_eq!(s3.detect_secs, 3_600);
+        assert_eq!(s3.amendments, 1);
+        assert!(!s3.degraded_first);
+        // Fault 7: degraded-first detection, no amendments.
+        assert_eq!(s7.symptoms, 1);
+        assert_eq!(s7.detect_secs, 4_000);
+        assert_eq!(s7.amendments, 0);
+        assert!(s7.degraded_first);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<i64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&[42], 0.99), 42);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

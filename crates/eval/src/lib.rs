@@ -21,13 +21,22 @@
 //!   committed golden baseline;
 //! * [`chaos`] — the same corpus replayed through the *online* path under
 //!   chaos-injected feed transports, with convergence and
-//!   graceful-degradation invariants.
+//!   graceful-degradation invariants;
+//! * [`latency`] — end-to-end detection latency: injection instants from
+//!   the soak manifest joined to stamped emission times, exactly once per
+//!   injection;
+//! * [`soak`] — the long-horizon streaming soak driver behind
+//!   `exp_stream_tier1`: day-chunked manifest replay at a
+//!   [`grca_net_model::TierConfig`] preset, scored for accuracy and
+//!   detection latency.
 
 pub mod chaos;
 pub mod corpus;
 pub mod gate;
+pub mod latency;
 pub mod mutate;
 pub mod oracle;
+pub mod soak;
 
 pub use chaos::{
     check_convergence, check_degradation, eventual_ops, evidence_feed, lossy_ops, run_chaos,
@@ -36,5 +45,7 @@ pub use chaos::{
 };
 pub use corpus::{corpus, GoldenScenario, TopoPreset};
 pub use gate::{check_against_baseline, GateError, DEFAULT_EPS_PT};
+pub use latency::{measure, LatencyReport, LatencySample, VerdictEvent};
 pub use mutate::Mutation;
 pub use oracle::{evaluate, evaluate_corpus, CategoryMetrics, EvalReport, MixRow, ScenarioMetrics};
+pub use soak::{run_soak, SoakCycle, SoakOutcome, SoakRunOpts, JOIN_SLACK};

@@ -1,0 +1,78 @@
+//! Smoke-preset soak: the full manifest-driven streaming pipeline at unit
+//! scale, with the convergence gate the big benchmark relies on — the
+//! folded online verdict stream must be label-identical to the batch
+//! pipeline run over the same complete record set.
+
+use grca_eval::{run_soak, SoakRunOpts};
+use grca_net_model::TierConfig;
+use grca_types::Timestamp;
+
+#[test]
+fn smoke_soak_converges_to_batch_and_measures_latency() {
+    let tier = TierConfig::smoke();
+    let opts = SoakRunOpts {
+        batch_check: true,
+        ..Default::default()
+    };
+    let mut cycles_seen = 0usize;
+    let mut last_clock = i64::MIN;
+    let out = run_soak(&tier, &opts, |c| {
+        assert!(c.clock_unix > last_clock, "cycle clock must advance");
+        last_clock = c.clock_unix;
+        assert_eq!(c.cycle, cycles_seen);
+        cycles_seen += 1;
+    });
+
+    // The callback saw every cycle, and the run actually streamed data.
+    assert_eq!(out.cycles, cycles_seen);
+    assert!(out.records > 0);
+    assert!(out.injections > 0);
+    assert!(out.faults > 0);
+    assert!(out.truth_flaps > 0, "bgp_study rates must flap sessions");
+    assert!(out.finals > 0);
+
+    // The tentpole invariant: online (streamed, held-back, amended) folds
+    // to exactly the batch labels.
+    assert_eq!(out.batch_identical, Some(true));
+
+    // Accuracy is computed over a real truth join.
+    assert!(out.accuracy_matched > 0);
+    assert!(out.accuracy_rate > 0.5, "rate {}", out.accuracy_rate);
+
+    // Latency: injections are detected, each exactly once, and every
+    // detection instant lies after its injection by at least the hold-back
+    // (verdicts wait for the evidence horizon).
+    assert!(out.latency.matched > 0);
+    assert!(
+        out.latency.matched + out.latency.missed <= out.faults,
+        "at most one sample per injection"
+    );
+    assert!(
+        out.latency.min_secs > 0,
+        "detection cannot precede injection"
+    );
+    assert!(out.latency.p50_secs <= out.latency.p95_secs);
+    assert!(out.latency.p95_secs <= out.latency.p99_secs);
+    assert!(out.latency.p99_secs <= out.latency.max_secs);
+    for s in &out.latency.samples {
+        assert!(s.detect_secs > 0);
+        assert!(!s.final_label.is_empty());
+    }
+
+    // Subscribers scale with the preset's per-session fan-out.
+    assert_eq!(out.subscribers, out.sessions as u64 * 50);
+    let _ = Timestamp::from_unix(last_clock); // drain advanced past the horizon
+    assert!(last_clock > 0);
+}
+
+#[test]
+fn soak_is_deterministic_at_smoke_scale() {
+    let tier = TierConfig::smoke();
+    let opts = SoakRunOpts::default();
+    let a = run_soak(&tier, &opts, |_| {});
+    let b = run_soak(&tier, &opts, |_| {});
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.emissions, b.emissions);
+    assert_eq!(a.latency.samples, b.latency.samples);
+    assert_eq!(a.accuracy_correct, b.accuracy_correct);
+}

@@ -32,6 +32,7 @@ pub fn emit_config(topo: &Topology, router: RouterId) -> ConfigSnapshot {
     let mut out = String::new();
     out.push_str(&format!("hostname {}\n", r.name));
     out.push_str(&format!("loopback {}\n", r.loopback));
+    out.push_str(&format!("ospf area {}\n", topo.pop(r.pop).area));
     for &cid in &r.cards {
         let card = topo.card(cid);
         out.push_str(&format!("linecard slot {}\n", card.slot));
@@ -116,6 +117,8 @@ pub fn emit_all(topo: &Topology) -> Vec<ConfigSnapshot> {
 pub struct RouterConfig {
     pub hostname: String,
     pub loopback: Option<Ipv4>,
+    /// OSPF area of the router's PoP (0 = backbone).
+    pub ospf_area: Option<u32>,
     /// (slot, interface name) in declaration order.
     pub interfaces: Vec<ParsedInterface>,
     /// neighbor IP -> interface name.
@@ -227,6 +230,16 @@ pub fn parse_config(text: &str) -> Result<RouterConfig> {
                         .parse()?,
                 )
             }
+            ("ospf", _) => match rest.first() {
+                Some(&"area") => {
+                    rc.ospf_area = Some(
+                        rest.get(1)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad area"))?,
+                    );
+                }
+                _ => return Err(err("unknown ospf stanza")),
+            },
             ("linecard", _) => {
                 let slot = rest
                     .get(1)
@@ -349,6 +362,16 @@ mod tests {
         for pe in topo.provider_edges() {
             let name = &topo.router(pe).name;
             assert_eq!(db.reflectors_of(name).len(), 2);
+        }
+
+        // OSPF area recovered from the snapshot matches the PoP's area.
+        for r in &topo.routers {
+            assert_eq!(
+                db.routers[&r.name].ospf_area,
+                Some(topo.pop(r.pop).area),
+                "area mismatch for {}",
+                r.name
+            );
         }
     }
 

@@ -54,6 +54,11 @@ pub struct TopoGenConfig {
     /// Fraction of optical-mesh inter-PoP links built as two-member
     /// multilink PPP bundles.
     pub bundle_fraction: f64,
+    /// PoPs grouped into one OSPF area. Consecutive PoPs share an area
+    /// (areas 1, 2, …), so the inter-PoP ring keeps every area internally
+    /// connected; core routers double as ABRs toward area 0. `0` disables
+    /// grouping and leaves every PoP in the backbone area.
+    pub pops_per_area: usize,
     /// RNG seed — the entire topology is a pure function of the config.
     pub seed: u64,
 }
@@ -73,6 +78,7 @@ impl Default for TopoGenConfig {
             sonet_fraction: 0.5,
             aps_fraction: 0.5,
             bundle_fraction: 0.3,
+            pops_per_area: 5,
             seed: 7,
         }
     }
@@ -94,6 +100,7 @@ impl TopoGenConfig {
             sonet_fraction: 0.5,
             aps_fraction: 0.5,
             bundle_fraction: 0.3,
+            pops_per_area: 2,
             seed: 7,
         }
     }
@@ -115,6 +122,7 @@ impl TopoGenConfig {
             sonet_fraction: 0.5,
             aps_fraction: 0.5,
             bundle_fraction: 0.3,
+            pops_per_area: 6,
             seed: 2010,
         }
     }
@@ -185,6 +193,12 @@ pub fn generate(cfg: &TopoGenConfig) -> Topology {
         };
         let tz = ZONES[(p * ZONES.len()) / cfg.pops.max(1)];
         let pid = t.add_pop(name.clone(), tz);
+        // Consecutive grouping: ring neighbours share an area, so every
+        // area's PoPs stay internally connected over the inter-PoP ring
+        // (pops_per_area == 0 disables area assignment).
+        if let Some(group) = p.checked_div(cfg.pops_per_area) {
+            t.set_pop_area(pid, 1 + group as u32);
+        }
         adm_of_pop.push(t.add_l1_device(format!("adm-{name}-1"), L1DeviceKind::SonetAdm, pid));
         oxc_of_pop.push(t.add_l1_device(format!("oxc-{name}-1"), L1DeviceKind::OpticalSwitch, pid));
         pops.push(pid);

@@ -24,11 +24,13 @@ pub mod gen;
 pub mod ids;
 pub mod ip;
 pub mod location;
+pub mod tier;
 pub mod topology;
 
 pub use ids::*;
 pub use ip::{Ipv4, Prefix};
 pub use location::{JoinLevel, Location, LocationType, NullOracle, RouteOracle, SpatialModel};
+pub use tier::TierConfig;
 pub use topology::{
     Aggregation, Customer, EbgpSession, Interface, InterfaceKind, L1Device, L1Kind, LineCard,
     LogicalLink, Mvpn, PhysicalLink, Pop, Router, RouterRole, Topology,

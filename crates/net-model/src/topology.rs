@@ -24,6 +24,12 @@ pub struct Pop {
     pub name: String,
     /// The device-local time zone used by equipment at this site.
     pub tz: TimeZone,
+    /// OSPF area this PoP's routers live in. Area 0 is the backbone; the
+    /// generator groups consecutive PoPs into non-backbone areas whose core
+    /// routers double as ABRs. Defaults to 0 for topologies predating
+    /// area assignment.
+    #[serde(default)]
+    pub area: u32,
 }
 
 /// The role a router plays in the network.
@@ -350,8 +356,14 @@ impl Topology {
         self.pops.push(Pop {
             name: name.into(),
             tz,
+            area: 0,
         });
         id
+    }
+
+    /// Assign the OSPF area of an existing PoP (0 = backbone).
+    pub fn set_pop_area(&mut self, pop: PopId, area: u32) {
+        self.pops[pop.index()].area = area;
     }
 
     pub fn add_router(

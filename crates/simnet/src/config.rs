@@ -163,6 +163,11 @@ pub struct BackgroundConfig {
     pub cdn_baseline_bin: Duration,
     /// Emit baseline SNMP CPU/util samples at all.
     pub emit_baseline: bool,
+    /// End-to-end probe fan-out: each PoP's probe head measures to this
+    /// many ring-successor PoPs. `0` keeps the historical full mesh
+    /// (quadratic in PoP count — untenable at tier-1 scale, where a bounded
+    /// fan-out models a real deployment's designated probe pairs).
+    pub probe_fanout: usize,
 }
 
 impl Default for BackgroundConfig {
@@ -172,6 +177,7 @@ impl Default for BackgroundConfig {
             perf_baseline_bin: Duration::hours(2),
             cdn_baseline_bin: Duration::hours(2),
             emit_baseline: true,
+            probe_fanout: 0,
         }
     }
 }

@@ -46,7 +46,11 @@ impl Sim<'_> {
     }
 
     /// Designated end-to-end probe pairs: the first core router of every
-    /// PoP pair (PoP-to-PoP measurement infrastructure, Table I).
+    /// PoP (PoP-to-PoP measurement infrastructure, Table I). With
+    /// `background.probe_fanout == 0` every PoP pair is probed (the
+    /// historical full mesh); a nonzero fan-out bounds each PoP to its
+    /// ring-successor PoPs, keeping probe volume linear in PoP count at
+    /// tier-1 scale.
     pub fn perf_pairs(&self) -> Vec<(RouterId, RouterId)> {
         let firsts: Vec<RouterId> = self
             .topo
@@ -61,10 +65,27 @@ impl Sim<'_> {
                     .map(RouterId::from)
             })
             .collect();
+        let fanout = self.cfg.background.probe_fanout;
         let mut out = Vec::new();
-        for i in 0..firsts.len() {
-            for j in (i + 1)..firsts.len() {
-                out.push((firsts[i], firsts[j]));
+        if fanout == 0 {
+            for i in 0..firsts.len() {
+                for j in (i + 1)..firsts.len() {
+                    out.push((firsts[i], firsts[j]));
+                }
+            }
+        } else {
+            // Ring-successor pairs, deduplicated in case the fan-out wraps
+            // far enough that (i, i+d) and (j, j+d') meet as one unordered
+            // pair.
+            let mut seen = std::collections::BTreeSet::new();
+            for i in 0..firsts.len() {
+                for d in 1..=fanout.min(firsts.len().saturating_sub(1)) {
+                    let j = (i + d) % firsts.len();
+                    let (a, b) = (firsts[i].min(firsts[j]), firsts[i].max(firsts[j]));
+                    if seen.insert((a, b)) {
+                        out.push((a, b));
+                    }
+                }
             }
         }
         out

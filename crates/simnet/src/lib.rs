@@ -21,10 +21,12 @@ pub mod inject;
 pub mod inject_net;
 pub mod scenario;
 pub mod sim;
+pub mod soak;
 pub mod truth;
 
 pub use chaos::{ChaosOp, FeedChaos, MicroBatches};
 pub use config::{BackgroundConfig, FaultRates, ScenarioConfig};
 pub use scenario::{run_scenario, SimOutput};
 pub use sim::Sim;
+pub use soak::{run_manifest, SoakEntry, SoakFault, SoakManifest};
 pub use truth::{breakdown, FaultInstance, RootCause, SymptomKind, TruthRecord};

@@ -91,6 +91,16 @@ pub fn run_scenario(topo: &Topology, cfg: &ScenarioConfig) -> SimOutput {
     arrivals!(cfg.rates.uplink_pim_loss, |s: &mut Sim, t| s
         .inject_uplink_pim_loss(t));
 
+    finalize(sim)
+}
+
+/// The common scenario tail shared by [`run_scenario`] and the manifest
+/// replayer ([`crate::soak::run_manifest`]): confounder passes, syslog
+/// noise, background baselines, then delivery ordering.
+pub(crate) fn finalize(mut sim: Sim<'_>) -> SimOutput {
+    let topo = sim.topo;
+    let cfg = sim.cfg;
+
     // Confounders and background.
     sim.reverse_cpu_pass();
     emit_noise(&mut sim);
