@@ -260,6 +260,26 @@ impl<'a> OnlineRca<'a> {
         self.registry.observe_db(&self.db);
     }
 
+    /// Materialize the current event store — the extraction a serving
+    /// publisher snapshots at the end of an ingest cycle. Same pure
+    /// read of the database that [`OnlineRca::advance`] performs (the
+    /// incremental extractor re-reads only newly appended rows), so
+    /// the returned store equals a batch extraction over the same
+    /// database, and diagnosing against it matches batch verdicts.
+    pub fn snapshot_store(
+        &mut self,
+        routing_for_extraction: Option<&grca_routing::RoutingState>,
+    ) -> grca_events::EventStore {
+        let cx = ExtractCx::new(self.topo, &self.db, routing_for_extraction);
+        self.extractor.extract(&cx)
+    }
+
+    /// The application's diagnosis graph (the serving publisher reads
+    /// this to resolve tenant overlays at publish time).
+    pub fn graph(&self) -> &DiagnosisGraph {
+        &self.graph
+    }
+
     /// Feed a batch of raw records and advance the clock to `now`.
     ///
     /// Returns the cycle's emissions: full diagnoses for symptoms whose

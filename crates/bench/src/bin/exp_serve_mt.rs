@@ -1,0 +1,392 @@
+//! E17 — multi-tenant serving under concurrent ingest: a heavy synthetic
+//! diagnosis-query mix served from epoch-published [`ServingSnapshot`]s
+//! while the publisher drives full-rate preset ingest and publishes a new
+//! epoch per micro-batch cycle.
+//!
+//! Two closed-loop phases run against one server (worker pool sized to
+//! the machine's cores, capped at 8): 1 client, then 8 clients. Each
+//! phase reports qps and per-request diagnosis
+//! latency (p50/p99/p99.9); the run additionally reports snapshot-publish
+//! stalls (publisher-side build+swap durations — a cost readers never
+//! share) and [`grca_serve::EpochCell`] load retries (the only effect a racing publish
+//! can have on a reader: a bounded re-announce, never a block). After the
+//! phases, every served verdict is differentially checked against a batch
+//! `diagnose_all` at the exact epoch it was served at.
+//!
+//! Gate (non-smoke): 8-client qps ≥ 2× the single-client baseline.
+//! Output: `results/BENCH_rca_serve.json`, validated against the committed
+//! `results/BENCH_rca_serve.schema.json` before writing.
+
+use grca_apps::{bgp, cdn, e2e, pim};
+use grca_bench::{results_dir, schema};
+use grca_events::EventInstance;
+use grca_net_model::{TierConfig, Topology};
+use grca_serve::{Publisher, ServeConfig, Server, ServingSnapshot, TenantSpec};
+use grca_simnet::{run_scenario, FaultRates, FeedChaos, MicroBatches, ScenarioConfig};
+use grca_types::{Duration, TimeWindow};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/BENCH_rca_serve.schema.json"
+));
+
+/// Concurrent clients in the heavy phase.
+const CLIENTS: usize = 8;
+
+/// Serving workers: one per available core, capped at the client count.
+/// Oversubscribing workers past the core count shrinks micro-batches
+/// (each eager worker steals one job before the queue accumulates) and
+/// with it the amortization of the per-batch engine bind — on a 1-core
+/// box that alone halves throughput.
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(CLIENTS)
+}
+
+/// A served query as recorded by a client: enough to re-derive the
+/// reference verdict at the serving epoch afterwards.
+struct Recorded {
+    epoch: u64,
+    tenant: usize,
+    symptom: EventInstance,
+    verdict: (String, TimeWindow),
+    latency_ms: f64,
+}
+
+#[derive(Serialize, Clone)]
+struct PhaseStats {
+    clients: usize,
+    served: u64,
+    elapsed_secs: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    /// Micro-batches executed (served / batches = achieved batch size).
+    batches: u64,
+    /// Epochs published while this phase's clients were running.
+    epochs_published: u64,
+    /// Reader re-announcements caused by publishes racing loads.
+    load_retries: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    preset: String,
+    routers: usize,
+    sessions: usize,
+    tenants: usize,
+    workers: usize,
+    /// Ingest cycles delivered across the whole run.
+    cycles: usize,
+    records: usize,
+    epochs_published: u64,
+    publishes_elided: u64,
+    /// Publisher-side epoch build+swap durations (the "stall" a publish
+    /// costs — paid off the query path, never by a reader).
+    publish_p50_ms: f64,
+    publish_max_ms: f64,
+    phases: Vec<PhaseStats>,
+    /// 8-client qps over 1-client qps.
+    speedup: f64,
+    /// Served verdicts differentially verified against batch
+    /// `diagnose_all` at their serving epoch (all of them).
+    identity_checked: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn tenant_specs() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("bgp", bgp::diagnosis_graph()),
+        TenantSpec::new("cdn", cdn::diagnosis_graph()),
+        TenantSpec::new("pim", pim::diagnosis_graph()),
+        TenantSpec::new("e2e", e2e::diagnosis_graph()),
+    ]
+}
+
+fn union_defs(topo: &Topology) -> Vec<grca_events::EventDefinition> {
+    let mut defs = bgp::event_definitions();
+    defs.extend(cdn::event_definitions(topo));
+    defs.extend(pim::event_definitions());
+    defs.extend(e2e::event_definitions(topo));
+    defs
+}
+
+/// Closed-loop client: sweep the current snapshot's symptom mix across
+/// all tenants, one blocking request at a time, until the deadline.
+fn client_loop(server: &Server, deadline: Instant) -> Vec<Recorded> {
+    let mut out = Vec::new();
+    'outer: loop {
+        let snap = server.snapshot();
+        for tenant in 0..snap.tenants().len() {
+            // Clone the mix so the loop never borrows the pinned Arc
+            // while requests race later epochs.
+            let symptoms = snap.symptoms(tenant).to_vec();
+            for symptom in symptoms {
+                if Instant::now() >= deadline {
+                    break 'outer;
+                }
+                let t0 = Instant::now();
+                let Ok(ticket) = server.submit(tenant, symptom.clone()) else {
+                    continue;
+                };
+                let served = ticket.wait();
+                out.push(Recorded {
+                    epoch: served.epoch,
+                    tenant,
+                    symptom,
+                    verdict: served.diagnosis.verdict(),
+                    latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Identity key for a symptom instance within one (epoch, tenant).
+fn sym_key(topo: &Topology, s: &EventInstance) -> String {
+    format!(
+        "{}|{}|{}",
+        s.name,
+        s.window.start.unix(),
+        s.location.display(topo)
+    )
+}
+
+/// Differentially verify every served verdict against a batch
+/// `diagnose_all` at the epoch it was served at. Panics on divergence.
+fn verify_identity(
+    topo: &Topology,
+    snapshots: &[Arc<ServingSnapshot>],
+    recorded: &[Recorded],
+) -> usize {
+    let by_epoch: HashMap<u64, &Arc<ServingSnapshot>> =
+        snapshots.iter().map(|s| (s.epoch, s)).collect();
+    let mut refs: HashMap<(u64, usize), HashMap<String, (String, TimeWindow)>> = HashMap::new();
+    for r in recorded {
+        let snap = by_epoch
+            .get(&r.epoch)
+            .unwrap_or_else(|| panic!("served at unpublished epoch {}", r.epoch));
+        let map = refs.entry((r.epoch, r.tenant)).or_insert_with(|| {
+            snap.symptoms(r.tenant)
+                .iter()
+                .zip(snap.diagnose_all(r.tenant))
+                .map(|(s, d)| (sym_key(topo, s), d.verdict()))
+                .collect()
+        });
+        // Symptoms queried from an older epoch may not be in this
+        // epoch's root set; diagnose them directly against the epoch.
+        let want = map
+            .get(&sym_key(topo, &r.symptom))
+            .cloned()
+            .unwrap_or_else(|| snap.diagnose(r.tenant, &r.symptom).verdict());
+        assert_eq!(
+            r.verdict, want,
+            "served verdict diverged from batch at epoch {} tenant {}",
+            r.epoch, r.tenant
+        );
+    }
+    recorded.len()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let preset = if smoke { "smoke" } else { "default" };
+    let phase_secs = if smoke { 2.0 } else { 8.0 };
+
+    let tier = TierConfig::by_name(preset).expect("known preset");
+    let topo = Arc::new(tier.generate());
+
+    // One simulated day of full-rate preset ingest, bucketed into
+    // half-hour cycles — one publish attempt per cycle.
+    let mut cfg = ScenarioConfig::new(1, tier.topo.seed ^ 0x5e17, FaultRates::bgp_study());
+    cfg.background.probe_fanout = tier.probe_fanout;
+    if topo.routers.len() > 200 {
+        cfg.background.snmp_baseline_bin = Duration::hours(6);
+        cfg.background.perf_baseline_bin = Duration::hours(6);
+        cfg.background.cdn_baseline_bin = Duration::hours(6);
+    }
+    let out = run_scenario(&topo, &cfg);
+    let mb = MicroBatches::new(
+        &topo,
+        &out.records,
+        cfg.start,
+        cfg.end(),
+        Duration::mins(30),
+    );
+    let delivered = FeedChaos::new(0).deliver(&mb);
+    let records: usize = delivered.iter().map(Vec::len).sum();
+    let cycles = delivered.len();
+
+    let mut publisher = Publisher::new(topo.clone(), union_defs(&topo), tenant_specs())
+        .with_storage(&grca_collector::StorageConfig::default());
+    publisher.ingest(&delivered[0]);
+    let snap0 = publisher.publish().expect("tenants validate");
+    let server = Server::start(
+        snap0.clone(),
+        &ServeConfig {
+            workers: worker_count(),
+            ..Default::default()
+        },
+    );
+    let snapshots: Mutex<Vec<Arc<ServingSnapshot>>> = Mutex::new(vec![snap0]);
+    let publish_ms: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let elided = Mutex::new(0u64);
+
+    println!(
+        "{preset}: {} routers, {} sessions, {} tenants, {} ingest cycles ({} records)",
+        topo.routers.len(),
+        topo.sessions.len(),
+        4,
+        cycles,
+        records
+    );
+
+    let mut cycle_next = 1usize;
+    let mut phases: Vec<PhaseStats> = Vec::new();
+    let mut recorded: Vec<Recorded> = Vec::new();
+    for (phase_idx, &clients) in [1usize, CLIENTS].iter().enumerate() {
+        // Each phase may consume up to half the remaining ingest.
+        let budget = cycle_next + (cycles - cycle_next) / (2 - phase_idx);
+        let stats0 = server.stats();
+        let done = AtomicBool::new(false);
+        let t0 = Instant::now();
+        let deadline = t0 + std::time::Duration::from_secs_f64(phase_secs);
+        let phase_recs: Vec<Vec<Recorded>> = std::thread::scope(|scope| {
+            // Ingest side: full-rate cycles, one publish attempt each,
+            // running the whole time the clients are.
+            scope.spawn(|| {
+                while !done.load(Relaxed) && cycle_next < budget {
+                    publisher.ingest(&delivered[cycle_next]);
+                    cycle_next += 1;
+                    let p0 = Instant::now();
+                    match publisher.publish_if_changed() {
+                        Ok(Some(snap)) => {
+                            server.publish(snap.clone());
+                            publish_ms
+                                .lock()
+                                .unwrap()
+                                .push(p0.elapsed().as_secs_f64() * 1e3);
+                            snapshots.lock().unwrap().push(snap);
+                        }
+                        Ok(None) => *elided.lock().unwrap() += 1,
+                        Err(e) => panic!("publish failed: {e:?}"),
+                    }
+                }
+            });
+            let handles: Vec<_> = (0..clients)
+                .map(|_| scope.spawn(|| client_loop(&server, deadline)))
+                .collect();
+            let recs = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            done.store(true, Relaxed);
+            recs
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let stats1 = server.stats();
+
+        let mut latencies: Vec<f64> = phase_recs
+            .iter()
+            .flat_map(|r| r.iter().map(|q| q.latency_ms))
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let served = latencies.len() as u64;
+        assert!(served > 0, "phase with {clients} clients served nothing");
+        let phase = PhaseStats {
+            clients,
+            served,
+            elapsed_secs: elapsed,
+            qps: served as f64 / elapsed,
+            p50_ms: percentile(&latencies, 0.50),
+            p99_ms: percentile(&latencies, 0.99),
+            p999_ms: percentile(&latencies, 0.999),
+            batches: stats1.batches - stats0.batches,
+            epochs_published: stats1.publishes - stats0.publishes,
+            load_retries: stats1.load_retries - stats0.load_retries,
+        };
+        println!(
+            "  {:>2} clients: {:>8.0} qps  p50 {:>7.2} ms  p99 {:>7.2} ms  p99.9 {:>7.2} ms  \
+             ({} served, {} epochs published mid-phase, {} load retries)",
+            phase.clients,
+            phase.qps,
+            phase.p50_ms,
+            phase.p99_ms,
+            phase.p999_ms,
+            phase.served,
+            phase.epochs_published,
+            phase.load_retries
+        );
+        phases.push(phase);
+        recorded.extend(phase_recs.into_iter().flatten());
+    }
+
+    let snapshots = snapshots.into_inner().unwrap();
+    let identity_checked = verify_identity(&topo, &snapshots, &recorded);
+    println!(
+        "  identity: {identity_checked} served verdicts label-identical to batch diagnose_all \
+         at their epoch ({} epochs)",
+        snapshots.len()
+    );
+
+    let mut pm = publish_ms.into_inner().unwrap();
+    pm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let speedup = phases[1].qps / phases[0].qps.max(1e-9);
+    println!(
+        "  publish stalls (publisher-side only): {} publishes, p50 {:.1} ms, max {:.1} ms; \
+         speedup {speedup:.2}x at {CLIENTS} clients",
+        pm.len(),
+        percentile(&pm, 0.5),
+        pm.last().copied().unwrap_or(0.0)
+    );
+    if !smoke {
+        assert!(
+            speedup >= 2.0,
+            "{CLIENTS}-client qps must be >= 2x the single-client baseline, got {speedup:.2}x"
+        );
+    }
+
+    let report = Report {
+        preset: preset.to_string(),
+        routers: topo.routers.len(),
+        sessions: topo.sessions.len(),
+        tenants: 4,
+        workers: worker_count(),
+        cycles,
+        records,
+        epochs_published: server.stats().publishes,
+        publishes_elided: elided.into_inner().unwrap(),
+        publish_p50_ms: percentile(&pm, 0.5),
+        publish_max_ms: pm.last().copied().unwrap_or(0.0),
+        phases,
+        speedup,
+        identity_checked,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    if let Err(errors) = schema::validate(&json, SCHEMA) {
+        for e in &errors {
+            eprintln!("schema violation: {e}");
+        }
+        panic!(
+            "BENCH_rca_serve.json violates results/BENCH_rca_serve.schema.json ({} errors)",
+            errors.len()
+        );
+    }
+    let path = results_dir().join("BENCH_rca_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_rca_serve.json");
+    println!("\n[saved {}]", path.display());
+}

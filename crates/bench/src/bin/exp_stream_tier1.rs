@@ -86,6 +86,13 @@ struct PresetRun {
     /// Sustained throughput of the online advance loop.
     records_per_sec: f64,
     advance_secs: f64,
+    /// Wall-clock spent generating/delivering input (the harness side of
+    /// the sim-vs-online split; `advance_secs` is the online side).
+    sim_secs: f64,
+    /// Online share of the child's measured wall-clock,
+    /// `advance / (advance + sim)` — how much of the run was the system
+    /// under test rather than the simulator feeding it.
+    online_frac: f64,
     samples: Vec<DaySample>,
     peak_rss_mb: f64,
     end_rss_mb: f64,
@@ -162,6 +169,8 @@ fn run_child(preset: &str) -> PresetRun {
         },
         records_per_sec: out.records as f64 / out.advance_secs.max(1e-9),
         advance_secs: out.advance_secs,
+        sim_secs: out.sim_secs,
+        online_frac: out.advance_secs / (out.advance_secs + out.sim_secs).max(1e-9),
         samples,
         peak_rss_mb: vm_hwm_kb().unwrap_or(0) as f64 / 1024.0,
         end_rss_mb: vm_rss_kb().unwrap_or(0) as f64 / 1024.0,
@@ -272,6 +281,12 @@ fn main() {
             run.latency.spurious,
             run.latency.amendments,
             run.subscribers as f64 / 1e6
+        );
+        println!(
+            "          wall-clock split: online {:.1}s / sim {:.1}s ({:.0}% under test)",
+            run.advance_secs,
+            run.sim_secs,
+            run.online_frac * 100.0
         );
         if run.preset == "smoke" {
             assert_eq!(

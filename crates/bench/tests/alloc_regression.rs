@@ -1,0 +1,49 @@
+//! Allocation regression gates for the simnet record-generation hot
+//! path, measured with [`grca_bench::mem::CountingAlloc`] as this test
+//! binary's global allocator.
+//!
+//! SNMP baseline emission dominates generated record volume (one sample
+//! per router/metric/bin), and `Router::snmp_name` used to uppercase +
+//! format the system name on every call — two allocations per sample
+//! before the sample's own storage. `Sim` now caches the names at
+//! construction, so each emit costs one `String` clone. This test pins
+//! that budget: a revert to per-call formatting roughly doubles the
+//! count and fails the bound.
+
+use grca_bench::mem::{alloc_snapshot, CountingAlloc};
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_simnet::{FaultRates, ScenarioConfig, Sim};
+use grca_telemetry::records::SnmpMetric;
+use grca_types::Timestamp;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn snmp_emission_stays_within_alloc_budget() {
+    let topo = generate(&TopoGenConfig::small());
+    let cfg = ScenarioConfig::new(1, 5, FaultRates::zero());
+    let mut sim = Sim::new(&topo, &cfg);
+    let t = Timestamp::from_civil(2010, 1, 1, 12, 0, 0);
+
+    const N: usize = 10_000;
+    // Pre-size the sink so the measurement sees emission cost, not Vec
+    // doubling.
+    sim.records.reserve(N);
+    let r0 = topo.routers.len();
+    let (allocs0, _) = alloc_snapshot();
+    for i in 0..N {
+        let router = grca_net_model::RouterId::from(i % r0);
+        sim.snmp(router, t, SnmpMetric::CpuUtil5m, None, 42.0);
+    }
+    let (allocs1, _) = alloc_snapshot();
+    let per_emit = (allocs1 - allocs0) as f64 / N as f64;
+    assert_eq!(sim.records.len(), N);
+    // Cached-name budget: the sample's system-name clone (~1/emit) plus
+    // slack. The pre-cache path (to_uppercase + format per emit) sits
+    // near 3/emit and must fail here.
+    assert!(
+        per_emit < 2.0,
+        "snmp emission allocates {per_emit:.2}/record — name caching regressed"
+    );
+}

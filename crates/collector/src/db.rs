@@ -864,6 +864,28 @@ impl Database {
         any.then_some(out)
     }
 
+    /// A cheap fingerprint of the ingested state — the collector-side
+    /// epoch the serving layer stamps snapshots with. Built purely from
+    /// per-table counters (row counts, per-feed watermarks, quarantine
+    /// depth, retention floor), never from row scans, so it is O(tables)
+    /// regardless of history size. Ingest only appends (or ages out via
+    /// [`Database::retain_before`], which moves counts and the floor), so
+    /// any state change moves the fingerprint; an unchanged fingerprint
+    /// lets a publisher skip a no-op republish.
+    pub fn ingest_epoch(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        0x6772_6361_5f65_706fu64.hash(&mut h); // fixed seed
+        for n in self.row_counts() {
+            n.hash(&mut h);
+        }
+        for (_, wm) in self.feed_watermarks() {
+            wm.map(|t| t.unix()).hash(&mut h);
+        }
+        self.quarantine.len().hash(&mut h);
+        self.retention_floor.map(|t| t.unix()).hash(&mut h);
+        h.finish()
+    }
+
     /// Per-table row counts in a fixed order (diagnostics, watermark
     /// growth checks in incremental extraction).
     pub fn row_counts(&self) -> [usize; 10] {
@@ -1108,6 +1130,35 @@ mod tests {
             Database::ingest_with(&topo, &out.records, &mut CachedResolver::new());
         assert_eq!(db_direct, db_cached);
         assert_eq!(st_direct, st_cached);
+    }
+
+    /// The ingest-epoch fingerprint moves on every real state change and
+    /// stays put when a batch is fully deduplicated — the contract the
+    /// serving publisher relies on to skip no-op republishes.
+    #[test]
+    fn ingest_epoch_tracks_state_changes() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(2, 3, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        let mut db = Database::default();
+        let mut stats = IngestStats::default();
+        let e0 = db.ingest_epoch();
+        assert_eq!(e0, Database::default().ingest_epoch());
+        let half = out.records.len() / 2;
+        db.ingest_more(&topo, &out.records[..half], &mut stats);
+        let e1 = db.ingest_epoch();
+        assert_ne!(e0, e1);
+        // Replaying the same batch is fully deduplicated: no state
+        // change, so the epoch must not move.
+        db.ingest_more(&topo, &out.records[..half], &mut stats);
+        assert_eq!(db.ingest_epoch(), e1);
+        db.ingest_more(&topo, &out.records[half..], &mut stats);
+        let e2 = db.ingest_epoch();
+        assert_ne!(e2, e1);
+        // Aging out history is a state change too.
+        let mid = db.feed_watermarks()[0].1.unwrap();
+        db.retain_before(mid);
+        assert_ne!(db.ingest_epoch(), e2);
     }
 
     /// Parallel sharded ingest is bit-identical to sequential ingest —

@@ -104,6 +104,33 @@ impl Diagnosis {
     }
 }
 
+/// Pre-built symptom → rule-indices map for a diagnosis graph.
+///
+/// [`Engine::new`] builds one internally, but a caller that binds many
+/// short-lived engines to the same (immutable) rule library — the
+/// serving layer constructs an engine per request batch — can build the
+/// index once per library (e.g. at snapshot-publish time) and share it
+/// via [`Engine::with_index`].
+#[derive(Debug, Clone, Default)]
+pub struct RuleIndex {
+    by_symptom: HashMap<Symbol, Vec<usize>>,
+}
+
+impl RuleIndex {
+    /// Index `graph`'s rules by symptom-side event, in graph order.
+    pub fn build(graph: &DiagnosisGraph) -> Self {
+        let mut by_symptom: HashMap<Symbol, Vec<usize>> = HashMap::new();
+        for (ri, rule) in graph.rules.iter().enumerate() {
+            by_symptom.entry(rule.symptom).or_default().push(ri);
+        }
+        RuleIndex { by_symptom }
+    }
+
+    fn rules_for(&self, name: Symbol) -> Option<&Vec<usize>> {
+        self.by_symptom.get(&name)
+    }
+}
+
 /// The engine: a diagnosis graph bound to an event store and spatial model.
 pub struct Engine<'a> {
     pub graph: &'a DiagnosisGraph,
@@ -113,8 +140,9 @@ pub struct Engine<'a> {
     /// this bounds pathological configurations).
     pub max_depth: usize,
     /// Rule indices grouped by symptom-side event, in graph order — the
-    /// per-step replacement for scanning every rule.
-    rules_by_symptom: HashMap<Symbol, Vec<usize>>,
+    /// per-step replacement for scanning every rule. Owned when built by
+    /// [`Engine::new`], borrowed when shared via [`Engine::with_index`].
+    index: std::borrow::Cow<'a, RuleIndex>,
 }
 
 /// A fast, non-cryptographic hasher for the engine's per-diagnosis
@@ -193,16 +221,31 @@ impl<'a> Engine<'a> {
         store: &'a EventStore,
         spatial: &'a SpatialModel<'a>,
     ) -> Self {
-        let mut rules_by_symptom: HashMap<Symbol, Vec<usize>> = HashMap::new();
-        for (ri, rule) in graph.rules.iter().enumerate() {
-            rules_by_symptom.entry(rule.symptom).or_default().push(ri);
-        }
         Engine {
             graph,
             store,
             spatial,
             max_depth: 8,
-            rules_by_symptom,
+            index: std::borrow::Cow::Owned(RuleIndex::build(graph)),
+        }
+    }
+
+    /// Like [`Engine::new`], but sharing a pre-built [`RuleIndex`]
+    /// instead of re-indexing the graph. `index` must have been built
+    /// from this `graph` (same rule order) — the serving snapshot keeps
+    /// the pair together per tenant.
+    pub fn with_index(
+        graph: &'a DiagnosisGraph,
+        store: &'a EventStore,
+        spatial: &'a SpatialModel<'a>,
+        index: &'a RuleIndex,
+    ) -> Self {
+        Engine {
+            graph,
+            store,
+            spatial,
+            max_depth: 8,
+            index: std::borrow::Cow::Borrowed(index),
         }
     }
 
@@ -295,7 +338,7 @@ impl<'a> Engine<'a> {
             if depth >= self.max_depth {
                 continue;
             }
-            let Some(rules) = self.rules_by_symptom.get(&name) else {
+            let Some(rules) = self.index.rules_for(name) else {
                 continue;
             };
             for &ri in rules {

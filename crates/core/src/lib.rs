@@ -40,7 +40,7 @@ pub use discovery::{
     ScreenHit, Screening, SeriesGrid,
 };
 pub use dsl::{parse_graph, render_graph};
-pub use engine::{Diagnosis, Engine, Evidence, UNKNOWN};
+pub use engine::{Diagnosis, Engine, Evidence, RuleIndex, UNKNOWN};
 pub use graph::{DiagnosisGraph, DiagnosisRule};
 pub use join::{ExpandOption, Expansion, SpatialRule, TemporalRule};
 pub use library::knowledge_rules;

@@ -122,6 +122,11 @@ pub struct SoakOutcome {
     pub batch_identical: Option<bool>,
     /// Total wall-clock seconds inside the online advance loop.
     pub advance_secs: f64,
+    /// Total wall-clock seconds generating and delivering the input —
+    /// manifest replay, micro-batch bucketing, transport. Splitting this
+    /// from `advance_secs` keeps the harness's own cost out of the
+    /// online path's throughput numbers.
+    pub sim_secs: f64,
 }
 
 /// Per-day scenario config: shifted start, per-day seed, preset fan-out,
@@ -176,9 +181,11 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
     let mut records = 0usize;
     let mut cycle = 0usize;
     let mut advance_secs = 0.0f64;
+    let mut sim_secs = 0.0f64;
     let mut last_clock = start;
 
     for day in 0..tier.soak_days {
+        let sim_t0 = std::time::Instant::now();
         let cfg = day_config(tier, manifest_seed, topo.routers.len(), day);
         let slice = manifest.window(cfg.start, cfg.end());
         let out = grca_simnet::run_manifest(&topo, &cfg, &slice);
@@ -197,6 +204,7 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
 
         let mb = MicroBatches::new(&topo, &out.records, cfg.start, cfg.end(), opts.cycle_len);
         let delivered = transport.deliver(&mb);
+        sim_secs += sim_t0.elapsed().as_secs_f64();
         for (i, recs) in delivered.iter().enumerate() {
             let now = mb.clock(i);
             let t0 = std::time::Instant::now();
@@ -317,6 +325,7 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
         latency,
         batch_identical,
         advance_secs,
+        sim_secs,
     }
 }
 

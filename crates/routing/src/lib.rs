@@ -24,6 +24,6 @@ pub mod ospf;
 pub mod pim;
 
 pub use bgp::{BgpState, BgpUpdate, RouteAttrs};
-pub use oracle::RoutingState;
+pub use oracle::{FrozenOracle, FrozenRoutingState, RoutingState};
 pub use ospf::{OspfState, SpfResult, WeightEvent};
 pub use pim::{pim_adjacencies, uplink_adjacencies, PimAdjacency};

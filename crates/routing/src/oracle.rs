@@ -48,17 +48,32 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
     }
 
     /// Fetch `key`, computing and caching it on a miss. The value is
-    /// computed outside any lock: a racing thread may compute the same
-    /// value twice, but readers are never blocked behind a path
-    /// computation.
+    /// computed — and the insert's clone taken — outside any lock: a
+    /// racing thread may compute the same value twice, but readers are
+    /// never blocked behind a path computation, and the write lock is
+    /// held only for the map insert itself. A cold-cache miss storm
+    /// therefore runs its recomputations fully in parallel (see the
+    /// `miss_storm_does_not_serialize_readers` regression test).
     fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
         let shard = self.shard(&key);
         if let Some(hit) = shard.read().get(&key) {
             return hit.clone();
         }
         let val = compute();
-        shard.write().entry(key).or_insert_with(|| val.clone());
+        let insert = val.clone();
+        let mut w = shard.write();
+        w.entry(key).or_insert(insert);
+        drop(w);
         val
+    }
+
+    /// Drain every shard into one plain map (for freezing).
+    fn into_map(self) -> HashMap<K, V> {
+        let mut out = HashMap::new();
+        for shard in self.shards {
+            out.extend(shard.into_inner());
+        }
+        out
     }
 
     #[cfg(test)]
@@ -113,6 +128,107 @@ impl<'a> RoutingState<'a> {
         let key = (a, b, self.ospf.epoch(at));
         self.path_cache
             .get_or_insert_with(key, || self.ospf.ecmp_union(a, b, at))
+    }
+}
+
+impl<'a> RoutingState<'a> {
+    /// Freeze this state into an immutable, lock-free snapshot.
+    ///
+    /// The sharded caches (warmed by whatever queries ran so far) are
+    /// drained into plain read-only maps; the OSPF/BGP reconstructions
+    /// move across unchanged. The frozen form backs the serving
+    /// snapshot's query path: readers share it behind an `Arc` and
+    /// never touch a lock.
+    pub fn freeze(self) -> FrozenRoutingState {
+        FrozenRoutingState {
+            ospf: self.ospf,
+            bgp: self.bgp,
+            path_cache: self.path_cache.into_map(),
+            egress_cache: self.egress_cache.into_map(),
+        }
+    }
+}
+
+/// Immutable routing state: the lock-free counterpart of
+/// [`RoutingState`], produced by [`RoutingState::freeze`].
+///
+/// Owns the OSPF/BGP reconstructions plus read-only memo maps drained
+/// from the sharded caches. It holds no topology reference so it can be
+/// stored in long-lived (e.g. `Arc`-shared) serving snapshots; pair it
+/// with a topology via [`FrozenRoutingState::oracle`] to answer
+/// queries. Cache *misses* recompute from the pure OSPF/BGP state
+/// without inserting — memoization only affects speed, never answers —
+/// so a frozen oracle is label-identical to the live one at the same
+/// epochs.
+pub struct FrozenRoutingState {
+    pub ospf: OspfState,
+    pub bgp: BgpState,
+    path_cache: HashMap<PathKey, (Vec<RouterId>, Vec<LinkId>)>,
+    egress_cache: HashMap<EgressKey, Option<RouterId>>,
+}
+
+impl FrozenRoutingState {
+    /// Bind a topology to get a [`RouteOracle`] view.
+    pub fn oracle<'t>(&'t self, topo: &'t Topology) -> FrozenOracle<'t> {
+        FrozenOracle { topo, state: self }
+    }
+
+    /// Number of memoized path + egress entries carried over.
+    pub fn cached_entries(&self) -> usize {
+        self.path_cache.len() + self.egress_cache.len()
+    }
+}
+
+/// A [`RouteOracle`] over a [`FrozenRoutingState`] bound to a topology.
+/// Wholly lock-free: hits read the frozen maps, misses recompute from
+/// the pure OSPF/BGP state.
+pub struct FrozenOracle<'t> {
+    topo: &'t Topology,
+    state: &'t FrozenRoutingState,
+}
+
+impl FrozenOracle<'_> {
+    fn ecmp(&self, a: RouterId, b: RouterId, at: Timestamp) -> (Vec<RouterId>, Vec<LinkId>) {
+        let key = (a, b, self.state.ospf.epoch(at));
+        match self.state.path_cache.get(&key) {
+            Some(hit) => hit.clone(),
+            None => self.state.ospf.ecmp_union(a, b, at),
+        }
+    }
+}
+
+impl RouteOracle for FrozenOracle<'_> {
+    fn egress_for(&self, ingress: RouterId, dst: Prefix, at: Timestamp) -> Option<RouterId> {
+        let key = (
+            ingress,
+            dst,
+            self.state.ospf.epoch(at),
+            self.state.bgp.epoch(at),
+        );
+        match self.state.egress_cache.get(&key) {
+            Some(hit) => *hit,
+            None => self
+                .state
+                .bgp
+                .best_egress(&self.state.ospf, ingress, dst, at),
+        }
+    }
+
+    fn ingress_for(&self, src: Ipv4, _at: Timestamp) -> Option<RouterId> {
+        let net = self.topo.ext_net_for(src)?;
+        self.topo.ext_net(net).egress_candidates.first().copied()
+    }
+
+    fn path_routers(&self, a: RouterId, b: RouterId, at: Timestamp) -> Vec<RouterId> {
+        self.ecmp(a, b, at).0
+    }
+
+    fn path_links(&self, a: RouterId, b: RouterId, at: Timestamp) -> Vec<LinkId> {
+        self.ecmp(a, b, at).1
+    }
+
+    fn epoch(&self, at: Timestamp) -> u64 {
+        ((self.state.ospf.epoch(at) as u64) << 32) | (self.state.bgp.epoch(at) as u64 & 0xffff_ffff)
     }
 }
 
@@ -270,6 +386,67 @@ mod tests {
         let rs = RoutingState::new(&topo, ospf, BgpState::new(vec![], vec![]));
         assert_eq!(rs.epoch(ts(50)), rs.epoch(ts(99)));
         assert_ne!(rs.epoch(ts(50)), rs.epoch(ts(150)));
+    }
+
+    /// Regression: the shard write lock used to be (conceptually) held
+    /// across path recomputation, so a cold-cache miss storm would
+    /// serialize readers behind one compute at a time. With compute —
+    /// and the insert's clone — outside the lock, N threads missing on
+    /// distinct keys must overlap their computes in wall-clock time.
+    /// The compute closure sleeps, so the bound is core-count
+    /// independent: serialized misses would take ≥ N × SLEEP.
+    #[test]
+    fn miss_storm_does_not_serialize_readers() {
+        use std::time::{Duration, Instant};
+        const THREADS: u64 = 8;
+        const SLEEP: Duration = Duration::from_millis(100);
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for k in 0..THREADS {
+                let cache = &cache;
+                scope.spawn(move || {
+                    cache.get_or_insert_with(k, || {
+                        std::thread::sleep(SLEEP);
+                        k
+                    });
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        // All 8 sleeps overlap; allow generous slack for spawn jitter
+        // but stay far under the 800 ms a serialized storm would take.
+        assert!(
+            elapsed < SLEEP * (THREADS as u32) / 2,
+            "cold-miss storm took {elapsed:?}; misses are serializing"
+        );
+        assert_eq!(cache.len(), THREADS as usize);
+    }
+
+    #[test]
+    fn frozen_oracle_matches_live_answers() {
+        let topo = generate(&TopoGenConfig::small());
+        let a = topo.router_by_name("nyc-per1").unwrap();
+        let b = topo.router_by_name("lax-per1").unwrap();
+        let live = RoutingState::baseline(&topo);
+        // Warm one path so the frozen form carries a memo entry.
+        let warm = live.path_routers(a, b, ts(0));
+        let net = topo.ext_net(grca_net_model::ClientSiteId::new(1));
+        let live_egress = live.egress_for(a, net.prefix, ts(0));
+        let live_links = live.path_links(b, a, ts(0));
+        let live_epoch = live.epoch(ts(0));
+        let frozen = live.freeze();
+        assert!(frozen.cached_entries() >= 2);
+        let oracle = frozen.oracle(&topo);
+        // Warmed (cache-hit) and cold (recompute) queries both agree.
+        assert_eq!(oracle.path_routers(a, b, ts(0)), warm);
+        assert_eq!(oracle.egress_for(a, net.prefix, ts(0)), live_egress);
+        assert_eq!(oracle.path_links(b, a, ts(0)), live_links);
+        assert_eq!(oracle.epoch(ts(0)), live_epoch);
+        assert_eq!(
+            oracle.ingress_for(net.prefix.host(5), ts(0)),
+            Some(net.egress_candidates[0])
+        );
     }
 
     #[test]

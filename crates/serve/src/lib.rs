@@ -1,0 +1,32 @@
+//! grca-serve — snapshot-isolated concurrent diagnosis serving.
+//!
+//! The paper positions G-RCA as a shared *platform* hosting many SQM
+//! applications at once (§III); this crate turns the batch engine into
+//! that platform. The pieces:
+//!
+//! * [`publish`] — [`EpochCell`]: epoch publication of an immutable
+//!   value via atomic `Arc` swap with hazard-slot reclamation; readers
+//!   are lock-free, publishers serialize only against each other;
+//! * [`snapshot`] — [`ServingSnapshot`]: one epoch's immutable world
+//!   (per-tenant rule libraries with overlays resolved at publish time,
+//!   frozen route caches, extracted event store);
+//! * [`publisher`] — [`Publisher`]: the ingest-side epoch builder
+//!   (collector database + incremental extraction + routing freeze),
+//!   running entirely off the query path;
+//! * [`server`] — [`Server`]: bounded-queue admission, micro-batching
+//!   of same-tenant requests onto a worker pool, epoch-pinned
+//!   [`Session`]s for repeatable reads.
+//!
+//! Correctness bar (tested differentially and under publish races):
+//! every served verdict is label-identical to a batch
+//! [`grca_core::Engine::diagnose_all`] run against the same epoch.
+
+pub mod publish;
+pub mod publisher;
+pub mod server;
+pub mod snapshot;
+
+pub use publish::EpochCell;
+pub use publisher::Publisher;
+pub use server::{ServeConfig, Served, Server, ServerStats, Session, SubmitError, Ticket};
+pub use snapshot::{ServingSnapshot, Tenant, TenantSpec};

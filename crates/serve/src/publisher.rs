@@ -1,0 +1,147 @@
+//! [`Publisher`]: the ingest-side epoch builder.
+//!
+//! Owns the collector database, a watermark-delta incremental extractor
+//! over the *union* of every tenant's event definitions (extraction
+//! happens once per epoch, shared by all tenants), and the tenant
+//! specs. Each cycle: [`Publisher::ingest`] raw records, then
+//! [`Publisher::publish_if_changed`] — rebuild routing, extract, resolve
+//! overlays, warm the route caches, freeze, and hand the assembled
+//! [`ServingSnapshot`] to the serving cell. All of that happens off to
+//! the side of the query path; readers only ever see the one atomic
+//! swap at the end.
+
+use crate::snapshot::{ServingSnapshot, Tenant, TenantSpec};
+use grca_apps::build_routing;
+use grca_collector::{Database, IngestStats, StorageConfig};
+use grca_core::Engine;
+use grca_events::{EventDefinition, ExtractCx, IncrementalExtractor};
+use grca_net_model::{SpatialModel, Topology};
+use grca_telemetry::records::RawRecord;
+use grca_types::Result;
+use std::sync::Arc;
+
+/// Ingest-side builder of serving epochs.
+pub struct Publisher {
+    topo: Arc<Topology>,
+    db: Database,
+    stats: IngestStats,
+    extractor: IncrementalExtractor,
+    /// Tenant configurations, re-resolved at every publish (overlays are
+    /// cheap to merge; validation cost is per publish, not per query).
+    specs: Vec<TenantSpec>,
+    /// Next epoch number to assign.
+    next_epoch: u64,
+    /// Collector fingerprint of the last published epoch, for no-op
+    /// publish elision.
+    published_ingest_epoch: Option<u64>,
+    /// Warm the route caches with one batch pass per tenant before
+    /// freezing (bounds per-query cost to cache hits; the frozen oracle
+    /// recomputes misses without memoizing).
+    warm_caches: bool,
+}
+
+impl Publisher {
+    /// `defs` must cover every tenant's event definitions. They form
+    /// one shared registry extracted once per epoch into the shared
+    /// store; definitions tenants share (Knowledge Library reuse)
+    /// collapse by name to the first occurrence, so concatenating the
+    /// per-app definition lists is the expected calling convention.
+    pub fn new(topo: Arc<Topology>, defs: Vec<EventDefinition>, specs: Vec<TenantSpec>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let defs: Vec<EventDefinition> = defs
+            .into_iter()
+            .filter(|d| seen.insert(d.name.clone()))
+            .collect();
+        Publisher {
+            topo,
+            db: Database::default(),
+            stats: IngestStats::default(),
+            extractor: IncrementalExtractor::new(defs),
+            specs,
+            next_epoch: 0,
+            published_ingest_epoch: None,
+            warm_caches: true,
+        }
+    }
+
+    /// Use the segmented columnar backend for the collector database.
+    pub fn with_storage(mut self, cfg: &StorageConfig) -> Self {
+        self.db = Database::with_storage(cfg);
+        self
+    }
+
+    /// Disable the publish-time cache warm-up (publishes get cheaper,
+    /// cold queries recompute routes per request).
+    pub fn without_warmup(mut self) -> Self {
+        self.warm_caches = false;
+        self
+    }
+
+    /// Ingest a micro-batch of raw records (normalization + dedup, same
+    /// path as the online consumer).
+    pub fn ingest(&mut self, records: &[RawRecord]) {
+        self.db.ingest_more(&self.topo, records, &mut self.stats);
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Build the next epoch: reconstruct routing, extract the delta,
+    /// resolve tenant overlays, optionally warm the route caches with a
+    /// batch pass per tenant, freeze, assemble.
+    pub fn publish(&mut self) -> Result<Arc<ServingSnapshot>> {
+        let ingest_epoch = self.db.ingest_epoch();
+        let live = build_routing(&self.topo, &self.db);
+        let store = {
+            let cx = ExtractCx::new(&self.topo, &self.db, Some(&live));
+            self.extractor.extract(&cx)
+        };
+        let tenants = self
+            .specs
+            .iter()
+            .map(|s| {
+                Tenant::resolve(TenantSpec {
+                    name: s.name.clone(),
+                    graph: s.graph.clone(),
+                    overlay: s.overlay.clone(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        if self.warm_caches {
+            // One batch pass per tenant against the *live* (sharded,
+            // insert-on-miss) caches populates every path/egress the
+            // current symptom set joins through; the frozen snapshot
+            // then serves those queries as pure map hits.
+            let spatial = SpatialModel::new(&self.topo, &live);
+            for t in &tenants {
+                let engine = Engine::with_index(&t.graph, &store, &spatial, &t.index);
+                let _ = engine.diagnose_all();
+            }
+        }
+        let snap = Arc::new(ServingSnapshot::from_parts(
+            self.next_epoch,
+            ingest_epoch,
+            self.topo.clone(),
+            live.freeze(),
+            store,
+            tenants,
+        ));
+        self.next_epoch += 1;
+        self.published_ingest_epoch = Some(ingest_epoch);
+        Ok(snap)
+    }
+
+    /// [`Publisher::publish`], elided when ingest saw no state change
+    /// since the last publish (the collector fingerprint is O(tables)).
+    pub fn publish_if_changed(&mut self) -> Result<Option<Arc<ServingSnapshot>>> {
+        if self.published_ingest_epoch == Some(self.db.ingest_epoch()) {
+            return Ok(None);
+        }
+        self.publish().map(Some)
+    }
+}

@@ -1,0 +1,330 @@
+//! [`Server`]: bounded-queue admission and micro-batched execution of
+//! diagnosis requests over the current [`ServingSnapshot`].
+//!
+//! Request flow: [`Server::submit`] enqueues a job (rejecting when the
+//! bounded queue is full — back-pressure, never unbounded growth) and
+//! returns a [`Ticket`]; a pool worker pops a *micro-batch* of
+//! consecutive same-tenant jobs, pins the current snapshot with one
+//! lock-free [`EpochCell::load`], builds one engine for the batch
+//! (amortizing the oracle/spatial binding), diagnoses, and fulfills
+//! each ticket with the verdict plus the epoch it was served at.
+//!
+//! Only *admission* takes a lock (the queue mutex, held for a push or a
+//! pop); the snapshot read on the diagnosis path is lock-free, so a
+//! concurrent publish can never stall a worker mid-query. A client that
+//! wants repeatable reads across several queries pins an epoch with
+//! [`Server::session`] — later publishes are invisible to it.
+
+use crate::publish::EpochCell;
+use crate::snapshot::ServingSnapshot;
+use grca_core::Diagnosis;
+use grca_events::EventInstance;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Serving-pool configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing diagnosis batches.
+    pub workers: usize,
+    /// Admission-queue capacity; submits beyond it are rejected.
+    pub queue_cap: usize,
+    /// Most same-tenant requests one worker claims per queue pop.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 4096,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Why a submit was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — shed load or retry later.
+    QueueFull,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// No tenant of that name in the current snapshot.
+    UnknownTenant(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue full"),
+            SubmitError::ShuttingDown => write!(f, "server shutting down"),
+            SubmitError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+        }
+    }
+}
+
+/// A served verdict: the diagnosis plus the epoch it was computed at.
+#[derive(Debug, Clone)]
+pub struct Served {
+    pub epoch: u64,
+    pub tenant: usize,
+    pub diagnosis: Diagnosis,
+}
+
+/// One-shot response slot a worker fulfills and a client waits on.
+struct ResponseCell {
+    slot: Mutex<Option<Served>>,
+    ready: Condvar,
+}
+
+impl ResponseCell {
+    fn fulfill(&self, served: Served) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(served);
+        self.ready.notify_one();
+    }
+}
+
+/// Handle to a pending request; [`Ticket::wait`] blocks the *client*
+/// (never a serving worker) until the verdict lands.
+pub struct Ticket {
+    cell: Arc<ResponseCell>,
+}
+
+impl Ticket {
+    pub fn wait(self) -> Served {
+        let mut slot = self.cell.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(served) = slot.take() {
+                return served;
+            }
+            slot = self
+                .cell
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Job {
+    tenant: usize,
+    symptom: EventInstance,
+    cell: Arc<ResponseCell>,
+}
+
+struct Shared {
+    cell: EpochCell<ServingSnapshot>,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    shutdown: AtomicBool,
+    queue_cap: usize,
+    max_batch: usize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The diagnosis server: an [`EpochCell`] of the current snapshot plus
+/// a worker pool draining the admission queue. Dropping it drains
+/// nothing: shutdown wakes the workers, which finish the jobs already
+/// admitted before exiting.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start `cfg.workers` workers serving `initial`.
+    pub fn start(initial: Arc<ServingSnapshot>, cfg: &ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cell: EpochCell::new(initial),
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_cap: cfg.queue_cap.max(1),
+            max_batch: cfg.max_batch.max(1),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Publish the next epoch. Readers mid-query keep the epoch they
+    /// pinned; new batches see the new one.
+    pub fn publish(&self, next: Arc<ServingSnapshot>) {
+        self.shared.cell.publish(next);
+    }
+
+    /// The current snapshot (lock-free).
+    pub fn snapshot(&self) -> Arc<ServingSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// Pin the current epoch for repeatable reads across many queries.
+    pub fn session(&self) -> Session {
+        Session {
+            snap: self.shared.cell.load(),
+        }
+    }
+
+    /// Admit a diagnosis request for `tenant` (an id from the *current*
+    /// snapshot's [`ServingSnapshot::tenant_id`]; tenant sets are stable
+    /// across epochs in this platform, ids are resolved per batch).
+    pub fn submit(&self, tenant: usize, symptom: EventInstance) -> Result<Ticket, SubmitError> {
+        if self.shared.shutdown.load(SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let cell = Arc::new(ResponseCell {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        {
+            let mut q = self.shared.lock_queue();
+            if q.len() >= self.shared.queue_cap {
+                self.shared.rejected.fetch_add(1, SeqCst);
+                return Err(SubmitError::QueueFull);
+            }
+            q.push_back(Job {
+                tenant,
+                symptom,
+                cell: cell.clone(),
+            });
+        }
+        self.shared.not_empty.notify_one();
+        Ok(Ticket { cell })
+    }
+
+    /// Convenience: submit and wait (one blocking round-trip).
+    pub fn diagnose(&self, tenant: usize, symptom: EventInstance) -> Result<Served, SubmitError> {
+        Ok(self.submit(tenant, symptom)?.wait())
+    }
+
+    /// (served, rejected, batches, publishes, load retries) counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            served: self.shared.served.load(SeqCst),
+            rejected: self.shared.rejected.load(SeqCst),
+            batches: self.shared.batches.load(SeqCst),
+            publishes: self.shared.cell.publish_count(),
+            load_retries: self.shared.cell.load_retry_count(),
+        }
+    }
+}
+
+/// Serving counters, for reports and gates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    pub served: u64,
+    pub rejected: u64,
+    /// Micro-batches executed (served / batches = achieved batch size).
+    pub batches: u64,
+    pub publishes: u64,
+    /// Reader re-announcements caused by racing publishes — the *only*
+    /// cost a publish can impose on the query path (never a block).
+    pub load_retries: u64,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, SeqCst);
+        self.shared.not_empty.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A session pinned to one epoch: every query answers against the same
+/// snapshot no matter how many publishes happen meanwhile.
+pub struct Session {
+    snap: Arc<ServingSnapshot>,
+}
+
+impl Session {
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch
+    }
+
+    pub fn snapshot(&self) -> &ServingSnapshot {
+        &self.snap
+    }
+
+    pub fn diagnose(&self, tenant: usize, symptom: &EventInstance) -> Served {
+        Served {
+            epoch: self.snap.epoch,
+            tenant,
+            diagnosis: self.snap.diagnose(tenant, symptom),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Claim a micro-batch: the head job plus every *compatible*
+        // (same-tenant) job anywhere in the queue, up to max_batch, so
+        // one engine bind serves the whole batch. Claiming beyond the
+        // head reorders only independent single-shot queries, and the
+        // head itself is always served first — no head-of-line
+        // starvation. This is where the serving layer earns its
+        // throughput: the per-batch engine bind is an order of
+        // magnitude dearer than one diagnosis, so the achieved batch
+        // size is the amortization factor.
+        let batch = {
+            let mut q = shared.lock_queue();
+            loop {
+                if let Some(head) = q.pop_front() {
+                    let tenant = head.tenant;
+                    let mut batch = vec![head];
+                    let mut i = 0;
+                    while batch.len() < shared.max_batch && i < q.len() {
+                        if q[i].tenant == tenant {
+                            batch.push(q.remove(i).expect("index in bounds"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    break batch;
+                }
+                if shared.shutdown.load(SeqCst) {
+                    return;
+                }
+                q = shared.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Pin the snapshot once per batch — the only epoch interaction —
+        // then bind one engine and serve every job in it.
+        let snap = shared.cell.load();
+        let tenant = batch[0].tenant;
+        // Count before fulfilling: a client woken by the last fulfill
+        // must already see this batch in the stats.
+        shared.served.fetch_add(batch.len() as u64, SeqCst);
+        shared.batches.fetch_add(1, SeqCst);
+        snap.with_engine(tenant, |engine| {
+            for job in &batch {
+                let diagnosis = engine.diagnose(&job.symptom);
+                job.cell.fulfill(Served {
+                    epoch: snap.epoch,
+                    tenant,
+                    diagnosis,
+                });
+            }
+        });
+    }
+}

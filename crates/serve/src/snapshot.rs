@@ -1,0 +1,174 @@
+//! [`ServingSnapshot`]: one epoch's immutable world state — per-tenant
+//! rule libraries (overlays already resolved), frozen routing, and the
+//! extracted event store — everything a diagnosis needs, sharable
+//! lock-free behind an `Arc`.
+//!
+//! Tenancy follows the paper's platform framing (§III): each SQM
+//! application (BGP flap, CDN, PIM MVPN, e2e loss) is *configuration*
+//! over the shared engine, so a tenant here is a named diagnosis graph.
+//! Overlays — tenant-specific extra rules on top of a base library —
+//! are resolved and validated once at snapshot build time, never on the
+//! query path; a query only ever indexes into prebuilt state.
+
+use grca_core::{Diagnosis, DiagnosisGraph, DiagnosisRule, Engine, RuleIndex};
+use grca_events::{EventInstance, EventStore};
+use grca_net_model::{SpatialModel, Topology};
+use grca_routing::FrozenRoutingState;
+use grca_types::Result;
+use std::sync::Arc;
+
+/// A tenant's configuration, as handed to the snapshot builder: a base
+/// diagnosis graph plus overlay rules resolved at publish time.
+pub struct TenantSpec {
+    pub name: String,
+    pub graph: DiagnosisGraph,
+    /// Extra rules layered onto `graph` when the snapshot is built.
+    pub overlay: Vec<DiagnosisRule>,
+}
+
+impl TenantSpec {
+    pub fn new(name: impl Into<String>, graph: DiagnosisGraph) -> Self {
+        TenantSpec {
+            name: name.into(),
+            graph,
+            overlay: Vec::new(),
+        }
+    }
+
+    /// Layer tenant-specific rules on top of the base graph. Applied —
+    /// and re-validated — once per snapshot publish, not per query.
+    pub fn with_overlay(mut self, rules: Vec<DiagnosisRule>) -> Self {
+        self.overlay = rules;
+        self
+    }
+}
+
+/// A tenant resolved into its publish-time form: overlay merged,
+/// graph validated, rule index prebuilt.
+pub struct Tenant {
+    pub name: String,
+    pub graph: DiagnosisGraph,
+    pub index: RuleIndex,
+}
+
+impl Tenant {
+    /// Merge the overlay into the base graph, validate the result, and
+    /// prebuild the rule index — the publish-time resolution step.
+    pub fn resolve(spec: TenantSpec) -> Result<Self> {
+        let mut graph = spec.graph;
+        graph.extend_rules(spec.overlay);
+        graph.validate()?;
+        let index = RuleIndex::build(&graph);
+        Ok(Tenant {
+            name: spec.name,
+            graph,
+            index,
+        })
+    }
+}
+
+/// One epoch of immutable serving state. Readers obtain it as an
+/// `Arc<ServingSnapshot>` from [`crate::EpochCell::load`] (or pinned in
+/// a [`crate::Session`]) and query it concurrently without locks; the
+/// next epoch is built off to the side and atomically published.
+pub struct ServingSnapshot {
+    /// Publisher-assigned generation, strictly increasing per publish.
+    pub epoch: u64,
+    /// Collector-side fingerprint of the ingested state this snapshot
+    /// was extracted from ([`grca_collector::Database::ingest_epoch`]):
+    /// lets the publisher skip republishing when ingest saw no change.
+    pub ingest_epoch: u64,
+    pub topo: Arc<Topology>,
+    pub routing: FrozenRoutingState,
+    pub store: EventStore,
+    tenants: Vec<Tenant>,
+}
+
+impl ServingSnapshot {
+    /// Resolve tenant overlays, validate every resulting graph, prebuild
+    /// rule indexes, and assemble the epoch. All the per-library work a
+    /// query would otherwise repeat happens here, once per publish.
+    pub fn build(
+        epoch: u64,
+        ingest_epoch: u64,
+        topo: Arc<Topology>,
+        routing: FrozenRoutingState,
+        store: EventStore,
+        specs: Vec<TenantSpec>,
+    ) -> Result<Self> {
+        let tenants = specs
+            .into_iter()
+            .map(Tenant::resolve)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self::from_parts(
+            epoch,
+            ingest_epoch,
+            topo,
+            routing,
+            store,
+            tenants,
+        ))
+    }
+
+    /// Assemble from already-resolved tenants (the [`crate::Publisher`]
+    /// resolves tenants first so it can warm the route caches against
+    /// the live routing state before freezing it).
+    pub fn from_parts(
+        epoch: u64,
+        ingest_epoch: u64,
+        topo: Arc<Topology>,
+        routing: FrozenRoutingState,
+        store: EventStore,
+        tenants: Vec<Tenant>,
+    ) -> Self {
+        ServingSnapshot {
+            epoch,
+            ingest_epoch,
+            topo,
+            routing,
+            store,
+            tenants,
+        }
+    }
+
+    /// Tenant id for `name` (ids are stable within one snapshot: the
+    /// build-order position).
+    pub fn tenant_id(&self, name: &str) -> Option<usize> {
+        self.tenants.iter().position(|t| t.name == name)
+    }
+
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Run `f` with an engine bound to `tenant` over this snapshot.
+    ///
+    /// The engine borrows the snapshot's frozen oracle and prebuilt rule
+    /// index, so constructing it is cheap — the serving worker builds
+    /// one per request batch. The closure shape exists because the
+    /// engine borrows stack-local spatial state.
+    pub fn with_engine<R>(&self, tenant: usize, f: impl FnOnce(&Engine) -> R) -> R {
+        let t = &self.tenants[tenant];
+        let oracle = self.routing.oracle(&self.topo);
+        let spatial = SpatialModel::new(&self.topo, &oracle);
+        let engine = Engine::with_index(&t.graph, &self.store, &spatial, &t.index);
+        f(&engine)
+    }
+
+    /// Diagnose one symptom for `tenant` against this epoch.
+    pub fn diagnose(&self, tenant: usize, symptom: &EventInstance) -> Diagnosis {
+        self.with_engine(tenant, |e| e.diagnose(symptom))
+    }
+
+    /// Batch-diagnose every instance of `tenant`'s root symptom — the
+    /// reference the differential tests compare served verdicts against.
+    pub fn diagnose_all(&self, tenant: usize) -> Vec<Diagnosis> {
+        self.with_engine(tenant, |e| e.diagnose_all())
+    }
+
+    /// Root-symptom instances for `tenant` in this epoch (what a client
+    /// would query about).
+    pub fn symptoms(&self, tenant: usize) -> &[EventInstance] {
+        self.store.instances(self.tenants[tenant].graph.root)
+    }
+}

@@ -33,6 +33,12 @@ pub struct Sim<'a> {
     pub fast_fallover: Vec<bool>,
     /// (PE, flap-down time) log for the reverse-CPU confounder pass.
     pub flap_log: Vec<(RouterId, Timestamp)>,
+    /// Per-router SNMP system names, computed once. `Router::snmp_name`
+    /// uppercases and formats per call; SNMP baselines emit one sample
+    /// per (router, metric, bin), which made that the single largest
+    /// allocation source in record generation (counted via the bench
+    /// harness's counting allocator). A cached clone is one memcpy.
+    snmp_names: Vec<String>,
 }
 
 impl<'a> Sim<'a> {
@@ -51,6 +57,7 @@ impl<'a> Sim<'a> {
             routing: RoutingState::baseline(topo),
             fast_fallover,
             flap_log: Vec::new(),
+            snmp_names: topo.routers.iter().map(|r| r.snmp_name()).collect(),
         }
     }
 
@@ -184,7 +191,7 @@ impl<'a> Sim<'a> {
         value: f64,
     ) {
         self.records.push(RawRecord::Snmp(SnmpSample {
-            system: self.topo.router(router).snmp_name(),
+            system: self.snmp_names[router.index()].clone(),
             local_time: TimeZone::US_EASTERN.to_local(bin_start_utc),
             metric,
             if_index: iface.map(|i| self.topo.interface(i).if_index),
