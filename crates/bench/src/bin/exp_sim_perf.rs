@@ -1,0 +1,313 @@
+//! E18 — record-generation pipeline throughput: the simulator's
+//! generate → bucket → deliver path over a full soak horizon at tier-1
+//! scale, sequential baseline vs the sharded parallel generator.
+//!
+//! The baseline is the pre-parallelization replayer kept live as
+//! [`grca_simnet::run_manifest_baseline`], driven exactly the way the
+//! seed drove it: every day-window rebuilds the simulation from scratch
+//! (routing state, name table, emission buffers), one RNG stream emits
+//! faults and background alike, delivery keys are re-derived per record
+//! (`approx_utc`), bucketing clones ([`MicroBatches::new`]) and the
+//! transport clones again ([`FeedChaos::deliver`]). The measured path is
+//! the shipped pipeline: sharded background emission
+//! ([`grca_simnet::run_manifest_into`]), a [`SimBuffers`] carried across
+//! the day loop (recycled emission buffers, interned names, and the
+//! warmed routing state frozen between windows), emit-time delivery
+//! keys, move-based bucketing ([`MicroBatches::from_keyed`]) and
+//! move-based delivery ([`FeedChaos::deliver_owned`]).
+//!
+//! Gates (default mode, tier1 preset, the full `soak_days` horizon):
+//! * parallel output is **byte-identical at every worker count**
+//!   (FNV-1a fingerprint over the full delivered stream);
+//! * pipeline throughput ≥ 4× the sequential baseline;
+//! * generated volume within 5% of the baseline (the background pass
+//!   restreams noise, so volumes differ slightly but must agree).
+//!
+//! Writes `results/BENCH_rca_sim.json`, validated against the committed
+//! `results/BENCH_rca_sim.schema.json`. `--smoke` runs the smoke preset
+//! with the identity gates but no throughput floor (CI test job);
+//! `--preset <name>` overrides the measured preset.
+
+use std::time::Instant;
+
+use grca_bench::{results_dir, schema};
+use grca_net_model::TierConfig;
+use grca_simnet::{
+    run_manifest_baseline, run_manifest_into, FaultRates, FeedChaos, MicroBatches, ScenarioConfig,
+    SimBuffers, SoakManifest,
+};
+use grca_types::Duration;
+use serde::Serialize;
+
+/// The committed metric contract for `BENCH_rca_sim.json`.
+const SCHEMA: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/BENCH_rca_sim.schema.json"
+));
+
+/// Throughput floor: shipped pipeline vs sequential baseline.
+const SPEEDUP_GATE: f64 = 4.0;
+/// Generated-volume agreement between the two pipelines.
+const VOLUME_TOLERANCE: f64 = 0.05;
+
+#[derive(Serialize, Debug, Clone)]
+struct PipelineRun {
+    /// Background worker count (`0` = sequential baseline pipeline).
+    threads: usize,
+    records: usize,
+    cycles: usize,
+    wall_secs: f64,
+    records_per_sec: f64,
+    /// FNV-1a over the delivered stream (hex), for identity checks.
+    fingerprint: String,
+}
+
+#[derive(Serialize)]
+struct Report {
+    preset: String,
+    days: u32,
+    routers: usize,
+    sessions: usize,
+    baseline: PipelineRun,
+    parallel: Vec<PipelineRun>,
+    identical_across_threads: bool,
+    speedup: f64,
+    speedup_gate: f64,
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// Per-day scenario config, mirroring the soak driver's (`grca-eval`)
+/// shifted start, per-day seed, preset fan-out, and coarsened background
+/// bins past 200 routers.
+fn day_config(tier: &TierConfig, manifest_seed: u64, routers: usize, day: u32) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(
+        1,
+        manifest_seed.wrapping_add(1 + day as u64),
+        FaultRates::bgp_study(),
+    );
+    cfg.start += Duration::days(day as i64);
+    cfg.background.probe_fanout = tier.probe_fanout;
+    if routers > 200 {
+        cfg.background.snmp_baseline_bin = Duration::hours(6);
+        cfg.background.perf_baseline_bin = Duration::hours(6);
+        cfg.background.cdn_baseline_bin = Duration::hours(6);
+    }
+    cfg
+}
+
+/// Fold one day's delivered batches into the running stream fingerprint.
+/// Debug rendering is stable and covers every field, so equal prints at
+/// equal positions is byte-identity of the delivered stream.
+fn eat_batches(
+    h: &mut u64,
+    day: u32,
+    batches: &[Vec<grca_telemetry::records::RawRecord>],
+) -> usize {
+    let mut n = 0usize;
+    fnv1a(h, &(day as u64).to_le_bytes());
+    for (i, batch) in batches.iter().enumerate() {
+        fnv1a(h, &(i as u64).to_le_bytes());
+        for r in batch {
+            fnv1a(h, format!("{r:?}").as_bytes());
+            n += 1;
+        }
+    }
+    n
+}
+
+/// The seed-faithful sequential pipeline over the full horizon: every
+/// day rebuilds routing, names, and buffers from scratch.
+fn run_baseline(
+    tier: &TierConfig,
+    topo: &grca_net_model::Topology,
+    manifest: &SoakManifest,
+    cycle_len: Duration,
+) -> PipelineRun {
+    let manifest_seed = tier.topo.seed ^ 0x50AC;
+    let mut h = 0xcbf29ce484222325u64;
+    let mut n = 0usize;
+    let mut cycles = 0usize;
+    let mut wall = 0.0f64;
+    for day in 0..tier.soak_days {
+        let cfg = day_config(tier, manifest_seed, topo.routers.len(), day);
+        let slice = manifest.window(cfg.start, cfg.end());
+        let chaos = FeedChaos::new(cfg.seed);
+        let t0 = Instant::now();
+        let out = run_manifest_baseline(topo, &cfg, &slice);
+        let mb = MicroBatches::new(topo, &out.records, cfg.start, cfg.end(), cycle_len);
+        let batches = chaos.deliver(&mb);
+        wall += t0.elapsed().as_secs_f64();
+        // Fingerprinting (Debug-rendering every record) is the harness's
+        // own identity check, identical for both pipelines — keep it out
+        // of the timed region.
+        cycles += batches.len();
+        n += eat_batches(&mut h, day, &batches);
+    }
+    PipelineRun {
+        threads: 0,
+        records: n,
+        cycles,
+        wall_secs: wall,
+        records_per_sec: n as f64 / wall.max(1e-9),
+        fingerprint: format!("{h:016x}"),
+    }
+}
+
+/// The shipped pipeline over the full horizon: one [`SimBuffers`] carried
+/// across the day loop, sharded background emission, move-based
+/// bucketing and delivery.
+fn run_parallel(
+    tier: &TierConfig,
+    topo: &grca_net_model::Topology,
+    manifest: &SoakManifest,
+    cycle_len: Duration,
+    threads: usize,
+) -> PipelineRun {
+    let manifest_seed = tier.topo.seed ^ 0x50AC;
+    let mut bufs = SimBuffers::new();
+    let mut h = 0xcbf29ce484222325u64;
+    let mut n = 0usize;
+    let mut cycles = 0usize;
+    let mut wall = 0.0f64;
+    for day in 0..tier.soak_days {
+        let cfg = day_config(tier, manifest_seed, topo.routers.len(), day);
+        let slice = manifest.window(cfg.start, cfg.end());
+        let chaos = FeedChaos::new(cfg.seed);
+        let t0 = Instant::now();
+        let out = run_manifest_into(topo, &cfg, &slice, threads, &mut bufs);
+        let mb =
+            MicroBatches::from_keyed(out.records, &out.delivery, cfg.start, cfg.end(), cycle_len);
+        let batches = chaos.deliver_owned(mb);
+        wall += t0.elapsed().as_secs_f64();
+        cycles += batches.len();
+        n += eat_batches(&mut h, day, &batches);
+    }
+    PipelineRun {
+        threads,
+        records: n,
+        cycles,
+        wall_secs: wall,
+        records_per_sec: n as f64 / wall.max(1e-9),
+        fingerprint: format!("{h:016x}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let preset = args
+        .iter()
+        .position(|a| a == "--preset")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(if smoke { "smoke" } else { "tier1" });
+    let tier = TierConfig::by_name(preset).unwrap_or_else(|| panic!("unknown preset {preset:?}"));
+    let cycle_len = Duration::hours(1);
+
+    println!("generating {} topology…", tier.name);
+    let topo = tier.generate();
+    let rates = FaultRates::bgp_study();
+    let manifest_seed = tier.topo.seed ^ 0x50AC;
+    let start = ScenarioConfig::new(1, 0, rates.clone()).start;
+    let manifest = SoakManifest::draw(start, tier.soak_days, manifest_seed, &rates);
+    println!(
+        "{}: {} routers, {} sessions, {} manifest faults over {} days",
+        tier.name,
+        topo.routers.len(),
+        topo.sessions.len(),
+        manifest.len(),
+        tier.soak_days
+    );
+
+    let baseline = run_baseline(&tier, &topo, &manifest, cycle_len);
+    println!(
+        "baseline   (1 rng stream): {:>9} records in {:>6.2}s  {:>10.0} rec/s",
+        baseline.records, baseline.wall_secs, baseline.records_per_sec
+    );
+
+    let mut parallel = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let run = run_parallel(&tier, &topo, &manifest, cycle_len, threads);
+        println!(
+            "parallel   ({threads} worker{}):    {:>9} records in {:>6.2}s  {:>10.0} rec/s",
+            if threads == 1 { " " } else { "s" },
+            run.records,
+            run.wall_secs,
+            run.records_per_sec
+        );
+        parallel.push(run);
+    }
+
+    // Gate 1: byte-identity at every worker count.
+    let fp0 = parallel[0].fingerprint.clone();
+    let identical = parallel.iter().all(|r| r.fingerprint == fp0);
+    assert!(
+        identical,
+        "parallel output diverges across worker counts: {:?}",
+        parallel
+            .iter()
+            .map(|r| (r.threads, r.fingerprint.clone()))
+            .collect::<Vec<_>>()
+    );
+    println!("byte-identity: {} at 1/2/4 workers ✓", fp0);
+
+    // Gate 2: generated volume agrees with the baseline (the background
+    // pass restreams noise, so counts differ slightly but must agree).
+    let ratio = parallel[0].records as f64 / baseline.records.max(1) as f64;
+    assert!(
+        (ratio - 1.0).abs() <= VOLUME_TOLERANCE,
+        "volume diverged from baseline: {} vs {} ({ratio:.3}×)",
+        parallel[0].records,
+        baseline.records
+    );
+
+    // Gate 3: throughput floor. The best measured worker count carries
+    // the gate (on a single-core runner that is the pipeline savings —
+    // routing/name/buffer reuse across the day loop plus the move-based
+    // tail — alone; extra cores only widen the margin).
+    let best = parallel
+        .iter()
+        .map(|r| r.records_per_sec)
+        .fold(0.0f64, f64::max);
+    let speedup = best / baseline.records_per_sec.max(1e-9);
+    println!("speedup: {speedup:.2}× (gate ≥ {SPEEDUP_GATE:.1}× at tier1)");
+    if !smoke && tier.name == "tier1" {
+        assert!(
+            speedup >= SPEEDUP_GATE,
+            "pipeline speedup {speedup:.2}× below the {SPEEDUP_GATE:.1}× gate"
+        );
+    }
+
+    let report = Report {
+        preset: tier.name.to_string(),
+        days: tier.soak_days,
+        routers: topo.routers.len(),
+        sessions: topo.sessions.len(),
+        baseline,
+        parallel,
+        identical_across_threads: identical,
+        speedup,
+        speedup_gate: SPEEDUP_GATE,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    if let Err(errors) = schema::validate(&json, SCHEMA) {
+        for e in &errors {
+            eprintln!("schema violation: {e}");
+        }
+        panic!(
+            "BENCH_rca_sim.json violates results/BENCH_rca_sim.schema.json ({} errors)",
+            errors.len()
+        );
+    }
+    if !smoke && tier.name == "tier1" {
+        let path = results_dir().join("BENCH_rca_sim.json");
+        std::fs::write(&path, json).expect("write BENCH_rca_sim.json");
+        println!("\n[saved {}]", path.display());
+    }
+}

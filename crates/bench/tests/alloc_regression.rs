@@ -2,48 +2,201 @@
 //! path, measured with [`grca_bench::mem::CountingAlloc`] as this test
 //! binary's global allocator.
 //!
-//! SNMP baseline emission dominates generated record volume (one sample
-//! per router/metric/bin), and `Router::snmp_name` used to uppercase +
-//! format the system name on every call — two allocations per sample
-//! before the sample's own storage. `Sim` now caches the names at
-//! construction, so each emit costs one `String` clone. This test pins
-//! that budget: a revert to per-call formatting roughly doubles the
-//! count and fails the bound.
+//! Every feed emitter on [`Sim`] is pinned to an allocs-per-emit
+//! ceiling. Since telemetry names moved to interned `Arc<str>` handles
+//! (cloned by refcount bump, never reallocated), most emitters allocate
+//! nothing beyond the record bodies that genuinely vary per emit (a
+//! formatted syslog line, a TACACS command string). A revert to
+//! per-emit `String` clones of router/reflector/node names immediately
+//! exceeds these bounds.
 
 use grca_bench::mem::{alloc_snapshot, CountingAlloc};
 use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_net_model::{CdnNodeId, ClientSiteId, PhysLinkId, RouterId};
 use grca_simnet::{FaultRates, ScenarioConfig, Sim};
-use grca_telemetry::records::SnmpMetric;
+use grca_telemetry::records::{L1EventKind, PerfMetric, SnmpMetric};
+use grca_telemetry::syslog::SyslogEvent;
 use grca_types::Timestamp;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-#[test]
-fn snmp_emission_stays_within_alloc_budget() {
+const N: usize = 10_000;
+
+/// Drive `emit` N times against a quiet small-topology sim and return
+/// the measured allocations per emitted record. Sink buffers are
+/// pre-sized so the measurement sees emission cost, not `Vec` doubling,
+/// and one warmup emit runs outside the window so lazily-built state
+/// (interned TACACS users, memoized session keys) is excluded.
+fn measure<F: FnMut(&mut Sim, usize)>(mut emit: F) -> f64 {
     let topo = generate(&TopoGenConfig::small());
     let cfg = ScenarioConfig::new(1, 5, FaultRates::zero());
     let mut sim = Sim::new(&topo, &cfg);
-    let t = Timestamp::from_civil(2010, 1, 1, 12, 0, 0);
-
-    const N: usize = 10_000;
-    // Pre-size the sink so the measurement sees emission cost, not Vec
-    // doubling.
-    sim.records.reserve(N);
-    let r0 = topo.routers.len();
+    sim.records.reserve(4 * N);
+    sim.keys.reserve(4 * N);
+    emit(&mut sim, 0);
+    let before = sim.records.len();
     let (allocs0, _) = alloc_snapshot();
     for i in 0..N {
-        let router = grca_net_model::RouterId::from(i % r0);
-        sim.snmp(router, t, SnmpMetric::CpuUtil5m, None, 42.0);
+        emit(&mut sim, i);
     }
     let (allocs1, _) = alloc_snapshot();
-    let per_emit = (allocs1 - allocs0) as f64 / N as f64;
-    assert_eq!(sim.records.len(), N);
-    // Cached-name budget: the sample's system-name clone (~1/emit) plus
-    // slack. The pre-cache path (to_uppercase + format per emit) sits
-    // near 3/emit and must fail here.
+    let emitted = sim.records.len() - before;
+    assert!(emitted >= N, "emitter produced no records");
+    (allocs1 - allocs0) as f64 / emitted as f64
+}
+
+fn t0() -> Timestamp {
+    Timestamp::from_civil(2010, 1, 1, 12, 0, 0)
+}
+
+#[test]
+fn snmp_emission_stays_within_alloc_budget() {
+    let routers = generate(&TopoGenConfig::small()).routers.len();
+    let per_emit = measure(|sim, i| {
+        sim.snmp(
+            RouterId::from(i % routers),
+            t0(),
+            SnmpMetric::CpuUtil5m,
+            None,
+            42.0,
+        );
+    });
+    // The system name is an `Arc<str>` refcount bump, so the emit
+    // itself allocates nothing. The pre-intern String clone sits near
+    // 1/emit and per-call uppercase+format near 3/emit; both fail here.
     assert!(
-        per_emit < 2.0,
-        "snmp emission allocates {per_emit:.2}/record — name caching regressed"
+        per_emit < 0.5,
+        "snmp emission allocates {per_emit:.2}/record — name interning regressed"
+    );
+}
+
+#[test]
+fn syslog_emission_stays_within_alloc_budget() {
+    let routers = generate(&TopoGenConfig::small()).routers.len();
+    let per_emit = measure(|sim, i| {
+        sim.syslog(RouterId::from(i % routers), t0(), &SyslogEvent::Restart);
+    });
+    // Budget: the formatted line body only (nested format! plus growth
+    // reallocs measure ~5/emit; host is an interned refcount bump). A
+    // host String clone adds a full allocation and must fail here.
+    assert!(
+        per_emit < 5.8,
+        "syslog emission allocates {per_emit:.2}/record — host interning regressed"
+    );
+}
+
+#[test]
+fn perf_emission_stays_within_alloc_budget() {
+    let routers = generate(&TopoGenConfig::small()).routers.len();
+    let per_emit = measure(|sim, i| {
+        sim.perf(
+            RouterId::from(i % routers),
+            RouterId::from((i + 1) % routers),
+            t0(),
+            PerfMetric::DelayMs,
+            25.0,
+        );
+    });
+    // Both endpoint names are interned: zero allocations per probe.
+    assert!(
+        per_emit < 0.5,
+        "perf emission allocates {per_emit:.2}/record — endpoint interning regressed"
+    );
+}
+
+#[test]
+fn cdnmon_emission_stays_within_alloc_budget() {
+    let topo = generate(&TopoGenConfig::small());
+    let nodes = topo.cdn_nodes.len();
+    let sites = topo.ext_nets.len();
+    drop(topo);
+    let per_emit = measure(|sim, i| {
+        sim.cdnmon(
+            CdnNodeId::from(i % nodes),
+            ClientSiteId::from(i % sites),
+            t0(),
+            30.0,
+            80.0,
+        );
+    });
+    assert!(
+        per_emit < 0.5,
+        "cdnmon emission allocates {per_emit:.2}/record — node interning regressed"
+    );
+}
+
+#[test]
+fn bgpmon_emission_stays_within_alloc_budget() {
+    let topo = generate(&TopoGenConfig::small());
+    let routers = topo.routers.len();
+    let prefix = topo.ext_nets[0].prefix;
+    drop(topo);
+    let per_emit = measure(|sim, i| {
+        sim.bgpmon(
+            t0(),
+            prefix,
+            RouterId::from(i % routers),
+            Some((100, 65001)),
+        );
+    });
+    // Two records per update (one per reflector); reflector and egress
+    // names are interned, so per-record cost is zero. The old path
+    // formatted "rr1"/"rr2" Strings per record and cloned the egress
+    // name: ~2/record, which must fail here.
+    assert!(
+        per_emit < 0.5,
+        "bgpmon emission allocates {per_emit:.2}/record — reflector interning regressed"
+    );
+}
+
+#[test]
+fn l1log_emission_stays_within_alloc_budget() {
+    let circuits = generate(&TopoGenConfig::small()).phys_links.len();
+    let per_emit = measure(|sim, i| {
+        sim.l1log(
+            PhysLinkId::from(i % circuits),
+            t0(),
+            L1EventKind::SonetRestoration,
+        );
+    });
+    // Device and circuit names are interned: zero allocations.
+    assert!(
+        per_emit < 0.5,
+        "l1log emission allocates {per_emit:.2}/record — device interning regressed"
+    );
+}
+
+#[test]
+fn workflow_emission_stays_within_alloc_budget() {
+    let per_emit = measure(|sim, i| {
+        let router = sim.names.routers[i % sim.names.routers.len()].clone();
+        let activity = sim.names.activities[i % sim.names.activities.len()].clone();
+        sim.workflow(router, t0(), activity);
+    });
+    // Caller hands in already-interned handles: zero allocations.
+    assert!(
+        per_emit < 0.5,
+        "workflow emission allocates {per_emit:.2}/record — activity interning regressed"
+    );
+}
+
+#[test]
+fn tacacs_emission_stays_within_alloc_budget() {
+    let routers = generate(&TopoGenConfig::small()).routers.len();
+    let per_emit = measure(|sim, i| {
+        sim.tacacs(
+            RouterId::from(i % routers),
+            t0(),
+            "netops",
+            "show ip bgp summary".to_string(),
+        );
+    });
+    // One allocation for the command body the caller builds; the user
+    // and router names are interned (the old path allocated a fresh
+    // user String per entry on top of this).
+    assert!(
+        per_emit < 1.5,
+        "tacacs emission allocates {per_emit:.2}/record — user interning regressed"
     );
 }

@@ -25,3 +25,8 @@ fn committed_serve_results_satisfy_schema() {
 fn committed_stream_results_satisfy_schema() {
     check("BENCH_rca_stream.json", "BENCH_rca_stream.schema.json");
 }
+
+#[test]
+fn committed_sim_results_satisfy_schema() {
+    check("BENCH_rca_sim.json", "BENCH_rca_sim.schema.json");
+}

@@ -310,7 +310,7 @@ fn normalize_inner<R: EntityResolver>(
                 .ok_or_else(|| unknown("router", &b.egress_router))?;
             Ok(NormRow::Bgp(BgpRow {
                 utc: b.utc,
-                reflector: b.reflector.clone(),
+                reflector: b.reflector.to_string(),
                 prefix: b.prefix,
                 egress,
                 attrs: b.attrs,
@@ -323,7 +323,7 @@ fn normalize_inner<R: EntityResolver>(
             Ok(NormRow::Tacacs(TacacsRow {
                 utc: TimeZone::US_EASTERN.to_utc(t.local_time),
                 router,
-                user: t.user.clone(),
+                user: t.user.to_string(),
                 command: t.command.clone(),
             }))
         }
@@ -335,9 +335,9 @@ fn normalize_inner<R: EntityResolver>(
             }
             Ok(NormRow::Workflow(WorkflowRow {
                 utc: TimeZone::US_EASTERN.to_utc(w.local_time),
-                entity: w.router.clone(),
+                entity: w.router.to_string(),
                 router: res.router_by_name(topo, &w.router),
-                activity: w.activity.clone(),
+                activity: w.activity.to_string(),
             }))
         }
         RawRecord::Perf(p) => {

@@ -21,7 +21,7 @@ proptest! {
     fn syslog_utc_inversion(router_idx in 0usize..16, unix in 631_200_000i64..4_000_000_000i64) {
         let topo = topo();
         let r = RouterId::from(router_idx % topo.routers.len());
-        let name = topo.router(r).name.clone();
+        let name: std::sync::Arc<str> = topo.router(r).name.clone().into();
         let tz = topo.router_tz(r);
         let utc = Timestamp::from_unix(unix);
         let ev = SyslogEvent::Restart;
@@ -52,7 +52,7 @@ proptest! {
             .position(|i| i.router == r);
         let utc = Timestamp::from_unix(unix);
         let rec = RawRecord::Snmp(SnmpSample {
-            system: topo.router(r).snmp_name(),
+            system: topo.router(r).snmp_name().into(),
             local_time: TimeZone::US_EASTERN.to_local(utc),
             metric: SnmpMetric::LinkUtil5m,
             if_index: iface.map(|i| topo.interfaces[i].if_index),
@@ -83,7 +83,7 @@ proptest! {
     ) {
         let topo = topo();
         let tz = topo.router_tz(RouterId::new(0));
-        let name = topo.routers[0].name.clone();
+        let name: std::sync::Arc<str> = topo.routers[0].name.clone().into();
         let recs: Vec<RawRecord> = times
             .iter()
             .map(|&t| {
@@ -127,15 +127,15 @@ fn corrupt(rec: &mut RawRecord, i: usize) {
                 }
                 s.line.truncate(cut);
             }
-            1 => s.host = format!("ghost{i}"),
+            1 => s.host = format!("ghost{i}").into(),
             _ => s.line = format!("garbage #{i}"),
         },
         RawRecord::Snmp(s) => s.value = f64::NAN,
         RawRecord::Perf(p) => p.value = f64::INFINITY,
         RawRecord::CdnMon(c) => c.rtt_ms = f64::NAN,
         RawRecord::ServerLog(s) => s.load = -f64::NAN,
-        RawRecord::Workflow(w) => w.activity.clear(),
-        RawRecord::Tacacs(t) => t.router = format!("ghost{i}"),
+        RawRecord::Workflow(w) => w.activity = "".into(),
+        RawRecord::Tacacs(t) => t.router = format!("ghost{i}").into(),
         _ => {}
     }
 }

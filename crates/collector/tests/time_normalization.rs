@@ -42,7 +42,7 @@ fn reboot_line(topo: &Topology, ridx: usize, utc: Timestamp) -> RawRecord {
     let r = &topo.routers[ridx];
     let local = router_tz_at(topo, ridx).to_local(utc);
     RawRecord::Syslog(SyslogLine {
-        host: r.name.clone(),
+        host: r.name.clone().into(),
         line: SyslogEvent::Restart.format_line(local),
     })
 }
@@ -92,7 +92,7 @@ fn snmp_and_syslog_align_across_feeds() {
     let recs = vec![
         reboot_line(&topo, b, utc),
         RawRecord::Snmp(SnmpSample {
-            system: r.snmp_name(),
+            system: r.snmp_name().into(),
             local_time: TimeZone::US_EASTERN.to_local(utc),
             metric: SnmpMetric::CpuUtil5m,
             if_index: None,
@@ -137,7 +137,7 @@ fn midnight_and_year_boundary_roll_over() {
         .expect("generator places PoPs in Eastern");
     let r = &topo.routers[e];
     let recs = vec![RawRecord::Syslog(SyslogLine {
-        host: r.name.clone(),
+        host: r.name.clone().into(),
         line: SyslogEvent::Restart.format_line(Timestamp::from_civil(2009, 12, 31, 23, 30, 0)),
     })];
     let (db, stats) = Database::ingest(&topo, &recs);

@@ -97,7 +97,7 @@ impl Mutation {
                         RawRecord::Syslog(mut l) => {
                             nth += 1;
                             if nth.is_multiple_of(stride) {
-                                l.host = format!("{}.ISP.NET", l.host.to_uppercase());
+                                l.host = format!("{}.ISP.NET", l.host.to_uppercase()).into();
                             }
                             RawRecord::Syslog(l)
                         }
@@ -176,7 +176,7 @@ mod tests {
         let RawRecord::Syslog(l) = &out[0] else {
             panic!()
         };
-        assert_eq!(l.host, "NYC-PER1.ISP.NET");
+        assert_eq!(&*l.host, "NYC-PER1.ISP.NET");
     }
 
     #[test]

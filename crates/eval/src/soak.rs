@@ -31,8 +31,8 @@ use grca_collector::{Database, IngestStats, StorageConfig};
 use grca_core::{fold_stream, Emission};
 use grca_net_model::TierConfig;
 use grca_simnet::{
-    FaultInstance, FaultRates, FeedChaos, MicroBatches, ScenarioConfig, SoakManifest, SymptomKind,
-    TruthRecord,
+    FaultInstance, FaultRates, FeedChaos, MicroBatches, ScenarioConfig, SimBuffers, SoakManifest,
+    SymptomKind, TruthRecord,
 };
 use grca_types::Duration;
 use serde::{Deserialize, Serialize};
@@ -183,12 +183,16 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
     let mut advance_secs = 0.0f64;
     let mut sim_secs = 0.0f64;
     let mut last_clock = start;
+    // Emission/keying buffers recycled across the day loop so per-day
+    // generation stops reallocating (same topology every day).
+    let mut bufs = SimBuffers::new();
+    let threads = grca_simnet::background::default_threads();
 
     for day in 0..tier.soak_days {
         let sim_t0 = std::time::Instant::now();
         let cfg = day_config(tier, manifest_seed, topo.routers.len(), day);
         let slice = manifest.window(cfg.start, cfg.end());
-        let out = grca_simnet::run_manifest(&topo, &cfg, &slice);
+        let out = grca_simnet::run_manifest_into(&topo, &cfg, &slice, threads, &mut bufs);
 
         // Re-base this day's fault ids onto the accumulated schedule so
         // `truth[i].fault` keeps indexing `faults` across days.
@@ -202,11 +206,26 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
             t
         }));
 
-        let mb = MicroBatches::new(&topo, &out.records, cfg.start, cfg.end(), opts.cycle_len);
-        let delivered = transport.deliver(&mb);
+        if opts.batch_check {
+            batch_records.extend(out.records.iter().cloned());
+        }
+        // Bucket by the already-known delivery keys (no re-parse, records
+        // move into their cycle buckets) and deliver by move — the
+        // opless transport clones nothing.
+        let day_records = out.records.len();
+        let mb = MicroBatches::from_keyed(
+            out.records,
+            &out.delivery,
+            cfg.start,
+            cfg.end(),
+            opts.cycle_len,
+        );
+        let cycles = mb.cycles();
+        let delivered = transport.deliver_owned(mb);
+        debug_assert_eq!(delivered.iter().map(Vec::len).sum::<usize>(), day_records);
         sim_secs += sim_t0.elapsed().as_secs_f64();
         for (i, recs) in delivered.iter().enumerate() {
-            let now = mb.clock(i);
+            let now = cfg.start + Duration::secs(opts.cycle_len.as_secs() * (i as i64 + 1));
             let t0 = std::time::Instant::now();
             let new = advance_study(&mut online, Study::Bgp, recs, now, &topo);
             let dt = t0.elapsed().as_secs_f64();
@@ -225,9 +244,7 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
             cycle += 1;
             last_clock = now;
         }
-        if opts.batch_check {
-            batch_records.extend(out.records);
-        }
+        debug_assert_eq!(cycles, delivered.len());
     }
 
     // Drain past the horizon until every held-back symptom has resolved

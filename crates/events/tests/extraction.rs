@@ -249,7 +249,7 @@ fn egress_change_emulation_against_oracle() {
             utc: t,
             reflector: "rr1".into(),
             prefix,
-            egress_router: topo.router(best).name.clone(),
+            egress_router: topo.router(best).name.clone().into(),
             attrs: None,
         },
     )];

@@ -106,7 +106,7 @@ proptest! {
             .enumerate()
             .map(|(i, &v)| {
                 RawRecord::Snmp(SnmpSample {
-                    system: topo.router(router).snmp_name(),
+                    system: topo.router(router).snmp_name().into(),
                     local_time: TimeZone::US_EASTERN
                         .to_local(Timestamp::from_unix(BASE + 300 * i as i64)),
                     metric: SnmpMetric::CpuUtil5m,
@@ -172,7 +172,7 @@ fn regression_threshold_merge_must_not_bridge_disqualifying_sample() {
         .enumerate()
         .map(|(i, &v)| {
             RawRecord::Snmp(SnmpSample {
-                system: topo.router(router).snmp_name(),
+                system: topo.router(router).snmp_name().into(),
                 local_time: TimeZone::US_EASTERN
                     .to_local(Timestamp::from_unix(BASE + 300 * i as i64)),
                 metric: SnmpMetric::CpuUtil5m,

@@ -11,7 +11,7 @@
 //! [`BgpState`] stores the update stream and answers "which egress carried
 //! traffic from ingress X to destination D at time T?" for any historical T.
 
-use crate::ospf::OspfState;
+use crate::ospf::{OspfState, SpfResult};
 use grca_net_model::{Ipv4, Prefix, RouterId};
 use grca_types::Timestamp;
 use std::collections::BTreeMap;
@@ -135,12 +135,26 @@ impl BgpState {
         dst: Prefix,
         t: Timestamp,
     ) -> Option<RouterId> {
+        self.best_egress_from(&ospf.spf(ingress, t), ingress, dst, t)
+    }
+
+    /// [`Self::best_egress`] with the ingress SPF supplied by the caller —
+    /// the hot-potato distances come from `spf`, which must be the SPF
+    /// from `ingress` at an instant in the same OSPF epoch as `t`. Lets a
+    /// caller sweeping many prefixes from one ingress (e.g. the CDN
+    /// pair scan) pay for the Dijkstra once instead of per prefix.
+    pub fn best_egress_from(
+        &self,
+        spf: &SpfResult,
+        ingress: RouterId,
+        dst: Prefix,
+        t: Timestamp,
+    ) -> Option<RouterId> {
         let table_prefix = self.lookup_prefix(dst)?;
         let cands = self.candidates_at(table_prefix, t);
         if cands.is_empty() {
             return None;
         }
-        let spf = ospf.spf(ingress, t);
         cands
             .into_iter()
             .filter_map(|(egress, attrs)| {

@@ -18,7 +18,7 @@
 //! parallel and writers only contend within one shard.
 
 use crate::bgp::BgpState;
-use crate::ospf::OspfState;
+use crate::ospf::{OspfState, SpfResult};
 use grca_net_model::{Ipv4, LinkId, Prefix, RouteOracle, RouterId, Topology};
 use grca_types::Timestamp;
 use parking_lot::RwLock;
@@ -76,6 +76,17 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
         out
     }
 
+    /// Rebuild a sharded cache from a frozen map (for thawing). Entries
+    /// land on whichever shard this cache's hasher picks; distribution
+    /// differs run to run but answers never do.
+    fn from_map(map: HashMap<K, V>) -> Self {
+        let cache = ShardedCache::new();
+        for (k, v) in map {
+            cache.shard(&k).write().insert(k, v);
+        }
+        cache
+    }
+
     #[cfg(test)]
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
@@ -86,6 +97,8 @@ impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
 type PathKey = (RouterId, RouterId, usize);
 /// Cache key for egress queries: (ingress, prefix, OSPF epoch, BGP epoch).
 type EgressKey = (RouterId, Prefix, usize, usize);
+/// Cache key for per-source SPF results: (src, OSPF epoch).
+type SpfKey = (RouterId, usize);
 
 /// Reconstructed routing state over a fixed topology.
 pub struct RoutingState<'a> {
@@ -94,6 +107,12 @@ pub struct RoutingState<'a> {
     pub bgp: BgpState,
     path_cache: ShardedCache<PathKey, (Vec<RouterId>, Vec<LinkId>)>,
     egress_cache: ShardedCache<EgressKey, Option<RouterId>>,
+    /// Optional per-source SPF memo (see [`with_spf_cache`]). `None`
+    /// reproduces the historical cost model: every path-cache miss pays a
+    /// full Dijkstra even when the source repeats.
+    ///
+    /// [`with_spf_cache`]: Self::with_spf_cache
+    spf_cache: Option<ShardedCache<SpfKey, std::sync::Arc<SpfResult>>>,
 }
 
 impl<'a> RoutingState<'a> {
@@ -104,7 +123,21 @@ impl<'a> RoutingState<'a> {
             bgp,
             path_cache: ShardedCache::new(),
             egress_cache: ShardedCache::new(),
+            spf_cache: None,
         }
+    }
+
+    /// Enable per-source SPF memoization: path-cache misses that share a
+    /// source router reuse one Dijkstra per (source, OSPF epoch) and pay
+    /// only the per-destination backward walk. Sweeping P pairs drawn
+    /// from S sources costs S full SPFs instead of P — the difference
+    /// between seconds and tens of milliseconds when the simulator's
+    /// reconvergence pass scans every MVPN pair against a failed link.
+    /// Purely a cost-model change: answers are identical with or without
+    /// (the split walk is property-tested against the one-shot form).
+    pub fn with_spf_cache(mut self) -> Self {
+        self.spf_cache = Some(ShardedCache::new());
+        self
     }
 
     /// Routing state with no observed OSPF/BGP changes: base weights and
@@ -124,10 +157,89 @@ impl<'a> RoutingState<'a> {
         RoutingState::new(topo, ospf, bgp)
     }
 
+    /// Reassemble a live state from a frozen one — the inverse of
+    /// [`RoutingState::freeze`] — re-binding a topology. The frozen memo
+    /// entries seed the sharded caches, so everything the previous owner
+    /// warmed (e.g. the simulator's reconvergence path queries) stays
+    /// warm instead of re-paying per-source SPF. Only sound when `topo`
+    /// is the same topology the frozen state was reconstructed over;
+    /// cache entries key on routing epochs within that topology.
+    pub fn thaw(topo: &'a Topology, frozen: FrozenRoutingState) -> Self {
+        RoutingState {
+            topo,
+            ospf: frozen.ospf,
+            bgp: frozen.bgp,
+            path_cache: ShardedCache::from_map(frozen.path_cache),
+            egress_cache: ShardedCache::from_map(frozen.egress_cache),
+            spf_cache: frozen.spf_cache.map(ShardedCache::from_map),
+        }
+    }
+
     fn ecmp_cached(&self, a: RouterId, b: RouterId, at: Timestamp) -> (Vec<RouterId>, Vec<LinkId>) {
-        let key = (a, b, self.ospf.epoch(at));
+        let epoch = self.ospf.epoch(at);
+        let key = (a, b, epoch);
         self.path_cache
-            .get_or_insert_with(key, || self.ospf.ecmp_union(a, b, at))
+            .get_or_insert_with(key, || match &self.spf_cache {
+                Some(spfs) => {
+                    let spf = spfs.get_or_insert_with((a, epoch), || {
+                        std::sync::Arc::new(self.ospf.spf(a, at))
+                    });
+                    self.ospf.ecmp_union_from(&spf, b, at)
+                }
+                None => self.ospf.ecmp_union(a, b, at),
+            })
+    }
+
+    /// The memoized SPF from `src`, if the per-source cache is enabled.
+    fn cached_spf(&self, src: RouterId, at: Timestamp) -> Option<std::sync::Arc<SpfResult>> {
+        let spfs = self.spf_cache.as_ref()?;
+        let epoch = self.ospf.epoch(at);
+        Some(spfs.get_or_insert_with((src, epoch), || std::sync::Arc::new(self.ospf.spf(src, at))))
+    }
+
+    /// Does any equal-cost shortest path from `a` to `b` at `at` use
+    /// `link`? Exactly `self.path_links(a, b, at).contains(&link)`, but
+    /// with the per-source SPF cache enabled it is answered from two
+    /// memoized distance arrays in O(1): an edge (u, v) of weight w lies
+    /// on some shortest a→b path iff
+    /// `dist_a(u) + w + dist_b(v) == dist_a(b)` in one orientation
+    /// (distances are symmetric on the undirected IGP graph). Sweeping
+    /// every MVPN pair against a failed link — the simulator's
+    /// reconvergence scan — thus costs one SPF per distinct endpoint
+    /// instead of one union walk per pair.
+    pub fn path_uses_link(&self, a: RouterId, b: RouterId, link: LinkId, at: Timestamp) -> bool {
+        let (Some(sa), Some(sb)) = (self.cached_spf(a, at), self.cached_spf(b, at)) else {
+            return self.path_links(a, b, at).contains(&link);
+        };
+        let Some(w) = self.ospf.weight_at(link, at) else {
+            return false;
+        };
+        let dab = sa.dist[b.index()];
+        if dab == u64::MAX {
+            return false;
+        }
+        let (u, v) = self.topo.link_routers(link);
+        let w = w as u64;
+        let tight = |du: u64, dv: u64| du != u64::MAX && dv != u64::MAX && du + w + dv == dab;
+        tight(sa.dist[u.index()], sb.dist[v.index()])
+            || tight(sa.dist[v.index()], sb.dist[u.index()])
+    }
+
+    /// Does any equal-cost shortest path from `a` to `b` at `at` pass
+    /// through `r` (endpoints included)? Exactly
+    /// `self.path_routers(a, b, at).contains(&r)`; with the per-source
+    /// SPF cache the membership test is `dist_a(r) + dist_b(r) ==
+    /// dist_a(b)` — O(1) from two memoized distance arrays.
+    pub fn path_uses_router(&self, a: RouterId, b: RouterId, r: RouterId, at: Timestamp) -> bool {
+        let (Some(sa), Some(sb)) = (self.cached_spf(a, at), self.cached_spf(b, at)) else {
+            return self.path_routers(a, b, at).contains(&r);
+        };
+        let dab = sa.dist[b.index()];
+        if dab == u64::MAX {
+            return false;
+        }
+        let (da, db) = (sa.dist[r.index()], sb.dist[r.index()]);
+        da != u64::MAX && db != u64::MAX && da + db == dab
     }
 }
 
@@ -145,6 +257,7 @@ impl<'a> RoutingState<'a> {
             bgp: self.bgp,
             path_cache: self.path_cache.into_map(),
             egress_cache: self.egress_cache.into_map(),
+            spf_cache: self.spf_cache.map(ShardedCache::into_map),
         }
     }
 }
@@ -165,6 +278,9 @@ pub struct FrozenRoutingState {
     pub bgp: BgpState,
     path_cache: HashMap<PathKey, (Vec<RouterId>, Vec<LinkId>)>,
     egress_cache: HashMap<EgressKey, Option<RouterId>>,
+    /// Per-source SPF memo, carried through freeze/thaw so a thawed state
+    /// keeps both the memoized answers *and* the cheap-miss cost model.
+    spf_cache: Option<HashMap<SpfKey, std::sync::Arc<SpfResult>>>,
 }
 
 impl FrozenRoutingState {
@@ -236,7 +352,13 @@ impl RouteOracle for RoutingState<'_> {
     fn egress_for(&self, ingress: RouterId, dst: Prefix, at: Timestamp) -> Option<RouterId> {
         let key = (ingress, dst, self.ospf.epoch(at), self.bgp.epoch(at));
         self.egress_cache
-            .get_or_insert_with(key, || self.bgp.best_egress(&self.ospf, ingress, dst, at))
+            .get_or_insert_with(key, || match self.cached_spf(ingress, at) {
+                // Hot-potato distances from the memoized per-source SPF:
+                // a sweep over many prefixes from one ingress (the CDN
+                // pair scan) pays for the Dijkstra once, not per prefix.
+                Some(spf) => self.bgp.best_egress_from(&spf, ingress, dst, at),
+                None => self.bgp.best_egress(&self.ospf, ingress, dst, at),
+            })
     }
 
     fn ingress_for(&self, src: Ipv4, _at: Timestamp) -> Option<RouterId> {
@@ -271,6 +393,34 @@ mod tests {
 
     fn ts(s: i64) -> Timestamp {
         Timestamp::from_unix(s)
+    }
+
+    #[test]
+    fn egress_for_matches_with_and_without_spf_cache() {
+        let topo = generate(&TopoGenConfig::small());
+        let plain = RoutingState::baseline(&topo);
+        let cached = RoutingState::baseline(&topo).with_spf_cache();
+        // Every (CDN ingress, external prefix) pair — the shape of the
+        // simulator's CDN crossing scan. One Dijkstra per ingress on the
+        // cached side, one per *pair* on the plain side; same answers.
+        let mut ingresses = std::collections::BTreeSet::new();
+        for n in 0..topo.cdn_nodes.len() {
+            ingresses.insert(
+                topo.cdn_node(grca_net_model::CdnNodeId::from(n))
+                    .attach_router,
+            );
+        }
+        for &ingress in &ingresses {
+            for c in 0..topo.ext_nets.len() {
+                let prefix = topo.ext_net(grca_net_model::ClientSiteId::from(c)).prefix;
+                assert_eq!(
+                    cached.egress_for(ingress, prefix, ts(0)),
+                    plain.egress_for(ingress, prefix, ts(0)),
+                    "ingress {ingress:?} prefix {prefix:?}"
+                );
+            }
+        }
+        assert_eq!(cached.spf_cache.as_ref().unwrap().len(), ingresses.len());
     }
 
     #[test]
@@ -446,6 +596,115 @@ mod tests {
         assert_eq!(
             oracle.ingress_for(net.prefix.host(5), ts(0)),
             Some(net.egress_candidates[0])
+        );
+    }
+
+    /// The per-source SPF memo is a pure cost-model change: every path
+    /// answer matches the uncached state, one SPF is shared per source,
+    /// and the memo survives a freeze → thaw round trip.
+    #[test]
+    fn spf_cache_preserves_answers_and_shares_sources() {
+        let topo = generate(&TopoGenConfig::small());
+        let plain = RoutingState::baseline(&topo);
+        let cached = RoutingState::baseline(&topo).with_spf_cache();
+        let a = topo.router_by_name("nyc-per1").unwrap();
+        // Sweep many destinations from one source (the reconvergence-scan
+        // shape): identical answers, a single memoized SPF.
+        for r in 0..topo.routers.len().min(40) {
+            let b = RouterId::from(r);
+            assert_eq!(
+                cached.path_routers(a, b, ts(0)),
+                plain.path_routers(a, b, ts(0))
+            );
+            assert_eq!(
+                cached.path_links(a, b, ts(0)),
+                plain.path_links(a, b, ts(0))
+            );
+        }
+        assert_eq!(cached.spf_cache.as_ref().unwrap().len(), 1);
+        // Freeze → thaw keeps the memo (and the cheap-miss cost model).
+        let thawed = RoutingState::thaw(&topo, cached.freeze());
+        assert_eq!(thawed.spf_cache.as_ref().unwrap().len(), 1);
+        let b = topo.router_by_name("lax-per1").unwrap();
+        assert_eq!(
+            thawed.path_routers(b, a, ts(0)),
+            plain.path_routers(b, a, ts(0))
+        );
+        assert_eq!(thawed.spf_cache.as_ref().unwrap().len(), 2);
+    }
+
+    /// The O(1) distance-based membership tests agree with the full ECMP
+    /// union walk for every (pair, link/router) — cached and uncached,
+    /// before and after a weight event.
+    #[test]
+    fn membership_tests_match_union_walk() {
+        let topo = generate(&TopoGenConfig::small());
+        let a = topo.router_by_name("nyc-per1").unwrap();
+        let b = topo.router_by_name("lax-per1").unwrap();
+        let victim = RoutingState::baseline(&topo).path_links(a, b, ts(0))[0];
+        let ospf = || {
+            OspfState::new(
+                &topo,
+                vec![WeightEvent {
+                    time: ts(100),
+                    link: victim,
+                    weight: None,
+                }],
+            )
+        };
+        let bgp = || BgpState::new(vec![], vec![]);
+        let plain = RoutingState::new(&topo, ospf(), bgp());
+        let cached = RoutingState::new(&topo, ospf(), bgp()).with_spf_cache();
+        let pairs = [(a, b), (b, a), (a, RouterId::new(0)), (RouterId::new(2), b)];
+        for t in [ts(0), ts(150)] {
+            for &(x, y) in &pairs {
+                let links = plain.path_links(x, y, t);
+                let routers = plain.path_routers(x, y, t);
+                for l in 0..topo.links.len().min(60) {
+                    let l = LinkId::from(l);
+                    let expect = links.contains(&l);
+                    assert_eq!(plain.path_uses_link(x, y, l, t), expect);
+                    assert_eq!(
+                        cached.path_uses_link(x, y, l, t),
+                        expect,
+                        "{x:?}->{y:?} {l:?} {t:?}"
+                    );
+                }
+                for r in 0..topo.routers.len().min(60) {
+                    let r = RouterId::from(r);
+                    let expect = routers.contains(&r);
+                    assert_eq!(plain.path_uses_router(x, y, r, t), expect);
+                    assert_eq!(
+                        cached.path_uses_router(x, y, r, t),
+                        expect,
+                        "{x:?}->{y:?} {r:?} {t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Freeze → thaw round-trips the warmed memo entries back into a live
+    /// state with identical answers (the day-chunk routing-reuse path).
+    #[test]
+    fn thaw_round_trips_warm_cache_with_identical_answers() {
+        let topo = generate(&TopoGenConfig::small());
+        let a = topo.router_by_name("nyc-per1").unwrap();
+        let b = topo.router_by_name("lax-per1").unwrap();
+        let net = topo.ext_net(grca_net_model::ClientSiteId::new(1));
+        let live = RoutingState::baseline(&topo);
+        let warm_path = live.path_routers(a, b, ts(0));
+        let warm_egress = live.egress_for(a, net.prefix, ts(0));
+        let thawed = RoutingState::thaw(&topo, live.freeze());
+        // The memo entries came back…
+        assert_eq!(thawed.path_cache.len(), 1);
+        assert_eq!(thawed.egress_cache.len(), 1);
+        // …with answers identical to the original (warm and cold alike).
+        assert_eq!(thawed.path_routers(a, b, ts(0)), warm_path);
+        assert_eq!(thawed.egress_for(a, net.prefix, ts(0)), warm_egress);
+        assert_eq!(
+            thawed.path_links(b, a, ts(0)),
+            RoutingState::baseline(&topo).path_links(b, a, ts(0))
         );
     }
 

@@ -140,7 +140,21 @@ impl OspfState {
         b: RouterId,
         t: Timestamp,
     ) -> (Vec<RouterId>, Vec<LinkId>) {
-        let spf = self.spf(a, t);
+        self.ecmp_union_from(&self.spf(a, t), b, t)
+    }
+
+    /// [`ecmp_union`](Self::ecmp_union) with the forward SPF supplied by
+    /// the caller — the backward walk alone. `spf` must be a result of
+    /// [`spf`](Self::spf) from the pair's source at an instant in the same
+    /// epoch as `t` (distances are constant within an epoch, so any such
+    /// result yields the identical union). Callers that sweep many
+    /// destinations from one source amortize the Dijkstra this way.
+    pub fn ecmp_union_from(
+        &self,
+        spf: &SpfResult,
+        b: RouterId,
+        t: Timestamp,
+    ) -> (Vec<RouterId>, Vec<LinkId>) {
         if spf.dist[b.index()] == u64::MAX {
             return (Vec::new(), Vec::new());
         }
@@ -234,6 +248,29 @@ mod tests {
 
     fn ts(s: i64) -> Timestamp {
         Timestamp::from_unix(s)
+    }
+
+    /// The split form (caller-supplied SPF) returns exactly what the
+    /// one-shot form computes, including at a different (same-epoch)
+    /// query instant.
+    #[test]
+    fn ecmp_union_from_matches_one_shot() {
+        let (t, [a, _, _, b]) = diamond();
+        let o = OspfState::new(
+            &t,
+            vec![WeightEvent {
+                time: ts(100),
+                link: LinkId::new(0),
+                weight: None,
+            }],
+        );
+        for (spf_t, query_t) in [(ts(0), ts(0)), (ts(0), ts(99)), (ts(100), ts(200))] {
+            let spf = o.spf(a, spf_t);
+            assert_eq!(
+                o.ecmp_union_from(&spf, b, query_t),
+                o.ecmp_union(a, b, query_t)
+            );
+        }
     }
 
     #[test]

@@ -61,6 +61,38 @@ impl MicroBatches {
         }
     }
 
+    /// Bucket an already-keyed stream (e.g. [`crate::SimOutput`]'s
+    /// `records`/`delivery` pair) without re-deriving each record's
+    /// instant and without cloning: `records` is consumed, each record
+    /// moving straight into its cycle bucket. Semantically identical to
+    /// [`MicroBatches::new`] when `delivery[i] == approx_utc(records[i])`.
+    pub fn from_keyed(
+        records: Vec<RawRecord>,
+        delivery: &[Timestamp],
+        start: Timestamp,
+        end: Timestamp,
+        cycle_len: Duration,
+    ) -> Self {
+        assert_eq!(records.len(), delivery.len());
+        let total = (end - start).as_secs().max(1);
+        let cl = cycle_len.as_secs().max(1);
+        let cycles = ((total + cl - 1) / cl).max(1) as usize;
+        let mut batches = vec![BTreeMap::new(); cycles];
+        for (r, &k) in records.into_iter().zip(delivery) {
+            let off = (k - start).as_secs().clamp(0, total - 1);
+            let idx = (off / cl) as usize;
+            batches[idx]
+                .entry(r.feed())
+                .or_insert_with(Vec::new)
+                .push(r);
+        }
+        MicroBatches {
+            start,
+            cycle_len,
+            batches,
+        }
+    }
+
     pub fn cycles(&self) -> usize {
         self.batches.len()
     }
@@ -244,6 +276,20 @@ impl FeedChaos {
         }
         out
     }
+
+    /// Consume a schedule, delivering by move. With no ops configured —
+    /// the common benchmark/soak case — every batch's records move
+    /// straight into the per-cycle output with zero record clones; with
+    /// ops, falls back to the borrowing [`FeedChaos::deliver`].
+    pub fn deliver_owned(&self, mb: MicroBatches) -> Vec<Vec<RawRecord>> {
+        if !self.ops.is_empty() {
+            return self.deliver(&mb);
+        }
+        mb.batches
+            .into_iter()
+            .map(|feeds| feeds.into_values().flatten().collect())
+            .collect()
+    }
 }
 
 /// Fisher–Yates shuffle driven by the per-(feed, cycle) generator.
@@ -281,11 +327,11 @@ fn corrupt_record(rec: &mut RawRecord, rng: &mut StdRng) {
         RawRecord::Perf(x) => x.value = f64::INFINITY,
         RawRecord::CdnMon(x) => x.rtt_ms = f64::NAN,
         RawRecord::ServerLog(x) => x.load = f64::NAN,
-        RawRecord::Workflow(x) => x.activity.clear(),
-        RawRecord::Tacacs(x) => x.router = "chaos-ghost".to_string(),
-        RawRecord::L1Log(x) => x.device = "chaos-ghost".to_string(),
+        RawRecord::Workflow(x) => x.activity = "".into(),
+        RawRecord::Tacacs(x) => x.router = "chaos-ghost".into(),
+        RawRecord::L1Log(x) => x.device = "chaos-ghost".into(),
         RawRecord::OspfMon(x) => x.utc = Timestamp::from_unix(99_999_999_999),
-        RawRecord::BgpMon(x) => x.egress_router = "chaos-ghost".to_string(),
+        RawRecord::BgpMon(x) => x.egress_router = "chaos-ghost".into(),
     }
 }
 
@@ -507,6 +553,56 @@ mod tests {
         let delivered = chaos.deliver(&mb);
         assert_eq!(delivered.iter().map(Vec::len).sum::<usize>(), n);
         assert_ne!(flat(&delivered), flat(&FeedChaos::new(9).deliver(&mb)));
+    }
+
+    /// Keyed bucketing (no `approx_utc`, no clones) and owned delivery
+    /// (no ops) produce exactly the schedule and stream the borrowing
+    /// path does.
+    #[test]
+    fn keyed_bucketing_and_owned_delivery_match_borrowing_path() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(1, 11, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        let mb = MicroBatches::new(
+            &topo,
+            &out.records,
+            cfg.start,
+            cfg.end(),
+            Duration::mins(30),
+        );
+        let mbk = MicroBatches::from_keyed(
+            out.records,
+            &out.delivery,
+            cfg.start,
+            cfg.end(),
+            Duration::mins(30),
+        );
+        assert_eq!(mb.cycles(), mbk.cycles());
+        for c in 0..mb.cycles() {
+            for f in mb.feeds() {
+                assert_eq!(mb.batch(c, f), mbk.batch(c, f), "cycle {c} feed {f}");
+            }
+        }
+        let plain = FeedChaos::new(3);
+        assert_eq!(flat(&plain.deliver(&mb)), flat(&plain.deliver_owned(mbk)));
+        // With ops configured the owned path falls back to full chaos.
+        let mb2 = MicroBatches::new(
+            &topo,
+            &mb.batches
+                .iter()
+                .flat_map(|b| b.values().flatten().cloned())
+                .collect::<Vec<_>>(),
+            cfg.start,
+            cfg.end(),
+            Duration::mins(30),
+        );
+        let chaos = FeedChaos::new(3).with(ChaosOp::Kill {
+            feed: "perf",
+            from: 0,
+        });
+        let owned = chaos.deliver_owned(mb2.clone());
+        assert_eq!(flat(&chaos.deliver(&mb2)), flat(&owned));
+        assert!(owned.iter().flatten().all(|r| r.feed() != "perf"));
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl Sim<'_> {
             },
         );
         let key = self.session_key(s);
-        self.symptom(SymptomKind::EbgpFlap, down, key, cause, fault);
+        self.symptom(SymptomKind::EbgpFlap, down, key.to_string(), cause, fault);
         self.flap_log.push((pe, down));
     }
 
@@ -234,7 +234,8 @@ impl Sim<'_> {
     pub fn inject_customer_iface_flap(&mut self, t: Timestamp) {
         let s = self.random_session();
         let dur = self.exp_secs(self.cfg.iface_outage_mean_secs);
-        let fault = self.fault(RootCause::InterfaceFlap, t, self.session_key(s));
+        let key = self.session_key(s);
+        let fault = self.fault(RootCause::InterfaceFlap, t, &*key);
         self.customer_iface_outage(
             s,
             t,
@@ -253,22 +254,15 @@ impl Sim<'_> {
     /// facing) flap", ~69%). Non-MVPN customer flaps never surface as PIM
     /// symptoms, so the PIM scenario injects these directly.
     pub fn inject_mvpn_customer_flap(&mut self, t: Timestamp) {
-        let candidates: Vec<SessionId> = (0..self.topo.sessions.len())
-            .map(SessionId::from)
-            .filter(|&s| {
-                let sess = self.topo.session(s);
-                self.topo
-                    .mvpns
-                    .iter()
-                    .any(|m| m.customer == sess.customer && m.pes.contains(&sess.pe))
-            })
-            .collect();
-        if candidates.is_empty() {
+        let n = self.mvpn_flap_candidates().len();
+        if n == 0 {
             return;
         }
-        let s = candidates[self.pick(candidates.len())];
+        let i = self.pick(n);
+        let s = self.mvpn_flap_candidates()[i];
         let dur = self.exp_secs(self.cfg.iface_outage_mean_secs);
-        let fault = self.fault(RootCause::InterfaceFlap, t, self.session_key(s));
+        let key = self.session_key(s);
+        let fault = self.fault(RootCause::InterfaceFlap, t, &*key);
         self.customer_iface_outage(
             s,
             t,
@@ -286,7 +280,8 @@ impl Sim<'_> {
     pub fn inject_line_proto_flap(&mut self, t: Timestamp) {
         let s = self.random_session();
         let dur = self.exp_secs(30.0);
-        let fault = self.fault(RootCause::LineProtocolFlap, t, self.session_key(s));
+        let key = self.session_key(s);
+        let fault = self.fault(RootCause::LineProtocolFlap, t, &*key);
         self.customer_iface_outage(
             s,
             t,
@@ -425,7 +420,8 @@ impl Sim<'_> {
     pub fn inject_customer_reset(&mut self, t: Timestamp) {
         let s = self.random_session();
         let sess = self.topo.session(s).clone();
-        let fault = self.fault(RootCause::CustomerReset, t, self.session_key(s));
+        let key = self.session_key(s);
+        let fault = self.fault(RootCause::CustomerReset, t, &*key);
         self.syslog(
             sess.pe,
             t,
@@ -442,7 +438,8 @@ impl Sim<'_> {
     /// (e.g. trouble on the far side of the trust boundary).
     pub fn inject_hte_unknown(&mut self, t: Timestamp) {
         let s = self.random_session();
-        let fault = self.fault(RootCause::EbgpHteUnknown, t, self.session_key(s));
+        let key = self.session_key(s);
+        let fault = self.fault(RootCause::EbgpHteUnknown, t, &*key);
         let u = self.secs_between(30, 120);
         self.ebgp_flap(s, t, t + u, true, RootCause::EbgpHteUnknown, fault);
     }
@@ -450,7 +447,8 @@ impl Sim<'_> {
     /// A flap with no evidence at all (silent customer-side failure).
     pub fn inject_unknown_flap(&mut self, t: Timestamp) {
         let s = self.random_session();
-        let fault = self.fault(RootCause::Unknown, t, self.session_key(s));
+        let key = self.session_key(s);
+        let fault = self.fault(RootCause::Unknown, t, &*key);
         let u = self.secs_between(20, 120);
         self.ebgp_flap(s, t, t + u, false, RootCause::Unknown, fault);
     }
@@ -548,11 +546,12 @@ impl Sim<'_> {
     pub fn inject_provisioning(&mut self, t: Timestamp) {
         let pe = self.random_pe();
         let k = self.pick(self.cfg.noise_workflow_types);
-        let activity = workflow_activity(k);
-        let name = self.topo.router(pe).name.clone();
-        self.workflow(&name, t, &activity);
-        if activity == BUGGY_ACTIVITY && self.is_buggy_router(pe) {
-            let fault = self.fault(RootCause::ProvisioningBug, t, name);
+        let activity = self.names.activity(k);
+        let name = self.names.routers[pe.index()].clone();
+        let buggy = &*activity == BUGGY_ACTIVITY;
+        self.workflow(name.clone(), t, activity);
+        if buggy && self.is_buggy_router(pe) {
+            let fault = self.fault(RootCause::ProvisioningBug, t, &*name);
             // The bug's mechanism: CPU stall → hold-timer expiries.
             let spike = t + self.secs_between(5, 60);
             let pct = 91 + self.pick(8) as u32;

@@ -126,15 +126,14 @@ impl Sim<'_> {
     ) -> bool {
         let t0 = self.cfg.start;
         if let Some(l) = link {
-            if self.routing.path_links(a, b, t0).contains(&l) {
+            if self.routing.path_uses_link(a, b, l, t0) {
                 return true;
             }
         }
         if !routers.is_empty() {
-            let path = self.routing.path_routers(a, b, t0);
             return routers
                 .iter()
-                .any(|r| *r != a && *r != b && path.contains(r));
+                .any(|r| *r != a && *r != b && self.routing.path_uses_router(a, b, *r, t0));
         }
         false
     }
@@ -746,9 +745,9 @@ impl Sim<'_> {
             return;
         }
         let node = CdnNodeId::from(self.pick(self.topo.cdn_nodes.len()));
-        let name = self.topo.cdn_node(node).name.clone();
-        self.workflow(&name, t, "cdn-assignment-policy-change");
-        let fault = self.fault(RootCause::CdnPolicyChange, t, name);
+        let name = self.names.cdn_nodes[node.index()].clone();
+        self.workflow(name.clone(), t, self.names.cdn_policy.clone());
+        let fault = self.fault(RootCause::CdnPolicyChange, t, &*name);
         let k = 2 + self.pick(4);
         for _ in 0..k {
             let client = ClientSiteId::from(self.pick(self.topo.ext_nets.len()));
@@ -1102,8 +1101,8 @@ mod tests {
         let announces = bgp.iter().filter(|b| b.attrs.is_some()).count();
         assert_eq!(withdraws, announces);
         // Both reflectors see every update.
-        assert!(bgp.iter().any(|b| b.reflector == "rr1"));
-        assert!(bgp.iter().any(|b| b.reflector == "rr2"));
+        assert!(bgp.iter().any(|b| &*b.reflector == "rr1"));
+        assert!(bgp.iter().any(|b| &*b.reflector == "rr2"));
     }
 
     #[test]

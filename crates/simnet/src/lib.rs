@@ -15,10 +15,12 @@
 //! diagnoses and to compare recovered breakdowns against Tables IV, VI and
 //! VIII of the paper.
 
+pub mod background;
 pub mod chaos;
 pub mod config;
 pub mod inject;
 pub mod inject_net;
+pub mod names;
 pub mod scenario;
 pub mod sim;
 pub mod soak;
@@ -26,7 +28,13 @@ pub mod truth;
 
 pub use chaos::{ChaosOp, FeedChaos, MicroBatches};
 pub use config::{BackgroundConfig, FaultRates, ScenarioConfig};
-pub use scenario::{run_scenario, SimOutput};
+pub use names::FeedNames;
+pub use scenario::{
+    run_scenario, run_scenario_baseline, run_scenario_threads, SimBuffers, SimOutput,
+};
 pub use sim::Sim;
-pub use soak::{run_manifest, SoakEntry, SoakFault, SoakManifest};
+pub use soak::{
+    run_manifest, run_manifest_baseline, run_manifest_into, run_manifest_threads, SoakEntry,
+    SoakFault, SoakManifest,
+};
 pub use truth::{breakdown, FaultInstance, RootCause, SymptomKind, TruthRecord};

@@ -1,0 +1,124 @@
+//! Interned entity names for record emission.
+//!
+//! Every feed emitter used to clone a `String` (router name, SNMP system
+//! name, circuit id, reflector name, …) into each record — at tier-1 scale
+//! that is millions of heap copies per simulated day, and the counting
+//! allocator showed name cloning as the dominant allocation source in
+//! record generation. [`FeedNames`] interns every name the topology can
+//! produce exactly once as `Arc<str>`; emitting a record is then a
+//! refcount bump. The table is immutable after construction, so one
+//! instance is shared across day-chunks and across the background
+//! emission workers ([`crate::background`]).
+
+use crate::inject::workflow_activity;
+use grca_net_model::Topology;
+use std::sync::Arc;
+
+/// Interned names for every entity a [`crate::Sim`] emitter references,
+/// indexed by the corresponding topology id.
+#[derive(Debug)]
+pub struct FeedNames {
+    /// `topo.router(r).name`, by router index.
+    pub routers: Vec<Arc<str>>,
+    /// `topo.router(r).snmp_name()`, by router index.
+    pub snmp: Vec<Arc<str>>,
+    /// Layer-1 device inventory names, by device index.
+    pub l1_devices: Vec<Arc<str>>,
+    /// Circuit ids, by physical-link index.
+    pub circuits: Vec<Arc<str>>,
+    /// CDN node names, by node index.
+    pub cdn_nodes: Vec<Arc<str>>,
+    /// The two route reflectors of the BGP monitor feed.
+    pub rr1: Arc<str>,
+    pub rr2: Arc<str>,
+    /// Known TACACS users (operator and provisioning system).
+    pub netops: Arc<str>,
+    pub provisioning: Arc<str>,
+    /// Workflow activity catalog (`workflow_activity(k)`), by type index.
+    pub activities: Vec<Arc<str>>,
+    /// The CDN's own assignment-policy-change workflow activity.
+    pub cdn_policy: Arc<str>,
+}
+
+impl FeedNames {
+    /// Intern every name `topo` can produce. `noise_workflow_types` bounds
+    /// the activity catalog (matches `ScenarioConfig::noise_workflow_types`).
+    pub fn new(topo: &Topology, noise_workflow_types: usize) -> Self {
+        FeedNames {
+            routers: topo
+                .routers
+                .iter()
+                .map(|r| r.name.as_str().into())
+                .collect(),
+            snmp: topo.routers.iter().map(|r| r.snmp_name().into()).collect(),
+            l1_devices: topo
+                .l1_devices
+                .iter()
+                .map(|d| d.name.as_str().into())
+                .collect(),
+            circuits: topo
+                .phys_links
+                .iter()
+                .map(|p| p.circuit.as_str().into())
+                .collect(),
+            cdn_nodes: topo
+                .cdn_nodes
+                .iter()
+                .map(|n| n.name.as_str().into())
+                .collect(),
+            rr1: "rr1".into(),
+            rr2: "rr2".into(),
+            netops: "netops".into(),
+            provisioning: "provisioning".into(),
+            activities: (0..noise_workflow_types.max(1))
+                .map(|k| workflow_activity(k).into())
+                .collect(),
+            cdn_policy: "cdn-assignment-policy-change".into(),
+        }
+    }
+
+    /// Interned workflow activity `k` (indices past the catalog fall back
+    /// to a fresh allocation, which no configured scenario hits).
+    pub fn activity(&self, k: usize) -> Arc<str> {
+        match self.activities.get(k) {
+            Some(a) => a.clone(),
+            None => workflow_activity(k).into(),
+        }
+    }
+
+    /// Intern a TACACS user name. The simulator only emits the two known
+    /// users; anything else costs one allocation.
+    pub fn user(&self, name: &str) -> Arc<str> {
+        if name == "netops" {
+            self.netops.clone()
+        } else if name == "provisioning" {
+            self.provisioning.clone()
+        } else {
+            name.into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::BUGGY_ACTIVITY;
+    use grca_net_model::gen::{generate, TopoGenConfig};
+
+    #[test]
+    fn names_match_topology() {
+        let topo = generate(&TopoGenConfig::small());
+        let names = FeedNames::new(&topo, 5);
+        assert_eq!(names.routers.len(), topo.routers.len());
+        for (i, r) in topo.routers.iter().enumerate() {
+            assert_eq!(&*names.routers[i], r.name.as_str());
+            assert_eq!(&*names.snmp[i], r.snmp_name().as_str());
+        }
+        assert_eq!(names.circuits.len(), topo.phys_links.len());
+        assert_eq!(&*names.activity(0), BUGGY_ACTIVITY);
+        assert_eq!(&*names.activity(3), "workflow-activity-003");
+        // Known users are interned (same allocation), unknown ones are not.
+        assert!(Arc::ptr_eq(&names.user("netops"), &names.netops));
+        assert_eq!(&*names.user("someone"), "someone");
+    }
+}

@@ -1,33 +1,124 @@
 //! Top-level scenario runner: Poisson fault arrivals, confounder passes,
 //! background telemetry, and the final [`SimOutput`].
+//!
+//! Record generation is split into two passes (see DESIGN.md §13):
+//!
+//! 1. **Injector pass** (sequential): fault arrivals and their telemetry,
+//!    drawn from the single `Sim::rng` stream in arrival order. Causally
+//!    entangled, tiny record count.
+//! 2. **Background pass** (parallel): baselines and noise, sharded per
+//!    entity with per-shard RNGs ([`crate::background`]). The dominant
+//!    record volume at tier-1 scale.
+//!
+//! Both passes key every record with its true UTC emission instant, so
+//! delivery ordering is one stable sort — no re-parsing records to recover
+//! their clocks. The pre-split sequential path is kept live as
+//! [`run_scenario_baseline`] (the E18 benchmark baseline).
 
+use crate::background::{self, BackgroundJob};
 use crate::config::ScenarioConfig;
+use crate::names::FeedNames;
 use crate::sim::Sim;
 use crate::truth::{FaultInstance, TruthRecord};
 use grca_net_model::{CdnNodeId, ClientSiteId, InterfaceKind, RouterId, RouterRole, Topology};
 use grca_telemetry::records::{L1EventKind, PerfMetric, RawRecord, SnmpMetric};
+use grca_types::Timestamp;
+use std::sync::Arc;
 
 /// Everything a scenario produces. `records` is what the Data Collector
 /// ingests; `truth`/`faults` are for experiment scoring only.
 pub struct SimOutput {
     pub records: Vec<RawRecord>,
+    /// True UTC delivery instant of each record, parallel to `records`
+    /// (jitter included). Consumers that bucket records by time can use
+    /// this directly instead of re-deriving the instant from the record.
+    pub delivery: Vec<Timestamp>,
     pub truth: Vec<TruthRecord>,
     pub faults: Vec<FaultInstance>,
 }
 
-/// Run a complete scenario over `topo`.
+/// Recyclable scenario buffers: pass the same instance to consecutive
+/// windows (e.g. the day-chunks of a soak manifest) and each run reuses
+/// the previous run's emission/keying capacity, the interned name table,
+/// and the warmed routing state (frozen between windows) instead of
+/// rebuilding them. The contents are keyed by nothing — callers must
+/// reuse a `SimBuffers` only across runs over the *same* topology and
+/// `noise_workflow_types`.
+#[derive(Default)]
+pub struct SimBuffers {
+    records: Vec<RawRecord>,
+    keys: Vec<Timestamp>,
+    keyed: Vec<(Timestamp, RawRecord)>,
+    names: Option<Arc<FeedNames>>,
+    /// Baseline routing frozen by the previous window's [`finalize`].
+    /// Thawing it back hands the next window a warm reconvergence path
+    /// cache — the dominant per-window construction cost at tier-1 scale
+    /// (per-source SPF over thousands of routers). Cache entries affect
+    /// speed only, never answers, so reuse is output-invisible.
+    routing: Option<grca_routing::FrozenRoutingState>,
+}
+
+impl SimBuffers {
+    pub fn new() -> Self {
+        SimBuffers::default()
+    }
+
+    /// Take the recycled emission buffers (records + keys), leaving empty
+    /// vecs behind; [`finalize`] puts them back when the run completes.
+    pub(crate) fn take_emit_buffers(&mut self) -> (Vec<RawRecord>, Vec<Timestamp>) {
+        (
+            std::mem::take(&mut self.records),
+            std::mem::take(&mut self.keys),
+        )
+    }
+
+    /// The cached interned name table, if a previous run built one.
+    pub(crate) fn names(&self) -> Option<Arc<FeedNames>> {
+        self.names.clone()
+    }
+
+    /// Take the frozen routing state left by the previous window, if any.
+    pub(crate) fn take_routing(&mut self) -> Option<grca_routing::FrozenRoutingState> {
+        self.routing.take()
+    }
+}
+
+/// Run a complete scenario over `topo` with the default worker count.
 pub fn run_scenario(topo: &Topology, cfg: &ScenarioConfig) -> SimOutput {
+    run_scenario_threads(topo, cfg, background::default_threads())
+}
+
+/// Run a complete scenario with an explicit background worker count. The
+/// output is byte-identical for every `threads` value.
+pub fn run_scenario_threads(topo: &Topology, cfg: &ScenarioConfig, threads: usize) -> SimOutput {
     let mut sim = Sim::new(topo, cfg);
+    inject_arrivals(&mut sim);
+    finalize(sim, threads, None)
+}
+
+/// The pre-parallelization scenario runner, kept live as the E18
+/// benchmark baseline: one RNG stream, background emitted sequentially,
+/// delivery keys recovered by re-parsing each record (`approx_utc`).
+pub fn run_scenario_baseline(topo: &Topology, cfg: &ScenarioConfig) -> SimOutput {
+    let mut sim = Sim::new_baseline(topo, cfg);
+    inject_arrivals(&mut sim);
+    finalize_baseline(sim)
+}
+
+/// Draw Poisson arrival counts per fault kind and inject at uniform times
+/// (the sequential pass; shared by the scenario runner and the manifest
+/// replayer's window filter).
+pub(crate) fn inject_arrivals(sim: &mut Sim<'_>) {
+    let cfg = sim.cfg;
     let days = cfg.days as f64;
 
-    // Draw arrival counts per fault kind, then inject at uniform times.
     macro_rules! arrivals {
         ($rate:expr, $inject:expr) => {{
             let n = sim.poisson($rate * days);
             for _ in 0..n {
                 let t = sim.uniform_time();
                 #[allow(clippy::redundant_closure_call)]
-                ($inject)(&mut sim, t);
+                ($inject)(&mut *sim, t);
             }
         }};
     }
@@ -90,14 +181,94 @@ pub fn run_scenario(topo: &Topology, cfg: &ScenarioConfig) -> SimOutput {
         .inject_pim_config_change(t));
     arrivals!(cfg.rates.uplink_pim_loss, |s: &mut Sim, t| s
         .inject_uplink_pim_loss(t));
-
-    finalize(sim)
 }
 
-/// The common scenario tail shared by [`run_scenario`] and the manifest
-/// replayer ([`crate::soak::run_manifest`]): confounder passes, syslog
-/// noise, background baselines, then delivery ordering.
-pub(crate) fn finalize(mut sim: Sim<'_>) -> SimOutput {
+/// The common scenario tail: confounder pass, parallel background
+/// emission, jitter, and one stable sort by delivery key. With `recycle`,
+/// the run's working buffers are returned to the caller's [`SimBuffers`]
+/// for the next window.
+pub(crate) fn finalize(
+    mut sim: Sim<'_>,
+    threads: usize,
+    mut recycle: Option<&mut SimBuffers>,
+) -> SimOutput {
+    let topo = sim.topo;
+    let cfg = sim.cfg;
+
+    // Confounder pass (still part of the sequential stream).
+    sim.reverse_cpu_pass();
+
+    // Probe pairs for the background job (needs the routing-aware `Sim`).
+    let pairs = sim.perf_pairs();
+
+    // Move the injector pass's keyed records into the merge buffer. Using
+    // `drain` (not `into_iter`) keeps the emission buffers' capacity so
+    // they can be handed back to the caller for the next window.
+    let mut records = std::mem::take(&mut sim.records);
+    let mut keys = std::mem::take(&mut sim.keys);
+    let mut keyed: Vec<(Timestamp, RawRecord)> = match recycle.as_deref_mut() {
+        Some(b) => {
+            let mut k = std::mem::take(&mut b.keyed);
+            k.clear();
+            k
+        }
+        None => Vec::new(),
+    };
+    keyed.reserve(records.len());
+    keyed.extend(keys.drain(..).zip(records.drain(..)));
+
+    // Background pass: fixed shards, per-shard RNGs, canonical merge
+    // order. Byte-identical for any worker count.
+    let job = BackgroundJob {
+        topo,
+        cfg,
+        names: &sim.names,
+        perf_pairs: &pairs,
+    };
+    background::emit(&job, threads, &mut keyed);
+
+    // Arrival jitter is drawn sequentially from the scenario RNG over the
+    // canonical (pre-sort) merge order, so it too is independent of the
+    // worker count.
+    let jitter = cfg.arrival_jitter.as_secs();
+    if jitter > 0 {
+        for (k, _) in keyed.iter_mut() {
+            *k += grca_types::Duration::secs(sim.uniform(0.0, jitter as f64) as i64);
+        }
+    }
+
+    // One stable sort by delivery key orders the merged stream; ties keep
+    // the canonical merge order, so the result is deterministic.
+    keyed.sort_by_key(|(k, _)| *k);
+    let mut out_records = Vec::with_capacity(keyed.len());
+    let mut delivery = Vec::with_capacity(keyed.len());
+    for (k, r) in keyed.drain(..) {
+        delivery.push(k);
+        out_records.push(r);
+    }
+
+    if let Some(b) = recycle {
+        b.records = records;
+        b.keys = keys;
+        b.keyed = keyed;
+        if b.names.is_none() {
+            b.names = Some(sim.names.clone());
+        }
+        b.routing = Some(sim.routing.freeze());
+    }
+
+    SimOutput {
+        records: out_records,
+        delivery,
+        truth: sim.truth,
+        faults: sim.faults,
+    }
+}
+
+/// The pre-split sequential finalizer (E18 baseline): emits noise and
+/// background from the single RNG stream, then recovers every record's
+/// delivery key by re-parsing it with [`approx_utc`].
+pub(crate) fn finalize_baseline(mut sim: Sim<'_>) -> SimOutput {
     let topo = sim.topo;
     let cfg = sim.cfg;
 
@@ -112,7 +283,7 @@ pub(crate) fn finalize(mut sim: Sim<'_>) -> SimOutput {
     // amount, modelling feed batching/transfer lag (out-of-order arrival).
     let records = std::mem::take(&mut sim.records);
     let jitter = cfg.arrival_jitter.as_secs();
-    let mut keyed: Vec<(grca_types::Timestamp, RawRecord)> = records
+    let mut keyed: Vec<(Timestamp, RawRecord)> = records
         .into_iter()
         .map(|r| {
             let mut k = approx_utc(topo, &r);
@@ -123,10 +294,16 @@ pub(crate) fn finalize(mut sim: Sim<'_>) -> SimOutput {
         })
         .collect();
     keyed.sort_by_key(|(k, _)| *k);
-    let records: Vec<RawRecord> = keyed.into_iter().map(|(_, r)| r).collect();
+    let mut out_records = Vec::with_capacity(keyed.len());
+    let mut delivery = Vec::with_capacity(keyed.len());
+    for (k, r) in keyed {
+        delivery.push(k);
+        out_records.push(r);
+    }
 
     SimOutput {
-        records,
+        records: out_records,
+        delivery,
         truth: sim.truth,
         faults: sim.faults,
     }
@@ -157,7 +334,7 @@ pub fn approx_utc(topo: &Topology, r: &RawRecord) -> grca_types::Timestamp {
         RawRecord::Workflow(x) => TimeZone::US_EASTERN.to_utc(x.local_time),
         RawRecord::Perf(x) => x.utc,
         RawRecord::CdnMon(x) => x.utc,
-        RawRecord::ServerLog(x) => match topo.cdn_nodes.iter().position(|n| n.name == x.node) {
+        RawRecord::ServerLog(x) => match topo.cdn_nodes.iter().position(|n| *n.name == *x.node) {
             Some(i) => topo
                 .pop(topo.cdn_node(grca_net_model::CdnNodeId::from(i)).pop)
                 .tz
@@ -169,6 +346,7 @@ pub fn approx_utc(topo: &Topology, r: &RawRecord) -> grca_types::Timestamp {
 
 /// Syslog noise: the sea of routine messages the §IV-B blind screening has
 /// to sift through. Each noise type forms its own candidate time series.
+/// (Baseline path; the parallel path stripes this in `background`.)
 fn emit_noise(sim: &mut Sim) {
     let days = sim.cfg.days as f64;
     let n = sim.poisson(sim.cfg.rates.noise_syslog * days);
@@ -187,9 +365,8 @@ fn emit_noise(sim: &mut Sim) {
 
 /// Baseline (healthy) telemetry so detectors have something to compare
 /// against: normal SNMP readings, nominal probe measurements, nominal CDN
-/// RTT samples. Cadence is configurable (coarser than the native 5-minute
-/// bins to keep scenario sizes manageable; anomalies are always emitted at
-/// full cadence by the injectors).
+/// RTT samples. (Baseline path; the parallel path shards this in
+/// `background`.)
 fn emit_background(sim: &mut Sim) {
     if !sim.cfg.background.emit_baseline {
         return;
@@ -306,8 +483,25 @@ mod tests {
         let a = run_scenario(&topo, &cfg);
         let b = run_scenario(&topo, &cfg);
         assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.delivery, b.delivery);
         assert_eq!(a.truth, b.truth);
         assert_eq!(a.faults, b.faults);
+    }
+
+    /// The delivery keys are sorted (records arrive in delivery order) and
+    /// parallel to the record stream.
+    #[test]
+    fn delivery_keys_are_sorted_and_parallel() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(3, 77, FaultRates::bgp_study());
+        let out = run_scenario(&topo, &cfg);
+        assert_eq!(out.delivery.len(), out.records.len());
+        assert!(out.delivery.windows(2).all(|w| w[0] <= w[1]));
+        // Without jitter the key equals the record's recovered UTC instant.
+        for (k, r) in out.delivery.iter().zip(&out.records).take(500) {
+            assert_eq!(*k, approx_utc(&topo, r), "{r:?}");
+        }
     }
 
     /// Arrival jitter reorders delivery but invents or loses nothing: the
@@ -384,6 +578,24 @@ mod tests {
         for f in ["snmp", "perf", "cdnmon", "serverlog"] {
             assert!(feeds.contains(f), "missing {f}");
         }
+    }
+
+    /// The kept-live sequential baseline produces the same ground truth
+    /// and fault list as the parallel path (injectors share one stream),
+    /// and a statistically comparable record volume.
+    #[test]
+    fn baseline_matches_truth_and_volume() {
+        let topo = generate(&TopoGenConfig::small());
+        let cfg = ScenarioConfig::new(3, 77, FaultRates::bgp_study());
+        let new = run_scenario(&topo, &cfg);
+        let base = run_scenario_baseline(&topo, &cfg);
+        assert_eq!(new.truth, base.truth);
+        assert_eq!(new.faults, base.faults);
+        let (a, b) = (new.records.len() as f64, base.records.len() as f64);
+        assert!(
+            (a - b).abs() / b < 0.05,
+            "volumes diverged: new={a} baseline={b}"
+        );
     }
 
     #[test]

@@ -6,11 +6,19 @@
 //! polling, uppercase SNMP system names, ifIndex references, circuit ids —
 //! is produced here, so the Data Collector has real normalization work to
 //! do, as in the paper (§II-A).
+//!
+//! Emission is *keyed*: every record is pushed together with its true UTC
+//! emission instant (`keys` parallels `records`), so delivery ordering
+//! never has to re-derive the instant by parsing the record back (the old
+//! `approx_utc` pass). Entity names come from a shared, immutable
+//! [`FeedNames`] table, so emitting a record clones `Arc<str>` handles
+//! instead of heap-copying strings.
 
 use crate::config::ScenarioConfig;
+use crate::names::FeedNames;
 use crate::truth::{FaultInstance, RootCause, SymptomKind, TruthRecord};
 use grca_net_model::{
-    CdnNodeId, ClientSiteId, InterfaceId, LinkId, PhysLinkId, RouterId, Topology,
+    CdnNodeId, ClientSiteId, InterfaceId, LinkId, PhysLinkId, RouterId, SessionId, Topology,
 };
 use grca_routing::RoutingState;
 use grca_telemetry::records::*;
@@ -18,6 +26,7 @@ use grca_telemetry::syslog::SyslogEvent;
 use grca_types::{Duration, TimeZone, Timestamp};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
 
 /// The mutable simulation state threaded through all injectors.
 pub struct Sim<'a> {
@@ -25,6 +34,10 @@ pub struct Sim<'a> {
     pub cfg: &'a ScenarioConfig,
     pub rng: StdRng,
     pub records: Vec<RawRecord>,
+    /// True UTC emission instant of each record, parallel to `records`.
+    /// Feeds still carry their own messy clocks inside the record; this is
+    /// the delivery-ordering key the finalizer sorts by.
+    pub keys: Vec<Timestamp>,
     pub truth: Vec<TruthRecord>,
     pub faults: Vec<FaultInstance>,
     /// Baseline routing (for targeting path-dependent effects).
@@ -33,16 +46,57 @@ pub struct Sim<'a> {
     pub fast_fallover: Vec<bool>,
     /// (PE, flap-down time) log for the reverse-CPU confounder pass.
     pub flap_log: Vec<(RouterId, Timestamp)>,
-    /// Per-router SNMP system names, computed once. `Router::snmp_name`
-    /// uppercases and formats per call; SNMP baselines emit one sample
-    /// per (router, metric, bin), which made that the single largest
-    /// allocation source in record generation (counted via the bench
-    /// harness's counting allocator). A cached clone is one memcpy.
-    snmp_names: Vec<String>,
+    /// Interned entity names, shared across day-chunks and background
+    /// emission workers.
+    pub names: Arc<FeedNames>,
+    /// Lazily-memoized `session_key` results, by session index. The key is
+    /// a `format!` of PE name and neighbor IP; injectors re-derive it for
+    /// every flap on a session, so the first call per session pays the
+    /// format and the rest are refcount bumps (mirrors the old
+    /// `snmp_names` cache, generalized).
+    session_keys: Vec<Option<Arc<str>>>,
+    /// Lazily-built list of sessions whose (customer, PE) pair belongs to
+    /// an MVPN — the candidate pool for MVPN flap injection. Built on
+    /// first use in O(sessions + mvpn membership); the old per-injection
+    /// scan was O(sessions × mvpns) and dominated tier-1 manifest replay.
+    mvpn_candidates: Option<Vec<SessionId>>,
 }
 
 impl<'a> Sim<'a> {
     pub fn new(topo: &'a Topology, cfg: &'a ScenarioConfig) -> Self {
+        let names = Arc::new(FeedNames::new(topo, cfg.noise_workflow_types));
+        Sim::with_parts(topo, cfg, names, Vec::new(), Vec::new(), None, true)
+    }
+
+    /// The kept-live pre-optimization construction (E18 baseline): same
+    /// outputs as [`Sim::new`], but the historical cost model — fresh name
+    /// table, fresh buffers, and routing without the per-source SPF memo,
+    /// so every reconvergence path query pays a full Dijkstra.
+    pub fn new_baseline(topo: &'a Topology, cfg: &'a ScenarioConfig) -> Self {
+        let names = Arc::new(FeedNames::new(topo, cfg.noise_workflow_types));
+        Sim::with_parts(topo, cfg, names, Vec::new(), Vec::new(), None, false)
+    }
+
+    /// Construct with a pre-built name table, recycled emission buffers
+    /// (cleared, capacity retained), and optionally a frozen routing state
+    /// from a previous window over the same topology — the day-chunk reuse
+    /// path. Thawing recycled routing keeps the reconvergence path cache
+    /// warm, which is the dominant per-window cost at tier-1 scale; cache
+    /// entries only ever affect speed, never answers. `spf_cache` selects
+    /// the routing cost model when no frozen state is supplied: `true`
+    /// (the shipped pipeline) memoizes one SPF per source router, `false`
+    /// (the kept-live E18 baseline) re-pays a full Dijkstra per pair.
+    pub fn with_parts(
+        topo: &'a Topology,
+        cfg: &'a ScenarioConfig,
+        names: Arc<FeedNames>,
+        mut records: Vec<RawRecord>,
+        mut keys: Vec<Timestamp>,
+        routing: Option<grca_routing::FrozenRoutingState>,
+        spf_cache: bool,
+    ) -> Self {
+        records.clear();
+        keys.clear();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let fast_fallover = (0..topo.sessions.len())
             .map(|_| rng.random::<f64>() < cfg.fast_fallover_prob)
@@ -51,13 +105,20 @@ impl<'a> Sim<'a> {
             topo,
             cfg,
             rng,
-            records: Vec::new(),
+            records,
+            keys,
             truth: Vec::new(),
             faults: Vec::new(),
-            routing: RoutingState::baseline(topo),
+            routing: match (routing, spf_cache) {
+                (Some(frozen), _) => RoutingState::thaw(topo, frozen),
+                (None, true) => RoutingState::baseline(topo).with_spf_cache(),
+                (None, false) => RoutingState::baseline(topo),
+            },
             fast_fallover,
             flap_log: Vec::new(),
-            snmp_names: topo.routers.iter().map(|r| r.snmp_name()).collect(),
+            names,
+            session_keys: vec![None; topo.sessions.len()],
+            mvpn_candidates: None,
         }
     }
 
@@ -157,6 +218,13 @@ impl<'a> Sim<'a> {
         });
     }
 
+    /// Push one keyed record.
+    #[inline]
+    pub fn push(&mut self, utc: Timestamp, rec: RawRecord) {
+        self.keys.push(utc);
+        self.records.push(rec);
+    }
+
     // ------------------------------------------------------------- emitters
 
     /// Emit a syslog line from `router` for a UTC instant (written in the
@@ -164,20 +232,22 @@ impl<'a> Sim<'a> {
     pub fn syslog(&mut self, router: RouterId, utc: Timestamp, ev: &SyslogEvent) {
         let tz = self.topo.router_tz(router);
         let local = tz.to_local(utc);
-        self.records.push(RawRecord::Syslog(SyslogLine {
-            host: self.topo.router(router).name.clone(),
+        let rec = RawRecord::Syslog(SyslogLine {
+            host: self.names.routers[router.index()].clone(),
             line: ev.format_line(local),
-        }));
+        });
+        self.push(utc, rec);
     }
 
     /// Emit an arbitrary-text syslog line (noise messages).
     pub fn syslog_raw(&mut self, router: RouterId, utc: Timestamp, body: &str) {
         let tz = self.topo.router_tz(router);
         let local = tz.to_local(utc);
-        self.records.push(RawRecord::Syslog(SyslogLine {
-            host: self.topo.router(router).name.clone(),
+        let rec = RawRecord::Syslog(SyslogLine {
+            host: self.names.routers[router.index()].clone(),
             line: format!("{local} {body}"),
-        }));
+        });
+        self.push(utc, rec);
     }
 
     /// Emit an SNMP sample (timestamped in provider network time, named by
@@ -190,13 +260,14 @@ impl<'a> Sim<'a> {
         iface: Option<InterfaceId>,
         value: f64,
     ) {
-        self.records.push(RawRecord::Snmp(SnmpSample {
-            system: self.snmp_names[router.index()].clone(),
+        let rec = RawRecord::Snmp(SnmpSample {
+            system: self.names.snmp[router.index()].clone(),
             local_time: TimeZone::US_EASTERN.to_local(bin_start_utc),
             metric,
             if_index: iface.map(|i| self.topo.interface(i).if_index),
             value,
-        }));
+        });
+        self.push(bin_start_utc, rec);
     }
 
     /// Emit a layer-1 device log entry for a circuit event.
@@ -205,12 +276,13 @@ impl<'a> Sim<'a> {
         let dev_id = pl.l1_path[0];
         let dev = self.topo.l1_device(dev_id);
         let tz = self.topo.pop(dev.pop).tz;
-        self.records.push(RawRecord::L1Log(L1LogRecord {
-            device: dev.name.clone(),
+        let rec = RawRecord::L1Log(L1LogRecord {
+            device: self.names.l1_devices[dev_id.index()].clone(),
             local_time: tz.to_local(utc),
             kind,
-            circuit: pl.circuit.clone(),
-        }));
+            circuit: self.names.circuits[circuit.index()].clone(),
+        });
+        self.push(utc, rec);
     }
 
     /// Emit an OSPF monitor observation for a link weight change. The LSA
@@ -222,11 +294,12 @@ impl<'a> Sim<'a> {
             .interface(l.a)
             .ip
             .expect("backbone links are numbered");
-        self.records.push(RawRecord::OspfMon(OspfMonRecord {
+        let rec = RawRecord::OspfMon(OspfMonRecord {
             utc,
             link_addr: addr,
             weight,
-        }));
+        });
+        self.push(utc, rec);
     }
 
     /// Emit a BGP monitor update from both reflectors (the paper's
@@ -238,34 +311,40 @@ impl<'a> Sim<'a> {
         egress: RouterId,
         attrs: Option<(u32, u32)>,
     ) {
-        for rr in ["rr1", "rr2"] {
-            self.records.push(RawRecord::BgpMon(BgpMonRecord {
+        let egress_name = &self.names.routers[egress.index()];
+        for rr in [&self.names.rr1, &self.names.rr2] {
+            let rec = RawRecord::BgpMon(BgpMonRecord {
                 utc,
-                reflector: rr.to_string(),
+                reflector: rr.clone(),
                 prefix,
-                egress_router: self.topo.router(egress).name.clone(),
+                egress_router: egress_name.clone(),
                 attrs,
-            }));
+            });
+            self.keys.push(utc);
+            self.records.push(rec);
         }
     }
 
-    /// Emit a TACACS command log entry.
+    /// Emit a TACACS command log entry. Known users (`netops`,
+    /// `provisioning`) resolve to interned names.
     pub fn tacacs(&mut self, router: RouterId, utc: Timestamp, user: &str, command: String) {
-        self.records.push(RawRecord::Tacacs(TacacsRecord {
+        let rec = RawRecord::Tacacs(TacacsRecord {
             local_time: TimeZone::US_EASTERN.to_local(utc),
-            router: self.topo.router(router).name.clone(),
-            user: user.to_string(),
+            router: self.names.routers[router.index()].clone(),
+            user: self.names.user(user),
             command,
-        }));
+        });
+        self.push(utc, rec);
     }
 
     /// Emit a workflow-system activity record.
-    pub fn workflow(&mut self, router_name: &str, utc: Timestamp, activity: &str) {
-        self.records.push(RawRecord::Workflow(WorkflowRecord {
+    pub fn workflow(&mut self, router: Arc<str>, utc: Timestamp, activity: Arc<str>) {
+        let rec = RawRecord::Workflow(WorkflowRecord {
             local_time: TimeZone::US_EASTERN.to_local(utc),
-            router: router_name.to_string(),
-            activity: activity.to_string(),
-        }));
+            router,
+            activity,
+        });
+        self.push(utc, rec);
     }
 
     /// Emit one end-to-end probe sample.
@@ -277,13 +356,14 @@ impl<'a> Sim<'a> {
         metric: PerfMetric,
         value: f64,
     ) {
-        self.records.push(RawRecord::Perf(PerfRecord {
+        let rec = RawRecord::Perf(PerfRecord {
             utc: bin_start_utc,
-            ingress_router: self.topo.router(ingress).name.clone(),
-            egress_router: self.topo.router(egress).name.clone(),
+            ingress_router: self.names.routers[ingress.index()].clone(),
+            egress_router: self.names.routers[egress.index()].clone(),
             metric,
             value,
-        }));
+        });
+        self.push(bin_start_utc, rec);
     }
 
     /// Emit one CDN monitor sample for a (node, client site) pair.
@@ -296,24 +376,26 @@ impl<'a> Sim<'a> {
         throughput_mbps: f64,
     ) {
         let client_addr = self.topo.ext_net(client).prefix.host(10);
-        self.records.push(RawRecord::CdnMon(CdnMonRecord {
+        let rec = RawRecord::CdnMon(CdnMonRecord {
             utc: bin_start_utc,
-            node: self.topo.cdn_node(node).name.clone(),
+            node: self.names.cdn_nodes[node.index()].clone(),
             client_addr,
             rtt_ms,
             throughput_mbps,
-        }));
+        });
+        self.push(bin_start_utc, rec);
     }
 
     /// Emit a CDN server-farm load sample.
     pub fn serverlog(&mut self, node: CdnNodeId, utc: Timestamp, load: f64) {
         let n = self.topo.cdn_node(node);
         let tz = self.topo.pop(n.pop).tz;
-        self.records.push(RawRecord::ServerLog(ServerLogRecord {
+        let rec = RawRecord::ServerLog(ServerLogRecord {
             local_time: tz.to_local(utc),
-            node: n.name.clone(),
+            node: self.names.cdn_nodes[node.index()].clone(),
             load,
-        }));
+        });
+        self.push(utc, rec);
     }
 
     // --------------------------------------------------------- conventions
@@ -321,19 +403,12 @@ impl<'a> Sim<'a> {
     /// Deterministic per-pair baseline RTT in ms (20–80), stable across the
     /// scenario so detectors can learn it.
     pub fn base_rtt(&self, node: CdnNodeId, client: ClientSiteId) -> f64 {
-        let h = (node.0 as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(client.0 as u64)
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        20.0 + (h % 6000) as f64 / 100.0
+        crate::background::base_rtt(node, client)
     }
 
     /// Deterministic baseline throughput in Mb/s (5–50).
     pub fn base_tput(&self, node: CdnNodeId, client: ClientSiteId) -> f64 {
-        let h = (client.0 as u64)
-            .wrapping_mul(0x94D0_49BB_1331_11EB)
-            .wrapping_add(node.0 as u64);
-        5.0 + (h % 4500) as f64 / 100.0
+        crate::background::base_tput(node, client)
     }
 
     /// Whether a router carries the hidden provisioning bug (§IV-B): a
@@ -344,10 +419,40 @@ impl<'a> Sim<'a> {
     }
 
     /// The canonical location key for an eBGP session symptom (matches
-    /// `Location::RouterNeighborIp` display).
-    pub fn session_key(&self, s: grca_net_model::SessionId) -> String {
+    /// `Location::RouterNeighborIp` display). Memoized per session.
+    pub fn session_key(&mut self, s: SessionId) -> Arc<str> {
+        if let Some(k) = &self.session_keys[s.index()] {
+            return k.clone();
+        }
         let sess = self.topo.session(s);
-        format!("{}:{}", self.topo.router(sess.pe).name, sess.neighbor_ip)
+        let k: Arc<str> = format!("{}:{}", self.topo.router(sess.pe).name, sess.neighbor_ip).into();
+        self.session_keys[s.index()] = Some(k.clone());
+        k
+    }
+
+    /// Sessions eligible for MVPN customer-flap injection: those whose
+    /// (customer, PE) pair participates in some MVPN. Built lazily in
+    /// O(sessions + mvpn membership) and reused for every injection —
+    /// candidate order is the session-index order the old per-injection
+    /// scan produced, so the RNG-driven pick stream is unchanged.
+    pub fn mvpn_flap_candidates(&mut self) -> &[SessionId] {
+        if self.mvpn_candidates.is_none() {
+            let member: std::collections::BTreeSet<(grca_net_model::CustomerId, RouterId)> = self
+                .topo
+                .mvpns
+                .iter()
+                .flat_map(|m| m.pes.iter().map(move |&pe| (m.customer, pe)))
+                .collect();
+            let cands = (0..self.topo.sessions.len())
+                .map(SessionId::from)
+                .filter(|&s| {
+                    let sess = self.topo.session(s);
+                    member.contains(&(sess.customer, sess.pe))
+                })
+                .collect();
+            self.mvpn_candidates = Some(cands);
+        }
+        self.mvpn_candidates.as_deref().expect("built above")
     }
 }
 
@@ -405,7 +510,9 @@ mod tests {
             "{}",
             line.line
         );
-        assert_eq!(line.host, "nyc-per1");
+        assert_eq!(&*line.host, "nyc-per1");
+        // The emission key is the true UTC instant.
+        assert_eq!(sim.keys[0], utc);
     }
 
     #[test]
@@ -418,9 +525,24 @@ mod tests {
         let RawRecord::Snmp(s) = &sim.records[0] else {
             panic!()
         };
-        assert_eq!(s.system, "LAX-PER1.ISP.NET");
+        assert_eq!(&*s.system, "LAX-PER1.ISP.NET");
         // Eastern regardless of the device's own zone.
         assert_eq!(s.local_time, TimeZone::US_EASTERN.to_local(utc));
+    }
+
+    #[test]
+    fn session_key_is_memoized() {
+        let (topo, cfg) = mk();
+        let mut sim = Sim::new(&topo, &cfg);
+        let s = SessionId::new(0);
+        let a = sim.session_key(s);
+        let b = sim.session_key(s);
+        assert!(Arc::ptr_eq(&a, &b), "second call must reuse the cache");
+        let sess = topo.session(s);
+        assert_eq!(
+            &*a,
+            format!("{}:{}", topo.router(sess.pe).name, sess.neighbor_ip)
+        );
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! linking each symptom to its injection.
 
 use crate::config::{FaultRates, ScenarioConfig};
-use crate::scenario::{finalize, SimOutput};
+use crate::names::FeedNames;
+use crate::scenario::{finalize, finalize_baseline, SimBuffers, SimOutput};
 use crate::sim::Sim;
 use grca_net_model::Topology;
 use grca_telemetry::records::L1EventKind;
@@ -188,14 +189,77 @@ fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
 /// `cfg.seed`'s RNG stream exactly as in a scenario run, so
 /// `(topo, cfg, manifest)` fully determines the output.
 pub fn run_manifest(topo: &Topology, cfg: &ScenarioConfig, manifest: &SoakManifest) -> SimOutput {
-    let mut sim = Sim::new(topo, cfg);
+    run_manifest_threads(topo, cfg, manifest, crate::background::default_threads())
+}
+
+/// [`run_manifest`] with an explicit background worker count. Output is
+/// byte-identical for every `threads` value.
+pub fn run_manifest_threads(
+    topo: &Topology,
+    cfg: &ScenarioConfig,
+    manifest: &SoakManifest,
+    threads: usize,
+) -> SimOutput {
+    let sim = manifest_sim(topo, cfg, manifest, None, false);
+    finalize(sim, threads, None)
+}
+
+/// [`run_manifest`] recycling emission buffers and the interned name table
+/// across calls — the day-chunk loop of a soak run passes the same
+/// [`SimBuffers`] for every window so per-day allocation is amortized.
+/// The buffers must only be reused across windows over the same topology.
+pub fn run_manifest_into(
+    topo: &Topology,
+    cfg: &ScenarioConfig,
+    manifest: &SoakManifest,
+    threads: usize,
+    bufs: &mut SimBuffers,
+) -> SimOutput {
+    let sim = manifest_sim(topo, cfg, manifest, Some(bufs), false);
+    finalize(sim, threads, Some(bufs))
+}
+
+/// The pre-parallelization sequential replayer, kept live as the E18
+/// benchmark baseline (single RNG stream, `approx_utc` delivery keying).
+pub fn run_manifest_baseline(
+    topo: &Topology,
+    cfg: &ScenarioConfig,
+    manifest: &SoakManifest,
+) -> SimOutput {
+    let sim = manifest_sim(topo, cfg, manifest, None, true);
+    finalize_baseline(sim)
+}
+
+/// Build the injected (pre-finalize) simulation for a manifest window,
+/// optionally drawing recycled buffers from `bufs`. `baseline` selects
+/// the kept-live pre-optimization construction (fresh everything, no
+/// per-source SPF memo) — the E18 reference cost model.
+fn manifest_sim<'a>(
+    topo: &'a Topology,
+    cfg: &'a ScenarioConfig,
+    manifest: &SoakManifest,
+    bufs: Option<&mut SimBuffers>,
+    baseline: bool,
+) -> Sim<'a> {
+    let mut sim = match bufs {
+        Some(b) => {
+            let (records, keys) = b.take_emit_buffers();
+            let names = b.names().unwrap_or_else(|| {
+                std::sync::Arc::new(FeedNames::new(topo, cfg.noise_workflow_types))
+            });
+            let routing = b.take_routing();
+            Sim::with_parts(topo, cfg, names, records, keys, routing, true)
+        }
+        None if baseline => Sim::new_baseline(topo, cfg),
+        None => Sim::new(topo, cfg),
+    };
     for e in &manifest.entries {
         if e.at < cfg.start || e.at >= cfg.end() {
             continue;
         }
         apply(&mut sim, e);
     }
-    finalize(sim)
+    sim
 }
 
 fn apply(sim: &mut Sim<'_>, e: &SoakEntry) {

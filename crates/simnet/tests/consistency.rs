@@ -28,14 +28,14 @@ fn every_truth_symptom_has_raw_telemetry() {
                         neighbor,
                         up: false,
                     }) => {
-                        bgp_downs.push((l.host.clone(), neighbor.to_string()));
+                        bgp_downs.push((l.host.to_string(), neighbor.to_string()));
                     }
                     Ok(SyslogEvent::PimNbrChange {
                         neighbor,
                         up: false,
                         ..
                     }) => {
-                        pim_downs.push((l.host.clone(), neighbor.to_string()));
+                        pim_downs.push((l.host.to_string(), neighbor.to_string()));
                     }
                     _ => {}
                 }

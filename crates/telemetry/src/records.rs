@@ -14,10 +14,16 @@
 //! | perf probe  | GMT                              | router names           |
 //! | CDN monitor | GMT                              | node name + client IP  |
 //! | server log  | device-local                     | node name              |
+//!
+//! Entity names (hostnames, circuit ids, reflector/user/activity names)
+//! are `Arc<str>`: producers intern each distinct name once and emitting
+//! a record is a refcount bump, not a heap copy. Free-form payloads that
+//! differ per record (syslog `line`, TACACS `command`) stay `String`.
 
 use grca_net_model::{Ipv4, Prefix};
 use grca_types::Timestamp;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A raw syslog line: hostname plus the full textual line
 /// (`"<local timestamp> <message>"`). The message bodies are produced and
@@ -25,7 +31,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyslogLine {
     /// Canonical lowercase hostname (syslog convention).
-    pub host: String,
+    pub host: Arc<str>,
     /// `"YYYY-MM-DD HH:MM:SS %FACILITY-SEV-MNEMONIC: ..."` in *device-local*
     /// time.
     pub line: String,
@@ -46,7 +52,7 @@ pub enum SnmpMetric {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SnmpSample {
     /// SNMP system name, e.g. `"NYC-PER1.ISP.NET"`.
-    pub system: String,
+    pub system: Arc<str>,
     /// Interval start in provider network time (US Eastern).
     pub local_time: Timestamp,
     pub metric: SnmpMetric,
@@ -70,12 +76,12 @@ pub enum L1EventKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct L1LogRecord {
     /// Layer-1 device inventory name, e.g. `"adm-nyc-1"`.
-    pub device: String,
+    pub device: Arc<str>,
     /// Device-local time.
     pub local_time: Timestamp,
     pub kind: L1EventKind,
     /// Affected circuit id, e.g. `"CKT-NYC-CHI-0042"`.
-    pub circuit: String,
+    pub circuit: Arc<str>,
 }
 
 /// One OSPF monitor observation: a flooded LSA changed a link's metric.
@@ -97,10 +103,10 @@ pub struct BgpMonRecord {
     /// GMT.
     pub utc: Timestamp,
     /// Reflector that observed the update.
-    pub reflector: String,
+    pub reflector: Arc<str>,
     pub prefix: Prefix,
     /// Egress (next-hop) router name.
-    pub egress_router: String,
+    pub egress_router: Arc<str>,
     /// `Some((local_pref, as_path_len))` = announce; `None` = withdraw.
     pub attrs: Option<(u32, u32)>,
 }
@@ -110,8 +116,8 @@ pub struct BgpMonRecord {
 pub struct TacacsRecord {
     /// Provider network time.
     pub local_time: Timestamp,
-    pub router: String,
-    pub user: String,
+    pub router: Arc<str>,
+    pub user: Arc<str>,
     /// The command line typed, e.g.
     /// `"interface Serial3/0/0 ; ip ospf cost 65535"`.
     pub command: String,
@@ -122,9 +128,9 @@ pub struct TacacsRecord {
 pub struct WorkflowRecord {
     /// Provider network time.
     pub local_time: Timestamp,
-    pub router: String,
+    pub router: Arc<str>,
     /// Activity type, e.g. `"provision-customer-port"`.
-    pub activity: String,
+    pub activity: Arc<str>,
 }
 
 /// Metric measured by backbone probe infrastructure between PoP pairs.
@@ -143,8 +149,8 @@ pub enum PerfMetric {
 pub struct PerfRecord {
     /// GMT, interval start (5-minute bins).
     pub utc: Timestamp,
-    pub ingress_router: String,
-    pub egress_router: String,
+    pub ingress_router: Arc<str>,
+    pub egress_router: Arc<str>,
     pub metric: PerfMetric,
     pub value: f64,
 }
@@ -156,7 +162,7 @@ pub struct CdnMonRecord {
     /// GMT, interval start.
     pub utc: Timestamp,
     /// CDN node name, e.g. `"cdn-nyc"`.
-    pub node: String,
+    pub node: Arc<str>,
     /// A client address within the client site's prefix.
     pub client_addr: Ipv4,
     pub rtt_ms: f64,
@@ -168,7 +174,7 @@ pub struct CdnMonRecord {
 pub struct ServerLogRecord {
     /// Device-local time (node PoP zone).
     pub local_time: Timestamp,
-    pub node: String,
+    pub node: Arc<str>,
     /// Normalized server load (1.0 = nominal capacity).
     pub load: f64,
 }

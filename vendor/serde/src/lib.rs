@@ -321,6 +321,21 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::sync::Arc<str> {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_ref().to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::sync::Arc<str> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => unexpected("string", other),
+        }
+    }
+}
+
 impl Serialize for () {
     fn to_content(&self) -> Content {
         Content::Null
