@@ -16,12 +16,14 @@
 
 pub mod bgp;
 pub mod cdn;
+pub mod checkpoint;
 pub mod context;
 pub mod e2e;
 pub mod online;
 pub mod pim;
 pub mod report;
 
+pub use checkpoint::{PipelineCheckpoint, CHECKPOINT_VERSION};
 pub use context::{build_routing, run_app, run_app_differential, AppOutput, DiffOutput};
 pub use online::OnlineRca;
 pub use report::{

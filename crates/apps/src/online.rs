@@ -71,11 +71,24 @@ pub struct OnlineRca<'a> {
     emitted: BTreeMap<(String, i64), i64>,
     /// Degraded emissions awaiting recovery: key → window-end unix.
     pending_amend: BTreeMap<(String, i64), i64>,
+    /// Next emission sequence number (streams start at 1). Restored from
+    /// checkpoints so a deterministic replay re-emits with identical
+    /// numbers — the exactly-once handle consumers dedup on.
+    next_seq: u64,
     /// If set, rows older than the skip floor minus this margin are
     /// dropped from the database each cycle (see
     /// [`OnlineRca::with_db_retention`]). `None` keeps everything — the
     /// batch-identical default.
     db_retention: Option<Duration>,
+    /// Quarantine journal entries retained for drill-down; the journal is
+    /// trimmed to this each cycle so a poisoned feed cannot grow it
+    /// without bound ([`IngestStats`] counters are never pruned).
+    quarantine_keep: usize,
+    /// The dedup-log prefix the last persisted checkpoint vouched for;
+    /// the next checkpoint appends only the journal delta past it (see
+    /// [`grca_collector::DurableStore::persist_seen`]). `None` until the
+    /// first checkpoint or restore.
+    seen_log: Option<grca_collector::SeenLogRef>,
 }
 
 impl<'a> OnlineRca<'a> {
@@ -128,7 +141,10 @@ impl<'a> OnlineRca<'a> {
             amend_window: Duration::secs(hold_back.as_secs() * 6 + Duration::hours(8).as_secs()),
             emitted: BTreeMap::new(),
             pending_amend: BTreeMap::new(),
+            next_seq: 1,
             db_retention: None,
+            quarantine_keep: QUARANTINE_KEEP,
+            seen_log: None,
         })
     }
 
@@ -179,6 +195,13 @@ impl<'a> OnlineRca<'a> {
     /// silence is plausible before the feed stops vouching for its gaps.
     pub fn with_feed_cadence(mut self, feed: &'static str, cadence: Duration) -> Self {
         self.registry.set_cadence(feed, cadence);
+        self
+    }
+
+    /// Override how many quarantine journal entries are retained (the
+    /// bound a sustained-corruption feed is trimmed to each cycle).
+    pub fn with_quarantine_keep(mut self, keep: usize) -> Self {
+        self.quarantine_keep = keep;
         self
     }
 
@@ -333,18 +356,31 @@ impl<'a> OnlineRca<'a> {
                     && self.missing_feeds(horizon, now).is_empty()
                 {
                     self.pending_amend.remove(&key);
-                    out.push(Emission::full(engine.diagnose(symptom)).amending().at(now));
+                    let e = Emission::full(engine.diagnose(symptom))
+                        .amending()
+                        .at(now)
+                        .with_seq(self.next_seq);
+                    self.next_seq += 1;
+                    out.push(e);
                 }
                 continue;
             }
             let missing = self.missing_feeds(horizon, now);
             if missing.is_empty() {
                 self.emitted.insert(key, symptom.window.end.unix());
-                out.push(Emission::full(engine.diagnose(symptom)).at(now));
+                let e = Emission::full(engine.diagnose(symptom))
+                    .at(now)
+                    .with_seq(self.next_seq);
+                self.next_seq += 1;
+                out.push(e);
             } else if now >= horizon + self.wait_budget {
                 self.emitted.insert(key.clone(), symptom.window.end.unix());
                 self.pending_amend.insert(key, symptom.window.end.unix());
-                out.push(Emission::degraded(engine.diagnose(symptom), missing).at(now));
+                let e = Emission::degraded(engine.diagnose(symptom), missing)
+                    .at(now)
+                    .with_seq(self.next_seq);
+                self.next_seq += 1;
+                out.push(e);
             }
             // else: feeds behind but budget remains — hold for a later
             // cycle (the symptom stays un-emitted).
@@ -360,7 +396,7 @@ impl<'a> OnlineRca<'a> {
         self.pending_amend.retain(|_, end| *end > floor_unix);
         self.extractor
             .prune_before(floor - self.hold_back - Duration::hours(2));
-        self.db.trim_quarantine(QUARANTINE_KEEP);
+        self.db.trim_quarantine(self.quarantine_keep);
         if let Some(margin) = self.db_retention {
             // Same horizon the extractor cache uses, minus a caller-chosen
             // drill-down margin: nothing at or past the retention floor can
@@ -369,6 +405,128 @@ impl<'a> OnlineRca<'a> {
                 .retain_before(floor - self.hold_back - Duration::hours(2) - margin);
         }
         out
+    }
+
+    /// Next emission sequence number (the exactly-once cursor).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Capture the full checkpoint manifest at the end of `cycle`: append
+    /// the dedup-fingerprint journal delta to `store`'s seen log, seal
+    /// the collector's tail segments (the durability barrier), export the
+    /// segment manifest, stats, quarantine, and feed watermarks, and
+    /// embed this pipeline's per-symptom state
+    /// ([`crate::checkpoint::PipelineCheckpoint`]) as the opaque
+    /// `app_state`. The caller persists it via
+    /// [`grca_collector::DurableStore::save`] (see
+    /// [`crate::checkpoint::checkpoint`]). Requires durable segmented
+    /// storage ([`StorageConfig::durable`] with a spill dir).
+    pub fn checkpoint_manifest(
+        &mut self,
+        store: &grca_collector::DurableStore,
+        cycle: u64,
+    ) -> std::result::Result<grca_collector::StoreManifest, String> {
+        let seen_log = store
+            .persist_seen(&self.db, self.seen_log.as_ref())
+            .map_err(|e| format!("persist seen log: {e}"))?;
+        self.seen_log = Some(seen_log.clone());
+        let export = |t: &BTreeMap<(String, i64), i64>| {
+            t.iter()
+                .map(|((loc, start), &end)| (loc.clone(), *start, end))
+                .collect()
+        };
+        let app = crate::checkpoint::PipelineCheckpoint {
+            version: crate::checkpoint::CHECKPOINT_VERSION,
+            cycle,
+            next_seq: self.next_seq,
+            emitted: export(&self.emitted),
+            pending_amend: export(&self.pending_amend),
+            marks: self.extractor.marks().unwrap_or_default(),
+            hold_back_secs: self.hold_back.as_secs(),
+        };
+        let json = serde_json::to_string(&app).map_err(|e| format!("encode checkpoint: {e}"))?;
+        grca_collector::StoreManifest::capture(
+            &mut self.db,
+            &self.stats,
+            &self.registry,
+            cycle,
+            self.next_seq,
+            Some(json),
+            seen_log,
+        )
+    }
+
+    /// Restore this pipeline from a checkpoint manifest. `self` must be
+    /// freshly built with the same topology, definitions, graph, and
+    /// tuning as the instance that wrote the checkpoint, and must not
+    /// have ingested anything yet. On success the database, stats, feed
+    /// watermarks, emission tables, and sequence cursor are back at the
+    /// checkpoint barrier and the method returns the checkpointed cycle;
+    /// the driver then replays every later cycle's micro-batches. All
+    /// validation happens *before* any state is replaced, so an `Err`
+    /// leaves `self` untouched (safe to fall back to a cold start).
+    pub fn restore_from(
+        &mut self,
+        m: &grca_collector::StoreManifest,
+        dir: &std::path::Path,
+        cfg: &StorageConfig,
+    ) -> std::result::Result<u64, String> {
+        debug_assert!(self.db.row_counts().iter().all(|&n| n == 0));
+        let json = m
+            .app_state
+            .as_deref()
+            .ok_or("manifest carries no pipeline checkpoint")?;
+        let app: crate::checkpoint::PipelineCheckpoint =
+            serde_json::from_str(json).map_err(|e| format!("decode checkpoint: {e}"))?;
+        if app.version != crate::checkpoint::CHECKPOINT_VERSION {
+            return Err(format!("unknown checkpoint version {}", app.version));
+        }
+        if app.hold_back_secs != self.hold_back.as_secs() {
+            return Err(format!(
+                "checkpoint hold-back {}s != configured {}s: replay would diverge",
+                app.hold_back_secs,
+                self.hold_back.as_secs()
+            ));
+        }
+        if app.next_seq != m.next_seq {
+            return Err("checkpoint/manifest sequence cursors disagree".to_string());
+        }
+        let (db, stats, registry) = m.restore(dir, cfg)?;
+        // The extractor's checkpointed watermarks are validation-only: the
+        // first post-restore extract is a full pass, but row counts must
+        // match or the manifest references the wrong data directory.
+        if !app.marks.is_empty() {
+            let counts = db.row_counts();
+            for (i, &(n, _)) in app.marks.iter().enumerate() {
+                if counts.get(i).copied() != Some(n as usize) {
+                    return Err(format!(
+                        "checkpoint watermark {} rows != restored {} for {}",
+                        n,
+                        counts.get(i).copied().unwrap_or(0),
+                        grca_collector::FEEDS.get(i).copied().unwrap_or("?")
+                    ));
+                }
+            }
+        }
+        self.db = db;
+        self.stats = stats;
+        // Replay watermarks through the existing registry so cadence
+        // overrides applied at build time survive the restore.
+        for (feed, w, n) in registry.export_seen() {
+            self.registry.observe(feed, w, n);
+        }
+        let import = |v: &[(String, i64, i64)]| {
+            v.iter()
+                .map(|(loc, start, end)| ((loc.clone(), *start), *end))
+                .collect::<BTreeMap<_, _>>()
+        };
+        self.emitted = import(&app.emitted);
+        self.pending_amend = import(&app.pending_amend);
+        self.next_seq = app.next_seq;
+        // Future checkpoints append past the restored log prefix.
+        self.seen_log = Some(m.seen_log.clone());
+        Ok(app.cycle)
     }
 
     /// Convert the accumulated state into a batch-style output (e.g. at

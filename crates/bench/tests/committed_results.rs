@@ -30,3 +30,8 @@ fn committed_stream_results_satisfy_schema() {
 fn committed_sim_results_satisfy_schema() {
     check("BENCH_rca_sim.json", "BENCH_rca_sim.schema.json");
 }
+
+#[test]
+fn committed_recovery_results_satisfy_schema() {
+    check("BENCH_rca_recovery.json", "BENCH_rca_recovery.schema.json");
+}

@@ -484,7 +484,12 @@ fn shard_of(rec: &RawRecord, shards: usize) -> usize {
 ///
 /// Equality compares row contents per table (indexes are derived state) —
 /// this is what the parallel-vs-sequential determinism tests assert on.
-#[derive(Debug, Default, Clone, PartialEq)]
+/// The seen-log journal and its epoch are excluded: they record the
+/// *insertion order* of fingerprints, which legitimately differs between
+/// delivery schedules that converge to the same database (chaotic vs
+/// clean ingest), and replaying either journal rebuilds the same `seen`
+/// map.
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     pub syslog: Table<SyslogRow>,
     pub snmp: Table<SnmpRow>,
@@ -506,6 +511,17 @@ pub struct Database {
     /// [`Database::retain_before`] can drop fingerprints along with the
     /// history they belong to.
     seen: std::collections::HashMap<u128, Timestamp>,
+    /// Insertion-order journal of every `seen` mutation since this
+    /// database was built (or restored): the checkpoint path persists the
+    /// *delta* since the last barrier instead of re-serializing the whole
+    /// map (see [`crate::durable::SeenLogRef`]). Replaying the journal
+    /// from empty rebuilds `seen` exactly.
+    seen_log: Vec<SeenEvent>,
+    /// Bumped whenever [`Database::compact_seen_log`] rewrites the
+    /// journal; a persisted log reference from an older epoch can no
+    /// longer be appended to (its prefix no longer matches) and must be
+    /// rewritten in full.
+    seen_epoch: u64,
     /// Rows before this instant have been aged out of the tables; late
     /// re-deliveries of pre-floor history are counted as `expired` and
     /// never re-ingested (which is what keeps the fingerprint aging of
@@ -513,6 +529,41 @@ pub struct Database {
     /// segment past the floor).
     retention_floor: Option<Timestamp>,
 }
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.syslog == other.syslog
+            && self.snmp == other.snmp
+            && self.l1 == other.l1
+            && self.ospf == other.ospf
+            && self.bgp == other.bgp
+            && self.tacacs == other.tacacs
+            && self.workflow == other.workflow
+            && self.perf == other.perf
+            && self.cdn == other.cdn
+            && self.server == other.server
+            && self.quarantine == other.quarantine
+            && self.seen == other.seen
+            && self.retention_floor == other.retention_floor
+    }
+}
+
+/// One mutation of the dedup fingerprint map, journaled in insertion
+/// order. `Floor` stands for the bulk prune [`Database::retain_before`]
+/// performs, so the journal stays O(inserts) rather than O(removals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeenEvent {
+    /// A fingerprint was recorded with its normalized instant
+    /// (`Timestamp(i64::MAX)` for quarantined records).
+    Insert { fp: u128, at: Timestamp },
+    /// Every fingerprint strictly older than the instant was pruned.
+    Floor(Timestamp),
+}
+
+/// Compaction slack: the journal is rewritten from the live map only
+/// once it carries this many entries beyond twice the live set, keeping
+/// both the journal's memory and full-rewrite frequency bounded.
+const SEEN_LOG_COMPACT_SLACK: usize = 8192;
 
 /// Feed names in [`Database::row_counts`] table order.
 pub const FEEDS: [&str; 10] = [
@@ -547,6 +598,8 @@ impl Database {
             server: Table::segmented(cfg.clone()),
             quarantine: Vec::new(),
             seen: std::collections::HashMap::new(),
+            seen_log: Vec::new(),
+            seen_epoch: 0,
             retention_floor: None,
         }
     }
@@ -663,11 +716,11 @@ impl Database {
         for (fp, slot) in slots.into_iter().flatten() {
             match slot {
                 Ok(row) => {
-                    db.seen.insert(fp, row.utc());
+                    db.note_seen(fp, row.utc());
                     db.push_norm(row);
                 }
                 Err(q) => {
-                    db.seen.insert(fp, Timestamp(i64::MAX));
+                    db.note_seen(fp, Timestamp(i64::MAX));
                     db.quarantine.push(q);
                 }
             }
@@ -707,7 +760,7 @@ impl Database {
             match normalize(topo, res, rec, stats) {
                 Ok(row) => {
                     let utc = row.utc();
-                    self.seen.insert(fp, utc);
+                    self.note_seen(fp, utc);
                     if self.retention_floor.is_some_and(|floor| utc < floor) {
                         *stats.expired.entry(feed).or_default() += 1;
                         continue;
@@ -716,7 +769,7 @@ impl Database {
                     self.push_norm(row);
                 }
                 Err(reason) => {
-                    self.seen.insert(fp, Timestamp(i64::MAX));
+                    self.note_seen(fp, Timestamp(i64::MAX));
                     *stats.quarantined.entry(feed).or_default() += 1;
                     self.quarantine.push(Quarantined { feed, reason });
                 }
@@ -752,6 +805,94 @@ impl Database {
         self.perf.finalize();
         self.cdn.finalize();
         self.server.finalize();
+    }
+
+    /// Force-seal every table's tail so all rows live in sealed segments
+    /// — the durable checkpoint barrier ([`crate::durable`]). On flat
+    /// tables this just finalizes.
+    pub fn seal_all(&mut self) {
+        self.finalize();
+        self.syslog.seal_all();
+        self.snmp.seal_all();
+        self.l1.seal_all();
+        self.ospf.seal_all();
+        self.bgp.seal_all();
+        self.tacacs.seal_all();
+        self.workflow.seal_all();
+        self.perf.seal_all();
+        self.cdn.seal_all();
+        self.server.seal_all();
+    }
+
+    /// The dedup fingerprint map, exported for checkpointing.
+    pub fn export_seen(&self) -> Vec<(u128, Timestamp)> {
+        self.seen.iter().map(|(&fp, &t)| (fp, t)).collect()
+    }
+
+    fn note_seen(&mut self, fp: u128, at: Timestamp) {
+        self.seen.insert(fp, at);
+        self.seen_log.push(SeenEvent::Insert { fp, at });
+    }
+
+    /// The journal epoch and the mutation events since this database was
+    /// built or restored, in order (checkpoint delta export).
+    pub fn seen_log(&self) -> (u64, &[SeenEvent]) {
+        (self.seen_epoch, &self.seen_log)
+    }
+
+    /// Number of live fingerprints (diagnostics; the journal may be
+    /// longer than this until the next compaction).
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Rebuild the fingerprint map by replaying `events` from empty, and
+    /// adopt them as the journal at `epoch` — the checkpoint restore
+    /// path. Subsequent [`Database::seen_log`] deltas then continue from
+    /// exactly the persisted prefix.
+    pub fn import_seen_events(&mut self, epoch: u64, events: Vec<SeenEvent>) {
+        self.seen.clear();
+        for ev in &events {
+            match *ev {
+                SeenEvent::Insert { fp, at } => {
+                    self.seen.insert(fp, at);
+                }
+                SeenEvent::Floor(floor) => self.seen.retain(|_, t| *t >= floor),
+            }
+        }
+        self.seen_log = events;
+        self.seen_epoch = epoch;
+    }
+
+    /// Rewrite the journal as the sorted live fingerprint set and bump
+    /// the epoch. Called automatically from [`Database::retain_before`]
+    /// once the journal carries enough dead weight; the next checkpoint
+    /// sees the epoch change and rewrites its persisted log in full.
+    fn compact_seen_log(&mut self) {
+        let mut events: Vec<SeenEvent> = self
+            .seen
+            .iter()
+            .map(|(&fp, &at)| SeenEvent::Insert { fp, at })
+            .collect();
+        // HashMap iteration order is nondeterministic; sort so a
+        // compacted journal (and hence the persisted log) is a pure
+        // function of the live set.
+        events.sort_unstable_by_key(|ev| match *ev {
+            SeenEvent::Insert { fp, .. } => fp,
+            SeenEvent::Floor(_) => 0,
+        });
+        self.seen_log = events;
+        self.seen_epoch += 1;
+    }
+
+    /// The current retention floor, if any history has been aged out.
+    pub fn retention_floor(&self) -> Option<Timestamp> {
+        self.retention_floor
+    }
+
+    /// Restore the retention floor (checkpoint restore path).
+    pub fn restore_retention_floor(&mut self, floor: Option<Timestamp>) {
+        self.retention_floor = floor;
     }
 
     /// Total rows across tables.
@@ -817,6 +958,10 @@ impl Database {
             + self.cdn.retain_before(floor)
             + self.server.retain_before(floor);
         self.seen.retain(|_, t| *t >= floor);
+        self.seen_log.push(SeenEvent::Floor(floor));
+        if self.seen_log.len() > 2 * self.seen.len() + SEEN_LOG_COMPACT_SLACK {
+            self.compact_seen_log();
+        }
         self.retention_floor = Some(match self.retention_floor {
             Some(f) => f.max(floor),
             None => floor,
@@ -838,6 +983,7 @@ impl Database {
             + self.cdn.approx_bytes()
             + self.server.approx_bytes()
             + self.seen.len() * (std::mem::size_of::<(u128, Timestamp)>() + 8)
+            + self.seen_log.len() * std::mem::size_of::<SeenEvent>()
     }
 
     /// Storage counters merged across all tables — `Some` only when the

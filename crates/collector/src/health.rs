@@ -158,6 +158,13 @@ impl FeedRegistry {
         }
     }
 
+    /// Every observed feed's `(name, watermark, records)`, in feed-name
+    /// order — exported for checkpointing; restore replays them through
+    /// [`FeedRegistry::observe`].
+    pub fn export_seen(&self) -> Vec<(&'static str, Timestamp, usize)> {
+        self.seen.iter().map(|(&f, &(w, n))| (f, w, n)).collect()
+    }
+
     /// Latest delivered instant, or `None` if the feed has never been
     /// seen (treated as not provisioned rather than dead — without
     /// per-source heartbeats the two are indistinguishable).

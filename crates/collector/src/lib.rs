@@ -15,9 +15,12 @@
 //!   on-disk spill, segment-granular retention);
 //! * [`resolve`] — entity-name resolution strategies (direct vs memoized);
 //! * [`db`] — the ingestion pipeline over all feeds (sequential and
-//!   parallel sharded), with per-feed accept/drop statistics.
+//!   parallel sharded), with per-feed accept/drop statistics;
+//! * [`durable`] — crash-consistent durability: checksummed atomic spill
+//!   blobs and the rotated, versioned checkpoint manifest.
 
 pub mod db;
+pub mod durable;
 pub mod health;
 pub mod resolve;
 pub mod rows;
@@ -25,10 +28,18 @@ pub mod segment;
 pub mod storage;
 pub mod tables;
 
-pub use db::{record_fingerprint, Database, IngestStats, QuarantineReason, Quarantined, FEEDS};
+pub use db::{
+    record_fingerprint, Database, IngestStats, QuarantineReason, Quarantined, SeenEvent, FEEDS,
+};
+pub use durable::{
+    frame, read_framed, read_seen_log, unframe, write_atomic, BlobError, DurableStore, SaveStage,
+    SeenLogRef, SegmentRecord, StatsManifest, StoreManifest, TableManifest, MANIFEST_VERSION,
+};
 pub use health::{FeedHealth, FeedRegistry, FeedState};
 pub use resolve::{CachedResolver, DirectResolver, EntityResolver};
 pub use rows::*;
-pub use segment::{decode_segment, encode_segment, DecodedSeg, SegmentMeta, StoredRow};
+pub use segment::{
+    decode_segment, encode_segment, try_decode_segment, DecodedSeg, SegmentMeta, StoredRow,
+};
 pub use storage::{SegmentedTable, StorageConfig, StorageStats, TableStorage};
 pub use tables::{EntityRows, FlatTable, RowSet, Table};

@@ -205,6 +205,11 @@ pub struct DecodedSeg<R: Row> {
 }
 
 impl<R: StoredRow> DecodedSeg<R> {
+    /// A rowless segment — what a quarantined (torn) blob decodes to.
+    pub(crate) fn empty() -> Self {
+        Self::from_rows(Vec::new())
+    }
+
     fn from_rows(rows: Vec<R>) -> Self {
         let times: Vec<Timestamp> = rows.iter().map(|r| r.time()).collect();
         let mut groups: BTreeMap<R::Entity, Vec<u32>> = BTreeMap::new();
@@ -271,9 +276,23 @@ pub fn encode_segment<R: StoredRow>(rows: &[R]) -> (SegmentMeta<R::Entity>, Vec<
 }
 
 /// Decode a sealed blob back into rows + derived indexes. Inverse of
-/// [`encode_segment`].
+/// [`encode_segment`]. Panics on a malformed blob — use
+/// [`try_decode_segment`] for bytes that crossed a crash boundary.
 pub fn decode_segment<R: StoredRow>(blob: &[u8]) -> DecodedSeg<R> {
-    assert_eq!(blob[0], SEG_VERSION, "unknown segment version");
+    try_decode_segment(blob).expect("decode sealed segment blob")
+}
+
+/// Fallible [`decode_segment`]: structural problems a checksum cannot
+/// rule out (version skew, non-UTF-8 dictionary bytes, truncation) come
+/// back as `Err` instead of a panic. Callers on the durability path pair
+/// this with frame checksum verification ([`crate::durable::unframe`]),
+/// which catches arbitrary torn/bit-flipped bytes before decoding.
+pub fn try_decode_segment<R: StoredRow>(blob: &[u8]) -> Result<DecodedSeg<R>, String> {
+    match blob.first() {
+        None => return Err("empty segment blob".to_string()),
+        Some(&v) if v != SEG_VERSION => return Err(format!("unknown segment version {v}")),
+        Some(_) => {}
+    }
     let mut r = SegReader {
         buf: blob,
         pos: 1,
@@ -290,8 +309,11 @@ pub fn decode_segment<R: StoredRow>(blob: &[u8]) -> DecodedSeg<R> {
     let mut dict = Vec::with_capacity(n_dict);
     for _ in 0..n_dict {
         let len = r.varu() as usize;
-        let s = std::str::from_utf8(&r.buf[r.pos..r.pos + len])
-            .expect("segment dictionary is valid utf-8")
+        let Some(bytes) = r.buf.get(r.pos..r.pos + len) else {
+            return Err("segment dictionary truncated".to_string());
+        };
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| "segment dictionary is not valid utf-8".to_string())?
             .to_string();
         r.pos += len;
         dict.push(s);
@@ -299,7 +321,7 @@ pub fn decode_segment<R: StoredRow>(blob: &[u8]) -> DecodedSeg<R> {
     r.dict = dict;
     let rows = R::decode_cols(&times, &mut r);
     debug_assert_eq!(rows.len(), n);
-    DecodedSeg::from_rows(rows)
+    Ok(DecodedSeg::from_rows(rows))
 }
 
 fn snmp_metric_from(b: u8) -> SnmpMetric {

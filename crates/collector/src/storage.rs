@@ -55,8 +55,14 @@ pub struct StorageConfig {
     /// roughly `cache_segments * segment_rows * row size` plus the tail.
     pub cache_segments: usize,
     /// When set, sealed blobs spill to disk under this directory and only
-    /// zone maps stay resident. Files are removed when the table drops.
+    /// zone maps stay resident. Files are removed when the table drops
+    /// unless [`StorageConfig::durable`] is set.
     pub spill_dir: Option<PathBuf>,
+    /// Crash-consistent mode: spill writes are additionally `fsync`ed and
+    /// spill files *survive* table drop, so a manifest written at a
+    /// checkpoint barrier ([`crate::durable`]) can reference them after
+    /// restart. Requires [`StorageConfig::spill_dir`].
+    pub durable: bool,
 }
 
 impl Default for StorageConfig {
@@ -65,6 +71,7 @@ impl Default for StorageConfig {
             segment_rows: 4096,
             cache_segments: 8,
             spill_dir: None,
+            durable: false,
         }
     }
 }
@@ -121,6 +128,9 @@ pub struct StorageStats {
     /// Rows dropped by retention (whole segments only).
     pub dropped_rows: u64,
     pub dropped_segments: u64,
+    /// Spilled blobs that failed checksum/structural verification on
+    /// read — quarantined (treated as rowless) instead of panicking.
+    pub torn_blobs: u64,
 }
 
 impl StorageStats {
@@ -139,6 +149,7 @@ impl StorageStats {
         self.reseals += o.reseals;
         self.dropped_rows += o.dropped_rows;
         self.dropped_segments += o.dropped_segments;
+        self.torn_blobs += o.torn_blobs;
     }
 }
 
@@ -199,19 +210,25 @@ impl<R: StoredRow> TableStorage<R> for FlatTable<R> {
     }
 }
 
-/// A spill file owned by its segment; removed from disk on drop.
+/// A spill file owned by its segment. In the default (ephemeral) mode it
+/// is removed from disk on drop; in durable mode it must outlive the
+/// process so a restart can decode it back.
 #[derive(Debug)]
 struct SpillFile {
     path: PathBuf,
+    keep: bool,
 }
 
 impl Drop for SpillFile {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        if !self.keep {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 
-/// Where one sealed segment's encoded bytes live.
+/// Where one sealed segment's encoded bytes live. Disk blobs are stored
+/// framed ([`crate::durable::frame`]): checksum-verified on every read.
 #[derive(Debug, Clone)]
 enum Blob {
     Mem(Arc<Vec<u8>>),
@@ -219,12 +236,15 @@ enum Blob {
 }
 
 impl Blob {
-    fn read(&self) -> std::borrow::Cow<'_, [u8]> {
+    /// The verified segment payload, or a [`BlobError`] for a torn or
+    /// missing spill file (never a panic — satellite of the durability
+    /// contract: corrupted history is quarantined, not fatal).
+    fn read(&self) -> Result<std::borrow::Cow<'_, [u8]>, crate::durable::BlobError> {
         match self {
-            Blob::Mem(b) => std::borrow::Cow::Borrowed(b),
-            Blob::Disk { file, .. } => std::borrow::Cow::Owned(
-                std::fs::read(&file.path).expect("read spilled segment blob"),
-            ),
+            Blob::Mem(b) => Ok(std::borrow::Cow::Borrowed(b)),
+            Blob::Disk { file, .. } => {
+                crate::durable::read_framed(&file.path).map(std::borrow::Cow::Owned)
+            }
         }
     }
 }
@@ -245,6 +265,7 @@ struct Counters {
     pruned_entity: AtomicU64,
     decodes: AtomicU64,
     cache_hits: AtomicU64,
+    torn_blobs: AtomicU64,
 }
 
 struct Cache<R: StoredRow> {
@@ -313,7 +334,39 @@ impl<R: StoredRow> SegmentedTable<R> {
             reseals: self.reseals,
             dropped_rows: self.dropped_rows,
             dropped_segments: self.dropped_segments,
+            torn_blobs: self.counters.torn_blobs.load(Ordering::Relaxed),
         }
+    }
+
+    /// Every sealed segment's on-disk file (name relative to the spill
+    /// dir) and row count, in time order — the table's contribution to a
+    /// checkpoint manifest. `None` if any sealed blob is memory-resident
+    /// (the table is not running in spill mode).
+    pub fn segment_files(&self) -> Option<Vec<crate::durable::SegmentRecord>> {
+        self.segs
+            .iter()
+            .map(|s| match &s.blob {
+                Blob::Mem(_) => None,
+                Blob::Disk { file, .. } => Some(crate::durable::SegmentRecord {
+                    file: file.path.file_name()?.to_str()?.to_string(),
+                    rows: s.meta.rows as u64,
+                }),
+            })
+            .collect()
+    }
+
+    /// Force-seal the entire tail (no hysteresis): after this every row
+    /// the table holds lives in a sealed segment — the precondition for
+    /// a checkpoint barrier. Later arrivals older than the sealed
+    /// maximum fall into the existing reseal path.
+    pub fn seal_all(&mut self) {
+        TableStorage::finalize(self);
+        if !self.tail.is_empty() {
+            let n = self.tail.len();
+            let rows = self.tail.take_prefix(n);
+            self.seal(&rows);
+        }
+        debug_assert!(self.tail.is_empty());
     }
 
     /// Decode segment `ix` through the LRU cache; the returned `Arc` pins
@@ -328,7 +381,23 @@ impl<R: StoredRow> SegmentedTable<R> {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             return entry.1.clone();
         }
-        let decoded = Arc::new(decode_segment::<R>(&seg.blob.read()));
+        let decoded = Arc::new(match seg.blob.read() {
+            Ok(bytes) => match crate::segment::try_decode_segment::<R>(&bytes) {
+                Ok(d) => d,
+                Err(_) => {
+                    // Structurally bad despite an intact checksum (e.g.
+                    // version skew): quarantine as rowless, keep serving.
+                    self.counters.torn_blobs.fetch_add(1, Ordering::Relaxed);
+                    DecodedSeg::empty()
+                }
+            },
+            Err(_) => {
+                // Torn/missing spill file: quarantine, don't panic. The
+                // caching of the empty form keeps the cost one read.
+                self.counters.torn_blobs.fetch_add(1, Ordering::Relaxed);
+                DecodedSeg::empty()
+            }
+        });
         self.counters.decodes.fetch_add(1, Ordering::Relaxed);
         cache.map.insert(seg.id, (tick, decoded.clone()));
         let cap = self.cfg.cache_segments.max(1);
@@ -345,6 +414,9 @@ impl<R: StoredRow> SegmentedTable<R> {
     }
 
     /// Seal `rows` (already canonical, non-empty) into a new segment.
+    /// Spill writes are crash-safe: checksummed frame, unique temp file,
+    /// atomic rename (+ `fsync` in durable mode) — a crash can leave a
+    /// stray temp file, never a half-written blob under the final name.
     fn seal(&mut self, rows: &[R]) {
         let (meta, blob) = encode_segment(rows);
         let blob = match &self.cfg.spill_dir {
@@ -357,9 +429,17 @@ impl<R: StoredRow> SegmentedTable<R> {
                     SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
                 ));
                 let bytes = blob.len();
-                std::fs::write(&path, &blob).expect("write spilled segment blob");
+                crate::durable::write_atomic(
+                    &path,
+                    &crate::durable::frame(&blob),
+                    self.cfg.durable,
+                )
+                .expect("write spilled segment blob");
                 Blob::Disk {
-                    file: Arc::new(SpillFile { path }),
+                    file: Arc::new(SpillFile {
+                        path,
+                        keep: self.cfg.durable,
+                    }),
                     bytes,
                 }
             }
@@ -394,7 +474,14 @@ impl<R: StoredRow> SegmentedTable<R> {
         let mut sealed_rows: Vec<R> = Vec::with_capacity(popped.iter().map(|s| s.meta.rows).sum());
         for seg in &popped {
             cache.map.remove(&seg.id);
-            sealed_rows.extend(decode_segment::<R>(&seg.blob.read()).rows);
+            match seg.blob.read() {
+                Ok(bytes) => sealed_rows.extend(decode_segment::<R>(&bytes).rows),
+                Err(_) => {
+                    // Torn blob folded into a reseal: its rows are gone
+                    // either way — count and continue with what survives.
+                    self.counters.torn_blobs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         drop(cache);
         let key = |r: &R| (r.time(), r.tiebreak());

@@ -475,6 +475,9 @@ impl<'a, R: Row> EntityRows<'a, R> {
 /// A table of one row type, sorted by canonical `(time, tiebreak)` order
 /// after [`Table::finalize`]. Delegates to the flat baseline or the
 /// segmented columnar backend; see the module docs.
+// A `Database` holds exactly ten tables, never collections of them, so
+// the flat/segmented size difference buys nothing to box away.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum Table<R: StoredRow> {
     Flat(FlatTable<R>),
@@ -633,6 +636,24 @@ impl<R: StoredRow> Table<R> {
         match self {
             Table::Flat(_) => None,
             Table::Seg(t) => Some(t.stats()),
+        }
+    }
+
+    /// Force-seal the entire tail so every row lives in a sealed segment
+    /// (the checkpoint barrier). No-op on the flat backend.
+    pub fn seal_all(&mut self) {
+        match self {
+            Table::Flat(t) => t.finalize(),
+            Table::Seg(t) => t.seal_all(),
+        }
+    }
+
+    /// On-disk segment files for a checkpoint manifest — `Some` only on
+    /// the segmented spill backend with every blob on disk.
+    pub fn segment_files(&self) -> Option<Vec<crate::durable::SegmentRecord>> {
+        match self {
+            Table::Flat(_) => None,
+            Table::Seg(t) => t.segment_files(),
         }
     }
 }
@@ -867,6 +888,7 @@ mod tests {
             segment_rows: 4,
             cache_segments: 2,
             spill_dir: None,
+            durable: false,
         };
         let mut flat = Table::default();
         let mut seg = Table::segmented(cfg);

@@ -106,6 +106,7 @@ proptest! {
             segment_rows: seg_rows,
             cache_segments: cache,
             spill_dir: None,
+            durable: false,
         });
         for batch in &batches {
             for r in batch {
@@ -128,6 +129,7 @@ proptest! {
             segment_rows: seg_rows,
             cache_segments: 1,
             spill_dir: Some(dir),
+            durable: false,
         });
         for batch in &batches {
             for r in batch {
@@ -156,6 +158,7 @@ proptest! {
             segment_rows: seg_rows,
             cache_segments: 2,
             spill_dir: None,
+            durable: false,
         });
         let mut floor = i64::MIN;
         for (i, batch) in batches.iter().enumerate() {

@@ -64,6 +64,13 @@ pub struct Emission {
     /// their own later stamp so superseding never rewrites detection time.
     /// [`Timestamp::MIN`] when unstamped (batch-style construction).
     pub emitted_at: Timestamp,
+    /// Monotonically increasing emission sequence number, assigned by the
+    /// online path at emit time (stamped via [`Emission::with_seq`]). The
+    /// exactly-once handle for crash recovery: a restarted pipeline
+    /// replays deterministically and re-emits with the *same* sequence
+    /// numbers, so consumers dedup by `seq`. `0` until stamped; stamped
+    /// streams start at 1.
+    pub seq: u64,
 }
 
 impl Emission {
@@ -75,6 +82,7 @@ impl Emission {
             amends: false,
             log_confidence: 0.0,
             emitted_at: Timestamp::MIN,
+            seq: 0,
         }
     }
 
@@ -87,6 +95,7 @@ impl Emission {
             amends: false,
             log_confidence,
             emitted_at: Timestamp::MIN,
+            seq: 0,
         }
     }
 
@@ -100,6 +109,12 @@ impl Emission {
     /// Stamp the emission with the stream clock at emit time.
     pub fn at(mut self, now: Timestamp) -> Self {
         self.emitted_at = now;
+        self
+    }
+
+    /// Stamp the emission with its stream sequence number.
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
         self
     }
 

@@ -124,6 +124,10 @@ pub fn lossy_ops(study: Study, cycles: usize) -> Vec<ChaosOp> {
 pub struct ChaosRunOpts {
     pub cycle_len: Duration,
     pub amend_window: Option<Duration>,
+    /// Override [`grca_apps::OnlineRca::with_quarantine_keep`] — the
+    /// quarantine journal bound. `None` keeps the production default; the
+    /// sustained-corruption regression test shrinks it to unit scale.
+    pub quarantine_keep: Option<usize>,
 }
 
 impl Default for ChaosRunOpts {
@@ -131,6 +135,7 @@ impl Default for ChaosRunOpts {
         ChaosRunOpts {
             cycle_len: Duration::hours(1),
             amend_window: None,
+            quarantine_keep: None,
         }
     }
 }
@@ -189,6 +194,12 @@ pub struct ChaosRun {
     pub accepted: usize,
     pub quarantined: usize,
     pub deduplicated: usize,
+    pub expired: usize,
+    /// Quarantine journal entries still held at the end of the run (the
+    /// bounded drill-down window; `quarantined` keeps the exact total).
+    pub quarantine_len: usize,
+    /// Largest the journal ever got across cycles.
+    pub quarantine_peak: usize,
     /// [`grca_apps::OnlineRca::state_size`] after every cycle.
     pub state_trace: Vec<usize>,
     /// Final delivered watermark per relevant feed (unix).
@@ -270,6 +281,9 @@ pub fn run_chaos(s: &GoldenScenario, chaos: &FeedChaos, opts: &ChaosRunOpts) -> 
         .amend_window
         .unwrap_or(cfg.end() - cfg.start + Duration::hours(12));
     online = online.with_amend_window(amend);
+    if let Some(keep) = opts.quarantine_keep {
+        online = online.with_quarantine_keep(keep);
+    }
     for feed in online.relevant_feeds().to_vec() {
         online = online.with_feed_cadence(feed, STRICT_CADENCE);
     }
@@ -277,12 +291,14 @@ pub fn run_chaos(s: &GoldenScenario, chaos: &FeedChaos, opts: &ChaosRunOpts) -> 
     let mut emissions: Vec<Emission> = Vec::new();
     let mut state_trace = Vec::new();
     let mut delivered_records = 0usize;
+    let mut quarantine_peak = 0usize;
     for (i, recs) in delivered.iter().enumerate() {
         delivered_records += recs.len();
         let now = mb.clock(i);
         let new = advance_study(&mut online, s.study, recs, now, &built.topo);
         emissions.extend(new);
         state_trace.push(online.state_size());
+        quarantine_peak = quarantine_peak.max(online.database().quarantine.len());
     }
     // Drain: keep polling past the end until the last horizons and wait
     // budgets have expired, so held-back symptoms resolve (full once
@@ -363,6 +379,9 @@ pub fn run_chaos(s: &GoldenScenario, chaos: &FeedChaos, opts: &ChaosRunOpts) -> 
         accepted: stats.total_accepted(),
         quarantined: stats.total_quarantined(),
         deduplicated: stats.total_deduplicated(),
+        expired: stats.total_expired(),
+        quarantine_len: online.database().quarantine.len(),
+        quarantine_peak,
         state_trace,
         watermarks,
         killed,

@@ -25,6 +25,10 @@
 //! * [`latency`] — end-to-end detection latency: injection instants from
 //!   the soak manifest joined to stamped emission times, exactly once per
 //!   injection;
+//! * [`mod@recovery`] — crash-recovery evaluation: kill the checkpointed
+//!   online pipeline at scheduled and randomized points, restart, and
+//!   require the recovered emission stream to be exactly-once and
+//!   label-identical to the uninterrupted run (E19);
 //! * [`soak`] — the long-horizon streaming soak driver behind
 //!   `exp_stream_tier1`: day-chunked manifest replay at a
 //!   [`grca_net_model::TierConfig`] preset, scored for accuracy and
@@ -36,6 +40,7 @@ pub mod gate;
 pub mod latency;
 pub mod mutate;
 pub mod oracle;
+pub mod recovery;
 pub mod soak;
 
 pub use chaos::{
@@ -48,4 +53,8 @@ pub use gate::{check_against_baseline, GateError, DEFAULT_EPS_PT};
 pub use latency::{measure, LatencyReport, LatencySample, VerdictEvent};
 pub use mutate::Mutation;
 pub use oracle::{evaluate, evaluate_corpus, CategoryMetrics, EvalReport, MixRow, ScenarioMetrics};
+pub use recovery::{
+    check_exactly_once, dedup_by_seq, kill_matrix, run_attempt, run_recovery_case, PipelineOutcome,
+    RecoveryOpts, RecoveryVerdict, SeqVerdict,
+};
 pub use soak::{run_soak, SoakCycle, SoakOutcome, SoakRunOpts, JOIN_SLACK};

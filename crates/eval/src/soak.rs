@@ -27,7 +27,7 @@
 use crate::chaos::{advance_study, online_for, STRICT_CADENCE};
 use crate::latency::{measure, LatencyReport, VerdictEvent};
 use grca_apps::{bgp, score, Study};
-use grca_collector::{Database, IngestStats, StorageConfig};
+use grca_collector::{Database, DurableStore, IngestStats, StorageConfig};
 use grca_core::{fold_stream, Emission};
 use grca_net_model::TierConfig;
 use grca_simnet::{
@@ -56,6 +56,21 @@ pub struct SoakRunOpts {
     /// the folded online stream is label-identical. Costs a second full
     /// database — smoke scale only.
     pub batch_check: bool,
+    /// Checkpoint the pipeline into this directory at cycle boundaries
+    /// ([`grca_apps::checkpoint`]). Forces durable segmented storage
+    /// spilling there; checkpoint wall-clock is counted into
+    /// `advance_secs` (it is part of the online path's cost) and reported
+    /// separately — the E19 overhead gate compares a checkpointed soak's
+    /// throughput against this field left `None`.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Checkpoint cadence: write a barrier every this many cycles, so a
+    /// restart replays at most that many cycles of input. `1` checkpoints
+    /// every cycle — maximal crash-window coverage, which is what the E19
+    /// kill matrix runs — while the default of `12` (twice per simulated
+    /// day at the default hourly cycle) is the production-style cadence
+    /// the overhead gate measures: replay-to-caught-up stays under half a
+    /// day while the barrier cost amortizes into the online path's noise.
+    pub checkpoint_every: usize,
 }
 
 impl Default for SoakRunOpts {
@@ -65,6 +80,8 @@ impl Default for SoakRunOpts {
             storage: Some(StorageConfig::default()),
             db_retention: Some(Duration::hours(12)),
             batch_check: false,
+            checkpoint_dir: None,
+            checkpoint_every: 12,
         }
     }
 }
@@ -120,8 +137,14 @@ pub struct SoakOutcome {
     pub latency: LatencyReport,
     /// Folded online labels == batch labels (only when `batch_check`).
     pub batch_identical: Option<bool>,
-    /// Total wall-clock seconds inside the online advance loop.
+    /// Total wall-clock seconds inside the online advance loop (including
+    /// per-cycle checkpoint writes when enabled).
     pub advance_secs: f64,
+    /// Checkpoints written (0 unless [`SoakRunOpts::checkpoint_dir`]).
+    pub checkpoints: usize,
+    /// Wall-clock seconds spent writing checkpoints (subset of
+    /// `advance_secs`).
+    pub checkpoint_secs: f64,
     /// Total wall-clock seconds generating and delivering the input —
     /// manifest replay, micro-batch bucketing, transport. Splitting this
     /// from `advance_secs` keeps the harness's own cost out of the
@@ -163,9 +186,30 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
     let manifest = SoakManifest::draw(start, tier.soak_days, manifest_seed, &rates);
 
     let mut online = online_for(Study::Bgp, &topo);
-    if let Some(storage) = &opts.storage {
+    // Checkpointing needs durable segmented storage rooted at the
+    // checkpoint directory; override whatever the caller configured so the
+    // manifest's segment references actually resolve on restore.
+    let storage = match (&opts.storage, &opts.checkpoint_dir) {
+        (Some(s), Some(dir)) => {
+            let mut s = s.clone();
+            s.spill_dir = Some(dir.clone());
+            s.durable = true;
+            Some(s)
+        }
+        (None, Some(dir)) => Some(StorageConfig {
+            spill_dir: Some(dir.clone()),
+            durable: true,
+            ..StorageConfig::default()
+        }),
+        (s, None) => s.clone(),
+    };
+    if let Some(storage) = &storage {
         online = online.with_storage(storage);
     }
+    let ckpt_store = opts.checkpoint_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create checkpoint dir");
+        DurableStore::open(dir).expect("open durable store")
+    });
     if let Some(margin) = opts.db_retention {
         online = online.with_db_retention(margin);
     }
@@ -181,6 +225,8 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
     let mut records = 0usize;
     let mut cycle = 0usize;
     let mut advance_secs = 0.0f64;
+    let mut checkpoints = 0usize;
+    let mut checkpoint_secs = 0.0f64;
     let mut sim_secs = 0.0f64;
     let mut last_clock = start;
     // Emission/keying buffers recycled across the day loop so per-day
@@ -228,7 +274,18 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
             let now = cfg.start + Duration::secs(opts.cycle_len.as_secs() * (i as i64 + 1));
             let t0 = std::time::Instant::now();
             let new = advance_study(&mut online, Study::Bgp, recs, now, &topo);
-            let dt = t0.elapsed().as_secs_f64();
+            let mut dt = t0.elapsed().as_secs_f64();
+            if let Some(store) = &ckpt_store {
+                if (cycle + 1).is_multiple_of(opts.checkpoint_every.max(1)) {
+                    let c0 = std::time::Instant::now();
+                    grca_apps::checkpoint::checkpoint(&mut online, store, cycle as u64)
+                        .expect("soak checkpoint");
+                    let cdt = c0.elapsed().as_secs_f64();
+                    checkpoint_secs += cdt;
+                    checkpoints += 1;
+                    dt += cdt;
+                }
+            }
             advance_secs += dt;
             records += recs.len();
             emissions.extend(new);
@@ -255,7 +312,18 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
         now += opts.cycle_len;
         let t0 = std::time::Instant::now();
         let new = advance_study(&mut online, Study::Bgp, &[], now, &topo);
-        let dt = t0.elapsed().as_secs_f64();
+        let mut dt = t0.elapsed().as_secs_f64();
+        if let Some(store) = &ckpt_store {
+            if (cycle + 1).is_multiple_of(opts.checkpoint_every.max(1)) {
+                let c0 = std::time::Instant::now();
+                grca_apps::checkpoint::checkpoint(&mut online, store, cycle as u64)
+                    .expect("soak checkpoint");
+                let cdt = c0.elapsed().as_secs_f64();
+                checkpoint_secs += cdt;
+                checkpoints += 1;
+                dt += cdt;
+            }
+        }
         advance_secs += dt;
         emissions.extend(new);
         on_cycle(&SoakCycle {
@@ -342,6 +410,8 @@ pub fn run_soak<F: FnMut(&SoakCycle)>(
         latency,
         batch_identical,
         advance_secs,
+        checkpoints,
+        checkpoint_secs,
         sim_secs,
     }
 }

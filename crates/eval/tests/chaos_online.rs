@@ -211,3 +211,54 @@ fn corruption_is_quarantined_and_accounted() {
         "accounting leak under corruption"
     );
 }
+
+/// A feed poisoned at sustained high rate cannot grow the quarantine
+/// journal without bound: the journal is trimmed to the configured keep
+/// every cycle, while the [`grca_collector::IngestStats`] counters keep
+/// the exact totals — nothing is silently dropped from the accounting.
+#[test]
+fn sustained_corruption_keeps_journal_bounded_and_accounting_exact() {
+    let s = small_scenario(21);
+    let keep = 8usize;
+    // Eight independent corruption streams on the same feed, every single
+    // cycle — SNMP corruption (non-finite samples) always quarantines.
+    let mut chaos = FeedChaos::new(CHAOS_SEEDS[0]);
+    for _ in 0..8 {
+        chaos = chaos.with(ChaosOp::Corrupt {
+            feed: evidence_feed(s.study),
+            period: 1,
+        });
+    }
+    let opts = ChaosRunOpts {
+        quarantine_keep: Some(keep),
+        ..Default::default()
+    };
+    let run = run_chaos(&s, &chaos, &opts);
+
+    // The corruption volume far exceeds the bound — the trim actually ran.
+    assert!(
+        run.quarantined > keep * 4,
+        "not enough corruption to exercise the bound: {} quarantined",
+        run.quarantined
+    );
+    // The journal is bounded at every observed cycle boundary, not just
+    // at the end.
+    assert!(
+        run.quarantine_len <= keep,
+        "final journal {}",
+        run.quarantine_len
+    );
+    assert!(
+        run.quarantine_peak <= keep,
+        "peak journal {}",
+        run.quarantine_peak
+    );
+    // …and the accounting identity stays exact: every delivered record is
+    // accepted, quarantined, deduplicated, or expired — trimming the
+    // journal never touches the counters.
+    assert_eq!(
+        run.accepted + run.quarantined + run.deduplicated + run.expired,
+        run.delivered_records,
+        "accounting leak under sustained corruption"
+    );
+}

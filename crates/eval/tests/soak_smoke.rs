@@ -66,6 +66,36 @@ fn smoke_soak_converges_to_batch_and_measures_latency() {
 }
 
 #[test]
+fn checkpointed_soak_is_result_identical_and_counts_overhead() {
+    let tier = TierConfig::smoke();
+    let plain = run_soak(&tier, &SoakRunOpts::default(), |_| {});
+    let dir = std::env::temp_dir().join(format!("grca-soak-ckpt-{}", std::process::id()));
+    let opts = SoakRunOpts {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 1,
+        ..Default::default()
+    };
+    let ckpt = run_soak(&tier, &opts, |_| {});
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Checkpointing is pure overhead: every verdict, latency sample, and
+    // accuracy number is unchanged.
+    assert_eq!(ckpt.records, plain.records);
+    assert_eq!(ckpt.emissions, plain.emissions);
+    assert_eq!(ckpt.finals, plain.finals);
+    assert_eq!(ckpt.latency.samples, plain.latency.samples);
+    assert_eq!(ckpt.accuracy_correct, plain.accuracy_correct);
+
+    // One checkpoint per cycle, and its cost is accounted inside the
+    // advance total (the E19 overhead gate divides throughputs).
+    assert_eq!(ckpt.checkpoints, ckpt.cycles);
+    assert!(ckpt.checkpoint_secs > 0.0);
+    assert!(ckpt.checkpoint_secs < ckpt.advance_secs);
+    assert_eq!(plain.checkpoints, 0);
+    assert_eq!(plain.checkpoint_secs, 0.0);
+}
+
+#[test]
 fn soak_is_deterministic_at_smoke_scale() {
     let tier = TierConfig::smoke();
     let opts = SoakRunOpts::default();

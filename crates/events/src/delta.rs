@@ -156,6 +156,20 @@ impl IncrementalExtractor {
         }
     }
 
+    /// The current per-table watermarks as `(row count, last unix)` pairs
+    /// in [`Database::row_counts`] order, or `None` before the first
+    /// extraction. Exported for checkpointing: restore does **not** feed
+    /// these back (the first post-restore extract is a deliberate full
+    /// pass over the restored database), it only cross-checks them against
+    /// the restored row counts to detect a torn or mismatched checkpoint.
+    pub fn marks(&self) -> Option<Vec<(u64, Option<i64>)>> {
+        self.marks.as_ref().map(|m| {
+            (0..10)
+                .map(|i| (m.counts[i] as u64, m.last[i].map(|t| t.unix())))
+                .collect()
+        })
+    }
+
     /// Extract the whole library against `cx.db`, equal to batch
     /// [`crate::singlepass::extract_all`] over the same database.
     pub fn extract(&mut self, cx: &ExtractCx) -> EventStore {

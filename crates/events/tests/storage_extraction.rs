@@ -77,6 +77,7 @@ fn extraction_identical_across_storage_backends() {
             segment_rows: 128,
             cache_segments: 2,
             spill_dir: None,
+            durable: false,
         });
         let mut seg_stats = IngestStats::default();
         seg_db.ingest_more(&topo, &out.records, &mut seg_stats);

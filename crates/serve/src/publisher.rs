@@ -70,6 +70,17 @@ impl Publisher {
         self
     }
 
+    /// Adopt a recovered collector state (database plus accounting, as
+    /// restored from a durable checkpoint manifest) — the restart path:
+    /// the publisher's next epoch is built over the recovered history
+    /// exactly as if it had ingested it itself. Replaces the empty
+    /// database, so call it before the first [`Publisher::ingest`].
+    pub fn with_recovered(mut self, db: Database, stats: IngestStats) -> Self {
+        self.db = db;
+        self.stats = stats;
+        self
+    }
+
     /// Disable the publish-time cache warm-up (publishes get cheaper,
     /// cold queries recompute routes per request).
     pub fn without_warmup(mut self) -> Self {
@@ -109,6 +120,7 @@ impl Publisher {
                     name: s.name.clone(),
                     graph: s.graph.clone(),
                     overlay: s.overlay.clone(),
+                    poison: s.poison.clone(),
                 })
             })
             .collect::<Result<Vec<_>>>()?;

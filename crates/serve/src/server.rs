@@ -20,6 +20,7 @@ use crate::snapshot::ServingSnapshot;
 use grca_core::Diagnosis;
 use grca_events::EventInstance;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -72,6 +73,29 @@ pub struct Served {
     pub epoch: u64,
     pub tenant: usize,
     pub diagnosis: Diagnosis,
+    /// `Some` when the request could not be diagnosed because the
+    /// tenant's rule evaluation panicked: the worker caught the panic,
+    /// failed this request explicitly (the `diagnosis` is an empty
+    /// UNKNOWN placeholder for the symptom), and kept serving. Never
+    /// silently dropped — a ticket always resolves.
+    pub error: Option<String>,
+}
+
+impl Served {
+    /// An explicit failure verdict for a request whose diagnosis
+    /// panicked: UNKNOWN with no evidence, plus the panic message.
+    fn poisoned(epoch: u64, tenant: usize, symptom: &EventInstance, error: String) -> Self {
+        Served {
+            epoch,
+            tenant,
+            diagnosis: Diagnosis {
+                symptom: symptom.clone(),
+                evidence: Vec::new(),
+                root_causes: Vec::new(),
+            },
+            error: Some(error),
+        }
+    }
 }
 
 /// One-shot response slot a worker fulfills and a client waits on.
@@ -126,6 +150,7 @@ struct Shared {
     served: AtomicU64,
     rejected: AtomicU64,
     batches: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 impl Shared {
@@ -156,6 +181,7 @@ impl Server {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -222,6 +248,7 @@ impl Server {
             served: self.shared.served.load(SeqCst),
             rejected: self.shared.rejected.load(SeqCst),
             batches: self.shared.batches.load(SeqCst),
+            poisoned: self.shared.poisoned.load(SeqCst),
             publishes: self.shared.cell.publish_count(),
             load_retries: self.shared.cell.load_retry_count(),
         }
@@ -235,6 +262,9 @@ pub struct ServerStats {
     pub rejected: u64,
     /// Micro-batches executed (served / batches = achieved batch size).
     pub batches: u64,
+    /// Requests fulfilled with an explicit error verdict because their
+    /// diagnosis panicked (see [`Served::error`]).
+    pub poisoned: u64,
     pub publishes: u64,
     /// Reader re-announcements caused by racing publishes — the *only*
     /// cost a publish can impose on the query path (never a block).
@@ -271,6 +301,7 @@ impl Session {
             epoch: self.snap.epoch,
             tenant,
             diagnosis: self.snap.diagnose(tenant, symptom),
+            error: None,
         }
     }
 }
@@ -316,15 +347,63 @@ fn worker_loop(shared: &Shared) {
         // must already see this batch in the stats.
         shared.served.fetch_add(batch.len() as u64, SeqCst);
         shared.batches.fetch_add(1, SeqCst);
-        snap.with_engine(tenant, |engine| {
-            for job in &batch {
-                let diagnosis = engine.diagnose(&job.symptom);
-                job.cell.fulfill(Served {
-                    epoch: snap.epoch,
+        // Panic isolation, two layers. Per-job: a diagnosis that panics
+        // (a poisoned rule library hitting pathological data) fails only
+        // that request, with an explicit error verdict. Per-batch: a
+        // panic in the engine bind itself (bad tenant id, poisoned
+        // overlay resolution) fails every not-yet-fulfilled job the same
+        // way. Either way the worker survives — a panic must never
+        // shrink the pool or leave a ticket hanging.
+        let done = std::cell::Cell::new(0usize);
+        let bind = catch_unwind(AssertUnwindSafe(|| {
+            snap.with_engine(tenant, |engine| {
+                for job in &batch {
+                    let served =
+                        match catch_unwind(AssertUnwindSafe(|| engine.diagnose(&job.symptom))) {
+                            Ok(diagnosis) => Served {
+                                epoch: snap.epoch,
+                                tenant,
+                                diagnosis,
+                                error: None,
+                            },
+                            Err(payload) => {
+                                shared.poisoned.fetch_add(1, SeqCst);
+                                Served::poisoned(
+                                    snap.epoch,
+                                    tenant,
+                                    &job.symptom,
+                                    panic_message(payload.as_ref()),
+                                )
+                            }
+                        };
+                    job.cell.fulfill(served);
+                    done.set(done.get() + 1);
+                }
+            })
+        }));
+        if let Err(payload) = bind {
+            let msg = panic_message(payload.as_ref());
+            for job in batch.iter().skip(done.get()) {
+                shared.poisoned.fetch_add(1, SeqCst);
+                job.cell.fulfill(Served::poisoned(
+                    snap.epoch,
                     tenant,
-                    diagnosis,
-                });
+                    &job.symptom,
+                    msg.clone(),
+                ));
             }
-        });
+        }
+    }
+}
+
+/// Human-readable panic payload (`panic!` with a message yields a `&str`
+/// or `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "diagnosis panicked (non-string payload)".to_string()
     }
 }

@@ -24,6 +24,13 @@ pub struct TenantSpec {
     pub graph: DiagnosisGraph,
     /// Extra rules layered onto `graph` when the snapshot is built.
     pub overlay: Vec<DiagnosisRule>,
+    /// Fault injection: when set, every engine bind for this tenant
+    /// panics with this message — stands in for a rule library whose
+    /// evaluation code blows up on live data. The panic-isolation tests
+    /// use it to prove a poisoned tenant fails its own requests with an
+    /// explicit error verdict without taking down the worker pool.
+    /// Always `None` in production configurations.
+    pub poison: Option<String>,
 }
 
 impl TenantSpec {
@@ -32,6 +39,7 @@ impl TenantSpec {
             name: name.into(),
             graph,
             overlay: Vec::new(),
+            poison: None,
         }
     }
 
@@ -39,6 +47,12 @@ impl TenantSpec {
     /// and re-validated — once per snapshot publish, not per query.
     pub fn with_overlay(mut self, rules: Vec<DiagnosisRule>) -> Self {
         self.overlay = rules;
+        self
+    }
+
+    /// Inject a diagnose-time panic for this tenant (see the field doc).
+    pub fn with_poison(mut self, msg: impl Into<String>) -> Self {
+        self.poison = Some(msg.into());
         self
     }
 }
@@ -49,6 +63,8 @@ pub struct Tenant {
     pub name: String,
     pub graph: DiagnosisGraph,
     pub index: RuleIndex,
+    /// Carried over from [`TenantSpec::poison`] — fault injection only.
+    pub poison: Option<String>,
 }
 
 impl Tenant {
@@ -63,6 +79,7 @@ impl Tenant {
             name: spec.name,
             graph,
             index,
+            poison: spec.poison,
         })
     }
 }
@@ -149,6 +166,9 @@ impl ServingSnapshot {
     /// engine borrows stack-local spatial state.
     pub fn with_engine<R>(&self, tenant: usize, f: impl FnOnce(&Engine) -> R) -> R {
         let t = &self.tenants[tenant];
+        if let Some(msg) = &t.poison {
+            panic!("poisoned rule library for tenant {:?}: {msg}", t.name);
+        }
         let oracle = self.routing.oracle(&self.topo);
         let spatial = SpatialModel::new(&self.topo, &oracle);
         let engine = Engine::with_index(&t.graph, &self.store, &spatial, &t.index);

@@ -1,0 +1,97 @@
+//! Worker panic isolation: a tenant whose rule evaluation panics must
+//! fail *its own* requests with an explicit error verdict — every ticket
+//! still resolves — while the worker pool survives and keeps serving
+//! other tenants at full throughput.
+//!
+//! This file holds a single test so it owns its process: it installs a
+//! silent panic hook (it injects panics by the dozen and the default
+//! hook's traces would drown the output).
+
+use grca_apps::bgp;
+use grca_net_model::gen::{generate, TopoGenConfig};
+use grca_serve::{Publisher, ServeConfig, Server, TenantSpec};
+use grca_simnet::{run_scenario, FaultRates, ScenarioConfig};
+use std::sync::Arc;
+
+#[test]
+fn poisoned_tenant_fails_explicitly_without_killing_the_pool() {
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let topo = Arc::new(generate(&TopoGenConfig::small()));
+    let records = run_scenario(&topo, &ScenarioConfig::new(2, 3, FaultRates::bgp_study())).records;
+    let specs = vec![
+        TenantSpec::new("bgp", bgp::diagnosis_graph()),
+        TenantSpec::new("poisoned", bgp::diagnosis_graph())
+            .with_poison("rule evaluation blew up on live data"),
+    ];
+    let mut publisher = Publisher::new(topo.clone(), bgp::event_definitions(), specs);
+    publisher.ingest(&records);
+    let snap = publisher.publish().expect("tenants validate");
+    let bgp_id = snap.tenant_id("bgp").unwrap();
+    let bad_id = snap.tenant_id("poisoned").unwrap();
+    let symptoms = snap.symptoms(bgp_id).to_vec();
+    assert!(!symptoms.is_empty(), "scenario produced no symptoms");
+    let reference = snap.diagnose_all(bgp_id);
+
+    let server = Server::start(
+        snap.clone(),
+        &ServeConfig {
+            workers: 2,
+            queue_cap: 4096,
+            max_batch: 4,
+        },
+    );
+
+    // Healthy baseline before any poison.
+    let first = server.diagnose(bgp_id, symptoms[0].clone()).unwrap();
+    assert!(first.error.is_none());
+
+    // A poisoned burst wider than the pool (every worker hits it,
+    // repeatedly): each request resolves — no hung ticket — with an
+    // explicit error verdict, UNKNOWN and evidence-free.
+    let poisoned_n = 8usize;
+    let tickets: Vec<_> = (0..poisoned_n)
+        .map(|i| {
+            server
+                .submit(bad_id, symptoms[i % symptoms.len()].clone())
+                .expect("queue sized for test")
+        })
+        .collect();
+    for t in tickets {
+        let served = t.wait();
+        assert_eq!(served.tenant, bad_id);
+        let err = served.error.expect("poisoned tenant must fail explicitly");
+        assert!(
+            err.contains("poisoned rule library"),
+            "unexpected error message: {err}"
+        );
+        assert_eq!(served.diagnosis.label(), grca_core::UNKNOWN);
+        assert!(served.diagnosis.evidence.is_empty());
+    }
+
+    // Throughput recovers: the same pool serves a full healthy sweep,
+    // label-identical to the batch reference. If the panics had killed
+    // the workers this would hang on the first wait().
+    let tickets: Vec<_> = symptoms
+        .iter()
+        .map(|s| {
+            server
+                .submit(bgp_id, s.clone())
+                .expect("queue sized for test")
+        })
+        .collect();
+    for (t, want) in tickets.into_iter().zip(&reference) {
+        let served = t.wait();
+        assert!(
+            served.error.is_none(),
+            "healthy tenant hit {:?}",
+            served.error
+        );
+        assert_eq!(served.diagnosis.verdict(), want.verdict());
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.poisoned, poisoned_n as u64);
+    assert_eq!(stats.served, 1 + poisoned_n as u64 + symptoms.len() as u64);
+    assert_eq!(stats.rejected, 0);
+}

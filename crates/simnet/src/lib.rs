@@ -20,6 +20,7 @@ pub mod chaos;
 pub mod config;
 pub mod inject;
 pub mod inject_net;
+pub mod kill;
 pub mod names;
 pub mod scenario;
 pub mod sim;
@@ -28,6 +29,7 @@ pub mod truth;
 
 pub use chaos::{ChaosOp, FeedChaos, MicroBatches};
 pub use config::{BackgroundConfig, FaultRates, ScenarioConfig};
+pub use kill::{KillPoint, KillSwitch};
 pub use names::FeedNames;
 pub use scenario::{
     run_scenario, run_scenario_baseline, run_scenario_threads, SimBuffers, SimOutput,
